@@ -1,0 +1,47 @@
+"""Shared plumbing for the benchmark harness.
+
+Each ``test_bench_*`` module reproduces one experiment id from
+DESIGN.md.  Benchmarks are deterministic simulations, so they run one
+round through ``benchmark.pedantic`` and publish their table both to
+stdout and to ``benchmarks/results/<experiment>.txt`` (EXPERIMENTS.md
+quotes those files).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Sequence
+
+from repro.sim.report import render_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_experiment(benchmark, fn: Callable[[], List[List[object]]]):
+    """Time one experiment run and return its rows."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def publish(
+    experiment: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render, print and persist one experiment table."""
+    table = render_table(title, headers, rows)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as handle:
+        handle.write(table + "\n")
+    print("\n" + table)
+    return table
+
+
+def column(rows: Sequence[Sequence[object]], index: int) -> List[object]:
+    return [row[index] for row in rows]
+
+
+def rows_where(rows, index: int, value) -> List[Sequence[object]]:
+    """All rows whose ``index``-th column equals ``value``."""
+    return [row for row in rows if row[index] == value]

@@ -1,0 +1,38 @@
+"""E9 — clock drift causes unnecessary aborts *only* (paper Sec. 5.2).
+
+One coordinator's clock runs ahead by a growing offset.  A fast clock
+hands out too-big serial numbers, so other coordinators' later PREPAREs
+start failing the extension check (out-of-order refusals) — yet every
+history stays view serializable: "The amount of the time drift among
+the clocks has no influence on the correctness of the Certifier.  The
+drift may cause unnecessary aborts, only."
+"""
+
+from repro.sim.experiments import exp_drift_sweep
+
+from bench_utils import publish, run_experiment
+
+HEADERS = [
+    "clock-offset",
+    "committed",
+    "aborted",
+    "out-of-order-refusals",
+    "guarantee-ok",
+]
+
+
+def test_bench_drift(benchmark):
+    rows = run_experiment(
+        benchmark,
+        lambda: exp_drift_sweep(offsets=(0.0, 10.0, 40.0, 160.0, 640.0)),
+    )
+    publish("E9_drift", "E9: clock drift sensitivity (offset on c2)", HEADERS, rows)
+
+    # Correctness at every drift level — the paper's claim.
+    assert all(row[4] is True for row in rows)
+    # Zero drift -> zero out-of-order refusals.
+    assert rows[0][3] == 0
+    # Large drift -> unnecessary aborts appear and dominate the small-
+    # drift configuration.
+    assert rows[-1][3] > 0
+    assert rows[-1][3] >= rows[1][3]

@@ -1,0 +1,47 @@
+"""E8 — sensitivity to the unilateral-abort rate (the deferred study).
+
+Sweeps the probability that a prepared subtransaction is unilaterally
+aborted.  Expected shape: 2CM's certification aborts grow with the
+failure rate while its guarantee never falters; the naive baseline
+"commits everything" — and corrupts the history instead (anomaly runs).
+"""
+
+from repro.sim.experiments import exp_failure_sweep
+
+from bench_utils import publish, rows_where, run_experiment
+
+HEADERS = [
+    "method",
+    "p(abort)",
+    "injected",
+    "committed",
+    "aborted",
+    "abort-rate",
+    "resubmissions",
+    "anomaly-runs",
+]
+
+
+def test_bench_failure_sweep(benchmark):
+    rows = run_experiment(
+        benchmark,
+        lambda: exp_failure_sweep(
+            probabilities=(0.0, 0.2, 0.4, 0.6, 0.8), seeds=(1, 2, 3)
+        ),
+    )
+    publish("E8_failures", "E8: unilateral-abort sensitivity", HEADERS, rows)
+
+    cm_rows = rows_where(rows, 0, "2cm")
+    naive_rows = rows_where(rows, 0, "naive")
+    # 2CM never yields an anomalous history, at any failure level.
+    assert all(row[7] == 0 for row in cm_rows)
+    # Resubmissions track the injected failures for both methods.
+    assert cm_rows[-1][6] > 0 and naive_rows[-1][6] > 0
+    # At zero failures the two behave identically (paper: without
+    # unilateral aborts of prepared subtransactions, no anomalies).
+    assert cm_rows[0][4] == 0 and cm_rows[0][7] == 0
+    assert naive_rows[0][7] == 0
+    # With failures on, the naive baseline eventually corrupts.
+    assert any(row[7] > 0 for row in naive_rows)
+    # 2CM's abort rate is monotone-ish: highest at the highest level.
+    assert cm_rows[-1][5] >= cm_rows[0][5]

@@ -1,0 +1,78 @@
+"""E2 — history H1: global view distortion (paper Sec. 3 / Sec. 4).
+
+Paper: the resubmitted ``T^a_11`` reads X from T2 while ``T^a_10`` read
+it from T0, and its decomposition changes because T2 deleted Y; no
+serial history can give T1 two views.  The basic prepare certification
+(alive-interval intersection) prevents this by refusing T2's PREPARE.
+"""
+
+from repro.common.errors import RefusalReason
+from repro.common.ids import global_txn
+from repro.workload.scenarios import run_h1
+
+from bench_utils import publish, run_experiment
+
+HEADERS = [
+    "method",
+    "T1",
+    "T2",
+    "view-splits",
+    "decomp-changes",
+    "cg-cycle",
+    "view-serializable",
+    "refusal-reason",
+]
+
+
+def _rows():
+    rows = []
+    results = {}
+    for method in ("naive", "2cm"):
+        result = run_h1(method)
+        results[method] = result
+        report = result.audit
+        t2 = result.outcome(2)
+        rows.append(
+            [
+                method,
+                "commit" if result.outcome(1).committed else "abort",
+                "commit" if t2.committed else "abort",
+                len(
+                    [
+                        s
+                        for s in report.distortions.view_splits
+                        if s.txn == global_txn(1)
+                    ]
+                ),
+                len(report.distortions.decomposition_changes),
+                report.distortions.commit_graph_cycle is not None,
+                report.view_serializability.serializable,
+                str(t2.reason) if t2.reason else "-",
+            ]
+        )
+    return rows, results
+
+
+def test_bench_h1(benchmark):
+    rows, results = run_experiment(benchmark, _rows)
+    publish("E2_h1", "E2: history H1 (global view distortion)", HEADERS, rows)
+
+    naive, cm = rows
+    # Naive: both commit; T1 split its view between T0 and T2; the
+    # decomposition changed; C(H) not view serializable.
+    assert naive[1] == naive[2] == "commit"
+    assert naive[3] >= 1 and naive[4] >= 1
+    assert naive[6] is False
+    # 2CM: T2 refused through the alive-interval intersection; clean.
+    assert cm[2] == "abort"
+    assert cm[7] == str(RefusalReason.ALIVE_INTERSECTION)
+    assert cm[6] is True
+
+    # The paper's concrete reads-from split on X^a.
+    split = [
+        s
+        for s in results["naive"].audit.distortions.view_splits
+        if s.txn == global_txn(1) and s.item.key == "X"
+    ][0]
+    assert split.first_source is None            # T0
+    assert split.second_source == global_txn(2)  # T2

@@ -1,0 +1,68 @@
+"""E3 — history H2: local view distortion via a direct conflict
+(paper Sec. 5.1).
+
+Paper: the cycle ``T1 → T3 → L4 → T1`` arises because the local commits
+of T1 and T3 land in reversed orders at sites a and b, and the local
+transaction L4 reads Q from T3 but Y from T0.  2CM prevents it.
+"""
+
+from repro.common.ids import global_txn, local_txn
+from repro.history.model import OpKind
+from repro.workload.scenarios import run_h2
+
+from bench_utils import publish, run_experiment
+
+HEADERS = [
+    "method",
+    "T1",
+    "T3",
+    "L4",
+    "cg-cycle",
+    "view-serializable",
+]
+
+
+def _rows():
+    rows = []
+    results = {}
+    for method in ("naive", "2cm"):
+        result = run_h2(method)
+        results[method] = result
+        report = result.audit
+        l4 = result.local_outcomes.get(local_txn(4, "a"))
+        rows.append(
+            [
+                method,
+                "commit" if result.outcome(1).committed else "abort",
+                "commit" if result.outcome(3).committed else "abort",
+                "commit" if (l4 and l4.committed) else "abort",
+                " -> ".join(t.label for t in report.distortions.commit_graph_cycle)
+                if report.distortions.commit_graph_cycle
+                else "-",
+                report.view_serializability.serializable,
+            ]
+        )
+    return rows, results
+
+
+def test_bench_h2(benchmark):
+    rows, results = run_experiment(benchmark, _rows)
+    publish("E3_h2", "E3: history H2 (local view distortion, direct)", HEADERS, rows)
+
+    naive, cm = rows
+    # Naive: everything commits, and the paper's exact cycle appears.
+    assert naive[1] == naive[2] == naive[3] == "commit"
+    assert set(naive[4].split(" -> ")) == {"T1", "T3", "L4"}
+    assert naive[5] is False
+    # 2CM stays view serializable.
+    assert cm[5] is True and cm[4] == "-"
+
+    # The paper's witness: L4 reads Q from T3 but Y from T0 (not T1).
+    naive_result = results["naive"]
+    l4_reads = {
+        op.item.key: (op.read_from.txn if op.read_from else None)
+        for op in naive_result.system.history.ops
+        if op.kind is OpKind.READ and op.txn == local_txn(4, "a")
+    }
+    assert l4_reads["Q"] == global_txn(3)
+    assert l4_reads["Y"] is None

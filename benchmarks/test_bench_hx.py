@@ -1,0 +1,79 @@
+"""E5 — history Hx: COMMIT overtakes PREPARE (paper Sec. 5.3).
+
+SN(7) < SN(8), yet T8 prepares *and commits* at site s before T7's
+PREPARE arrives there.  Without the prepare-certification extension the
+commit orders end up ``7 < 8`` at site i but ``8 < 7`` at site s — a
+cyclic CG; with it, site s refuses T7's out-of-order PREPARE.  No
+failures are involved at all.
+"""
+
+from repro.common.errors import RefusalReason
+from repro.history.model import OpKind
+from repro.workload.scenarios import run_hx
+
+from bench_utils import publish, run_experiment
+
+HEADERS = [
+    "method",
+    "T7",
+    "T8",
+    "C^s_8 < P^s_7",
+    "commit-order-i",
+    "commit-order-s",
+    "cg-cycle",
+    "T7-refusal",
+]
+
+
+def _rows():
+    rows = []
+    for method in ("2cm-noext", "2cm"):
+        result = run_hx(method)
+        report = result.audit
+        site_events = {}
+        for op in result.system.history.ops:
+            if op.kind in (OpKind.PREPARE, OpKind.LOCAL_COMMIT):
+                site_events.setdefault(op.site, []).append((op.kind, op.txn.number))
+        s_events = site_events.get("s", [])
+        overtake = (
+            (OpKind.LOCAL_COMMIT, 8) in s_events
+            and (OpKind.PREPARE, 7) in s_events
+            and s_events.index((OpKind.LOCAL_COMMIT, 8))
+            < s_events.index((OpKind.PREPARE, 7))
+        )
+        commits = lambda site: ",".join(
+            str(n)
+            for kind, n in site_events.get(site, [])
+            if kind is OpKind.LOCAL_COMMIT
+        )
+        t7 = result.outcome(7)
+        rows.append(
+            [
+                method,
+                "commit" if t7.committed else "abort",
+                "commit" if result.outcome(8).committed else "abort",
+                overtake,
+                commits("i"),
+                commits("s"),
+                report.distortions.commit_graph_cycle is not None,
+                str(t7.reason) if t7.reason else "-",
+            ]
+        )
+    return rows
+
+
+def test_bench_hx(benchmark):
+    rows = run_experiment(benchmark, _rows)
+    publish("E5_hx", "E5: history Hx (COMMIT overtakes PREPARE)", HEADERS, rows)
+
+    noext, full = rows
+    # Without the extension: the overtake happens, both commit, and the
+    # commit orders reverse across sites — the paper's cyclic CG.
+    assert noext[3] is True
+    assert noext[4] == "7,8" and noext[5] == "8,7"
+    assert noext[6] is True
+    # With the extension: the late PREPARE is refused exactly as the
+    # Appendix prescribes, and the CG stays acyclic.
+    assert full[1] == "abort"
+    assert full[7] == str(RefusalReason.PREPARE_OUT_OF_ORDER)
+    assert full[6] is False

@@ -1,0 +1,43 @@
+"""E14 — the several-intervals optimization (paper Sec. 4.2), ablated.
+
+A negative result worth recording: the paper suggests remembering
+several alive intervals per prepared subtransaction as an optimization
+over "simply store the last".  Because our certifier performs an alive
+check (and interval refresh) at certification time — which the paper's
+Sec. 6 caveat about "too long a time between alive time checks" invites
+— a candidate interval `[last-op, now]` that misses the entry's current
+interval necessarily misses every older archived one too.  The
+optimization is subsumed: decisions are identical at every memory
+depth.
+"""
+
+from repro.sim.experiments import exp_interval_memory
+
+from bench_utils import publish, run_experiment
+
+HEADERS = [
+    "intervals-remembered",
+    "committed",
+    "aborted",
+    "intersection-refusals",
+    "guarantee-ok",
+]
+
+
+def test_bench_interval_memory(benchmark):
+    rows = run_experiment(
+        benchmark, lambda: exp_interval_memory(memories=(1, 2, 4, 8))
+    )
+    publish(
+        "E14_interval_memory",
+        "E14: alive-interval memory ablation (negative result)",
+        HEADERS,
+        rows,
+    )
+
+    # Identical outcomes at every depth — the subsumption claim.
+    baseline = rows[0][1:]
+    for row in rows[1:]:
+        assert row[1:] == baseline
+    # And the guarantee holds everywhere.
+    assert all(row[4] is True for row in rows)

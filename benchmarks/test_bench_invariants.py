@@ -1,0 +1,29 @@
+"""E6 — the Correctness Invariant and the Conflict Detection Basis
+(paper Sec. 4.1) over randomized failing workloads.
+
+CI: (1) no two conflicting subtransactions simultaneously prepared;
+(2) no unilaterally-aborted subtransaction moved to prepared.  2CM
+enforces it through the prepare certification; the naive baseline
+violates it as soon as failures interleave badly.
+"""
+
+from repro.sim.experiments import exp_ci_invariant
+
+from bench_utils import publish, rows_where, run_experiment
+
+HEADERS = ["method", "runs", "ci-violations", "guarantee-failures"]
+
+
+def test_bench_ci_invariant(benchmark):
+    rows = run_experiment(
+        benchmark,
+        lambda: exp_ci_invariant(seeds=(1, 2, 3, 4, 5, 6, 7, 8)),
+    )
+    publish("E6_ci_invariant", "E6: Correctness Invariant", HEADERS, rows)
+
+    cm = rows_where(rows, 0, "2cm")[0]
+    naive = rows_where(rows, 0, "naive")[0]
+    # 2CM never violates CI and never loses the guarantee.
+    assert cm[2] == 0 and cm[3] == 0
+    # The naive baseline does violate CI under the same workloads.
+    assert naive[2] > 0

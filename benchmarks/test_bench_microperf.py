@@ -1,0 +1,122 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Unlike the experiment benches (one deterministic round each), these use
+pytest-benchmark's statistics properly: each measures one substrate in
+isolation so simulator regressions show up as timing changes rather
+than as experiment-table drift.
+"""
+
+from repro.common.ids import DataItemId, SubtxnId, global_txn
+from repro.core.coordinator import GlobalTransactionSpec
+from repro.core.dtm import MultidatabaseSystem, SystemConfig
+from repro.history.committed import committed_projection
+from repro.history.viewser import check_view_serializable
+from repro.kernel import EventKernel
+from repro.ldbs.commands import AddValue, ReadItem, UpdateItem
+from repro.ldbs.locks import LockManager, LockMode
+from repro.ldbs.sql import parse_sql
+
+from tests.helpers import HistoryBuilder
+
+
+def test_bench_kernel_event_throughput(benchmark):
+    """Schedule + fire 10k kernel events."""
+
+    def run():
+        kernel = EventKernel()
+        for i in range(10_000):
+            kernel.schedule(float(i % 97), _noop)
+        kernel.run()
+        return kernel.events_fired
+
+    fired = benchmark(run)
+    assert fired == 10_000
+
+
+def _noop():
+    return None
+
+
+def test_bench_lock_acquire_release(benchmark):
+    """1k acquire/release cycles over 8 rows, 4 owners."""
+    rows = [("row", DataItemId("t", k)) for k in range(8)]
+    owners = [SubtxnId(global_txn(n), "a", 0) for n in range(1, 5)]
+
+    def run():
+        kernel = EventKernel()
+        lm = LockManager(kernel)
+        for i in range(1_000):
+            owner = owners[i % 4]
+            lm.acquire(owner, rows[i % 8], LockMode.S)
+            if i % 4 == 3:
+                lm.release_all(owner)
+        for owner in owners:
+            lm.release_all(owner)
+        kernel.run()
+        return lm.grants
+
+    grants = benchmark(run)
+    assert grants >= 900
+
+
+def test_bench_viewser_exact_search(benchmark):
+    """Exact view-serializability over a 7-transaction cyclic-SG history."""
+    h = HistoryBuilder()
+    for n in range(1, 8):
+        h.r(n, "a", "X").w(n, "a", chr(ord("A") + n))
+        h.w(n, "a", "X")
+        h.cl(n, "a").c(n)
+    projection = committed_projection(h.history)
+
+    result = benchmark(lambda: check_view_serializable(projection))
+    assert result.serializable is not None
+
+
+def test_bench_sql_parse(benchmark):
+    statement = "UPDATE accounts SET VALUE = VALUE - 250 WHERE KEY = 'alice'"
+
+    def run():
+        return parse_sql(statement)
+
+    command = benchmark(run)
+    assert command.table == "accounts"
+
+
+def test_bench_full_2pc_round_trip(benchmark):
+    """One complete two-site global transaction, wall-clock."""
+
+    def run():
+        system = MultidatabaseSystem(SystemConfig(sites=("a", "b")))
+        system.load("a", "t", {"X": 100})
+        system.load("b", "t", {"Z": 10})
+        done = system.submit(
+            GlobalTransactionSpec(
+                txn=global_txn(1),
+                steps=(
+                    ("a", UpdateItem("t", "X", AddValue(-1))),
+                    ("b", UpdateItem("t", "Z", AddValue(1))),
+                ),
+            )
+        )
+        system.run()
+        return done.value.committed
+
+    assert benchmark(run) is True
+
+
+def test_bench_simulated_throughput(benchmark):
+    """Simulator speed: 30-transaction workload, events per second."""
+    from repro.sim.driver import run_schedule
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+    def run():
+        system = MultidatabaseSystem(
+            SystemConfig(sites=("a", "b"), n_coordinators=2)
+        )
+        schedule = WorkloadGenerator(
+            WorkloadConfig(sites=("a", "b"), n_global=30, seed=1)
+        ).generate()
+        result = run_schedule(system, schedule)
+        return len(result.global_outcomes)
+
+    assert benchmark(run) == 30

@@ -1,0 +1,11 @@
+"""Root conftest: make the repository importable under bare ``pytest``.
+
+``python -m pytest`` puts the current directory on ``sys.path``; plain
+``pytest`` does not.  Tests and benchmarks import shared helpers as
+``tests.helpers``, so the repository root must be importable either way.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

@@ -1,0 +1,113 @@
+"""A failure storm: every method under randomized unilateral aborts.
+
+Drives the same seeded workload (30 global transactions over three
+sites, plus local transactions) through each transaction-management
+method while a failure injector unilaterally aborts prepared
+subtransactions, then prints the comparative scoreboard: commits,
+aborts by cause, resubmissions — and whether the recorded history
+survived the full correctness audit.
+
+The punchline matches the paper: the naive baseline "wins" on commits
+and loses the only thing that matters.
+
+Run:  python examples/failure_storm.py
+"""
+
+from repro import (
+    MultidatabaseSystem,
+    RandomFailureInjector,
+    SystemConfig,
+    WorkloadConfig,
+    WorkloadGenerator,
+    audit,
+    collect_metrics,
+    run_schedule,
+)
+from repro.sim.experiments import guarantee_holds
+from repro.sim.report import render_table
+
+METHODS = ("2cm", "2cm-nocommitcert", "naive", "ticket", "cgm")
+
+
+def run_method(method: str, seed: int):
+    system = MultidatabaseSystem(
+        SystemConfig(
+            sites=("a", "b", "c"),
+            n_coordinators=2,
+            method=method,
+            seed=seed,
+        )
+    )
+    injector = RandomFailureInjector(system, probability=0.45, seed=seed)
+    schedule = WorkloadGenerator(
+        WorkloadConfig(
+            sites=("a", "b", "c"),
+            n_global=30,
+            n_local=6,
+            n_tables=4,
+            keys_per_site=20,
+            update_fraction=0.7,
+            sites_max=2,
+            seed=seed,
+        )
+    ).generate()
+    result = run_schedule(system, schedule)
+    metrics = collect_metrics(system, latencies=result.commit_latencies)
+    report = audit(system)
+    return injector, metrics, report
+
+
+SEEDS = (1, 2, 3, 4, 5, 6)
+
+
+def main() -> None:
+    rows = []
+    for method in METHODS:
+        injected = committed = aborted = resubmissions = 0
+        latencies = []
+        corrupted_runs = 0
+        for seed in SEEDS:
+            injector, metrics, report = run_method(method, seed)
+            injected += injector.injected
+            committed += metrics.global_committed
+            aborted += metrics.global_aborted
+            resubmissions += metrics.resubmissions
+            latencies.extend(metrics.latencies)
+            if not guarantee_holds(report):
+                corrupted_runs += 1
+        mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
+        rows.append(
+            [
+                method,
+                injected,
+                committed,
+                aborted,
+                resubmissions,
+                f"{mean_latency:.0f}",
+                corrupted_runs,
+            ]
+        )
+    print(
+        render_table(
+            f"Failure storm: {len(SEEDS)} runs x 30 global txns, "
+            "p(unilateral abort) = 0.45",
+            [
+                "method",
+                "injected",
+                "committed",
+                "aborted",
+                "resubmissions",
+                "latency",
+                "corrupted-runs",
+            ],
+            rows,
+        )
+    )
+    print()
+    print("Note how 'naive' commits the most transactions — by sometimes")
+    print("producing a history no serial execution could explain, while")
+    print("2cm pays for every failure with certification aborts instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""HERMES redux: a heterogeneous federation, like the paper's prototype.
+
+The paper's Sec. 7: "The Certifier algorithms have been implemented in
+the HERMES prototype system ... The system incorporates two commercial
+database products: the SQL Server (Sybase Inc.) and INGRES".  The whole
+point of the 2PC Agent method is that such systems need not change: the
+agents adapt to whatever the local interface does.
+
+This example federates three deliberately *different* LDBSs:
+
+* ``ingres``  — slow elementary operations, patient lock waits, active
+  wait-for-graph deadlock detection, a nervous failure habit (the paper
+  names INGRES's log-buffer overflow as a real unilateral-abort cause —
+  we inject them against this site only);
+* ``sybase``  — fast operations, short lock timeout, no detector;
+* ``archive`` — a glacial batch-era system (very slow ops).
+
+A mixed workload of cross-site transfers plus local work runs against
+the federation; the audit at the end shows the certifier doesn't care
+how differently the members behave.
+
+Run:  python examples/hermes.py
+"""
+
+import random
+
+from repro import (
+    AddValue,
+    GlobalTransactionSpec,
+    LTMConfig,
+    MultidatabaseSystem,
+    ReadItem,
+    SystemConfig,
+    UpdateItem,
+    audit,
+    collect_metrics,
+    global_txn,
+)
+from repro.core.agent import AgentConfig
+from repro.history.model import OpKind
+from repro.sim.failures import abort_current_incarnation
+
+SITES = ("ingres", "sybase", "archive")
+
+LTM_PROFILES = {
+    "ingres": LTMConfig(
+        op_duration=2.0,
+        lock_timeout=400.0,
+        deadlock_detection_period=25.0,
+    ),
+    "sybase": LTMConfig(op_duration=0.5, lock_timeout=80.0),
+    "archive": LTMConfig(op_duration=6.0, lock_timeout=900.0),
+}
+
+AGENT_PROFILES = {
+    # The nervous site gets watched closely.
+    "ingres": AgentConfig(alive_check_interval=15.0),
+    "sybase": AgentConfig(alive_check_interval=60.0),
+    "archive": AgentConfig(alive_check_interval=120.0),
+}
+
+
+def main() -> None:
+    rng = random.Random(1992)
+    system = MultidatabaseSystem(
+        SystemConfig(
+            sites=SITES,
+            n_coordinators=2,
+            method="2cm",
+            ltm_overrides=LTM_PROFILES,
+            agent_overrides=AGENT_PROFILES,
+        )
+    )
+    for site in SITES:
+        system.load(site, "acct", {i: 500 for i in range(6)})
+
+    # INGRES-style log-buffer overflows: every prepare at that site has
+    # a coin-flip chance of a unilateral abort shortly after.
+    def nervous_ingres(op):
+        if op.kind is OpKind.PREPARE and op.site == "ingres":
+            if rng.random() < 0.5:
+                system.kernel.schedule(
+                    rng.uniform(1.0, 10.0),
+                    lambda t=op.txn: abort_current_incarnation(
+                        system, t, "ingres"
+                    ),
+                )
+
+    system.history.subscribe(nervous_ingres)
+
+    transfers = []
+    for number in range(1, 16):
+        src, dst = rng.sample(SITES, 2)
+        amount = rng.choice((5, 10, 25))
+        spec = GlobalTransactionSpec(
+            txn=global_txn(number),
+            steps=(
+                (src, UpdateItem("acct", rng.randrange(6), AddValue(-amount))),
+                (dst, UpdateItem("acct", rng.randrange(6), AddValue(amount))),
+            ),
+        )
+        system.kernel.schedule(
+            rng.uniform(0, 300),
+            lambda s=spec: transfers.append(system.submit(s)),
+        )
+    locals_ = []
+    for _ in range(9):
+        site = rng.choice(SITES)
+        system.kernel.schedule(
+            rng.uniform(0, 300),
+            lambda s=site: locals_.append(
+                system.submit_local(s, [ReadItem("acct", rng.randrange(6))])
+            ),
+        )
+    system.run()
+
+    metrics = collect_metrics(system)
+    committed = sum(1 for t in transfers if t.value.committed)
+    print(f"transfers committed : {committed}/15")
+    print(f"local inquiries     : "
+          f"{sum(1 for l in locals_ if l.value.committed)}/9")
+    print(f"unilateral aborts   : {metrics.unilateral_aborts} "
+          f"(all at the nervous INGRES)")
+    print(f"resubmissions       : {metrics.resubmissions}")
+    print()
+    print("per-site flavour:")
+    for site in SITES:
+        ltm = system.ltm(site)
+        print(
+            f"  {site:8s} op={ltm.config.op_duration:>4} "
+            f"lock_timeout={ltm.config.lock_timeout:>6} "
+            f"deadlock_detector={'yes' if ltm.config.deadlock_detection_period else 'no':3s} "
+            f"commits={ltm.commits:>3} uni-aborts={ltm.unilateral_aborts}"
+        )
+    total = sum(
+        sum(system.ltm(site).store.snapshot("acct").values()) for site in SITES
+    )
+    print()
+    print(f"money conserved: {total} == {3 * 6 * 500}")
+    assert total == 3 * 6 * 500
+
+    report = audit(system)
+    print(f"audit ok: {report.ok}")
+    assert report.rigor_violations == 0
+    assert not report.distortions.has_global_distortion
+    assert report.distortions.commit_graph_cycle is None
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Travel booking across autonomous databases, with a failure mid-2PC.
+
+The early-90s motivating scenario for heterogeneous multidatabases: an
+airline and a hotel chain each run their own DBMS (different vendors,
+no shared prepared state), and a travel agency books a trip as one
+global transaction.  After both participants voted READY and the
+coordinator durably decided COMMIT, the airline's DBMS unilaterally
+rolls the subtransaction back (the paper's log-buffer-overflow class of
+failure).  The 2PC Agent's resubmission machinery replays the booking
+from the Agent log, so the global commit still lands atomically — and
+the certifier guarantees nobody observed an inconsistent state.
+
+Run:  python examples/travel_booking.py
+"""
+
+from repro import (
+    AddValue,
+    GlobalTransactionSpec,
+    InsertItem,
+    LatencyModel,
+    MultidatabaseSystem,
+    OpKind,
+    ReadItem,
+    SystemConfig,
+    UpdateItem,
+    audit,
+    global_txn,
+)
+from repro.core.agent import AgentConfig
+from repro.sim.failures import inject_abort_after_global_commit
+
+
+def main() -> None:
+    system = MultidatabaseSystem(
+        SystemConfig(
+            sites=("airline", "hotel"),
+            method="2cm",
+            # The COMMIT to the airline crawls: plenty of time for the
+            # failure (and its repair) to happen inside the window.
+            latency=LatencyModel(
+                base=5.0, overrides={("coord:c1", "agent:airline"): 70.0}
+            ),
+            agent=AgentConfig(alive_check_interval=20.0),
+        )
+    )
+    system.load("airline", "flights", {"VY1234": 2})   # seats left
+    system.load("hotel", "rooms", {"sea_view": 1})     # rooms left
+
+    booking = GlobalTransactionSpec(
+        txn=global_txn(1),
+        steps=(
+            ("airline", ReadItem("flights", "VY1234")),
+            ("airline", UpdateItem("flights", "VY1234", AddValue(-1))),
+            ("airline", InsertItem("flights", ("booking", "smith"), "VY1234")),
+            ("hotel", UpdateItem("rooms", "sea_view", AddValue(-1))),
+            ("hotel", InsertItem("rooms", ("booking", "smith"), "sea_view")),
+        ),
+    )
+
+    done = system.submit(booking)
+    # The airline DBMS throws the prepared subtransaction away just
+    # after the coordinator's durable commit decision.
+    inject_abort_after_global_commit(system, global_txn(1), "airline", delay=1.0)
+    system.run()
+
+    outcome = done.value
+    print(f"booking committed: {outcome.committed}")
+    print(f"resubmissions at the airline: "
+          f"{system.agent('airline').resubmissions}")
+    print()
+
+    print("what happened at the airline, step by step:")
+    for op in system.history.ops:
+        if op.site == "airline" or op.kind in (
+            OpKind.GLOBAL_COMMIT,
+            OpKind.GLOBAL_ABORT,
+        ):
+            marker = ""
+            if op.kind is OpKind.LOCAL_ABORT and op.unilateral:
+                marker = "   <-- unilateral abort (airline DBMS failure)"
+            if op.subtxn is not None and op.subtxn.incarnation == 1:
+                marker = "   <-- resubmission from the Agent log"
+            print(f"  t={op.time:7.2f}  {op.label}{marker}")
+    print()
+
+    flights = {k.key: v for k, v in system.ltm("airline").store.snapshot().items()}
+    rooms = {k.key: v for k, v in system.ltm("hotel").store.snapshot().items()}
+    print(f"airline state: {flights}")
+    print(f"hotel state:   {rooms}")
+    assert flights["VY1234"] == 1, "exactly one seat sold, once"
+    assert rooms["sea_view"] == 0
+
+    report = audit(system)
+    assert report.ok
+    print()
+    print("audit: view serializable =",
+          report.view_serializability.serializable)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,305 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``demo``
+    The quickstart transfer plus its audit and history.
+``scenario {H1,H2,H3,Hx} [--method M] [--timeline] [--trees]``
+    Run one of the paper's worked histories and print the evidence.
+``experiment {E1,E6..E14,E16..E18}``
+    Run one experiment from DESIGN.md and print its table (E2–E5 are
+    the scenario histories; run them via ``scenario``).
+``fig2``
+    Regenerate the execution trees of the paper's Fig. 2.
+``report [path]``
+    Run the full experiment library into one Markdown report.
+``workload [--method M] [--failures P] [--globals N] ...``
+    Run a random workload and print metrics + audit.
+``methods``
+    List the method presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.dtm import METHODS, MultidatabaseSystem, SystemConfig
+from repro.history.trees import render_figure
+from repro.sim import experiments
+from repro.sim.driver import run_schedule
+from repro.sim.failures import RandomFailureInjector
+from repro.sim.metrics import audit, collect_metrics
+from repro.sim.report import render_table
+from repro.sim.timeline import render_timeline
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.scenarios import run_h1, run_h2, run_h3, run_hx
+
+_SCENARIOS = {"H1": run_h1, "H2": run_h2, "H3": run_h3, "Hx": run_hx}
+
+_EXPERIMENTS = {
+    "E1": (
+        experiments.exp_scenario_matrix,
+        "E1: scenario x method matrix",
+        ["history", "method", "commit", "abort", "global-dist", "cg-cycle", "view-ser"],
+    ),
+    "E6": (
+        experiments.exp_ci_invariant,
+        "E6: Correctness Invariant",
+        ["method", "runs", "ci-violations", "guarantee-failures"],
+    ),
+    "E7": (
+        experiments.exp_restrictiveness,
+        "E7: failure-free restrictiveness",
+        ["method", "committed", "cert-aborts", "lock-aborts", "delays", "latency", "ok"],
+    ),
+    "E8": (
+        experiments.exp_failure_sweep,
+        "E8: unilateral-abort sensitivity",
+        ["method", "p", "injected", "commit", "abort", "abort-rate", "resub", "anomalies"],
+    ),
+    "E9": (
+        experiments.exp_drift_sweep,
+        "E9: clock drift",
+        ["offset", "commit", "abort", "ooo-refusals", "ok"],
+    ),
+    "E10": (
+        experiments.exp_alive_interval_sweep,
+        "E10: alive-check interval",
+        ["interval", "checks", "refusals", "commit", "latency", "ok"],
+    ),
+    "E11": (
+        experiments.exp_dlu_ablation,
+        "E11: DLU ablation",
+        ["policy", "denials", "allowed", "distorted-runs", "guarantee-failures"],
+    ),
+    "E12": (
+        experiments.exp_srs_ablation,
+        "E12: SRS ablation",
+        ["scheduler", "rigor-violations", "guarantee-failures"],
+    ),
+    "E13": (
+        experiments.exp_scaling,
+        "E13: scaling 2CM vs CGM",
+        ["sites", "method", "commit", "throughput", "latency", "p95", "delays"],
+    ),
+    "E14": (
+        experiments.exp_interval_memory,
+        "E14: alive-interval memory (negative result)",
+        ["memory", "commit", "abort", "refusals", "ok"],
+    ),
+    "E16": (
+        experiments.exp_agent_restarts,
+        "E16: prepared-state durability across agent restarts",
+        ["restarts", "commit", "abort", "resub", "ok"],
+    ),
+    "E17": (
+        experiments.exp_conflict_awareness,
+        "E17: conflict-aware vs conflict-blind certification",
+        ["method", "wl-refusals", "wl-commits", "T3", "L4", "view-ser"],
+    ),
+    "E18": (
+        experiments.exp_interleaving_robustness,
+        "E18: interleaving robustness",
+        ["method", "interleavings", "clean", "corrupted", "commit", "abort", "resub"],
+    ),
+}
+
+
+def _cmd_demo(_args) -> int:
+    from repro.common.ids import global_txn
+    from repro.core.coordinator import GlobalTransactionSpec
+    from repro.ldbs.commands import AddValue, UpdateItem
+
+    system = MultidatabaseSystem(SystemConfig(sites=("a", "b")))
+    system.load("a", "accounts", {"alice": 900})
+    system.load("b", "accounts", {"bob": 100})
+    done = system.submit(
+        GlobalTransactionSpec(
+            txn=global_txn(1),
+            steps=(
+                ("a", UpdateItem("accounts", "alice", AddValue(-250))),
+                ("b", UpdateItem("accounts", "bob", AddValue(250))),
+            ),
+        )
+    )
+    system.run()
+    outcome = done.value
+    print(f"committed: {outcome.committed}   sn: {outcome.sn}")
+    print(f"history:   {system.history.render()}")
+    print()
+    print(audit(system).summary())
+    return 0
+
+
+def _cmd_scenario(args) -> int:
+    runner = _SCENARIOS[args.name]
+    result = runner(args.method)
+    report = result.audit
+    print(f"scenario {args.name} under {args.method!r}")
+    print("-" * 60)
+    for txn, outcome in sorted(result.global_outcomes.items()):
+        status = "commit" if outcome.committed else f"abort ({outcome.reason})"
+        print(f"  {txn.label}: {status}")
+    for txn, outcome in sorted(result.local_outcomes.items()):
+        status = "commit" if outcome.committed else f"abort ({outcome.reason})"
+        print(f"  {txn.label}: {status}")
+    print()
+    print(report.summary())
+    if report.distortions.view_splits or report.distortions.decomposition_changes:
+        print()
+        print(report.distortions.describe())
+    if args.explain:
+        from repro.history.committed import committed_projection
+        from repro.history.explain import explain
+
+        print()
+        print(explain(committed_projection(result.system.history)).render())
+    if args.timeline:
+        print()
+        print(render_timeline(result.system.history, coalesce=args.coalesce))
+    if args.trees:
+        print()
+        print(render_figure(result.system.history))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.id not in _EXPERIMENTS:
+        print(
+            f"unknown or bench-only experiment {args.id!r}; "
+            f"available here: {', '.join(sorted(_EXPERIMENTS))} "
+            "(E2-E5 run via `scenario`, all via pytest benchmarks/)",
+            file=sys.stderr,
+        )
+        return 2
+    fn, title, headers = _EXPERIMENTS[args.id]
+    print(render_table(title, headers, fn()))
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    sites = tuple(args.sites.split(","))
+    system = MultidatabaseSystem(
+        SystemConfig(
+            sites=sites,
+            n_coordinators=args.coordinators,
+            method=args.method,
+            seed=args.seed,
+        )
+    )
+    if args.failures > 0:
+        RandomFailureInjector(system, probability=args.failures, seed=args.seed)
+    schedule = WorkloadGenerator(
+        WorkloadConfig(
+            sites=sites,
+            n_global=args.globals_,
+            n_local=args.locals_,
+            n_tables=args.tables,
+            keys_per_site=args.keys,
+            update_fraction=args.updates,
+            seed=args.seed,
+            sites_max=min(2, len(sites)),
+        )
+    ).generate()
+    result = run_schedule(system, schedule)
+    metrics = collect_metrics(system, latencies=result.commit_latencies)
+    print(f"method={args.method} globals={args.globals_} failures={args.failures}")
+    print(f"  committed: {metrics.global_committed}")
+    print(f"  aborted:   {metrics.global_aborted}  ({metrics.aborts_by_reason})")
+    print(f"  refusals:  {metrics.refusals_by_reason}")
+    print(f"  resubmissions: {metrics.resubmissions}")
+    print(f"  mean latency:  {metrics.mean_latency:.1f}")
+    print(f"  throughput:    {metrics.throughput:.4f} txn/unit")
+    print()
+    print(audit(system).summary())
+    return 0
+
+
+def _cmd_fig2(_args) -> int:
+    from repro.common.ids import global_txn, local_txn
+    from repro.workload.scenarios import run_h1, run_h2, run_h3
+
+    h1 = run_h1("naive")
+    h2 = run_h2("naive")
+    h3 = run_h3("naive")
+    print("Fig. 2 (regenerated): examples of transactions\n")
+    print(render_figure(h1.system.history, [global_txn(1), global_txn(2)]))
+    print()
+    print(render_figure(h2.system.history, [global_txn(3), local_txn(4, "a")]))
+    print()
+    print(
+        render_figure(
+            h3.system.history,
+            [global_txn(5), global_txn(6), local_txn(7, "a"), local_txn(8, "b")],
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.sim.reportgen import write_report
+
+    path = write_report(args.path)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_methods(_args) -> int:
+    for method in METHODS:
+        print(method)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Veijalainen & Wolski (ICDE 1992) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="quickstart transfer + audit")
+    sub.add_parser("methods", help="list method presets")
+    sub.add_parser("fig2", help="regenerate the paper's Fig. 2 trees")
+    report = sub.add_parser("report", help="run all experiments -> Markdown")
+    report.add_argument("path", nargs="?", default="experiment_report.md")
+
+    scenario = sub.add_parser("scenario", help="run a paper history")
+    scenario.add_argument("name", choices=sorted(_SCENARIOS))
+    scenario.add_argument("--method", default="2cm", choices=METHODS)
+    scenario.add_argument("--timeline", action="store_true")
+    scenario.add_argument("--explain", action="store_true")
+    scenario.add_argument("--trees", action="store_true")
+    scenario.add_argument("--coalesce", type=float, default=0.0)
+
+    experiment = sub.add_parser("experiment", help="run a DESIGN.md experiment")
+    experiment.add_argument("id")
+
+    workload = sub.add_parser("workload", help="run a random workload")
+    workload.add_argument("--method", default="2cm", choices=METHODS)
+    workload.add_argument("--sites", default="a,b,c")
+    workload.add_argument("--coordinators", type=int, default=2)
+    workload.add_argument("--globals", dest="globals_", type=int, default=30)
+    workload.add_argument("--locals", dest="locals_", type=int, default=0)
+    workload.add_argument("--tables", type=int, default=4)
+    workload.add_argument("--keys", type=int, default=32)
+    workload.add_argument("--updates", type=float, default=0.6)
+    workload.add_argument("--failures", type=float, default=0.0)
+    workload.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "fig2": _cmd_fig2,
+        "report": _cmd_report,
+        "scenario": _cmd_scenario,
+        "experiment": _cmd_experiment,
+        "workload": _cmd_workload,
+        "methods": _cmd_methods,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,273 @@
+"""The Commit Graph Method (CGM) baseline — system S17.
+
+Reimplementation of the method of Breitbart, Silberschatz & Thompson,
+"Reliable Transaction Management in a Multidatabase System" (SIGMOD
+1990), to the level of detail the paper's Sec. 6 comparison needs:
+
+* **centralized scheduling** — a single :class:`CGMScheduler` instance
+  serves every coordinator (the architectural contrast to the fully
+  decentralized 2CM);
+* **global strict 2PL at table granularity** — each DML command first
+  acquires a global lock on ``(site, table)`` (S for reads, X for
+  updates), held until the global transaction ends.  This is the
+  "coarse granularity (e.g. site, database or table) locking" the paper
+  says a contemporary implementation would need, and it protects
+  against global view distortion without per-site certifiers;
+* **commit graph admission** — an undirected bipartite graph with
+  transaction nodes and site nodes; an edge joins ``T`` and ``S`` while
+  ``T``'s subtransaction at ``S`` is in the prepared state.  A commit is
+  admitted only if adding the transaction's edges keeps the graph
+  loop-free; otherwise the commit *waits* (and times out into an abort)
+  — the site-granularity conservatism the restrictiveness experiment E7
+  measures.
+
+Like 2CM, CGM recovers failed subtransactions by resubmission (our
+agents do that regardless of method); unlike 2CM it needs no alive
+intervals, serial numbers or commit certification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.common.errors import RefusalReason, TransactionAborted
+from repro.common.ids import SubtxnId, TxnId
+from repro.core.coordinator import Scheduler
+from repro.kernel.events import Event, EventHandle, EventKernel
+from repro.ldbs.commands import Command
+from repro.ldbs.locks import LockManager, LockMode
+
+
+@dataclass(frozen=True)
+class CGMPartition:
+    """CGM's static data partition (Breitbart et al., Sec. 3 there).
+
+    ``globally_updatable_tables`` is the GU set at table granularity;
+    everything else is locally updatable (LU).  The rules the paper's
+    Sec. 6 summarizes:
+
+    * local transactions may update only the LU set (enforced at the
+      LTM through :class:`~repro.ldbs.dlu.BoundDataGuard`'s static
+      denial list, wired by the system builder);
+    * global transactions may update only the GU set;
+    * a global transaction that updates anything may not read the LU
+      set ("the results of the local transactions are not readily
+      available to global transactions").
+    """
+
+    globally_updatable_tables: frozenset
+
+    @staticmethod
+    def of(*tables: str) -> "CGMPartition":
+        return CGMPartition(globally_updatable_tables=frozenset(tables))
+
+    def is_gu(self, table: str) -> bool:
+        return table in self.globally_updatable_tables
+
+
+@dataclass
+class _Admission:
+    txn: TxnId
+    sites: List[str]
+    event: Event
+    timeout_handle: Optional[EventHandle] = None
+
+
+class CGMScheduler(Scheduler):
+    """The centralized DTM brain of the CGM baseline."""
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        timeout: float = 400.0,
+        partition: Optional[CGMPartition] = None,
+    ) -> None:
+        self._kernel = kernel
+        self.timeout = timeout
+        self.partition = partition
+        #: Global table-granularity lock manager.  Owners are synthetic
+        #: SubtxnIds at the pseudo-site "@global".
+        self.global_locks = LockManager(kernel, default_timeout=timeout)
+        #: Commit graph: transaction -> sites it has prepared edges to.
+        self._edges: Dict[TxnId, Set[str]] = {}
+        self._waiting: List[_Admission] = []
+        #: Partition-rule 3 bookkeeping: per-transaction flags.
+        self._updated: Set[TxnId] = set()
+        self._read_lu: Set[TxnId] = set()
+        self.admissions = 0
+        self.admission_waits = 0
+        self.admission_timeouts = 0
+        self.partition_violations = 0
+
+    # ------------------------------------------------------------------
+    # Global locking (before every command)
+    # ------------------------------------------------------------------
+
+    def _owner(self, txn: TxnId) -> SubtxnId:
+        return SubtxnId(txn, "@global", 0)
+
+    def before_command(
+        self, kernel: EventKernel, txn: TxnId, site: str, command: Command
+    ) -> Event:
+        violation = self._partition_check(txn, command)
+        if violation is not None:
+            self.partition_violations += 1
+            event = Event(kernel, name=f"cgm-partition:{txn}")
+            event.fail(
+                TransactionAborted(RefusalReason.PARTITION, violation)
+            )
+            return event
+        mode = LockMode.X if command.is_update() else LockMode.S
+        resource = ("gtable", (site, command.table))
+        return self.global_locks.acquire(self._owner(txn), resource, mode)
+
+    def _partition_check(self, txn: TxnId, command: Command) -> Optional[str]:
+        """CGM partition rules for *global* transactions."""
+        if self.partition is None:
+            return None
+        is_lu = not self.partition.is_gu(command.table)
+        if command.is_update():
+            if is_lu:
+                return (
+                    f"global update of locally-updatable table "
+                    f"{command.table!r}"
+                )
+            self._updated.add(txn)
+            if txn in self._read_lu:
+                return "updating transaction previously read the LU set"
+        elif is_lu:
+            self._read_lu.add(txn)
+            if txn in self._updated:
+                return "updating transaction may not read the LU set"
+        return None
+
+    # ------------------------------------------------------------------
+    # Commit graph admission (before the prepare phase)
+    # ------------------------------------------------------------------
+
+    def before_prepare(
+        self, kernel: EventKernel, txn: TxnId, sites: Sequence[str]
+    ) -> Event:
+        event = Event(kernel, name=f"cgm-admit:{txn}")
+        admission = _Admission(txn=txn, sites=list(sites), event=event)
+        if self._admissible(admission):
+            self._admit(admission)
+            event.succeed(None)
+            return event
+        self.admission_waits += 1
+        admission.timeout_handle = kernel.schedule(
+            self.timeout, lambda: self._admission_timeout(admission)
+        )
+        self._waiting.append(admission)
+        return event
+
+    def _admissible(self, admission: _Admission) -> bool:
+        """Loop check: adding ``txn``'s edges must not close a cycle.
+
+        Sites already connected to each other (through other prepared
+        transactions) may not be bridged again: a transaction node with
+        edges to two sites of one connected component closes a loop.
+        """
+        components = self._site_components()
+        seen: Set[int] = set()
+        for site in admission.sites:
+            component = components.get(site, -1)
+            if component == -1:
+                continue  # isolated site: no loop possible through it
+            if component in seen:
+                return False
+            seen.add(component)
+        return True
+
+    def _site_components(self) -> Dict[str, int]:
+        """Connected components over site nodes induced by current edges."""
+        parent: Dict[str, str] = {}
+
+        def find(site: str) -> str:
+            parent.setdefault(site, site)
+            while parent[site] != site:
+                parent[site] = parent[parent[site]]
+                site = parent[site]
+            return site
+
+        for sites in self._edges.values():
+            ordered = sorted(sites)
+            for other in ordered[1:]:
+                parent[find(ordered[0])] = find(other)
+        labels: Dict[str, int] = {}
+        numbering: Dict[str, int] = {}
+        for site in parent:
+            root = find(site)
+            labels[site] = numbering.setdefault(root, len(numbering))
+        return labels
+
+    def _admit(self, admission: _Admission) -> None:
+        self.admissions += 1
+        self._edges[admission.txn] = set(admission.sites)
+
+    # ------------------------------------------------------------------
+    # Edge maintenance (driven by the agents' observers)
+    # ------------------------------------------------------------------
+
+    def note_prepared(self, txn: TxnId, site: str) -> None:
+        """A subtransaction entered the prepared state (edge confirmed)."""
+        if txn in self._edges:
+            self._edges[txn].add(site)
+
+    def note_finalized(self, txn: TxnId, site: str) -> None:
+        """A subtransaction left the prepared state: drop its edge."""
+        sites = self._edges.get(txn)
+        if sites is None:
+            return
+        sites.discard(site)
+        if not sites:
+            del self._edges[txn]
+        self._recheck_waiting()
+
+    def on_end(self, txn: TxnId, committed: bool) -> None:
+        """Transaction over: release global locks and any leftovers."""
+        self._edges.pop(txn, None)
+        self._updated.discard(txn)
+        self._read_lu.discard(txn)
+        self.global_locks.release_all(self._owner(txn))
+        self._recheck_waiting()
+
+    def _recheck_waiting(self) -> None:
+        admitted: List[_Admission] = []
+        for admission in self._waiting:
+            if admission.event.done:
+                admitted.append(admission)
+                continue
+            if self._admissible(admission):
+                if admission.timeout_handle is not None:
+                    admission.timeout_handle.cancel()
+                self._admit(admission)
+                admission.event.succeed(None)
+                admitted.append(admission)
+        for admission in admitted:
+            self._waiting.remove(admission)
+
+    def _admission_timeout(self, admission: _Admission) -> None:
+        if admission.event.done:
+            return
+        if admission in self._waiting:
+            self._waiting.remove(admission)
+        self.admission_timeouts += 1
+        admission.event.fail(
+            TransactionAborted(
+                RefusalReason.COMMIT_GRAPH_CYCLE,
+                f"{admission.txn} would close a commit-graph loop over "
+                f"{admission.sites}",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def edges(self) -> Dict[TxnId, Set[str]]:
+        return {txn: set(sites) for txn, sites in self._edges.items()}
+
+    def waiting_admissions(self) -> int:
+        return len(self._waiting)

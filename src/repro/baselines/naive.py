@@ -1,0 +1,35 @@
+"""The naive-resubmission baseline — system S18.
+
+"Naive" keeps the whole 2PC Agent architecture — the agent log, the
+simulated prepared state, unilateral-abort detection and resubmission —
+but switches **every certification check off**: PREPAREs are answered
+READY regardless of alive-interval intersections or serial numbers, and
+COMMITs are executed as soon as they arrive (resubmitting first if the
+incarnation died).
+
+This is exactly the strawman the paper's anomaly histories are built
+against: with failures injected, the naive system reproduces
+
+* **H1** — global view distortion: a resubmitted subtransaction reads a
+  different view (and may decompose differently) than the original;
+* **H2/H3** — local view distortion: local commits land in different
+  orders at different sites, the commit-order graph ``CG(C(H))`` turns
+  cyclic and local transactions observe non-serializable views.
+
+Without failures the naive system is perfectly correct (the paper:
+"If no unilateral aborts of prepared local subtransactions occur, then
+no anomalies can occur"), which experiment E8 confirms as its zero-
+failure data point.
+"""
+
+from __future__ import annotations
+
+from repro.core.dtm import MultidatabaseSystem, SystemConfig
+
+
+def build_naive_system(**kwargs) -> MultidatabaseSystem:
+    """A system running the naive method (sugar over the preset)."""
+    kwargs.setdefault("method", "naive")
+    if "sites" in kwargs:
+        kwargs["sites"] = tuple(kwargs["sites"])
+    return MultidatabaseSystem(SystemConfig(**kwargs))

@@ -1,0 +1,37 @@
+"""The predefined-total-order ("ticket") baseline — system S19.
+
+Sec. 5.2 of the paper considers — and rejects — guaranteeing a unique
+commit order by "pick[ing] transaction identifiers from a totally
+ordered set used by each Certifier", citing Elmagarmid & Du's paradigm.
+The objection: *"it would require all global transactions to be
+serialized in the same order even if they could not have caused any
+problems"*, and when local systems serialize transactions differently
+from the predefined order, transactions "become aborted in vain".
+
+We realize the scheme with two deviations from 2CM, both through
+existing switches:
+
+* the serial number is drawn **at BEGIN time** from a **central
+  counter**, so SN order is submission order — fixed before anyone
+  knows the real serialization order;
+* prepare/commit certification then enforce that predefined order:
+  a transaction whose PREPARE arrives after a younger ticket already
+  committed locally is refused (aborted in vain — the measurable
+  restrictiveness of E7), and commits wait for all older tickets at the
+  site.
+
+Everything else (agents, resubmission, alive intervals) matches 2CM, so
+the comparison isolates exactly the ordering policy.
+"""
+
+from __future__ import annotations
+
+from repro.core.dtm import MultidatabaseSystem, SystemConfig
+
+
+def build_ticket_system(**kwargs) -> MultidatabaseSystem:
+    """A system running the ticket method (sugar over the preset)."""
+    kwargs.setdefault("method", "ticket")
+    if "sites" in kwargs:
+        kwargs["sites"] = tuple(kwargs["sites"])
+    return MultidatabaseSystem(SystemConfig(**kwargs))

@@ -1,0 +1,48 @@
+"""Shared building blocks: identifiers, errors and configuration helpers.
+
+The modules in this package are dependency-free (they import nothing
+else from :mod:`repro`) so that every other subpackage can rely on them
+without creating import cycles.
+"""
+
+from repro.common.errors import (
+    CertificationRefused,
+    ConfigError,
+    DLUViolation,
+    HistoryError,
+    LockTimeout,
+    RefusalReason,
+    ReproError,
+    SimulationError,
+    TransactionAborted,
+    reason_of,
+)
+from repro.common.ids import (
+    DataItemId,
+    SerialNumber,
+    SubtxnId,
+    TxnId,
+    global_txn,
+    local_txn,
+    qualified_item,
+)
+
+__all__ = [
+    "CertificationRefused",
+    "ConfigError",
+    "DLUViolation",
+    "DataItemId",
+    "HistoryError",
+    "LockTimeout",
+    "RefusalReason",
+    "ReproError",
+    "SerialNumber",
+    "SimulationError",
+    "SubtxnId",
+    "TransactionAborted",
+    "TxnId",
+    "global_txn",
+    "local_txn",
+    "qualified_item",
+    "reason_of",
+]

@@ -1,0 +1,145 @@
+"""Identifiers used throughout the reproduction.
+
+The paper's notation is kept as close as practical:
+
+* a *global transaction* ``T_k`` is identified by a :class:`TxnId` with
+  ``is_local=False``;
+* a *local transaction* ``L_o`` (submitted directly to one LTM, invisible
+  to the DTM) is a :class:`TxnId` with ``is_local=True`` and a home site;
+* the *j-th local subtransaction* of ``T_k`` at site ``i`` (``T^i_kj`` in
+  the paper — ``j`` grows by one per resubmission) is a
+  :class:`SubtxnId`;
+* a *serial number* ``SN(k)`` (Sec. 5.2) is a :class:`SerialNumber`,
+  totally ordered first by (possibly drifting) site-clock reading, then
+  by the coordinating site identifier, then by a per-coordinator
+  sequence number that makes it unique even for identical clock
+  readings.
+
+Data items ``X^s`` (single concrete table rows at site ``s``) are
+modelled by :class:`DataItemId` (``table``, ``key``); the owning site is
+implicit in which LDBS stores the row, and :func:`qualified_item`
+produces the site-qualified form used by the global history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class TxnId:
+    """Identity of a transaction (global ``T_k`` or local ``L_o``).
+
+    The natural sort order (``number``, ``is_local``, ``site``) is only
+    used for stable, deterministic iteration — it carries no protocol
+    meaning.  Protocol ordering is carried by :class:`SerialNumber`.
+    """
+
+    number: int
+    is_local: bool = False
+    #: Home site for local transactions; ``None`` for global ones.
+    site: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.is_local and self.site is None:
+            raise ValueError("a local transaction needs a home site")
+        if not self.is_local and self.site is not None:
+            raise ValueError("a global transaction has no home site")
+
+    @property
+    def label(self) -> str:
+        """Paper-style label: ``T1`` for global, ``L4`` for local."""
+        prefix = "L" if self.is_local else "T"
+        return f"{prefix}{self.number}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+def global_txn(number: int) -> TxnId:
+    """Shorthand for the id of global transaction ``T<number>``."""
+    return TxnId(number=number, is_local=False)
+
+
+def local_txn(number: int, site: str) -> TxnId:
+    """Shorthand for the id of local transaction ``L<number>`` at ``site``."""
+    return TxnId(number=number, is_local=True, site=site)
+
+
+@dataclass(frozen=True, order=True)
+class SubtxnId:
+    """Identity of one *incarnation* of a local subtransaction.
+
+    ``T^i_kj`` in the paper: global transaction ``txn`` (= ``T_k``), site
+    ``site`` (= ``i``), resubmission index ``incarnation`` (= ``j``; 0
+    for the original submission).  Local transactions are modelled as a
+    single incarnation at their home site so that the history machinery
+    can treat every executed piece of work uniformly.
+    """
+
+    txn: TxnId
+    site: str
+    incarnation: int = 0
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``T^a_10`` for txn 1, site a, inc 0."""
+        if self.txn.is_local:
+            return f"{self.txn.label}^{self.site}"
+        return f"{self.txn.label}{self.incarnation}^{self.site}"
+
+    def resubmitted(self) -> "SubtxnId":
+        """The id of the next incarnation (after one more resubmission)."""
+        return SubtxnId(self.txn, self.site, self.incarnation + 1)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+@dataclass(frozen=True, order=True)
+class SerialNumber:
+    """A globally unique serial number ``SN(k)`` (paper Sec. 5.2).
+
+    Drawn from a totally ordered set: ordered by the coordinating site's
+    clock reading at global-Commit time, with the site identifier and a
+    per-coordinator sequence number as tie-breakers.  Clock drift between
+    sites therefore only perturbs the *order* (causing unnecessary
+    aborts at worst), never uniqueness.
+    """
+
+    clock: float
+    site: str
+    seq: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"SN({self.clock:g}@{self.site}#{self.seq})"
+
+
+@dataclass(frozen=True, order=True)
+class DataItemId:
+    """A single concrete row: ``(table, key)`` within one LDBS."""
+
+    table: str
+    key: Hashable = field(compare=False)
+    #: Sortable rendering of ``key`` used for ordering and hashing, so
+    #: that heterogeneous key types still produce a deterministic order.
+    _key_repr: str = field(init=False, compare=True, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_key_repr", repr(self.key))
+
+    def __hash__(self) -> int:
+        return hash((self.table, self._key_repr))
+
+    @property
+    def label(self) -> str:
+        return f"{self.table}[{self.key!r}]"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+def qualified_item(site: str, item: DataItemId) -> Tuple[str, DataItemId]:
+    """Site-qualified data item (``X^s`` in the paper)."""
+    return (site, item)

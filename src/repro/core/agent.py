@@ -1,0 +1,630 @@
+"""The 2PC Agent (system S8): simulated prepared state, certification,
+alive checks and subtransaction resubmission.
+
+One agent fronts one LTM (paper Fig. 1).  It plays the Participant role
+of 2PC towards the Coordinators while talking plain single-phase
+transactions to its LDBS:
+
+* **BEGIN/COMMAND** — the agent opens a local subtransaction and relays
+  the DML commands, logging each into the Agent log first;
+* **PREPARE** — the agent runs the extended + basic prepare
+  certification (:class:`~repro.core.certifier.Certifier`), performs the
+  alive check, force-writes the prepare record, binds the
+  subtransaction's access set as *bound data* in the DLU guard and
+  answers READY — or aborts the local subtransaction and answers REFUSE;
+* while **prepared** — a periodic alive check discovers unilateral
+  aborts (via the UAN notifications) and *resubmits* the logged
+  commands as a brand-new local subtransaction, restarting the alive
+  interval only once the full resubmission completed;
+* **COMMIT** — commit certification gates the local commit so local
+  commits happen in global serial-number order; when certification says
+  "not yet" the agent re-tries on the commit-certification retry
+  timeout (and, optimization, whenever the alive interval table
+  changes); a unilaterally aborted incarnation is resubmitted before
+  the commit is executed;
+* **ROLLBACK** — the local subtransaction is aborted (if it still
+  exists) and everything is cleaned up.
+
+The phases ``idle → active → prepared → idle`` match the Participant
+states of the paper's Sec. 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import (
+    RefusalReason,
+    SimulationError,
+    TransactionAborted,
+)
+from repro.common.ids import SerialNumber, SubtxnId, TxnId
+from repro.core.agent_log import AgentLog
+from repro.core.certifier import Certifier
+from repro.core.intervals import AliveInterval
+from repro.history.model import History
+from repro.kernel.events import EventKernel, Timer
+from repro.kernel.process import Process, Sleep
+from repro.ldbs.commands import Command
+from repro.ldbs.dlu import BoundDataGuard
+from repro.ldbs.ltm import LocalTransactionManager, LocalTxn, TxnState
+from repro.net.messages import Message, MsgType
+from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class AgentConfig:
+    """Tunables of one 2PC Agent."""
+
+    #: The alive check interval timeout of Appendix A.
+    alive_check_interval: float = 50.0
+    #: The commit certification retry timeout of Appendix C.
+    commit_retry_interval: float = 20.0
+    #: Pause between resubmission attempts that themselves failed.
+    resubmit_retry_delay: float = 10.0
+    #: Re-run pending commit certifications as soon as the alive
+    #: interval table changes (in addition to the paper's retry timer).
+    eager_commit_retry: bool = True
+
+
+class AgentPhase(enum.Enum):
+    """Participant states (paper Sec. 2) as seen by the agent."""
+
+    ACTIVE = "active"
+    PREPARED = "prepared"
+    DONE = "done"
+
+
+@dataclass
+class _AgentTxn:
+    txn: TxnId
+    coordinator: str
+    local: LocalTxn
+    phase: AgentPhase = AgentPhase.ACTIVE
+    sn: Optional[SerialNumber] = None
+    #: Completion time of the last command or resubmission — the start
+    #: of the candidate alive interval at prepare time.
+    last_activity: float = 0.0
+    #: A unilateral abort of the current incarnation was notified (UAN).
+    uan: bool = False
+    resubmitting: bool = False
+    commit_pending: bool = False
+    commit_record_written: bool = False
+    incarnations: int = 1
+    resubmissions: int = 0
+    alive_timer: Optional[Timer] = None
+    retry_timer: Optional[Timer] = None
+
+
+class TwoPCAgent:
+    """One site's 2PC Agent with its Certifier."""
+
+    def __init__(
+        self,
+        site: str,
+        kernel: EventKernel,
+        network: Network,
+        history: History,
+        ltm: LocalTransactionManager,
+        certifier: Certifier,
+        dlu_guard: Optional[BoundDataGuard] = None,
+        config: Optional[AgentConfig] = None,
+    ) -> None:
+        self.site = site
+        self.address = f"agent:{site}"
+        self.kernel = kernel
+        self.network = network
+        self.history = history
+        self.ltm = ltm
+        self.certifier = certifier
+        self.dlu_guard = dlu_guard
+        self.config = config or AgentConfig()
+        self.log = AgentLog(site)
+        self._txns: Dict[TxnId, _AgentTxn] = {}
+        # Observers for centralized baselines (CGM needs to see prepared
+        # and locally-committed transitions).
+        self.on_ready_observers: List[Callable[[TxnId, str], None]] = []
+        self.on_local_commit_observers: List[Callable[[TxnId, str], None]] = []
+        self.on_finalized_observers: List[Callable[[TxnId, str], None]] = []
+        # Counters for the benchmarks.
+        self.refusals: Dict[RefusalReason, int] = {}
+        #: Largest serial number this site has seen (on any PREPARE or
+        #: local commit) — piggybacked on replies so logical-clock SN
+        #: generators can stay causally ahead (paper Sec. 5.2's
+        #: "logical distributed clock" alternative).
+        self.max_seen_sn: Optional[SerialNumber] = None
+        self.ready_sent = 0
+        self.commits_done = 0
+        self.rollbacks_done = 0
+        self.resubmissions = 0
+        self.alive_checks = 0
+        self.restarts = 0
+        network.register(self.address, self._on_message)
+        ltm.on_unilateral_abort(self._on_uan)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def _on_message(self, msg: Message) -> None:
+        if msg.type is MsgType.BEGIN:
+            self._on_begin(msg)
+        elif msg.type is MsgType.COMMAND:
+            self._on_command(msg)
+        elif msg.type is MsgType.PREPARE:
+            self._on_prepare(msg)
+        elif msg.type is MsgType.COMMIT:
+            self._on_commit(msg)
+        elif msg.type is MsgType.ROLLBACK:
+            self._on_rollback(msg)
+        else:
+            raise SimulationError(f"agent {self.site} got unexpected {msg}")
+
+    def _reply(
+        self,
+        msg: Message,
+        type_: MsgType,
+        payload=None,
+        reason: Optional[RefusalReason] = None,
+    ) -> None:
+        self.network.send(
+            Message(
+                type=type_,
+                src=self.address,
+                dst=msg.src,
+                txn=msg.txn,
+                payload=payload,
+                reason=reason,
+                sn=self.max_seen_sn,
+            )
+        )
+
+    def _note_sn(self, sn: Optional[SerialNumber]) -> None:
+        if sn is None:
+            return
+        if self.max_seen_sn is None or sn > self.max_seen_sn:
+            self.max_seen_sn = sn
+
+    # ------------------------------------------------------------------
+    # Active state: BEGIN and COMMAND
+    # ------------------------------------------------------------------
+
+    def _on_begin(self, msg: Message) -> None:
+        if msg.txn in self._txns:
+            raise SimulationError(f"duplicate BEGIN for {msg.txn} at {self.site}")
+        local = self.ltm.begin(SubtxnId(msg.txn, self.site, 0))
+        self._txns[msg.txn] = _AgentTxn(
+            txn=msg.txn,
+            coordinator=msg.src,
+            local=local,
+            last_activity=self.kernel.now,
+        )
+        self.log.open(msg.txn, coordinator=msg.src)
+
+    def _on_command(self, msg: Message) -> None:
+        state = self._state(msg.txn)
+        command: Command = msg.payload
+        self.log.log_command(msg.txn, command)
+        completion = state.local.execute(command)
+
+        def answer(event) -> None:
+            if event.error is None:
+                state.last_activity = self.kernel.now
+                self._reply(msg, MsgType.COMMAND_RESULT, payload=event._value)
+            else:
+                self._reply(msg, MsgType.COMMAND_RESULT, payload=event.error)
+
+        completion.subscribe(answer)
+
+    # ------------------------------------------------------------------
+    # PREPARE: extended + basic certification, alive check (Appendix B)
+    # ------------------------------------------------------------------
+
+    def _on_prepare(self, msg: Message) -> None:
+        state = self._state(msg.txn)
+        state.sn = msg.sn
+        self._note_sn(msg.sn)
+        candidate = AliveInterval(state.last_activity, self.kernel.now)
+        # Perform an alive check on every prepared subtransaction right
+        # now and extend the intervals of the live ones — otherwise "too
+        # long a time between alive time checks" would cause unnecessary
+        # aborts (paper Sec. 6) and the failure-free zero-abort property
+        # would not hold.
+        self._refresh_intervals()
+        access_set = frozenset(self.ltm.access_set_of(state.local.subtxn))
+        decision = self.certifier.certify_prepare(
+            msg.txn, msg.sn, candidate, access_set=access_set
+        )
+        if not decision.ok:
+            self._abort_and_refuse(state, msg, decision.reason, decision.detail)
+            return
+        # The alive check: UAN would have told us about any unilateral
+        # abort of the current incarnation; commands are all done
+        # (coordinators only send PREPARE after the last result).
+        alive = not state.uan and self.ltm.is_alive(state.local.subtxn)
+        if not alive:
+            self._abort_and_refuse(state, msg, RefusalReason.NOT_ALIVE, "")
+            return
+        self.certifier.insert(msg.txn, msg.sn, candidate, access_set=access_set)
+        self.log.write_prepare(msg.txn, msg.sn, self.kernel.now)
+        if self.dlu_guard is not None:
+            self.dlu_guard.bind(
+                msg.txn,
+                self.ltm.access_set_of(state.local.subtxn),
+                tables=self.ltm.scanned_tables_of(state.local.subtxn),
+            )
+        self.history.record_prepare(self.kernel.now, msg.txn, self.site, msg.sn)
+        state.phase = AgentPhase.PREPARED
+        state.alive_timer = Timer(
+            self.kernel,
+            self.config.alive_check_interval,
+            lambda: self._alive_check(state),
+        )
+        state.alive_timer.start()
+        self.ready_sent += 1
+        self._reply(msg, MsgType.READY)
+        for observer in self.on_ready_observers:
+            observer(msg.txn, self.site)
+
+    def _abort_and_refuse(
+        self,
+        state: _AgentTxn,
+        msg: Message,
+        reason: Optional[RefusalReason],
+        detail: str,
+    ) -> None:
+        reason = reason or RefusalReason.REQUESTED
+        if state.local.state is TxnState.ACTIVE:
+            state.local.abort(reason)
+        self.refusals[reason] = self.refusals.get(reason, 0) + 1
+        self._reply(msg, MsgType.REFUSE, payload=detail, reason=reason)
+        self._finalize(state)
+
+    def _refresh_intervals(self) -> None:
+        """Alive-check every prepared entry and extend live intervals."""
+        for other in self._txns.values():
+            if other.phase is not AgentPhase.PREPARED:
+                continue
+            if other.uan or other.resubmitting:
+                continue
+            if self.certifier.contains(other.txn):
+                self.alive_checks += 1
+                self.certifier.extend_interval(other.txn, self.kernel.now)
+
+    # ------------------------------------------------------------------
+    # Alive check (Appendix A)
+    # ------------------------------------------------------------------
+
+    def _alive_check(self, state: _AgentTxn) -> None:
+        if state.phase is not AgentPhase.PREPARED:
+            return
+        self.alive_checks += 1
+        if state.uan:
+            # Unilaterally aborted: resubmit commands from the Agent log.
+            self._ensure_resubmission(state)
+        elif not state.resubmitting:
+            # No failure: update the end of the alive time interval.
+            self.certifier.extend_interval(state.txn, self.kernel.now)
+        if state.alive_timer is not None:
+            state.alive_timer.restart()
+
+    # ------------------------------------------------------------------
+    # Resubmission
+    # ------------------------------------------------------------------
+
+    def _on_uan(self, subtxn: SubtxnId) -> None:
+        state = self._txns.get(subtxn.txn)
+        if state is None or state.phase is AgentPhase.DONE:
+            return
+        if state.local.subtxn != subtxn:
+            return  # an already-replaced incarnation; nothing to note
+        state.uan = True
+
+    def _ensure_resubmission(self, state: _AgentTxn) -> None:
+        if state.resubmitting or state.phase is not AgentPhase.PREPARED:
+            return
+        state.resubmitting = True
+        Process(
+            self.kernel,
+            self._resubmit_body(state),
+            name=f"resubmit:{state.txn}@{self.site}",
+        )
+
+    def _resubmit_body(self, state: _AgentTxn):
+        """Replay the Agent log as a new local subtransaction.
+
+        Retries until an attempt runs to completion (the TW assumption
+        guarantees a bounded number of retries suffices; the failure
+        injector honours a per-subtransaction abort budget).
+        """
+        while state.phase is AgentPhase.PREPARED:
+            if state.local.state is TxnState.ACTIVE:
+                # Never leak a live incarnation (and its locks) when
+                # replacing it with a fresh one.
+                state.local.abort(RefusalReason.REQUESTED)
+            incarnation = SubtxnId(state.txn, self.site, state.incarnations)
+            state.incarnations += 1
+            self.log.note_resubmission(state.txn)
+            local = self.ltm.begin(incarnation)
+            state.local = local
+            state.uan = False
+            try:
+                for command in self.log.commands(state.txn):
+                    if state.phase is not AgentPhase.PREPARED:
+                        local.abort(RefusalReason.REQUESTED)
+                        state.resubmitting = False
+                        return
+                    yield local.execute(command)
+            except TransactionAborted:
+                # This incarnation died too (injected abort, deadlock
+                # timeout...).  The LTM already rolled it back; retry.
+                yield Sleep(self.config.resubmit_retry_delay)
+                continue
+            if state.phase is not AgentPhase.PREPARED:
+                # A ROLLBACK arrived while the last command was running.
+                local.abort(RefusalReason.REQUESTED)
+                state.resubmitting = False
+                return
+            # Resubmission of all the commands is complete: initiate the
+            # new alive time interval.
+            state.last_activity = self.kernel.now
+            state.resubmitting = False
+            state.resubmissions += 1
+            self.resubmissions += 1
+            if self.certifier.contains(state.txn):
+                self.certifier.restart_interval(state.txn, self.kernel.now)
+            if self.dlu_guard is not None:
+                self.dlu_guard.bind(
+                    state.txn,
+                    self.ltm.access_set_of(incarnation),
+                    tables=self.ltm.scanned_tables_of(incarnation),
+                )
+            if state.commit_pending:
+                self.kernel.call_soon(lambda: self._try_commit(state))
+            return
+        state.resubmitting = False
+
+    # ------------------------------------------------------------------
+    # COMMIT: commit certification (Appendix C)
+    # ------------------------------------------------------------------
+
+    def _on_commit(self, msg: Message) -> None:
+        state = self._state(msg.txn)
+        if state.phase is not AgentPhase.PREPARED:
+            raise SimulationError(
+                f"COMMIT for {msg.txn} at {self.site} in phase {state.phase}"
+            )
+        state.commit_pending = True
+        self._try_commit(state)
+
+    def _try_commit(self, state: _AgentTxn) -> None:
+        if state.phase is not AgentPhase.PREPARED or not state.commit_pending:
+            return
+        decision = self.certifier.certify_commit(state.txn)
+        if not decision.ok:
+            # Commit certification failed: retry at a later time.
+            if state.retry_timer is None:
+                state.retry_timer = Timer(
+                    self.kernel,
+                    self.config.commit_retry_interval,
+                    lambda: self._try_commit(state),
+                )
+            state.retry_timer.restart()
+            return
+        if state.resubmitting:
+            return  # the resubmission's completion re-triggers us
+        if state.uan or not self.ltm.is_alive(state.local.subtxn):
+            # The incarnation is gone; resubmit first, then commit.
+            self._ensure_resubmission(state)
+            return
+        if not state.commit_record_written:
+            self.log.write_commit(state.txn, self.kernel.now)
+            state.commit_record_written = True
+        completion = state.local.commit()
+
+        def on_commit(event) -> None:
+            if event.error is None:
+                self._local_commit_done(state)
+            else:
+                # A unilateral abort raced the commit and won; resubmit.
+                state.uan = True
+                self._ensure_resubmission(state)
+
+        completion.subscribe(on_commit)
+
+    def _local_commit_done(self, state: _AgentTxn) -> None:
+        self.certifier.record_local_commit(state.txn)
+        self.log.record_committed_sn(state.sn)
+        self.commits_done += 1
+        self.network.send(
+            Message(
+                type=MsgType.COMMIT_ACK,
+                src=self.address,
+                dst=state.coordinator,
+                txn=state.txn,
+            )
+        )
+        for observer in self.on_local_commit_observers:
+            observer(state.txn, self.site)
+        self._finalize(state)
+
+    # ------------------------------------------------------------------
+    # ROLLBACK
+    # ------------------------------------------------------------------
+
+    def _on_rollback(self, msg: Message) -> None:
+        state = self._txns.get(msg.txn)
+        if state is None or state.phase is AgentPhase.DONE:
+            # Already refused / finished; acknowledge idempotently.
+            self._reply(msg, MsgType.ROLLBACK_ACK)
+            return
+        if state.local.state is TxnState.ACTIVE:
+            state.local.abort(RefusalReason.REQUESTED)
+        elif self.certifier.contains(state.txn):
+            # The incarnation already died unilaterally; the ROLLBACK is
+            # what ends the *simulated* prepared state, so make the exit
+            # visible in the history (the CI checker and the log both
+            # need the boundary).
+            self.history.record_local_abort(
+                self.kernel.now,
+                state.local.subtxn,
+                self.site,
+                unilateral=False,
+                reason=RefusalReason.REQUESTED,
+            )
+        self.rollbacks_done += 1
+        self._reply(msg, MsgType.ROLLBACK_ACK)
+        self._finalize(state)
+
+    # ------------------------------------------------------------------
+    # Cleanup
+    # ------------------------------------------------------------------
+
+    def _finalize(self, state: _AgentTxn) -> None:
+        was_in_table = self.certifier.contains(state.txn)
+        state.phase = AgentPhase.DONE
+        state.commit_pending = False
+        if state.alive_timer is not None:
+            state.alive_timer.cancel()
+        if state.retry_timer is not None:
+            state.retry_timer.cancel()
+        self.certifier.remove(state.txn)
+        if self.dlu_guard is not None:
+            self.dlu_guard.unbind(state.txn)
+        self.log.discard(state.txn)
+        for observer in self.on_finalized_observers:
+            observer(state.txn, self.site)
+        if was_in_table and self.config.eager_commit_retry:
+            # The alive interval table shrank: commits blocked on the
+            # commit certification may pass now.
+            for other in list(self._txns.values()):
+                if other.commit_pending and other.phase is AgentPhase.PREPARED:
+                    self.kernel.call_soon(
+                        lambda candidate=other: self._try_commit(candidate)
+                    )
+
+    # ------------------------------------------------------------------
+    # Agent restart recovery
+    # ------------------------------------------------------------------
+
+    def simulate_restart(self) -> int:
+        """Crash the 2PC Agent process and recover from the Agent log.
+
+        This is the scenario the durable Agent log exists for: the
+        simulated prepared state must survive the agent itself.  On
+        restart:
+
+        * every volatile structure dies — the transaction table, the
+          timers, the certifier's alive interval table;
+        * the LDBS aborts the orphaned local subtransactions (a lost
+          connection is a unilateral abort from the DTM's view);
+        * the log is scanned: entries with a prepare record re-enter the
+          prepared state (their last known alive interval is the instant
+          of the prepare record; the alive check will discover the dead
+          incarnation and resubmit), entries with a commit record resume
+          the commit (idempotently re-acking if the local commit had
+          already happened), and entries still in the active state are
+          left to fail their next COMMAND or PREPARE — the coordinator
+          then aborts them, exactly as a refused participant would;
+        * the certification extension's max-committed-SN register is
+          reloaded from its durable home in the log.
+
+        Returns the number of recovered (non-final) transactions.
+        """
+        self.restarts += 1
+        old_states = self._txns
+        self._txns = {}
+        for state in old_states.values():
+            if state.alive_timer is not None:
+                state.alive_timer.cancel()
+            if state.retry_timer is not None:
+                state.retry_timer.cancel()
+            state.phase = AgentPhase.DONE  # kills in-flight resubmissions
+        # The LDBS rolls orphaned subtransactions back (connection loss).
+        for state in old_states.values():
+            self.ltm.unilaterally_abort(state.local.subtxn)
+
+        # Volatile certifier state is gone; rebuild what is durable.
+        self.certifier = Certifier(self.site, self.certifier.config)
+        self.certifier.restore_max_committed_sn(self.log.max_committed_sn)
+
+        recovered = 0
+        for entry in self.log.entries():
+            incarnation = SubtxnId(entry.txn, self.site, entry.incarnations - 1)
+            local = self.ltm.handle_of(incarnation)
+            committed_locally = local.state is TxnState.COMMITTED
+            if entry.committed and committed_locally:
+                # The crash hit between local commit and COMMIT-ACK:
+                # just re-acknowledge.
+                self.log.record_committed_sn(entry.prepare_sn)
+                self.certifier.restore_max_committed_sn(entry.prepare_sn)
+                self.network.send(
+                    Message(
+                        type=MsgType.COMMIT_ACK,
+                        src=self.address,
+                        dst=entry.coordinator,
+                        txn=entry.txn,
+                        sn=self.max_seen_sn,
+                    )
+                )
+                self.log.discard(entry.txn)
+                continue
+            state = _AgentTxn(
+                txn=entry.txn,
+                coordinator=entry.coordinator,
+                local=local,
+                last_activity=self.kernel.now,
+                uan=not committed_locally,
+                incarnations=entry.incarnations,
+                commit_pending=entry.committed,
+                commit_record_written=entry.committed,
+                sn=entry.prepare_sn,
+            )
+            self._txns[entry.txn] = state
+            recovered += 1
+            if entry.prepared:
+                state.phase = AgentPhase.PREPARED
+                self.certifier.insert(
+                    entry.txn,
+                    entry.prepare_sn,
+                    AliveInterval.instant(entry.prepare_time),
+                )
+                state.alive_timer = Timer(
+                    self.kernel,
+                    self.config.alive_check_interval,
+                    lambda s=state: self._alive_check(s),
+                )
+                state.alive_timer.start()
+                if state.commit_pending:
+                    self.kernel.call_soon(lambda s=state: self._try_commit(s))
+            # Active-state entries stay ACTIVE with a dead incarnation:
+            # their next COMMAND or PREPARE fails and the coordinator
+            # rolls them back.
+        return recovered
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _state(self, txn: TxnId) -> _AgentTxn:
+        state = self._txns.get(txn)
+        if state is None:
+            raise SimulationError(f"agent {self.site} has no state for {txn}")
+        return state
+
+    def phase_of(self, txn: TxnId) -> Optional[AgentPhase]:
+        state = self._txns.get(txn)
+        return None if state is None else state.phase
+
+    def current_incarnation(self, txn: TxnId) -> Optional[SubtxnId]:
+        state = self._txns.get(txn)
+        return None if state is None else state.local.subtxn
+
+    def prepared_txns(self) -> List[TxnId]:
+        return self.certifier.prepared_txns()
+
+    def resubmissions_of(self, txn: TxnId) -> int:
+        state = self._txns.get(txn)
+        return 0 if state is None else state.resubmissions

@@ -1,0 +1,128 @@
+"""The Agent log: the 2PCA's durable record (paper Secs. 2–3).
+
+The 2PC Agent keeps, per global transaction, everything needed to
+simulate the prepared state on behalf of a non-2PC LDBS:
+
+* the DML **commands** of the global subtransaction, in submission
+  order — resubmission replays exactly these ("a new local
+  subtransaction expressed by the same commands as the ones originally
+  submitted");
+* the **prepare record** (with the serial number), force-written before
+  READY is sent — this is the durable promise that makes the simulated
+  prepared state survive;
+* the **commit record**, written when commit certification succeeds and
+  the local commit is issued.
+
+Durability is simulated: "force writes" are counted (so benchmarks can
+report the I/O the method would cost) and entries survive until
+explicitly discarded at transaction end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.ids import SerialNumber, TxnId
+from repro.ldbs.commands import Command
+
+
+@dataclass
+class AgentLogEntry:
+    """Everything logged for one global transaction at one site."""
+
+    txn: TxnId
+    #: The coordinator address to answer after a recovery.
+    coordinator: str = ""
+    commands: List[Command] = field(default_factory=list)
+    prepare_sn: Optional[SerialNumber] = None
+    prepare_time: Optional[float] = None
+    commit_time: Optional[float] = None
+    #: Incarnations started so far — persisted so a recovered agent
+    #: never reuses an incarnation id.
+    incarnations: int = 1
+
+    @property
+    def prepared(self) -> bool:
+        return self.prepare_time is not None
+
+    @property
+    def committed(self) -> bool:
+        return self.commit_time is not None
+
+
+class AgentLog:
+    """Per-site durable log of the 2PC Agent."""
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self._entries: Dict[TxnId, AgentLogEntry] = {}
+        self.force_writes = 0
+        #: Durable site-level register: the biggest serial number of a
+        #: locally committed subtransaction.  The certification
+        #: extension needs it to survive an agent restart.
+        self.max_committed_sn: Optional[SerialNumber] = None
+
+    def open(self, txn: TxnId, coordinator: str = "") -> AgentLogEntry:
+        if txn in self._entries:
+            raise SimulationError(f"agent log entry for {txn} already open at {self.site}")
+        entry = AgentLogEntry(txn=txn, coordinator=coordinator)
+        self._entries[txn] = entry
+        return entry
+
+    def entry(self, txn: TxnId) -> AgentLogEntry:
+        entry = self._entries.get(txn)
+        if entry is None:
+            raise SimulationError(f"no agent log entry for {txn} at {self.site}")
+        return entry
+
+    def has_entry(self, txn: TxnId) -> bool:
+        return txn in self._entries
+
+    def log_command(self, txn: TxnId, command: Command) -> None:
+        """Append one DML command (logged before submission to the LTM)."""
+        self.entry(txn).commands.append(command)
+
+    def commands(self, txn: TxnId) -> List[Command]:
+        """The replay sequence for resubmission."""
+        return list(self.entry(txn).commands)
+
+    def write_prepare(self, txn: TxnId, sn: Optional[SerialNumber], time: float) -> None:
+        """Force-write the prepare record (the READY promise)."""
+        entry = self.entry(txn)
+        if entry.prepared:
+            raise SimulationError(f"{txn} already prepared at {self.site}")
+        entry.prepare_sn = sn
+        entry.prepare_time = time
+        self.force_writes += 1
+
+    def write_commit(self, txn: TxnId, time: float) -> None:
+        """Force-write the commit record."""
+        entry = self.entry(txn)
+        if entry.committed:
+            raise SimulationError(f"{txn} already has a commit record at {self.site}")
+        entry.commit_time = time
+        self.force_writes += 1
+
+    def note_resubmission(self, txn: TxnId) -> None:
+        """Persist that another incarnation was started."""
+        self.entry(txn).incarnations += 1
+
+    def record_committed_sn(self, sn: Optional[SerialNumber]) -> None:
+        """Advance the durable max-committed-SN register."""
+        if sn is None:
+            return
+        if self.max_committed_sn is None or sn > self.max_committed_sn:
+            self.max_committed_sn = sn
+
+    def discard(self, txn: TxnId) -> None:
+        """Drop the entry once the transaction reached a final state."""
+        self._entries.pop(txn, None)
+
+    def open_entries(self) -> List[TxnId]:
+        return sorted(self._entries)
+
+    def entries(self) -> List[AgentLogEntry]:
+        """All open entries, in deterministic order (recovery scan)."""
+        return [self._entries[txn] for txn in sorted(self._entries)]

@@ -1,0 +1,328 @@
+"""The 2PCA Certifier (the paper's Appendix, algorithms B and C).
+
+The Certifier is the per-site decision core of the method.  It keeps:
+
+* the **alive interval table** — one entry per global subtransaction in
+  the prepared state at this site, holding its latest alive interval
+  and its serial number;
+* the **largest serial number of a locally committed subtransaction** —
+  the state behind the prepare-certification *extension* (Sec. 5.3);
+* the order in which subtransactions entered the prepared state — used
+  only by the ``PREPARE_ORDER`` commit-order policy, the alternative the
+  paper examines and rejects (it fails on indirect conflicts, history
+  H3), kept for the E4 experiment.
+
+Every check is a pure decision; the surrounding 2PC Agent performs the
+aborts, messages and timer manipulation the Appendix pseudo-code
+interleaves with them.  All checks are individually switchable so the
+baselines (naive resubmission, no-extension, no-commit-certification)
+are the same code with features off.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import RefusalReason, SimulationError
+from repro.common.ids import SerialNumber, TxnId
+from repro.core.intervals import AliveInterval
+
+
+class CommitOrderPolicy(enum.Enum):
+    """How commit certification orders local commits."""
+
+    #: The paper's choice: globally unique serial numbers.
+    SERIAL_NUMBER = "sn"
+    #: The rejected alternative: order of entering the prepared state.
+    PREPARE_ORDER = "prepare-order"
+
+
+@dataclass(frozen=True)
+class CertifierConfig:
+    """Feature switches of one site's certifier."""
+
+    #: Basic prepare certification — the alive-interval intersection rule.
+    basic_prepare: bool = True
+    #: Extended prepare certification — refuse an out-of-order PREPARE.
+    prepare_extension: bool = True
+    #: Commit certification — issue local commits in global order.
+    commit_certification: bool = True
+    commit_order: CommitOrderPolicy = CommitOrderPolicy.SERIAL_NUMBER
+    #: How many alive intervals to remember per prepared subtransaction.
+    #: The paper: "The easiest way to implement the Certifier is to
+    #: simply store the last alive time interval ...  As an
+    #: optimization, several of them might be stored."  With more than
+    #: one, a candidate only needs to intersect *some* remembered alive
+    #: interval of each entry — strictly fewer unnecessary refusals.
+    max_intervals: int = 1
+    #: UNSOUND variant kept for the E17 ablation: only refuse a
+    #: disjoint-interval candidate when its access set *directly*
+    #: intersects the prepared entry's (the predicate/command-knowledge
+    #: approach of the authors' earlier 2PC-Agent paper).  It cannot see
+    #: indirect conflicts through local transactions — which is exactly
+    #: why the paper's rule is conflict-blind (Conflict Detection Basis
+    #: covers "neither directly nor indirectly conflicting").
+    conflict_aware_basic: bool = False
+
+    @staticmethod
+    def naive() -> "CertifierConfig":
+        """Everything off: plain resubmission (baseline S18)."""
+        return CertifierConfig(
+            basic_prepare=False,
+            prepare_extension=False,
+            commit_certification=False,
+        )
+
+
+@dataclass
+class PreparedEntry:
+    """One row of the alive interval table.
+
+    ``interval`` is the current (most recent) alive interval;
+    ``archive`` holds the frozen intervals of earlier incarnations when
+    the certifier is configured to remember several (``max_intervals``).
+    """
+
+    txn: TxnId
+    sn: Optional[SerialNumber]
+    interval: AliveInterval
+    prepare_seq: int
+    archive: List[AliveInterval] = field(default_factory=list)
+    #: Items accessed by the subtransaction (only consulted by the
+    #: unsound conflict-aware variant).
+    access_set: frozenset = frozenset()
+
+    def all_intervals(self) -> List[AliveInterval]:
+        return self.archive + [self.interval]
+
+    def intersects(self, candidate: AliveInterval) -> bool:
+        """Conflict-freeness holds if the candidate shares an instant
+        with *any* known alive interval of this entry."""
+        return any(candidate.intersects(known) for known in self.all_intervals())
+
+
+@dataclass(frozen=True)
+class CertDecision:
+    """Outcome of one certification check."""
+
+    ok: bool
+    reason: Optional[RefusalReason] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+class Certifier:
+    """Per-site certification state and decisions."""
+
+    def __init__(self, site: str, config: Optional[CertifierConfig] = None) -> None:
+        self.site = site
+        self.config = config or CertifierConfig()
+        self._table: Dict[TxnId, PreparedEntry] = {}
+        self._max_committed_sn: Optional[SerialNumber] = None
+        self._prepare_seq = itertools.count()
+        self._max_committed_prepare_seq = -1
+        # Decision statistics for the benchmarks.
+        self.prepare_checks = 0
+        self.prepare_refusals_extension = 0
+        self.prepare_refusals_intersection = 0
+        self.commit_checks = 0
+        self.commit_delays = 0
+
+    # ------------------------------------------------------------------
+    # Prepare certification (Appendix B)
+    # ------------------------------------------------------------------
+
+    def certify_prepare(
+        self,
+        txn: TxnId,
+        sn: Optional[SerialNumber],
+        candidate: AliveInterval,
+        access_set: frozenset = frozenset(),
+    ) -> CertDecision:
+        """Extended + basic prepare certification for ``txn``.
+
+        ``candidate`` is the transaction's own alive interval — "the
+        time between the last performed operation and the time of the
+        checking moment itself".  The caller performs the subsequent
+        alive check and the table insertion (via :meth:`insert`).
+        ``access_set`` is only consulted by the unsound conflict-aware
+        variant (``CertifierConfig.conflict_aware_basic``).
+        """
+        self.prepare_checks += 1
+        if txn in self._table:
+            raise SimulationError(f"{txn} is already in the prepared state at {self.site}")
+
+        if self.config.prepare_extension and sn is not None:
+            if self._max_committed_sn is not None and sn < self._max_committed_sn:
+                self.prepare_refusals_extension += 1
+                return CertDecision(
+                    ok=False,
+                    reason=RefusalReason.PREPARE_OUT_OF_ORDER,
+                    detail=(
+                        f"{sn} is older than already-committed "
+                        f"{self._max_committed_sn}"
+                    ),
+                )
+
+        if self.config.basic_prepare:
+            for entry in self._table.values():
+                if entry.intersects(candidate):
+                    continue
+                if self.config.conflict_aware_basic and not (
+                    access_set & entry.access_set
+                ):
+                    # The unsound shortcut: "their access sets are
+                    # disjoint, so they cannot conflict" — blind to
+                    # indirect conflicts through local transactions.
+                    continue
+                self.prepare_refusals_intersection += 1
+                return CertDecision(
+                    ok=False,
+                    reason=RefusalReason.ALIVE_INTERSECTION,
+                    detail=(
+                        f"candidate {candidate} does not intersect any "
+                        f"known alive interval of {entry.txn.label} "
+                        f"(latest {entry.interval})"
+                    ),
+                )
+        return CertDecision(ok=True)
+
+    def insert(
+        self,
+        txn: TxnId,
+        sn: Optional[SerialNumber],
+        interval: AliveInterval,
+        access_set: frozenset = frozenset(),
+    ) -> PreparedEntry:
+        """Insert ``txn`` into the alive interval table (move to prepared)."""
+        if txn in self._table:
+            raise SimulationError(f"{txn} already in alive interval table")
+        entry = PreparedEntry(
+            txn=txn,
+            sn=sn,
+            interval=interval,
+            prepare_seq=next(self._prepare_seq),
+            access_set=access_set,
+        )
+        self._table[txn] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Alive interval maintenance (Appendix A)
+    # ------------------------------------------------------------------
+
+    def extend_interval(self, txn: TxnId, now: float) -> None:
+        """A successful alive check: move the interval's end to ``now``."""
+        entry = self._entry(txn)
+        entry.interval = entry.interval.extended_to(now)
+
+    def restart_interval(self, txn: TxnId, now: float) -> None:
+        """Resubmission complete: "a new interval is always initiated
+        after the resubmission of all the commands is complete".
+
+        With ``max_intervals`` > 1, the previous incarnation's interval
+        is archived (up to the configured memory) rather than dropped —
+        the paper's optional optimization.
+        """
+        entry = self._entry(txn)
+        if self.config.max_intervals > 1:
+            entry.archive.append(entry.interval)
+            keep = self.config.max_intervals - 1
+            entry.archive = entry.archive[-keep:]
+        entry.interval = AliveInterval.instant(now)
+
+    # ------------------------------------------------------------------
+    # Commit certification (Appendix C)
+    # ------------------------------------------------------------------
+
+    def certify_commit(self, txn: TxnId) -> CertDecision:
+        """May ``txn`` commit locally now?
+
+        Under the SN policy: every *other* subtransaction in the alive
+        interval table must have a bigger serial number.  Under the
+        rejected PREPARE_ORDER policy: every other entry must have
+        entered the prepared state later.
+        """
+        self.commit_checks += 1
+        entry = self._entry(txn)
+        if not self.config.commit_certification:
+            return CertDecision(ok=True)
+        for other in self._table.values():
+            if other.txn == txn:
+                continue
+            if self.config.commit_order is CommitOrderPolicy.SERIAL_NUMBER:
+                if entry.sn is None or other.sn is None:
+                    continue
+                if other.sn < entry.sn:
+                    self.commit_delays += 1
+                    return CertDecision(
+                        ok=False,
+                        detail=(
+                            f"{other.txn.label} holds smaller {other.sn} < {entry.sn}"
+                        ),
+                    )
+            else:
+                if other.prepare_seq < entry.prepare_seq:
+                    self.commit_delays += 1
+                    return CertDecision(
+                        ok=False,
+                        detail=f"{other.txn.label} prepared earlier",
+                    )
+        return CertDecision(ok=True)
+
+    def restore_max_committed_sn(self, sn: Optional[SerialNumber]) -> None:
+        """Reload the extension's durable register (agent recovery)."""
+        if sn is None:
+            return
+        if self._max_committed_sn is None or sn > self._max_committed_sn:
+            self._max_committed_sn = sn
+
+    def record_local_commit(self, txn: TxnId) -> None:
+        """Track the biggest committed SN (state of the extension)."""
+        entry = self._table.get(txn)
+        if entry is None:
+            return
+        if entry.sn is not None:
+            if self._max_committed_sn is None or entry.sn > self._max_committed_sn:
+                self._max_committed_sn = entry.sn
+        self._max_committed_prepare_seq = max(
+            self._max_committed_prepare_seq, entry.prepare_seq
+        )
+
+    def remove(self, txn: TxnId) -> None:
+        """Drop ``txn`` from the table (local commit done or rollback)."""
+        self._table.pop(txn, None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _entry(self, txn: TxnId) -> PreparedEntry:
+        entry = self._table.get(txn)
+        if entry is None:
+            raise SimulationError(f"{txn} not in alive interval table at {self.site}")
+        return entry
+
+    def prepared_txns(self) -> List[TxnId]:
+        return sorted(self._table)
+
+    def interval_of(self, txn: TxnId) -> AliveInterval:
+        return self._entry(txn).interval
+
+    def sn_of(self, txn: TxnId) -> Optional[SerialNumber]:
+        return self._entry(txn).sn
+
+    @property
+    def max_committed_sn(self) -> Optional[SerialNumber]:
+        return self._max_committed_sn
+
+    def contains(self, txn: TxnId) -> bool:
+        return txn in self._table
+
+    def table_size(self) -> int:
+        return len(self._table)

@@ -1,0 +1,401 @@
+"""The Coordinator (system S10): global transaction execution + 2PC.
+
+The Coordinator decomposes a global transaction into global
+subtransactions (at most one per participating site), submits the DML
+commands one by one, and — when the application issues the global
+Commit — draws the serial number ``SN(k)`` and runs the standard 2PC
+protocol against the 2PC Agents:
+
+    PREPARE(sn) → READY/REFUSE → COMMIT/ROLLBACK → acks.
+
+The global commit decision ``C_k`` is recorded (durably, in the model:
+into the history) *after* every participant voted READY and *before*
+any COMMIT message is sent, matching the paper's ordering invariant
+(1): ``P^i_k < C_k < C^s_k``.
+
+Two extension points serve the baselines:
+
+* ``sn_at_begin`` draws the serial number when the transaction starts
+  instead of at commit submission — this turns SN order into ticket
+  (submission) order, the restrictive predefined-order scheme of
+  Elmagarmid & Du the paper argues against (baseline S19);
+* an optional ``scheduler`` is consulted before every command and
+  before the prepare phase — the CGM baseline (S17) plugs its global
+  lock manager and commit-graph admission in here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import (
+    RefusalReason,
+    SimulationError,
+    TransactionAborted,
+    reason_of,
+)
+from repro.common.ids import SerialNumber, TxnId
+from repro.core.serial import SNGenerator
+from repro.history.model import History
+from repro.kernel.events import Event, EventKernel
+from repro.kernel.process import Process, Sleep
+from repro.ldbs.commands import Command
+from repro.net.messages import Message, MsgType
+from repro.net.network import Network
+
+
+@dataclass(frozen=True)
+class GlobalTransactionSpec:
+    """One global transaction: an ordered list of (site, command) steps.
+
+    The step order is the submission order the application would
+    produce; steps at different sites may be given in any interleaving
+    (the paper's examples rely on specific cross-site orders).
+    ``think_time`` models the application computation between steps,
+    performed at the Coordinating Site.
+    """
+
+    txn: TxnId
+    steps: Tuple[Tuple[str, Command], ...]
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.txn.is_local:
+            raise SimulationError(f"{self.txn} is a local transaction id")
+        if not self.steps:
+            raise SimulationError(f"{self.txn} has no steps")
+
+    @property
+    def sites(self) -> List[str]:
+        """Participating sites in first-use order."""
+        seen: List[str] = []
+        for site, _command in self.steps:
+            if site not in seen:
+                seen.append(site)
+        return seen
+
+    @staticmethod
+    def from_site_commands(
+        txn: TxnId,
+        per_site: Dict[str, Sequence[Command]],
+        think_time: float = 0.0,
+    ) -> "GlobalTransactionSpec":
+        """Build a spec that runs each site's commands site by site."""
+        steps: List[Tuple[str, Command]] = []
+        for site in sorted(per_site):
+            for command in per_site[site]:
+                steps.append((site, command))
+        return GlobalTransactionSpec(
+            txn=txn, steps=tuple(steps), think_time=think_time
+        )
+
+
+@dataclass
+class GlobalOutcome:
+    """What happened to one global transaction."""
+
+    txn: TxnId
+    committed: bool
+    sn: Optional[SerialNumber] = None
+    reason: Optional[RefusalReason] = None
+    refusing_sites: List[str] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    results: List[object] = field(default_factory=list)
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.started_at
+
+
+def _static_program(steps):
+    """Adapt a static step list to the interactive-program protocol."""
+    for site, command in steps:
+        yield (site, command)
+
+
+class AbortRequested(Exception):
+    """Raised by an application program to abort its global transaction."""
+
+    def __init__(self, note: str = "") -> None:
+        self.note = note
+        super().__init__(note)
+
+
+class Scheduler:
+    """Admission interface for centralized baselines (CGM).
+
+    The decentralized 2CM never uses it; every method returns an
+    immediately successful event by default.
+    """
+
+    def before_command(
+        self, kernel: EventKernel, txn: TxnId, site: str, command: Command
+    ) -> Event:
+        event = Event(kernel)
+        event.succeed(None)
+        return event
+
+    def before_prepare(
+        self, kernel: EventKernel, txn: TxnId, sites: Sequence[str]
+    ) -> Event:
+        event = Event(kernel)
+        event.succeed(None)
+        return event
+
+    def on_end(self, txn: TxnId, committed: bool) -> None:
+        """Called once per transaction after the 2PC outcome is final."""
+
+
+class Coordinator:
+    """One Coordinating Site's transaction manager half."""
+
+    def __init__(
+        self,
+        name: str,
+        site: str,
+        kernel: EventKernel,
+        network: Network,
+        history: History,
+        sn_generator: SNGenerator,
+        sn_at_begin: bool = False,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        self.name = name
+        self.site = site
+        self.address = f"coord:{name}"
+        self.kernel = kernel
+        self.network = network
+        self.history = history
+        self.sn_generator = sn_generator
+        self.sn_at_begin = sn_at_begin
+        self.scheduler = scheduler
+        self._pending: Dict[Tuple[TxnId, str, str], Event] = {}
+        self.committed = 0
+        self.aborted = 0
+        self.aborts_by_reason: Dict[RefusalReason, int] = {}
+        #: Durable decision records written (the paper: the Coordinator
+        #: "recorded, in a stable storage, the decision").  Counted so
+        #: the force-write I/O accounting covers both ends of 2PC.
+        self.decisions_logged = 0
+        network.register(self.address, self._on_message)
+
+    # ------------------------------------------------------------------
+    # Message plumbing
+    # ------------------------------------------------------------------
+
+    _KIND_OF = {
+        MsgType.COMMAND_RESULT: "result",
+        MsgType.READY: "vote",
+        MsgType.REFUSE: "vote",
+        MsgType.COMMIT_ACK: "commit-ack",
+        MsgType.ROLLBACK_ACK: "rollback-ack",
+    }
+
+    def _on_message(self, msg: Message) -> None:
+        kind = self._KIND_OF.get(msg.type)
+        if kind is None:
+            raise SimulationError(f"coordinator {self.name} got unexpected {msg}")
+        if msg.sn is not None:
+            # Logical-clock SN sources advance on every witnessed SN, so
+            # causally later commits always draw bigger numbers; no-op
+            # for the clock and counter generators.
+            self.sn_generator.witness(self.site, msg.sn)
+        self._expect(msg.txn, msg.src, kind).succeed(msg)
+
+    def _expect(self, txn: TxnId, agent_address: str, kind: str) -> Event:
+        key = (txn, agent_address, kind)
+        event = self._pending.get(key)
+        if event is None or event.done:
+            event = Event(self.kernel, name=f"{kind}:{txn}:{agent_address}")
+            self._pending[key] = event
+        return event
+
+    def _send(self, type_: MsgType, txn: TxnId, site: str, **kwargs) -> None:
+        self.network.send(
+            Message(
+                type=type_,
+                src=self.address,
+                dst=f"agent:{site}",
+                txn=txn,
+                **kwargs,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: GlobalTransactionSpec) -> Event:
+        """Run ``spec`` to completion; the event yields a GlobalOutcome."""
+        process = Process(
+            self.kernel, self._run(spec), name=f"coord:{spec.txn}"
+        )
+        return process.completion
+
+    def submit_program(
+        self, txn: TxnId, program, think_time: float = 0.0
+    ) -> Event:
+        """Run an *interactive* application program as a global txn.
+
+        ``program`` is a generator: it yields ``(site, command)`` steps
+        and receives each command's :class:`CommandResult` back — the
+        paper's "the Coordinator ... returns the results to the
+        application which performs the necessary computation".
+        Returning commits; raising :class:`AbortRequested` rolls the
+        transaction back.  Because the application computation happens
+        at the Coordinating Site *before* the global Commit, it is never
+        re-run on resubmission — the agents replay only the decided
+        command sequence from their logs.
+        """
+        spec = GlobalTransactionSpec(
+            txn=txn,
+            steps=(("<dynamic>", None),),  # placeholder; program drives
+            think_time=think_time,
+        )
+        process = Process(
+            self.kernel,
+            self._run(spec, program=program),
+            name=f"coord:{txn}",
+        )
+        return process.completion
+
+    def _run(self, spec: GlobalTransactionSpec, program=None):
+        outcome = GlobalOutcome(
+            txn=spec.txn, committed=False, started_at=self.kernel.now
+        )
+        sn: Optional[SerialNumber] = None
+        if self.sn_at_begin:
+            sn = self.sn_generator.generate(self.site)
+        begun: List[str] = []
+
+        # -- active phase: submit the commands, one by one --------------
+        if program is None:
+            program = _static_program(spec.steps)
+        last_result = None
+        while True:
+            try:
+                site, command = program.send(
+                    None if last_result is None else last_result
+                )
+            except StopIteration:
+                break
+            except AbortRequested as exc:
+                yield from self._global_abort(
+                    spec, begun, outcome, RefusalReason.REQUESTED, None
+                )
+                return outcome
+            if self.scheduler is not None:
+                try:
+                    yield self.scheduler.before_command(
+                        self.kernel, spec.txn, site, command
+                    )
+                except TransactionAborted as exc:
+                    yield from self._global_abort(
+                        spec, begun, outcome, reason_of(exc), site
+                    )
+                    return outcome
+            if site not in begun:
+                self._send(MsgType.BEGIN, spec.txn, site)
+                begun.append(site)
+            wait = self._expect(spec.txn, f"agent:{site}", "result")
+            self._send(MsgType.COMMAND, spec.txn, site, payload=command)
+            reply = yield wait
+            if isinstance(reply.payload, BaseException):
+                yield from self._global_abort(
+                    spec, begun, outcome, reason_of(reply.payload), site
+                )
+                return outcome
+            outcome.results.append(reply.payload)
+            last_result = reply.payload
+            if spec.think_time > 0:
+                yield Sleep(spec.think_time)
+        if not begun:
+            # A program that issued no commands: nothing to decide.
+            outcome.committed = True
+            outcome.finished_at = self.kernel.now
+            self.committed += 1
+            return outcome
+
+        # -- the application submits the global Commit ------------------
+        if self.scheduler is not None:
+            try:
+                yield self.scheduler.before_prepare(self.kernel, spec.txn, begun)
+            except TransactionAborted as exc:
+                yield from self._global_abort(
+                    spec, begun, outcome, reason_of(exc), None
+                )
+                return outcome
+        if sn is None:
+            sn = self.sn_generator.generate(self.site)
+        outcome.sn = sn
+
+        # -- 2PC voting phase -------------------------------------------
+        votes: List[Tuple[str, Event]] = []
+        for site in begun:
+            votes.append((site, self._expect(spec.txn, f"agent:{site}", "vote")))
+            self._send(MsgType.PREPARE, spec.txn, site, sn=sn)
+        ready_sites: List[str] = []
+        for site, wait in votes:
+            reply = yield wait
+            if reply.type is MsgType.READY:
+                ready_sites.append(site)
+            else:
+                outcome.refusing_sites.append(site)
+                if outcome.reason is None:
+                    outcome.reason = reply.reason
+
+        if outcome.refusing_sites:
+            yield from self._global_abort(
+                spec, ready_sites, outcome, outcome.reason, None, record=True
+            )
+            return outcome
+
+        # -- decision: global commit -------------------------------------
+        self.decisions_logged += 1
+        self.history.record_global_commit(self.kernel.now, spec.txn)
+        acks: List[Event] = []
+        for site in begun:
+            acks.append(self._expect(spec.txn, f"agent:{site}", "commit-ack"))
+            self._send(MsgType.COMMIT, spec.txn, site)
+        for wait in acks:
+            yield wait
+        outcome.committed = True
+        outcome.finished_at = self.kernel.now
+        self.committed += 1
+        if self.scheduler is not None:
+            self.scheduler.on_end(spec.txn, committed=True)
+        return outcome
+
+    def _global_abort(
+        self,
+        spec: GlobalTransactionSpec,
+        rollback_sites: List[str],
+        outcome: GlobalOutcome,
+        reason: Optional[RefusalReason],
+        failing_site: Optional[str],
+        record: bool = True,
+    ):
+        """Record ``A_k`` and roll back every participant that needs it."""
+        outcome.reason = outcome.reason or reason or RefusalReason.REQUESTED
+        if failing_site is not None and failing_site not in outcome.refusing_sites:
+            outcome.refusing_sites.append(failing_site)
+        if record:
+            self.decisions_logged += 1
+            self.history.record_global_abort(
+                self.kernel.now, spec.txn, reason=outcome.reason
+            )
+        acks: List[Event] = []
+        for site in rollback_sites:
+            acks.append(self._expect(spec.txn, f"agent:{site}", "rollback-ack"))
+            self._send(MsgType.ROLLBACK, spec.txn, site)
+        for wait in acks:
+            yield wait
+        outcome.finished_at = self.kernel.now
+        self.aborted += 1
+        self.aborts_by_reason[outcome.reason] = (
+            self.aborts_by_reason.get(outcome.reason, 0) + 1
+        )
+        if self.scheduler is not None:
+            self.scheduler.on_end(spec.txn, committed=False)

@@ -1,0 +1,375 @@
+"""The multidatabase system façade (system S12; the paper's Fig. 1).
+
+``MultidatabaseSystem.build`` wires one complete HMDBS:
+
+* per site: a :class:`~repro.ldbs.ltm.LocalTransactionManager`, its
+  :class:`~repro.ldbs.dlu.BoundDataGuard`, a
+  :class:`~repro.core.certifier.Certifier` and a
+  :class:`~repro.core.agent.TwoPCAgent`;
+* a set of :class:`~repro.core.coordinator.Coordinator` instances, each
+  with a (possibly drifting) site clock;
+* the :class:`~repro.net.network.Network` and the shared
+  :class:`~repro.history.model.History` recorder.
+
+The ``method`` string selects the transaction-management method:
+
+======================  ====================================================
+``2cm``                 the paper's full 2PC-Agent Certifier method
+``2cm-noext``           without the prepare-certification extension (E5)
+``2cm-nocommitcert``    without commit certification (shows H2/H3 anomalies)
+``2cm-prepare-order``   commit order = prepared order, the rejected
+                        alternative of Sec. 5.2/5.3 (fails on H3)
+``2cm-conflict-aware``  UNSOUND predicate-style basic certification
+                        (refuse only on direct access-set conflicts);
+                        blind to indirect conflicts via locals (E17)
+``naive``               resubmission without any certification (S18)
+``ticket``              predefined total order: SN drawn at BEGIN from a
+                        central counter (S19, Elmagarmid/Du-style)
+``cgm``                 the Commit Graph Method baseline (S17): global
+                        table-granularity S2PL + commit-graph admission
+======================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError, RefusalReason, TransactionAborted
+from repro.common.ids import SubtxnId, TxnId, local_txn
+from repro.core.agent import AgentConfig, TwoPCAgent
+from repro.core.certifier import Certifier, CertifierConfig, CommitOrderPolicy
+from repro.core.coordinator import Coordinator, GlobalTransactionSpec, Scheduler
+from repro.core.serial import SiteClock, make_sn_generator
+from repro.history.model import History
+from repro.kernel.events import Event, EventKernel
+from repro.kernel.process import Process, Sleep
+from repro.ldbs.commands import Command
+from repro.ldbs.dlu import BoundDataGuard, DLUPolicy
+from repro.ldbs.ltm import LTMConfig, LocalTransactionManager
+from repro.net.network import LatencyModel, Network
+
+METHODS = (
+    "2cm",
+    "2cm-noext",
+    "2cm-nocommitcert",
+    "2cm-prepare-order",
+    "2cm-conflict-aware",
+    "naive",
+    "ticket",
+    "cgm",
+)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build one multidatabase system."""
+
+    sites: Tuple[str, ...] = ("a", "b")
+    n_coordinators: int = 1
+    method: str = "2cm"
+    seed: int = 0
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    ltm: LTMConfig = field(default_factory=LTMConfig)
+    agent: AgentConfig = field(default_factory=AgentConfig)
+    #: Heterogeneity (the paper's D-autonomy): per-site overrides of the
+    #: LDBS characteristics — the HERMES prototype federated an INGRES
+    #: and a Sybase SQL Server, which did not behave alike.  Sites not
+    #: listed use the defaults above.
+    ltm_overrides: Dict[str, LTMConfig] = field(default_factory=dict)
+    agent_overrides: Dict[str, AgentConfig] = field(default_factory=dict)
+    dlu_policy: DLUPolicy = DLUPolicy.ABORT
+    dlu_wait_timeout: Optional[float] = 200.0
+    #: ``clock`` (the paper's choice), ``counter`` or ``lamport``.
+    sn_source: str = "clock"
+    #: Per-coordinator-site clock offsets (drift, experiment E9).
+    clock_offsets: Dict[str, float] = field(default_factory=dict)
+    clock_rates: Dict[str, float] = field(default_factory=dict)
+    #: CGM baseline: lock-wait / commit-graph-admission timeout.
+    cgm_timeout: float = 400.0
+    #: CGM baseline: the globally-updatable table set.  When non-empty,
+    #: CGM's data-partition rules are enforced (globals update only
+    #: these tables and may not read others once they update; locals
+    #: may not update these tables).  Empty = partitioning off.
+    cgm_gu_tables: Tuple[str, ...] = ()
+    #: Alive intervals remembered per prepared subtransaction (the
+    #: paper's "several of them might be stored" optimization; 1 = the
+    #: paper's easiest implementation).
+    max_intervals: int = 1
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ConfigError(
+                f"unknown method {self.method!r}; pick one of {METHODS}"
+            )
+        if len(set(self.sites)) != len(self.sites):
+            raise ConfigError("duplicate site names")
+        if self.n_coordinators < 1:
+            raise ConfigError("need at least one coordinator")
+        for overrides in (self.ltm_overrides, self.agent_overrides):
+            unknown = set(overrides) - set(self.sites)
+            if unknown:
+                raise ConfigError(
+                    f"overrides for unknown sites: {sorted(unknown)}"
+                )
+
+
+@dataclass
+class LocalOutcome:
+    """What happened to one local transaction."""
+
+    txn: TxnId
+    committed: bool
+    reason: Optional[RefusalReason] = None
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    results: List[object] = field(default_factory=list)
+
+
+def certifier_config_for(method: str) -> CertifierConfig:
+    """The certifier feature set of each method preset."""
+    if method == "2cm":
+        return CertifierConfig()
+    if method == "2cm-noext":
+        return CertifierConfig(prepare_extension=False)
+    if method == "2cm-nocommitcert":
+        return CertifierConfig(commit_certification=False)
+    if method == "2cm-prepare-order":
+        return CertifierConfig(
+            prepare_extension=False,
+            commit_order=CommitOrderPolicy.PREPARE_ORDER,
+        )
+    if method == "2cm-conflict-aware":
+        # The UNSOUND predicate-style variant (E17 ablation): only
+        # refuse disjoint intervals when access sets directly intersect.
+        return CertifierConfig(conflict_aware_basic=True)
+    if method == "naive":
+        return CertifierConfig.naive()
+    if method == "ticket":
+        return CertifierConfig()
+    if method == "cgm":
+        return CertifierConfig.naive()
+    raise ConfigError(f"unknown method {method!r}")
+
+
+class MultidatabaseSystem:
+    """One fully wired HMDBS plus submission and inspection helpers."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.kernel = EventKernel()
+        self.history = History()
+        self.network = Network(
+            self.kernel, latency=config.latency, seed=config.seed
+        )
+        self.ltms: Dict[str, LocalTransactionManager] = {}
+        self.guards: Dict[str, BoundDataGuard] = {}
+        self.certifiers: Dict[str, Certifier] = {}
+        self.agents: Dict[str, TwoPCAgent] = {}
+
+        cert_config = replace(
+            certifier_config_for(config.method),
+            max_intervals=config.max_intervals,
+        )
+        static_denied = (
+            frozenset(config.cgm_gu_tables)
+            if config.method == "cgm"
+            else frozenset()
+        )
+        for site in config.sites:
+            guard = BoundDataGuard(
+                self.kernel,
+                policy=config.dlu_policy,
+                wait_timeout=config.dlu_wait_timeout,
+                statically_denied_tables=static_denied,
+            )
+            ltm = LocalTransactionManager(
+                site,
+                self.kernel,
+                self.history,
+                config=config.ltm_overrides.get(site, config.ltm),
+                dlu_guard=guard,
+            )
+            certifier = Certifier(site, cert_config)
+            agent = TwoPCAgent(
+                site,
+                self.kernel,
+                self.network,
+                self.history,
+                ltm,
+                certifier,
+                dlu_guard=guard,
+                config=config.agent_overrides.get(site, config.agent),
+            )
+            self.guards[site] = guard
+            self.ltms[site] = ltm
+            self.certifiers[site] = certifier
+            self.agents[site] = agent
+
+        sn_source = "counter" if config.method == "ticket" else config.sn_source
+        clocks = {}
+        coordinator_sites = [
+            f"c{i + 1}" for i in range(config.n_coordinators)
+        ]
+        for coord_site in coordinator_sites:
+            clocks[coord_site] = SiteClock(
+                coord_site,
+                offset=config.clock_offsets.get(coord_site, 0.0),
+                rate=config.clock_rates.get(coord_site, 0.0),
+            )
+        self.sn_generator = make_sn_generator(sn_source, self.kernel, clocks)
+
+        scheduler: Optional[Scheduler] = None
+        if config.method == "cgm":
+            from repro.baselines.cgm import CGMPartition, CGMScheduler
+
+            partition = (
+                CGMPartition.of(*config.cgm_gu_tables)
+                if config.cgm_gu_tables
+                else None
+            )
+            scheduler = CGMScheduler(
+                self.kernel, timeout=config.cgm_timeout, partition=partition
+            )
+            for agent in self.agents.values():
+                agent.on_ready_observers.append(scheduler.note_prepared)
+                agent.on_finalized_observers.append(scheduler.note_finalized)
+        self.scheduler = scheduler
+
+        self.coordinators: List[Coordinator] = []
+        for coord_site in coordinator_sites:
+            self.coordinators.append(
+                Coordinator(
+                    name=coord_site,
+                    site=coord_site,
+                    kernel=self.kernel,
+                    network=self.network,
+                    history=self.history,
+                    sn_generator=self.sn_generator,
+                    sn_at_begin=(config.method == "ticket"),
+                    scheduler=scheduler,
+                )
+            )
+        self._next_coordinator = 0
+        self._local_counter = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, method: str = "2cm", sites: Sequence[str] = ("a", "b"), **kwargs):
+        """Convenience constructor: ``build("2cm", sites=("a", "b"), ...)``."""
+        return cls(SystemConfig(sites=tuple(sites), method=method, **kwargs))
+
+    def load(self, site: str, table: str, rows: Dict) -> None:
+        """Install initial rows at one site."""
+        self.ltm(site).store.load(table, rows)
+
+    # ------------------------------------------------------------------
+    # Component access
+    # ------------------------------------------------------------------
+
+    def ltm(self, site: str) -> LocalTransactionManager:
+        if site not in self.ltms:
+            raise ConfigError(f"unknown site {site!r}")
+        return self.ltms[site]
+
+    def agent(self, site: str) -> TwoPCAgent:
+        return self.agents[site]
+
+    def certifier(self, site: str) -> Certifier:
+        # Through the agent: a recovered agent rebuilds its certifier.
+        return self.agents[site].certifier
+
+    def coordinator(self, index: int = 0) -> Coordinator:
+        return self.coordinators[index]
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, spec: GlobalTransactionSpec, coordinator: Optional[int] = None
+    ) -> Event:
+        """Submit a global transaction (round-robin over coordinators)."""
+        for site, _command in spec.steps:
+            if site not in self.ltms:
+                raise ConfigError(f"{spec.txn} references unknown site {site!r}")
+        if coordinator is None:
+            coordinator = self._next_coordinator
+            self._next_coordinator = (
+                self._next_coordinator + 1
+            ) % len(self.coordinators)
+        return self.coordinators[coordinator].submit(spec)
+
+    def submit_program(
+        self,
+        txn: TxnId,
+        program,
+        coordinator: Optional[int] = None,
+        think_time: float = 0.0,
+    ) -> Event:
+        """Submit an interactive application program (see
+        :meth:`repro.core.coordinator.Coordinator.submit_program`)."""
+        if coordinator is None:
+            coordinator = self._next_coordinator
+            self._next_coordinator = (
+                self._next_coordinator + 1
+            ) % len(self.coordinators)
+        return self.coordinators[coordinator].submit_program(
+            txn, program, think_time=think_time
+        )
+
+    def submit_local(
+        self,
+        site: str,
+        commands: Sequence[Command],
+        number: Optional[int] = None,
+        think_time: float = 0.0,
+    ) -> Event:
+        """Run a local transaction directly against one LTM.
+
+        Local transactions are invisible to the DTM (the paper's model);
+        they exist so experiments can produce indirect conflicts and
+        local view distortions.
+        """
+        if number is None:
+            self._local_counter += 1
+            number = 9000 + self._local_counter
+        txn = local_txn(number, site)
+        ltm = self.ltm(site)
+
+        def body():
+            outcome = LocalOutcome(
+                txn=txn, committed=False, started_at=self.kernel.now
+            )
+            handle = ltm.begin(SubtxnId(txn, site, 0))
+            try:
+                for command in commands:
+                    result = yield handle.execute(command)
+                    outcome.results.append(result)
+                    if think_time > 0:
+                        yield Sleep(think_time)
+                yield handle.commit()
+            except TransactionAborted as exc:
+                outcome.reason = exc.reason
+                outcome.finished_at = self.kernel.now
+                return outcome
+            outcome.committed = True
+            outcome.finished_at = self.kernel.now
+            return outcome
+
+        return Process(self.kernel, body(), name=f"local:{txn}").completion
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None):
+        """Drain the kernel (optionally bounded)."""
+        return self.kernel.run(until=until, max_events=max_events)
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now

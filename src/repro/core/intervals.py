@@ -1,0 +1,61 @@
+"""Alive time intervals and the intersection rule (paper Sec. 4.2).
+
+A subtransaction is *alive* when all of its DML commands are completely
+executed and it has been neither locally committed nor aborted.  The
+Certifier maintains, for every subtransaction in the prepared state, an
+interval of time during which it is known to have been alive:
+
+* the interval starts when the last command (or resubmission) finished;
+* each successful alive check extends the interval's end to "now";
+* a failed alive check (unilateral abort detected) freezes it — a new
+  interval is only initiated after resubmission completes.
+
+**Alive time intersection rule**: if the intersection of two alive time
+intervals is non-empty then there is no conflict between the
+corresponding subtransactions — because under a rigorous LTM two
+subtransactions alive at the same instant cannot have conflicting
+(directly or indirectly) elementary operations (the paper's Conflict
+Detection Basis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AliveInterval:
+    """A closed interval ``[start, end]`` of simulated time."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ConfigError(
+                f"alive interval ends before it starts: [{self.start}, {self.end}]"
+            )
+
+    def intersects(self, other: "AliveInterval") -> bool:
+        """Non-empty intersection of two closed intervals."""
+        return max(self.start, other.start) <= min(self.end, other.end)
+
+    def extended_to(self, end: float) -> "AliveInterval":
+        """The interval with its end moved forward to ``end``."""
+        if end < self.end:
+            return self
+        return AliveInterval(self.start, end)
+
+    @staticmethod
+    def instant(at: float) -> "AliveInterval":
+        """A degenerate interval ``[at, at]`` (a fresh resubmission)."""
+        return AliveInterval(at, at)
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.start:g}, {self.end:g}]"

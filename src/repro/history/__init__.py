@@ -1,0 +1,52 @@
+"""Histories, projections and correctness checkers (S13–S16).
+
+This package is the measuring instrument of the reproduction: every
+elementary operation observed at the elementary interface (EI), every
+prepare/commit/abort at the 2PC and global interfaces, is recorded into
+a single linear :class:`~repro.history.model.History` (the shuffle of
+the per-transaction histories, Sec. 3 of the paper).  On top of it:
+
+* :mod:`repro.history.committed` — the paper's redefined committed
+  projection ``C(H)``, which *includes unilaterally aborted local
+  subtransactions of globally committed complete transactions*;
+* :mod:`repro.history.graphs` — serialization graph ``SG(H)`` and
+  commit-order graph ``CG(H)``;
+* :mod:`repro.history.viewser` — exact view-serializability decision
+  for small transaction counts, plus the paper's sufficient criterion;
+* :mod:`repro.history.rigor` — checks that local histories are rigorous
+  (validating the SRS assumption the certifier relies on);
+* :mod:`repro.history.distortion` — detectors for the paper's two
+  anomaly classes, global and local view distortion.
+"""
+
+from repro.history.committed import committed_projection
+from repro.history.distortion import DistortionReport, find_distortions
+from repro.history.explain import Explanation, explain
+from repro.history.graphs import commit_order_graph, serialization_graph
+from repro.history.invariants import CIViolation, check_correctness_invariant
+from repro.history.model import History, OpKind, Operation
+from repro.history.rigor import RigorViolation, check_rigorous
+from repro.history.trees import execution_tree, render_figure, render_tree
+from repro.history.viewser import ViewSerializabilityResult, check_view_serializable
+
+__all__ = [
+    "CIViolation",
+    "DistortionReport",
+    "History",
+    "OpKind",
+    "Operation",
+    "RigorViolation",
+    "ViewSerializabilityResult",
+    "Explanation",
+    "check_correctness_invariant",
+    "explain",
+    "check_rigorous",
+    "check_view_serializable",
+    "commit_order_graph",
+    "committed_projection",
+    "execution_tree",
+    "find_distortions",
+    "render_figure",
+    "render_tree",
+    "serialization_graph",
+]

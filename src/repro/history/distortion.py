@@ -1,0 +1,199 @@
+"""Detectors for the paper's two anomaly classes.
+
+**Global view distortion** (Sec. 4): a resubmitted local subtransaction
+``T^i_kj`` (j > 0) observes a different *view* — or even a different
+*decomposition* — than the original ``T^i_k0``.  No serial history can
+give one transaction two views, so any occurrence inside ``C(H)``
+falsifies view serializability.  We detect it structurally, per global
+transaction and site, by comparing incarnations:
+
+* a **view split**: two incarnations read the same item from different
+  source transactions;
+* a **decomposition change**: the elementary R/W sequences (kinds and
+  items) of two incarnations differ.
+
+**Local view distortion** (Sec. 5): local transactions observe
+non-serializable views because global transactions commit locally in
+different orders at different sites.  Its structural signature is a
+cycle in the commit-order graph ``CG(C(H))`` (the paper: "local view
+distortion is possible in H only if CG(C(H)) is cyclic").  We report CG
+cycles as local-distortion evidence; the exact view-serializability
+checker remains the ground truth the benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.ids import DataItemId, SubtxnId, TxnId
+from repro.history.committed import CommittedProjection
+from repro.history.graphs import commit_order_graph, find_cycle
+from repro.history.model import OpKind, Operation
+
+
+@dataclass(frozen=True)
+class ViewSplit:
+    """One global-view-distortion witness: same item, two sources."""
+
+    txn: TxnId
+    site: str
+    item: DataItemId
+    first_incarnation: int
+    first_source: Optional[TxnId]
+    second_incarnation: int
+    second_source: Optional[TxnId]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        first = self.first_source.label if self.first_source else "T0"
+        second = self.second_source.label if self.second_source else "T0"
+        return (
+            f"{self.txn.label} at {self.site}: incarnation "
+            f"{self.first_incarnation} read {self.item} from {first}, "
+            f"incarnation {self.second_incarnation} read it from {second}"
+        )
+
+
+@dataclass(frozen=True)
+class DecompositionChange:
+    """Two incarnations of one subtransaction decomposed differently."""
+
+    txn: TxnId
+    site: str
+    first_incarnation: int
+    second_incarnation: int
+    first_shape: Tuple[Tuple[str, str], ...]
+    second_shape: Tuple[Tuple[str, str], ...]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"{self.txn.label} at {self.site}: decomposition of incarnation "
+            f"{self.second_incarnation} differs from incarnation "
+            f"{self.first_incarnation}"
+        )
+
+
+@dataclass
+class DistortionReport:
+    """Everything the detectors found in one committed projection."""
+
+    view_splits: List[ViewSplit] = field(default_factory=list)
+    decomposition_changes: List[DecompositionChange] = field(default_factory=list)
+    commit_graph_cycle: Optional[List[TxnId]] = None
+
+    @property
+    def has_global_distortion(self) -> bool:
+        return bool(self.view_splits or self.decomposition_changes)
+
+    @property
+    def has_local_distortion_risk(self) -> bool:
+        return self.commit_graph_cycle is not None
+
+    @property
+    def clean(self) -> bool:
+        return not self.has_global_distortion and not self.has_local_distortion_risk
+
+    def describe(self) -> str:
+        lines: List[str] = []
+        for split in self.view_splits:
+            lines.append(f"view split: {split}")
+        for change in self.decomposition_changes:
+            lines.append(f"decomposition change: {change}")
+        if self.commit_graph_cycle is not None:
+            cycle = " -> ".join(txn.label for txn in self.commit_graph_cycle)
+            lines.append(f"CG cycle: {cycle}")
+        return "\n".join(lines) if lines else "no distortions"
+
+
+def find_distortions(projection: CommittedProjection) -> DistortionReport:
+    """Run all structural detectors over ``C(H)``."""
+    report = DistortionReport()
+    _find_global(projection, report)
+    cg = commit_order_graph(projection.ops)
+    report.commit_graph_cycle = find_cycle(cg)
+    return report
+
+
+def _find_global(projection: CommittedProjection, report: DistortionReport) -> None:
+    #: (txn, site) -> incarnation -> ordered list of data ops.
+    per_subtxn: Dict[Tuple[TxnId, str], Dict[int, List[Operation]]] = {}
+    #: Incarnations that were themselves unilaterally aborted — a
+    #: resubmission interrupted mid-replay legitimately executes only a
+    #: prefix of the original decomposition (its effects are undone);
+    #: that truncation is not a distortion.
+    interrupted: set = set()
+    for op in projection.ops:
+        if op.kind is OpKind.LOCAL_ABORT and op.unilateral and op.subtxn:
+            interrupted.add(op.subtxn)
+        if op.kind not in (OpKind.READ, OpKind.WRITE):
+            continue
+        if op.txn.is_local or op.subtxn is None:
+            continue
+        per_subtxn.setdefault((op.txn, op.site), {}).setdefault(
+            op.subtxn.incarnation, []
+        ).append(op)
+
+    for (txn, site), incarnations in sorted(
+        per_subtxn.items(), key=lambda entry: (entry[0][0], entry[0][1])
+    ):
+        if len(incarnations) < 2:
+            continue
+        ordered = sorted(incarnations)
+        base = ordered[0]
+        base_shape = _shape(incarnations[base])
+        base_views = _views(incarnations[base])
+        for later in ordered[1:]:
+            later_shape = _shape(incarnations[later])
+            later_sub = incarnations[later][0].subtxn
+            is_interrupted_prefix = (
+                later_sub in interrupted
+                and later_shape == base_shape[: len(later_shape)]
+            )
+            if later_shape != base_shape and not is_interrupted_prefix:
+                report.decomposition_changes.append(
+                    DecompositionChange(
+                        txn=txn,
+                        site=site,
+                        first_incarnation=base,
+                        second_incarnation=later,
+                        first_shape=base_shape,
+                        second_shape=later_shape,
+                    )
+                )
+            for item, source in _views(incarnations[later]).items():
+                if item in base_views and base_views[item] != source:
+                    report.view_splits.append(
+                        ViewSplit(
+                            txn=txn,
+                            site=site,
+                            item=item,
+                            first_incarnation=base,
+                            first_source=base_views[item],
+                            second_incarnation=later,
+                            second_source=source,
+                        )
+                    )
+
+
+def _shape(ops: List[Operation]) -> Tuple[Tuple[str, str], ...]:
+    """The elementary shape of one incarnation: (kind, item) pairs."""
+    return tuple((op.kind.value, str(op.item)) for op in ops)
+
+
+def _views(ops: List[Operation]) -> Dict[DataItemId, Optional[TxnId]]:
+    """First read source per item for one incarnation.
+
+    Only the first read of each item defines the incarnation's view of
+    it (later reads may legitimately see the incarnation's own writes).
+    Self-sources are normalized away: reading your own write is not a
+    view.
+    """
+    views: Dict[DataItemId, Optional[TxnId]] = {}
+    for op in ops:
+        if op.kind is not OpKind.READ or op.item in views:
+            continue
+        source = None if op.read_from is None else op.read_from.txn
+        if source == op.txn:
+            continue
+        views[op.item] = source
+    return views

@@ -1,0 +1,112 @@
+"""Serialization graph ``SG(H)`` and commit-order graph ``CG(H)``.
+
+``SG(H)`` is the classic conflict graph over transactions (edges follow
+the order of conflicting elementary operations), built over whatever
+operation sequence the caller supplies — usually ``C(H)``.  The paper
+points out that under resubmission ``SG(H)`` *may be cyclic while H is
+still view serializable*, which is why view serializability (not
+conflict serializability) is the ultimate criterion; the exact checker
+lives in :mod:`repro.history.viewser`.
+
+``CG(H)`` (Sec. 5.1) has an arc ``T_k → T_i`` iff some local commit of
+``T_k`` precedes some local commit of ``T_i`` at the same site.  The
+paper's key lemma: if ``CG(C(H))`` is acyclic (and CI, DLU, SRS hold),
+the topological order of ``CG`` is a global view-serialization order —
+hence the commit certification works by keeping this graph acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.common.ids import TxnId
+from repro.history.model import OpKind, Operation
+
+
+def serialization_graph(ops: Sequence[Operation]) -> "nx.DiGraph":
+    """Build ``SG`` over the given operation sequence.
+
+    Nodes are transactions with at least one R/W operation; there is an
+    edge ``T_a → T_b`` when some operation of ``T_a`` precedes and
+    conflicts with some operation of ``T_b`` (same site, same item, at
+    least one write, different transactions).  All incarnations of a
+    global transaction contribute to its single node, as the paper's
+    global serializability notion requires.
+    """
+    graph = nx.DiGraph()
+    per_item: Dict[Tuple[str, object], List[Operation]] = {}
+    for op in ops:
+        if op.kind not in (OpKind.READ, OpKind.WRITE):
+            continue
+        graph.add_node(op.txn)
+        per_item.setdefault((op.site, op.item), []).append(op)
+    for sequence in per_item.values():
+        for i, earlier in enumerate(sequence):
+            for later in sequence[i + 1:]:
+                if earlier.txn == later.txn:
+                    continue
+                if earlier.kind is OpKind.WRITE or later.kind is OpKind.WRITE:
+                    graph.add_edge(earlier.txn, later.txn)
+    return graph
+
+
+def commit_order_graph(ops: Sequence[Operation]) -> "nx.DiGraph":
+    """Build ``CG`` over the given operation sequence (paper Sec. 5.1).
+
+    Nodes: transactions with at least one local commit.  Arc
+    ``T_k → T_i`` iff ``C^x_kj <_H C^x_ig`` for some site ``x``.
+    """
+    graph = nx.DiGraph()
+    commits_per_site: Dict[str, List[TxnId]] = {}
+    for op in ops:
+        if op.kind is not OpKind.LOCAL_COMMIT:
+            continue
+        graph.add_node(op.txn)
+        commits_per_site.setdefault(op.site, []).append(op.txn)
+    for sequence in commits_per_site.values():
+        for i, earlier in enumerate(sequence):
+            for later in sequence[i + 1:]:
+                if earlier != later:
+                    graph.add_edge(earlier, later)
+    return graph
+
+
+def find_cycle(graph: "nx.DiGraph") -> Optional[List[TxnId]]:
+    """One cycle as a node list (first node repeated last), or ``None``."""
+    try:
+        edges = nx.find_cycle(graph, orientation="original")
+    except nx.NetworkXNoCycle:
+        return None
+    nodes = [edge[0] for edge in edges]
+    nodes.append(edges[-1][1])
+    return nodes
+
+
+def is_acyclic(graph: "nx.DiGraph") -> bool:
+    return nx.is_directed_acyclic_graph(graph)
+
+
+def topological_order(graph: "nx.DiGraph") -> Optional[List[TxnId]]:
+    """A deterministic topological order, or ``None`` if cyclic."""
+    if not is_acyclic(graph):
+        return None
+    return list(nx.lexicographical_topological_sort(graph))
+
+
+def to_dot(graph: "nx.DiGraph", name: str = "G") -> str:
+    """Graphviz DOT rendering of an SG/CG (nodes labelled T1, L4, ...).
+
+    Handy for dropping a recorded anomaly into any DOT viewer::
+
+        print(to_dot(commit_order_graph(projection.ops), "CG"))
+    """
+    lines = [f"digraph {name} {{"]
+    for node in sorted(graph.nodes):
+        shape = "box" if getattr(node, "is_local", False) else "ellipse"
+        lines.append(f'  "{node.label}" [shape={shape}];')
+    for src, dst in sorted(graph.edges):
+        lines.append(f'  "{src.label}" -> "{dst.label}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,359 @@
+"""Linear histories of indexed operations (paper Sec. 3).
+
+The paper models a transaction execution as a sequence of execution
+trees and flattens the trees into a *transaction history* ``H(T_k)``
+containing the leaf-level ``R``/``W`` operations, the local commits and
+aborts ``C^s_kj`` / ``A^s_kj``, the prepare operations ``P^s_k`` and the
+global decision ``C_k`` / ``A_k``.  Concurrent executions are shuffles
+of those histories.
+
+We record the shuffle directly: every component appends its operations
+to one :class:`History` as they *complete*, in simulated-time order
+(ties broken by append sequence), which realizes the paper's total
+order ``<_H``.  Projections recover ``H(i)`` (one site) and ``H(T_k)``
+(one transaction).
+
+Reads additionally capture *which incarnation's write they observed*
+(the storage layer tags each row version with its writer), so the
+reads-from relation used by the view-serializability checker reflects
+physical reality rather than a positional approximation.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.common.errors import HistoryError, RefusalReason
+from repro.common.ids import DataItemId, SerialNumber, SubtxnId, TxnId
+
+
+class OpKind(enum.Enum):
+    """The operation vocabulary of the paper's histories."""
+
+    READ = "R"
+    WRITE = "W"
+    #: ``P^s_k`` — the 2PCA recorded the decision to send READY.
+    PREPARE = "P"
+    #: ``C_k`` — the Coordinator durably decided global commit.
+    GLOBAL_COMMIT = "C"
+    #: ``A_k`` — the Coordinator durably decided global abort.
+    GLOBAL_ABORT = "A"
+    #: ``C^s_kj`` — the LTM committed one local (sub)transaction.
+    LOCAL_COMMIT = "Cl"
+    #: ``A^s_kj`` — the LTM aborted one local (sub)transaction.
+    LOCAL_ABORT = "Al"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One completed operation in the global history.
+
+    ``subtxn`` identifies the incarnation (``T^s_kj``) for site-level
+    operations and is ``None`` for the global decision ops, which occur
+    "in the root node" of the execution tree.
+    """
+
+    kind: OpKind
+    txn: TxnId
+    seq: int
+    time: float
+    site: Optional[str] = None
+    subtxn: Optional[SubtxnId] = None
+    item: Optional[DataItemId] = None
+    #: For READ: the incarnation whose surviving write produced the
+    #: value read; ``None`` means the initial value (the paper's
+    #: hypothetical initializing transaction ``T_0``).
+    read_from: Optional[SubtxnId] = None
+    #: For LOCAL_ABORT: whether the LTM aborted unilaterally.
+    unilateral: bool = False
+    reason: Optional[RefusalReason] = None
+    sn: Optional[SerialNumber] = None
+    value: Any = None
+
+    @property
+    def label(self) -> str:
+        """Paper-style rendering, e.g. ``R10[X^a]`` or ``P^a_1``."""
+        if self.kind in (OpKind.READ, OpKind.WRITE):
+            assert self.subtxn is not None and self.item is not None
+            sub = self.subtxn
+            idx = (
+                f"{sub.txn.number}"
+                if sub.txn.is_local
+                else f"{sub.txn.number}{sub.incarnation}"
+            )
+            return f"{self.kind}{idx}[{self.item.table}.{self.item.key!r}^{self.site}]"
+        if self.kind is OpKind.PREPARE:
+            return f"P^{self.site}_{self.txn.number}"
+        if self.kind is OpKind.GLOBAL_COMMIT:
+            return f"C_{self.txn.number}"
+        if self.kind is OpKind.GLOBAL_ABORT:
+            return f"A_{self.txn.number}"
+        assert self.subtxn is not None
+        marker = "C" if self.kind is OpKind.LOCAL_COMMIT else "A"
+        sub = self.subtxn
+        idx = (
+            f"{sub.txn.number}"
+            if sub.txn.is_local
+            else f"{sub.txn.number}{sub.incarnation}"
+        )
+        return f"{marker}^{self.site}_{idx}"
+
+    def conflicts_with(self, other: "Operation") -> bool:
+        """R/W conflict on the same item at the same site, different txns."""
+        if self.kind not in (OpKind.READ, OpKind.WRITE):
+            return False
+        if other.kind not in (OpKind.READ, OpKind.WRITE):
+            return False
+        if self.txn == other.txn:
+            return False
+        if self.site != other.site or self.item != other.item:
+            return False
+        return self.kind is OpKind.WRITE or other.kind is OpKind.WRITE
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.label
+
+
+class History:
+    """The recorded global history ``H`` plus recording helpers.
+
+    Components record through the ``record_*`` methods; checkers consume
+    :attr:`ops` (already in ``<_H`` order because recording happens at
+    completion time through the deterministic kernel).
+    """
+
+    def __init__(self) -> None:
+        self._ops: List[Operation] = []
+        self._seq = itertools.count()
+        self._observers: List[Callable[[Operation], None]] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def subscribe(self, observer: Callable[[Operation], None]) -> None:
+        """Invoke ``observer`` synchronously on every recorded op."""
+        self._observers.append(observer)
+
+    def _append(self, op: Operation) -> Operation:
+        if self._ops and op.time < self._ops[-1].time:
+            raise HistoryError(
+                f"history time went backwards: {op} at {op.time} after "
+                f"{self._ops[-1]} at {self._ops[-1].time}"
+            )
+        self._ops.append(op)
+        for observer in self._observers:
+            observer(op)
+        return op
+
+    def record_read(
+        self,
+        time: float,
+        subtxn: SubtxnId,
+        site: str,
+        item: DataItemId,
+        read_from: Optional[SubtxnId],
+        value: Any = None,
+    ) -> Operation:
+        return self._append(
+            Operation(
+                kind=OpKind.READ,
+                txn=subtxn.txn,
+                seq=next(self._seq),
+                time=time,
+                site=site,
+                subtxn=subtxn,
+                item=item,
+                read_from=read_from,
+                value=value,
+            )
+        )
+
+    def record_write(
+        self,
+        time: float,
+        subtxn: SubtxnId,
+        site: str,
+        item: DataItemId,
+        value: Any = None,
+    ) -> Operation:
+        return self._append(
+            Operation(
+                kind=OpKind.WRITE,
+                txn=subtxn.txn,
+                seq=next(self._seq),
+                time=time,
+                site=site,
+                subtxn=subtxn,
+                item=item,
+                value=value,
+            )
+        )
+
+    def record_prepare(
+        self, time: float, txn: TxnId, site: str, sn: Optional[SerialNumber]
+    ) -> Operation:
+        return self._append(
+            Operation(
+                kind=OpKind.PREPARE,
+                txn=txn,
+                seq=next(self._seq),
+                time=time,
+                site=site,
+                sn=sn,
+            )
+        )
+
+    def record_global_commit(self, time: float, txn: TxnId) -> Operation:
+        return self._append(
+            Operation(
+                kind=OpKind.GLOBAL_COMMIT, txn=txn, seq=next(self._seq), time=time
+            )
+        )
+
+    def record_global_abort(
+        self, time: float, txn: TxnId, reason: Optional[RefusalReason] = None
+    ) -> Operation:
+        return self._append(
+            Operation(
+                kind=OpKind.GLOBAL_ABORT,
+                txn=txn,
+                seq=next(self._seq),
+                time=time,
+                reason=reason,
+            )
+        )
+
+    def record_local_commit(
+        self, time: float, subtxn: SubtxnId, site: str
+    ) -> Operation:
+        return self._append(
+            Operation(
+                kind=OpKind.LOCAL_COMMIT,
+                txn=subtxn.txn,
+                seq=next(self._seq),
+                time=time,
+                site=site,
+                subtxn=subtxn,
+            )
+        )
+
+    def record_local_abort(
+        self,
+        time: float,
+        subtxn: SubtxnId,
+        site: str,
+        unilateral: bool = False,
+        reason: Optional[RefusalReason] = None,
+    ) -> Operation:
+        return self._append(
+            Operation(
+                kind=OpKind.LOCAL_ABORT,
+                txn=subtxn.txn,
+                seq=next(self._seq),
+                time=time,
+                site=site,
+                subtxn=subtxn,
+                unilateral=unilateral,
+                reason=reason,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Projections and queries
+    # ------------------------------------------------------------------
+
+    @property
+    def ops(self) -> Sequence[Operation]:
+        return tuple(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self):
+        return iter(self._ops)
+
+    def local(self, site: str) -> List[Operation]:
+        """``H(i)``: the projection onto one site's operations."""
+        return [op for op in self._ops if op.site == site]
+
+    def of_txn(self, txn: TxnId) -> List[Operation]:
+        """``H(T_k)``: the projection onto one transaction's operations."""
+        return [op for op in self._ops if op.txn == txn]
+
+    def sites(self) -> List[str]:
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for op in self._ops:
+            if op.site is not None and op.site not in seen:
+                seen.add(op.site)
+                ordered.append(op.site)
+        return ordered
+
+    def txns(self) -> List[TxnId]:
+        seen: Set[TxnId] = set()
+        ordered: List[TxnId] = []
+        for op in self._ops:
+            if op.txn not in seen:
+                seen.add(op.txn)
+                ordered.append(op.txn)
+        return ordered
+
+    def globally_committed(self) -> Set[TxnId]:
+        return {
+            op.txn for op in self._ops if op.kind is OpKind.GLOBAL_COMMIT
+        }
+
+    def locally_committed_subtxns(self) -> Set[SubtxnId]:
+        return {
+            op.subtxn
+            for op in self._ops
+            if op.kind is OpKind.LOCAL_COMMIT and op.subtxn is not None
+        }
+
+    def committed_local_txns(self) -> Set[TxnId]:
+        """Local transactions (``L_o``) whose single incarnation committed."""
+        return {
+            op.txn
+            for op in self._ops
+            if op.kind is OpKind.LOCAL_COMMIT and op.txn.is_local
+        }
+
+    def complete_global_txns(self) -> Set[TxnId]:
+        """Globally committed *and complete* transactions (paper Sec. 3).
+
+        Complete means the local commit was performed at every site the
+        transaction touched.
+        """
+        committed = self.globally_committed()
+        touched: Dict[TxnId, Set[str]] = {}
+        locally_committed: Dict[TxnId, Set[str]] = {}
+        for op in self._ops:
+            if op.txn not in committed or op.site is None:
+                continue
+            touched.setdefault(op.txn, set()).add(op.site)
+            if op.kind is OpKind.LOCAL_COMMIT:
+                locally_committed.setdefault(op.txn, set()).add(op.site)
+        return {
+            txn
+            for txn in committed
+            if touched.get(txn, set()) == locally_committed.get(txn, set())
+            and touched.get(txn)
+        }
+
+    def data_ops(self) -> List[Operation]:
+        return [op for op in self._ops if op.kind in (OpKind.READ, OpKind.WRITE)]
+
+    def render(self, ops: Optional[Iterable[Operation]] = None) -> str:
+        """Human-readable, paper-style rendering of (part of) the history."""
+        source = self._ops if ops is None else list(ops)
+        return " ".join(op.label for op in source)
+
+    def restricted_to(self, txns: Set[TxnId]) -> List[Operation]:
+        return [op for op in self._ops if op.txn in txns]

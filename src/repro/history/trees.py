@@ -1,0 +1,147 @@
+"""Execution trees (paper Sec. 3, Fig. 2).
+
+The paper models each transaction execution as a sequence of execution
+trees; the final tree of a committed and complete transaction has
+
+* the global decision (``C_k`` / ``A_k``) at the **root** (Coordinator),
+* one **2PCA node** per participating site carrying the prepare
+  operation ``P^s_k``,
+* one **LTM leaf** per incarnation ``T^s_kj`` listing its elementary
+  R/W operations and its local termination (``C^s_kj`` / ``A^s_kj``).
+
+This module reconstructs that final tree from a recorded history and
+renders it in the style of the paper's Fig. 2 — which is how benchmark
+E1 regenerates the figure.  Local transactions yield a two-level tree
+(no coordinator, no prepare).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import HistoryError
+from repro.common.ids import SubtxnId, TxnId
+from repro.history.model import History, OpKind, Operation
+
+
+@dataclass
+class TreeNode:
+    """One node of an execution tree."""
+
+    label: str
+    children: List["TreeNode"] = field(default_factory=list)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def size(self) -> int:
+        return sum(1 for _node in self.walk())
+
+
+def execution_tree(history: History, txn: TxnId) -> TreeNode:
+    """Reconstruct the final execution tree of ``txn``."""
+    ops = history.of_txn(txn)
+    if not ops:
+        raise HistoryError(f"no operations recorded for {txn}")
+
+    if txn.is_local:
+        return _local_tree(txn, ops)
+
+    decision = ""
+    for op in ops:
+        if op.kind is OpKind.GLOBAL_COMMIT:
+            decision = f"C_{txn.number}"
+        elif op.kind is OpKind.GLOBAL_ABORT:
+            decision = f"A_{txn.number}"
+    root = TreeNode(label=f"{txn.label}" + (f"  [{decision}]" if decision else ""))
+
+    #: site -> prepare op (if any)
+    prepares: Dict[str, Operation] = {}
+    #: site -> incarnation -> leaf ops / termination
+    leaves: Dict[str, Dict[int, List[Operation]]] = {}
+    site_order: List[str] = []
+    for op in ops:
+        if op.site is None:
+            continue
+        if op.site not in site_order:
+            site_order.append(op.site)
+        if op.kind is OpKind.PREPARE:
+            prepares[op.site] = op
+        elif op.subtxn is not None:
+            leaves.setdefault(op.site, {}).setdefault(
+                op.subtxn.incarnation, []
+            ).append(op)
+
+    for site in site_order:
+        prepare = prepares.get(site)
+        agent_label = f"2PCA {site}"
+        if prepare is not None:
+            agent_label += f"  [{prepare.label}]"
+        agent = TreeNode(label=agent_label)
+        for incarnation in sorted(leaves.get(site, {})):
+            agent.children.append(
+                _leaf_node(txn, site, incarnation, leaves[site][incarnation])
+            )
+        root.children.append(agent)
+    return root
+
+
+def _local_tree(txn: TxnId, ops: List[Operation]) -> TreeNode:
+    site = next(op.site for op in ops if op.site is not None)
+    root = TreeNode(label=txn.label)
+    root.children.append(_leaf_node(txn, site, 0, ops))
+    return root
+
+
+def _leaf_node(
+    txn: TxnId, site: str, incarnation: int, ops: List[Operation]
+) -> TreeNode:
+    data = " ".join(
+        op.label for op in ops if op.kind in (OpKind.READ, OpKind.WRITE)
+    )
+    termination = ""
+    for op in ops:
+        if op.kind in (OpKind.LOCAL_COMMIT, OpKind.LOCAL_ABORT):
+            termination = op.label
+    if txn.is_local:
+        name = SubtxnId(txn, site, 0).label
+    else:
+        name = SubtxnId(txn, site, incarnation).label
+    label = name
+    if data:
+        label += f":  {data}"
+    if termination:
+        label += f"  [{termination}]"
+    return TreeNode(label=label)
+
+
+def render_tree(node: TreeNode) -> str:
+    """ASCII rendering in the style of the paper's Fig. 2."""
+    lines: List[str] = [node.label]
+
+    def visit(current: TreeNode, prefix: str) -> None:
+        for index, child in enumerate(current.children):
+            last = index == len(current.children) - 1
+            connector = "`-- " if last else "|-- "
+            lines.append(prefix + connector + child.label)
+            extension = "    " if last else "|   "
+            visit(child, prefix + extension)
+
+    visit(node, "")
+    return "\n".join(lines)
+
+
+def render_figure(history: History, txns: Optional[List[TxnId]] = None) -> str:
+    """Render several transactions' trees — a regenerated Fig. 2."""
+    targets = txns if txns is not None else history.txns()
+    blocks = []
+    for txn in targets:
+        try:
+            blocks.append(render_tree(execution_tree(history, txn)))
+        except HistoryError:
+            continue
+    return "\n\n".join(blocks)

@@ -1,0 +1,221 @@
+"""View-serializability of the committed projection (the paper's
+ultimate correctness criterion).
+
+The paper's yardstick: ``C(H)`` must be *view equivalent* to some serial
+history containing exactly the same transaction histories ``H(T_k)`` —
+including the operations of unilaterally aborted incarnations, whose
+writes a serial execution would also undo at their ``A^s_kj`` marker.
+
+We decide this exactly, by replay:
+
+1.  Each transaction's operations (reads, writes, local commits and
+    local aborts, in recorded order) form its *block*.
+2.  A candidate serial history is a permutation of the blocks.  Blocks
+    are replayed against a writer-tag store with before-image undo, so
+    an aborted incarnation's writes vanish at its abort marker exactly
+    as the RR assumption makes them vanish physically.
+3.  The candidate matches iff every read observes the *same source
+    transaction* as it did physically (the recorder captured the
+    physical reads-from via storage writer tags) and the final writer
+    tags per item coincide.
+
+A depth-first search over permutations prunes any prefix whose latest
+block already misreads, which keeps the exact check fast for the paper-
+scale scenarios.  Two shortcuts frame the search: an acyclic ``SG`` is
+verified directly via its topological order (conflict ⇒ view
+serializability), and histories with more than ``max_txns``
+transactions whose ``SG`` is cyclic are reported as undecided rather
+than searched (the benchmark harness then relies on the paper's
+sufficient criterion: CI + DLU + SRS + acyclic CG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.ids import SubtxnId, TxnId
+from repro.history.committed import CommittedProjection
+from repro.history.graphs import serialization_graph, topological_order
+from repro.history.model import OpKind, Operation
+
+#: A site-qualified item key in the replay store.
+_ItemKey = Tuple[str, object]
+#: A read source at transaction granularity (None = initial value, T0).
+_Source = Optional[TxnId]
+
+
+@dataclass
+class ViewSerializabilityResult:
+    """Outcome of the check.
+
+    ``serializable`` is ``None`` when the exact search was not attempted
+    (too many transactions with a cyclic SG) — callers then fall back to
+    the paper's sufficient criterion.
+    """
+
+    serializable: Optional[bool]
+    order: Optional[List[TxnId]] = None
+    permutations_tried: int = 0
+    reason: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return bool(self.serializable)
+
+
+def _txn_of(source: Optional[SubtxnId]) -> _Source:
+    return None if source is None else source.txn
+
+
+def _replay_block(
+    tags: Dict[_ItemKey, _Source],
+    ops: Sequence[Operation],
+    expected: Optional[List[_Source]],
+) -> Optional[List[_Source]]:
+    """Replay one transaction block against ``tags`` (mutated in place).
+
+    Returns the list of sources its reads observed, or ``None`` as soon
+    as a read deviates from ``expected`` (prefix pruning).  Writes are
+    tagged per incarnation and undone at that incarnation's local abort,
+    committed (made permanent) at its local commit.
+    """
+    undo: Dict[SubtxnId, List[Tuple[_ItemKey, _Source]]] = {}
+    seen: List[_Source] = []
+    for op in ops:
+        if op.kind is OpKind.READ:
+            key = (op.site, op.item)
+            source = tags.get(key)
+            seen.append(source)
+            if expected is not None and expected[len(seen) - 1] != source:
+                return None
+        elif op.kind is OpKind.WRITE:
+            key = (op.site, op.item)
+            undo.setdefault(op.subtxn, []).append((key, tags.get(key)))
+            tags[key] = op.txn
+        elif op.kind is OpKind.LOCAL_ABORT:
+            for key, previous in reversed(undo.pop(op.subtxn, [])):
+                tags[key] = previous
+        elif op.kind is OpKind.LOCAL_COMMIT:
+            undo.pop(op.subtxn, None)
+    return seen
+
+
+def _recorded_sources(ops: Sequence[Operation]) -> List[_Source]:
+    """The physically observed read sources of one block, in op order."""
+    return [_txn_of(op.read_from) for op in ops if op.kind is OpKind.READ]
+
+
+def _blocks(projection: CommittedProjection) -> Dict[TxnId, List[Operation]]:
+    blocks: Dict[TxnId, List[Operation]] = {}
+    relevant = (OpKind.READ, OpKind.WRITE, OpKind.LOCAL_COMMIT, OpKind.LOCAL_ABORT)
+    for op in projection.ops:
+        if op.kind in relevant:
+            blocks.setdefault(op.txn, []).append(op)
+    return blocks
+
+
+def _final_tags(projection: CommittedProjection) -> Dict[_ItemKey, _Source]:
+    """Final committed writer per item, from replaying ``C(H)`` as
+    recorded (matches the physical end state)."""
+    tags: Dict[_ItemKey, _Source] = {}
+    _replay_block(tags, projection.ops, expected=None)
+    return {key: source for key, source in tags.items()}
+
+
+def check_view_serializable(
+    projection: CommittedProjection,
+    max_txns: int = 9,
+) -> ViewSerializabilityResult:
+    """Decide whether ``C(H)`` is view serializable (see module docs)."""
+    blocks = _blocks(projection)
+    txns = sorted(blocks)
+    if not txns:
+        return ViewSerializabilityResult(True, order=[], reason="empty projection")
+
+    recorded = {txn: _recorded_sources(blocks[txn]) for txn in txns}
+    target_tags = _final_tags(projection)
+
+    # A read whose physical source is a transaction outside C(H) can
+    # never be matched by any serial arrangement of C(H)'s blocks.
+    included: Set[_Source] = {None}
+    included.update(txns)
+    for txn in txns:
+        for source in recorded[txn]:
+            if source not in included:
+                return ViewSerializabilityResult(
+                    False,
+                    reason=(
+                        f"{txn.label} read from {source.label}, which is "
+                        "not in the committed projection (dirty read)"
+                    ),
+                )
+
+    def try_order(order: Sequence[TxnId]) -> bool:
+        tags: Dict[_ItemKey, _Source] = {}
+        for txn in order:
+            if _replay_block(tags, blocks[txn], recorded[txn]) is None:
+                return False
+        return _tags_match(tags, target_tags)
+
+    # Fast path: acyclic SG -> conflict serializable -> view serializable
+    # (still verified by replay for defence in depth).
+    sg = serialization_graph(projection.data_ops())
+    topo = topological_order(sg)
+    if topo is not None:
+        full = topo + [txn for txn in txns if txn not in set(topo)]
+        if try_order(full):
+            return ViewSerializabilityResult(
+                True, order=full, permutations_tried=1, reason="SG acyclic"
+            )
+
+    if len(txns) > max_txns:
+        return ViewSerializabilityResult(
+            None,
+            reason=(
+                f"{len(txns)} transactions with cyclic SG exceed the exact "
+                f"search bound ({max_txns})"
+            ),
+        )
+
+    # Exact search with prefix pruning.
+    tried = 0
+
+    def search(
+        remaining: List[TxnId], tags: Dict[_ItemKey, _Source], prefix: List[TxnId]
+    ) -> Optional[List[TxnId]]:
+        nonlocal tried
+        if not remaining:
+            if _tags_match(tags, target_tags):
+                return list(prefix)
+            return None
+        for txn in remaining:
+            tried += 1
+            branch = dict(tags)
+            if _replay_block(branch, blocks[txn], recorded[txn]) is None:
+                continue
+            prefix.append(txn)
+            result = search(
+                [other for other in remaining if other != txn], branch, prefix
+            )
+            if result is not None:
+                return result
+            prefix.pop()
+        return None
+
+    witness = search(txns, {}, [])
+    if witness is not None:
+        return ViewSerializabilityResult(
+            True, order=witness, permutations_tried=tried, reason="exact search"
+        )
+    return ViewSerializabilityResult(
+        False,
+        permutations_tried=tried,
+        reason="no serial order is view equivalent to C(H)",
+    )
+
+
+def _tags_match(
+    tags: Dict[_ItemKey, _Source], target: Dict[_ItemKey, _Source]
+) -> bool:
+    keys = set(tags) | set(target)
+    return all(tags.get(key) == target.get(key) for key in keys)

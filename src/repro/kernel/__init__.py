@@ -1,0 +1,29 @@
+"""Discrete-event simulation kernel (system S1 in DESIGN.md).
+
+Every component of the reproduced multidatabase — coordinators, 2PC
+agents, LTMs, the network — is an *actor* driven by this kernel.  The
+kernel provides:
+
+* a deterministic event queue (:class:`EventKernel`) ordered by
+  ``(time, sequence)`` so that equal-time events fire in scheduling
+  order, making every run fully replayable from its seed;
+* one-shot completion :class:`Event` objects that carry a value or an
+  exception to subscribers;
+* generator-based :class:`Process` coroutines, used by the LTM to
+  express "request lock, wait for grant, perform elementary operation,
+  continue" linearly; and
+* cancellable :class:`Timer` helpers for the alive-check and
+  commit-certification-retry timeouts of the paper's Appendix.
+"""
+
+from repro.kernel.events import Event, EventHandle, EventKernel, Timer
+from repro.kernel.process import Process, Sleep
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "EventKernel",
+    "Process",
+    "Sleep",
+    "Timer",
+]

@@ -1,0 +1,257 @@
+"""The event queue, one-shot events and timers.
+
+The kernel is intentionally small: a binary heap of ``(time, seq,
+callback)`` entries plus a monotonically increasing sequence counter.
+Determinism matters more than speed here — the correctness experiments
+replay adversarial interleavings, so two runs with the same seed must
+produce byte-identical histories.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.common.errors import SimulationError
+
+
+class EventHandle:
+    """A cancellable reference to one scheduled callback."""
+
+    __slots__ = ("time", "seq", "_callback", "_cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self._callback = callback
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._cancelled = True
+        self._callback = _noop
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def _fire(self) -> None:
+        if not self._cancelled:
+            self._callback()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+def _noop() -> None:
+    return None
+
+
+class EventKernel:
+    """Deterministic discrete-event loop.
+
+    ``schedule`` inserts a callback ``delay`` time units in the future;
+    ``run`` drains the queue in ``(time, seq)`` order.  Simulated time is
+    a float; callbacks observe it via :attr:`now`.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of callbacks executed so far (diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not-yet-fired, not-cancelled callbacks."""
+        return sum(1 for handle in self._queue if not handle.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        handle = EventHandle(time, next(self._seq), callback)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def call_soon(self, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at the current time, after pending same-time events."""
+        return self.schedule(0.0, callback)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Drain the event queue.
+
+        Stops when the queue is empty, when the next event lies beyond
+        ``until`` (time then advances exactly to ``until``), or after
+        ``max_events`` callbacks.  Returns the simulated time reached.
+        """
+        if self._running:
+            raise SimulationError("kernel.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                handle = self._queue[0]
+                if handle.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and handle.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = handle.time
+                handle._fire()
+                self._events_fired += 1
+                fired += 1
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Fire exactly one event; return ``False`` if none were pending."""
+        before = self._events_fired
+        self.run(max_events=1)
+        return self._events_fired > before
+
+
+class Event:
+    """A one-shot completion event carrying a value or an exception.
+
+    Used wherever a component must wait for an asynchronous outcome: a
+    lock grant, a message round-trip, a subtransaction result.  Exactly
+    one of :meth:`succeed` / :meth:`fail` may be called; subscribers are
+    notified through the kernel (never synchronously inside the call) so
+    that completion order remains deterministic.
+    """
+
+    __slots__ = ("_kernel", "_done", "_value", "_error", "_callbacks", "name")
+
+    def __init__(self, kernel: EventKernel, name: str = "") -> None:
+        self._kernel = kernel
+        self._done = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self.name = name
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def ok(self) -> bool:
+        """True when completed successfully."""
+        return self._done and self._error is None
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    @property
+    def value(self) -> Any:
+        """The success value; raises the stored exception on failure."""
+        if not self._done:
+            raise SimulationError(f"event {self.name!r} not completed yet")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        self._complete(value, None)
+
+    def fail(self, error: BaseException) -> None:
+        self._complete(None, error)
+
+    def _complete(self, value: Any, error: Optional[BaseException]) -> None:
+        if self._done:
+            raise SimulationError(f"event {self.name!r} completed twice")
+        self._done = True
+        self._value = value
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._kernel.call_soon(lambda cb=callback: cb(self))
+
+    def subscribe(self, callback: Callable[["Event"], None]) -> None:
+        """Invoke ``callback(self)`` once the event completes.
+
+        If the event already completed, the callback is scheduled
+        immediately (still through the kernel, preserving determinism).
+        """
+        if self._done:
+            self._kernel.call_soon(lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+
+class Timer:
+    """A restartable timer built on :class:`EventKernel`.
+
+    Models the paper's *alive check interval timeout* and *commit
+    certification retry timeout*: ``start`` (or ``restart``) schedules
+    the callback once; ``cancel`` stops it.  The owner restarts it after
+    handling each expiry, which matches the Appendix pseudo-code's
+    "set the ... timeout; return to prepared state" steps.
+    """
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        interval: float,
+        callback: Callable[[], None],
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive, got {interval}")
+        self._kernel = kernel
+        self.interval = interval
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    def start(self) -> None:
+        """Arm the timer for one expiry ``interval`` from now."""
+        self.cancel()
+        self._handle = self._kernel.schedule(self.interval, self._expire)
+
+    restart = start
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _expire(self) -> None:
+        self._handle = None
+        self._callback()

@@ -1,0 +1,147 @@
+"""Generator-based processes on top of the event kernel.
+
+A :class:`Process` drives a generator that *yields* the things it wants
+to wait for:
+
+* an :class:`~repro.kernel.events.Event` — the process resumes with the
+  event's value, or the event's exception is thrown into the generator
+  at the yield point (this is how a lock-timeout abort interrupts a
+  blocked local subtransaction);
+* a :class:`Sleep` — the process resumes after the given delay.
+
+The LTM uses processes to execute DML commands: the deterministic
+decomposition function produces elementary operations, and the process
+acquires the needed lock, applies the operation, then moves on — exactly
+the "command by command" execution at the local interface described in
+the paper's architecture section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from repro.common.errors import SimulationError
+from repro.kernel.events import Event, EventKernel
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Yielded by a process generator to pause for ``delay`` time units."""
+
+    delay: float
+
+
+class Process:
+    """Drives a generator to completion on the event kernel.
+
+    The process itself exposes an :class:`Event` (:attr:`completion`)
+    that succeeds with the generator's return value or fails with the
+    exception that escaped it, so processes compose: one process may
+    yield another's completion event.
+
+    :meth:`interrupt` throws an exception into the generator at its
+    current yield point — used to abort a subtransaction that is
+    blocked waiting for a lock.
+    """
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        self._kernel = kernel
+        self._generator = generator
+        self.name = name
+        self.completion = Event(kernel, name=f"{name}.completion")
+        self._waiting_on: Optional[Event] = None
+        self._interrupted: Optional[BaseException] = None
+        kernel.call_soon(lambda: self._resume(_send, None))
+
+    @property
+    def done(self) -> bool:
+        return self.completion.done
+
+    def interrupt(self, error: BaseException) -> None:
+        """Throw ``error`` into the generator at its yield point.
+
+        If the process is between resumptions (e.g. its wake-up event
+        completed but the kernel has not run the continuation yet) the
+        interruption is applied on the next resumption.  Interrupting a
+        finished process is a silent no-op: the completion raced the
+        interrupt and won.
+        """
+        if self.done:
+            return
+        if self._interrupted is None:
+            self._interrupted = error
+        if self._waiting_on is not None:
+            # Detach: the pending event may still fire, but the resume
+            # path checks ``_interrupted`` first.
+            self._waiting_on = None
+            self._kernel.call_soon(lambda: self._resume(_throw, self._interrupted))
+
+    def _resume(self, mode: int, payload: Any) -> None:
+        if self.done:
+            return
+        if self._interrupted is not None:
+            mode, payload = _throw, self._interrupted
+            self._interrupted = None
+        try:
+            if mode == _send:
+                yielded = self._generator.send(payload)
+            else:
+                yielded = self._generator.throw(payload)
+        except StopIteration as stop:
+            self.completion.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagated via event
+            self.completion.fail(error)
+            return
+        self._wait_for(yielded)
+
+    def _wait_for(self, yielded: Any) -> None:
+        if isinstance(yielded, Sleep):
+            self._kernel.schedule(
+                yielded.delay, lambda: self._resume(_send, None)
+            )
+            return
+        if isinstance(yielded, Process):
+            yielded = yielded.completion
+        if isinstance(yielded, Event):
+            self._waiting_on = yielded
+            yielded.subscribe(self._on_event)
+            return
+        self.completion.fail(
+            SimulationError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+        )
+
+    def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            # Interrupted while waiting; the stale wake-up is ignored.
+            return
+        self._waiting_on = None
+        if event.error is not None:
+            self._resume(_throw, event.error)
+        else:
+            self._resume(_send, event._value)
+
+
+_send = 0
+_throw = 1
+
+
+def spawn(
+    kernel: EventKernel,
+    generator: Generator[Any, Any, Any],
+    name: str = "",
+    on_done: Optional[Callable[[Event], None]] = None,
+) -> Process:
+    """Convenience: create a process and optionally watch its completion."""
+    process = Process(kernel, generator, name=name)
+    if on_done is not None:
+        process.completion.subscribe(on_done)
+    return process

@@ -1,0 +1,75 @@
+"""The Local Database System substrate (systems S3–S7 in DESIGN.md).
+
+One LDBS per site, composed of:
+
+* :mod:`repro.ldbs.storage` — versioned row store with before-images
+  (the RR assumption: rollback restores concrete before-images);
+* :mod:`repro.ldbs.locks` — a multi-granularity strict lock manager
+  (IS/IX/S/SIX/X on tables, S/X on rows) whose strict two-phase
+  discipline yields the *rigorous* histories the paper assumes (SRS);
+* :mod:`repro.ldbs.commands` — the DML command language and the
+  deterministic decomposition function ``D(O, S)`` (the DDF assumption);
+* :mod:`repro.ldbs.dlu` — the Denied-Local-Updates guard over bound
+  data;
+* :mod:`repro.ldbs.ltm` — the Local Transaction Manager tying it all
+  together, with unilateral-abort injection and UAN callbacks.
+"""
+
+from repro.ldbs.commands import (
+    Command,
+    DeleteItem,
+    DeleteWhere,
+    InsertItem,
+    KeyIn,
+    Predicate,
+    ReadItem,
+    ScanTable,
+    SelectWhere,
+    SetValue,
+    AddValue,
+    TrueP,
+    UpdateItem,
+    UpdateOp,
+    UpdateWhere,
+    ValueEq,
+    ValueGt,
+    ValueLt,
+)
+from repro.ldbs.dlu import BoundDataGuard, DLUPolicy
+from repro.ldbs.locks import LockManager, LockMode
+from repro.ldbs.sql import SqlError, parse_script, parse_sql
+from repro.ldbs.ltm import LTMConfig, LocalTransactionManager, LocalTxn
+from repro.ldbs.storage import Row, VersionedStore
+
+__all__ = [
+    "AddValue",
+    "BoundDataGuard",
+    "Command",
+    "DLUPolicy",
+    "DeleteItem",
+    "DeleteWhere",
+    "InsertItem",
+    "KeyIn",
+    "LTMConfig",
+    "LocalTransactionManager",
+    "LocalTxn",
+    "LockManager",
+    "LockMode",
+    "Predicate",
+    "ReadItem",
+    "Row",
+    "ScanTable",
+    "SelectWhere",
+    "SetValue",
+    "SqlError",
+    "TrueP",
+    "UpdateItem",
+    "UpdateOp",
+    "UpdateWhere",
+    "ValueEq",
+    "ValueGt",
+    "ValueLt",
+    "VersionedStore",
+    "parse_script",
+    "parse_sql",
+]

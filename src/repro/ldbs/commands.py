@@ -1,0 +1,378 @@
+"""The DML command language and the deterministic decomposition D(O, S).
+
+The paper's heterogeneity model says each LDBS offers "a full set of
+data manipulation (e.g. SQL) commands" at the local interface (LI), and
+that the LTM transforms each high-level command into a sequence of
+elementary ``R``/``W`` operations via a *time-independent deterministic
+decomposition function* ``D(O^i, S^i)`` over the command and the
+concrete database state (the DDF assumption).
+
+Our command vocabulary is deliberately SQL-shaped:
+
+=================  =======================================  ==========================
+Command            SQL analogue                             Decomposition
+=================  =======================================  ==========================
+ReadItem           SELECT ... WHERE key = k                 R(k)
+ScanTable          SELECT * FROM t                          R(k) per existing row
+SelectWhere        SELECT ... WHERE pred                    R(k) per existing row
+InsertItem         INSERT                                   W(k)
+UpdateItem         UPDATE ... WHERE key = k                 R(k) [+ W(k) if present]
+UpdateWhere        UPDATE ... WHERE pred                    R(k) per row, W(matching)
+DeleteItem         DELETE ... WHERE key = k                 R(k) [+ W(k) if present]
+DeleteWhere        DELETE ... WHERE pred                    R(k) per row, W(matching)
+=================  =======================================  ==========================
+
+Because the decomposition depends on the concrete state (presence of
+rows, predicate matches), *resubmitting* a command after another
+transaction changed the state can legally yield a different elementary
+sequence — this is exactly the paper's H1 example, where ``T_2`` deletes
+``Y^a`` and the resubmitted ``T^a_11`` decomposes to a bare read.
+
+Commands, predicates and update operators are small immutable values
+(no closures) so they can be stored verbatim in the 2PC Agent log and
+resubmitted later with identical semantics (RTT assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.ids import DataItemId
+
+
+# ----------------------------------------------------------------------
+# Predicates (deterministic, serializable row filters)
+# ----------------------------------------------------------------------
+
+
+class Predicate:
+    """Base class of row predicates; subclasses are frozen dataclasses."""
+
+    def matches(self, key: Hashable, value: Any) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TrueP(Predicate):
+    """Matches every row."""
+
+    def matches(self, key: Hashable, value: Any) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ValueEq(Predicate):
+    """Rows whose value equals ``constant``."""
+
+    constant: Any
+
+    def matches(self, key: Hashable, value: Any) -> bool:
+        return value == self.constant
+
+
+@dataclass(frozen=True)
+class ValueGt(Predicate):
+    """Rows whose value is greater than ``constant``."""
+
+    constant: Any
+
+    def matches(self, key: Hashable, value: Any) -> bool:
+        try:
+            return value > self.constant
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True)
+class ValueLt(Predicate):
+    """Rows whose value is less than ``constant``."""
+
+    constant: Any
+
+    def matches(self, key: Hashable, value: Any) -> bool:
+        try:
+            return value < self.constant
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True)
+class KeyIn(Predicate):
+    """Rows whose key belongs to a fixed set."""
+
+    keys: FrozenSet[Hashable]
+
+    def __init__(self, keys: Iterable[Hashable]) -> None:
+        object.__setattr__(self, "keys", frozenset(keys))
+
+    def matches(self, key: Hashable, value: Any) -> bool:
+        return key in self.keys
+
+
+# ----------------------------------------------------------------------
+# Update operators (deterministic, serializable value transforms)
+# ----------------------------------------------------------------------
+
+
+class UpdateOp:
+    """Base class of update operators."""
+
+    def apply(self, value: Any) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SetValue(UpdateOp):
+    """Replace the row value with ``value``."""
+
+    value: Any
+
+    def apply(self, value: Any) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class AddValue(UpdateOp):
+    """Add ``delta`` to a numeric row value (bank-style debit/credit)."""
+
+    delta: Any
+
+    def apply(self, value: Any) -> Any:
+        return value + self.delta
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class of DML commands submitted at the local interface.
+
+    Every concrete command carries its target ``table`` as the first
+    field.
+    """
+
+    def is_update(self) -> bool:
+        """Whether the command may write (drives lock modes)."""
+        return False
+
+    def is_scan(self) -> bool:
+        """Whether the command reads the whole table (drives table locks)."""
+        return False
+
+
+@dataclass(frozen=True)
+class ReadItem(Command):
+    """``SELECT`` of a single row by key."""
+
+    table: str
+    key: Hashable
+
+
+
+@dataclass(frozen=True)
+class ScanTable(Command):
+    """``SELECT *`` over a table."""
+
+    table: str
+
+
+    def is_scan(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class SelectWhere(Command):
+    """``SELECT ... WHERE pred`` (reads every row, returns matches)."""
+
+    table: str
+    pred: Predicate
+
+
+    def is_scan(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class InsertItem(Command):
+    """``INSERT`` of a single row."""
+
+    table: str
+    key: Hashable
+    value: Any
+
+
+    def is_update(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class UpdateItem(Command):
+    """``UPDATE ... WHERE key = k`` with a deterministic operator."""
+
+    table: str
+    key: Hashable
+    op: UpdateOp
+
+
+    def is_update(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class UpdateWhere(Command):
+    """``UPDATE ... WHERE pred`` with a deterministic operator."""
+
+    table: str
+    pred: Predicate
+    op: UpdateOp
+
+
+    def is_update(self) -> bool:
+        return True
+
+    def is_scan(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class DeleteItem(Command):
+    """``DELETE ... WHERE key = k``."""
+
+    table: str
+    key: Hashable
+
+
+    def is_update(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class DeleteWhere(Command):
+    """``DELETE ... WHERE pred``."""
+
+    table: str
+    pred: Predicate
+
+
+    def is_update(self) -> bool:
+        return True
+
+    def is_scan(self) -> bool:
+        return True
+
+
+# ----------------------------------------------------------------------
+# Elementary operations (the leaf level of the execution tree)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ElementaryOp:
+    """One leaf-level operation produced by the decomposition.
+
+    ``write_op`` is the update operator to apply for writes produced by
+    UPDATE-style commands; inserts carry the literal value; deletes
+    carry neither.
+    """
+
+    kind: str  # "R" | "W" | "D"  (D = delete-write)
+    item: DataItemId
+    write_value: Any = None
+    write_op: Optional[UpdateOp] = None
+
+
+@dataclass(frozen=True)
+class CommandResult:
+    """The LI-level response to one command."""
+
+    rows: Tuple[Tuple[Hashable, Any], ...] = ()
+    affected: int = 0
+
+    @property
+    def values(self) -> Tuple[Any, ...]:
+        return tuple(value for _key, value in self.rows)
+
+
+def validate_command(command: Command) -> None:
+    """Reject malformed commands before they reach an LTM."""
+    if not isinstance(command, Command):
+        raise ConfigError(f"not a Command: {command!r}")
+    if not command.table:
+        raise ConfigError(f"command with empty table name: {command!r}")
+
+
+# ----------------------------------------------------------------------
+# The deterministic decomposition function D(O, S)
+# ----------------------------------------------------------------------
+
+
+def decompose(command: Command, store: "VersionedStoreView") -> List[ElementaryOp]:
+    """Compute ``D(O, S)``: the elementary operations ``command`` performs
+    against the current concrete state of ``store``.
+
+    This is the *specification* the LTM's execution must realize: the
+    DDF assumption says the mapping is a time-independent deterministic
+    function of the command and the state.  Tests compare the recorded
+    elementary trace of an execution against this function evaluated on
+    the state the execution started from.
+    """
+    table = command.table
+    if isinstance(command, ReadItem):
+        return [ElementaryOp("R", DataItemId(table, command.key))]
+    if isinstance(command, ScanTable):
+        return [ElementaryOp("R", item) for item in store.scan(table)]
+    if isinstance(command, SelectWhere):
+        return [ElementaryOp("R", item) for item in store.scan(table)]
+    if isinstance(command, InsertItem):
+        return [
+            ElementaryOp(
+                "W", DataItemId(table, command.key), write_value=command.value
+            )
+        ]
+    if isinstance(command, UpdateItem):
+        item = DataItemId(table, command.key)
+        ops = [ElementaryOp("R", item)]
+        existed, _value, _writer = store.read(item)
+        if existed:
+            ops.append(ElementaryOp("W", item, write_op=command.op))
+        return ops
+    if isinstance(command, UpdateWhere):
+        ops: List[ElementaryOp] = []
+        for item in store.scan(table):
+            ops.append(ElementaryOp("R", item))
+            existed, value, _writer = store.read(item)
+            if existed and command.pred.matches(item.key, value):
+                ops.append(ElementaryOp("W", item, write_op=command.op))
+        return ops
+    if isinstance(command, DeleteItem):
+        item = DataItemId(table, command.key)
+        ops = [ElementaryOp("R", item)]
+        existed, _value, _writer = store.read(item)
+        if existed:
+            ops.append(ElementaryOp("D", item))
+        return ops
+    if isinstance(command, DeleteWhere):
+        ops = []
+        for item in store.scan(table):
+            ops.append(ElementaryOp("R", item))
+            existed, value, _writer = store.read(item)
+            if existed and command.pred.matches(item.key, value):
+                ops.append(ElementaryOp("D", item))
+        return ops
+    raise ConfigError(f"unknown command type: {command!r}")
+
+
+class VersionedStoreView:
+    """Structural interface ``decompose`` needs (satisfied by
+    :class:`repro.ldbs.storage.VersionedStore`)."""
+
+    def scan(self, table: str):  # pragma: no cover - interface only
+        raise NotImplementedError
+
+    def read(self, item: DataItemId):  # pragma: no cover - interface only
+        raise NotImplementedError

@@ -1,0 +1,199 @@
+"""Denied Local Updates: the bound-data guard (system S7).
+
+Paper assumption DLU: *"If a data item belongs to bound data of a
+global transaction, no local transaction may update it, albeit it may
+read it."*  Bound data are the items accessed by a global
+subtransaction while it sits in the (agent-simulated) prepared state.
+
+The guard is a site-level registry.  The 2PC Agent binds a
+subtransaction's access set when it sends READY and unbinds it when the
+subtransaction leaves the prepared state (local commit or rollback).
+The LTM consults the guard immediately before a *local* transaction's
+physical write; global subtransactions are exempt (their interleavings
+are the certifier's job, not the guard's).
+
+Three policies let the experiments treat DLU as the tunable assumption
+it is:
+
+* ``ABORT`` (default) — the local writer is aborted on the spot;
+* ``BLOCK`` — the local writer waits until the item is unbound, subject
+  to a timeout (a prepared-but-failed global subtransaction will
+  resubmit and later commit, so waits do end);
+* ``VIOLATE`` — enforcement off; used by the E11 ablation to show the
+  paper's anomalies returning.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.common.errors import DLUViolation
+from repro.common.ids import DataItemId, TxnId
+from repro.kernel.events import Event, EventHandle, EventKernel
+
+
+class DLUPolicy(enum.Enum):
+    """How the guard reacts to a local update of bound data."""
+
+    ABORT = "abort"
+    BLOCK = "block"
+    VIOLATE = "violate"
+
+
+@dataclass
+class _Waiter:
+    item: DataItemId
+    event: Event
+    timeout_handle: Optional[EventHandle] = None
+
+
+class BoundDataGuard:
+    """Per-site registry of bound data with waiting support."""
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        policy: DLUPolicy = DLUPolicy.ABORT,
+        wait_timeout: Optional[float] = 200.0,
+        statically_denied_tables: frozenset = frozenset(),
+    ) -> None:
+        self._kernel = kernel
+        self.policy = policy
+        self.wait_timeout = wait_timeout
+        #: Tables local transactions may never update (the CGM
+        #: baseline's globally-updatable set; empty for 2CM, whose DLU
+        #: only restricts *bound* data — the Sec. 6 comparison point).
+        self.statically_denied_tables = frozenset(statically_denied_tables)
+        self.static_denials = 0
+        self._bound: Dict[DataItemId, Set[TxnId]] = {}
+        #: Tables scanned by prepared transactions.  Binding whole
+        #: tables closes the phantom gap: a local INSERT into a scanned
+        #: table would change the resubmitted decomposition (the paper's
+        #: footnote 4 assumes decompositions cannot differ under DLU,
+        #: which for predicate commands requires binding the predicate
+        #: extent, approximated here at table granularity).
+        self._bound_tables: Dict[str, Set[TxnId]] = {}
+        self._waiters: List[_Waiter] = []
+        self.denials = 0
+        self.blocks = 0
+        self.violations_allowed = 0
+
+    # ------------------------------------------------------------------
+    # Binding (called by the 2PC Agent)
+    # ------------------------------------------------------------------
+
+    def bind(
+        self,
+        txn: TxnId,
+        items: Iterable[DataItemId],
+        tables: Iterable[str] = (),
+    ) -> None:
+        """Mark ``items`` (and scanned ``tables``) as bound by ``txn``."""
+        for item in items:
+            self._bound.setdefault(item, set()).add(txn)
+        for table in tables:
+            self._bound_tables.setdefault(table, set()).add(txn)
+
+    def unbind(self, txn: TxnId) -> None:
+        """Release every binding of ``txn`` and wake eligible waiters."""
+        freed = [item for item, owners in self._bound.items() if txn in owners]
+        for item in freed:
+            owners = self._bound[item]
+            owners.discard(txn)
+            if not owners:
+                del self._bound[item]
+        freed_tables = [
+            table
+            for table, owners in self._bound_tables.items()
+            if txn in owners
+        ]
+        for table in freed_tables:
+            owners = self._bound_tables[table]
+            owners.discard(txn)
+            if not owners:
+                del self._bound_tables[table]
+        self._wake()
+
+    def is_bound(self, item: DataItemId) -> bool:
+        return item in self._bound or item.table in self._bound_tables
+
+    def binders(self, item: DataItemId) -> Set[TxnId]:
+        owners = set(self._bound.get(item, set()))
+        owners.update(self._bound_tables.get(item.table, set()))
+        return owners
+
+    def bound_items(self) -> Set[DataItemId]:
+        return set(self._bound)
+
+    # ------------------------------------------------------------------
+    # Authorization (called by the LTM for local writers)
+    # ------------------------------------------------------------------
+
+    def authorize_local_update(self, item: DataItemId) -> Event:
+        """Permission event for a local transaction to update ``item``.
+
+        Succeeds immediately when the item is unbound or the policy is
+        ``VIOLATE``; fails with :class:`DLUViolation` under ``ABORT`` (or
+        on a ``BLOCK`` timeout); otherwise waits for the unbind.
+        """
+        event = Event(self._kernel, name=f"dlu:{item}")
+        if item.table in self.statically_denied_tables:
+            # Static partition rule (CGM): not a waitable condition.
+            self.static_denials += 1
+            event.fail(
+                DLUViolation(
+                    f"{item} is in the globally-updatable set; local "
+                    "transactions may not update it"
+                )
+            )
+            return event
+        if not self.is_bound(item):
+            event.succeed(None)
+            return event
+        if self.policy is DLUPolicy.VIOLATE:
+            self.violations_allowed += 1
+            event.succeed(None)
+            return event
+        if self.policy is DLUPolicy.ABORT:
+            self.denials += 1
+            event.fail(
+                DLUViolation(
+                    f"{item} is bound by "
+                    f"{sorted(t.label for t in self.binders(item))}"
+                )
+            )
+            return event
+        # BLOCK: wait for the unbind, bounded by the timeout.
+        self.blocks += 1
+        waiter = _Waiter(item=item, event=event)
+        if self.wait_timeout is not None:
+            waiter.timeout_handle = self._kernel.schedule(
+                self.wait_timeout, lambda: self._timeout(waiter)
+            )
+        self._waiters.append(waiter)
+        return event
+
+    def _wake(self) -> None:
+        still_waiting: List[_Waiter] = []
+        for waiter in self._waiters:
+            if waiter.event.done:
+                continue
+            if self.is_bound(waiter.item):
+                still_waiting.append(waiter)
+                continue
+            if waiter.timeout_handle is not None:
+                waiter.timeout_handle.cancel()
+            waiter.event.succeed(None)
+        self._waiters = still_waiting
+
+    def _timeout(self, waiter: _Waiter) -> None:
+        if waiter.event.done:
+            return
+        if waiter in self._waiters:
+            self._waiters.remove(waiter)
+        self.denials += 1
+        waiter.event.fail(
+            DLUViolation(f"timed out waiting for {waiter.item} to be unbound")
+        )

@@ -1,0 +1,383 @@
+"""Multi-granularity strict lock manager (system S4, SRS via S2PL).
+
+Grammar of resources:
+
+* ``("table", name)`` — one per table, taken in an intention or scan
+  mode;
+* ``("row", DataItemId)`` — one per row, taken in S or X.
+
+Modes are the classic five (IS, IX, S, SIX, X) with the standard
+compatibility matrix, so full-table scans (S on the table) block
+concurrent inserts/deletes (IX on the table) — eliminating phantoms and
+keeping the decomposition function deterministic per the DDF assumption.
+
+Locks are *strict*: the LTM releases them only at commit/abort, which
+together with the shared-lock-until-end discipline gives rigorous
+histories (the paper's SRS assumption; cf. Breitbart et al. 1991).  A
+deliberately non-rigorous variant (early read-lock release) is offered
+through :meth:`LockManager.release` and used by the SRS-ablation
+experiments.
+
+Deadlocks are broken by per-request timeouts (the paper's 2CM uses
+"timeout based deadlock resolution"); a wait-for-graph snapshot is also
+provided for diagnostics and for the optional victim-picking policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.common.errors import LockTimeout, SimulationError
+from repro.common.ids import SubtxnId
+from repro.kernel.events import Event, EventHandle, EventKernel
+
+Resource = Tuple[str, Hashable]
+
+
+class LockMode(enum.Enum):
+    """Multi-granularity lock modes."""
+
+    IS = "IS"
+    IX = "IX"
+    S = "S"
+    SIX = "SIX"
+    X = "X"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_COMPATIBLE: Dict[Tuple[LockMode, LockMode], bool] = {}
+
+
+def _fill_compatibility() -> None:
+    table = {
+        LockMode.IS: {LockMode.IS, LockMode.IX, LockMode.S, LockMode.SIX},
+        LockMode.IX: {LockMode.IS, LockMode.IX},
+        LockMode.S: {LockMode.IS, LockMode.S},
+        LockMode.SIX: {LockMode.IS},
+        LockMode.X: set(),
+    }
+    for a in LockMode:
+        for b in LockMode:
+            _COMPATIBLE[(a, b)] = b in table[a]
+
+
+_fill_compatibility()
+
+
+def compatible(a: LockMode, b: LockMode) -> bool:
+    """Whether two holders may coexist on the same resource."""
+    return _COMPATIBLE[(a, b)]
+
+
+_SUPREMUM: Dict[Tuple[LockMode, LockMode], LockMode] = {}
+
+
+def _fill_supremum() -> None:
+    order = [LockMode.IS, LockMode.IX, LockMode.S, LockMode.SIX, LockMode.X]
+    special = {
+        frozenset((LockMode.IX, LockMode.S)): LockMode.SIX,
+        frozenset((LockMode.IX, LockMode.SIX)): LockMode.SIX,
+        frozenset((LockMode.S, LockMode.SIX)): LockMode.SIX,
+    }
+    for a in LockMode:
+        for b in LockMode:
+            if a == b:
+                _SUPREMUM[(a, b)] = a
+                continue
+            key = frozenset((a, b))
+            if key in special:
+                _SUPREMUM[(a, b)] = special[key]
+            elif LockMode.X in key:
+                _SUPREMUM[(a, b)] = LockMode.X
+            else:
+                _SUPREMUM[(a, b)] = max(a, b, key=order.index)
+
+
+_fill_supremum()
+
+
+def supremum(a: LockMode, b: LockMode) -> LockMode:
+    """The weakest mode at least as strong as both ``a`` and ``b``."""
+    return _SUPREMUM[(a, b)]
+
+
+def covers(held: LockMode, wanted: LockMode) -> bool:
+    """Whether holding ``held`` already satisfies a request for ``wanted``."""
+    return supremum(held, wanted) == held
+
+
+@dataclass
+class _Request:
+    owner: SubtxnId
+    resource: Resource
+    mode: LockMode
+    event: Event
+    conversion: bool
+    timeout_handle: Optional[EventHandle] = None
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class _ResourceState:
+    holders: Dict[SubtxnId, LockMode] = field(default_factory=dict)
+    queue: List[_Request] = field(default_factory=list)
+
+
+class LockManager:
+    """FIFO-fair strict lock manager with conversion priority."""
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        default_timeout: Optional[float] = None,
+    ) -> None:
+        self._kernel = kernel
+        self.default_timeout = default_timeout
+        self._resources: Dict[Resource, _ResourceState] = {}
+        self._held_by_owner: Dict[SubtxnId, Set[Resource]] = {}
+        self.grants = 0
+        self.waits = 0
+        self.timeouts = 0
+        #: Invoked whenever a request starts waiting (deadlock-detector
+        #: hook: the detector only needs to run while someone waits).
+        self.on_wait: Optional[callable] = None
+
+    @property
+    def has_waiters(self) -> bool:
+        return any(state.queue for state in self._resources.values())
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+
+    def acquire(
+        self,
+        owner: SubtxnId,
+        resource: Resource,
+        mode: LockMode,
+        timeout: Optional[float] = None,
+    ) -> Event:
+        """Request ``mode`` on ``resource``; the event fires on grant.
+
+        A request from an owner that already holds a covering mode is
+        granted immediately.  Otherwise the *effective* mode is the
+        supremum of held and requested (lock conversion), and the
+        request waits until it is compatible with all other holders.
+        Conversions queue ahead of fresh acquisitions.  On timeout the
+        event fails with :class:`LockTimeout`.
+        """
+        state = self._resources.setdefault(resource, _ResourceState())
+        event = Event(self._kernel, name=f"lock:{owner}:{resource}:{mode}")
+        held = state.holders.get(owner)
+        if held is not None and covers(held, mode):
+            self.grants += 1
+            event.succeed(held)
+            return event
+
+        effective = mode if held is None else supremum(held, mode)
+        conversion = held is not None
+        if self._grantable(state, owner, effective) and not self._must_wait_fifo(
+            state, conversion
+        ):
+            self._grant(state, owner, resource, effective)
+            event.succeed(effective)
+            return event
+
+        request = _Request(
+            owner=owner,
+            resource=resource,
+            mode=effective,
+            event=event,
+            conversion=conversion,
+            enqueued_at=self._kernel.now,
+        )
+        self.waits += 1
+        if conversion:
+            insert_at = 0
+            while insert_at < len(state.queue) and state.queue[insert_at].conversion:
+                insert_at += 1
+            state.queue.insert(insert_at, request)
+        else:
+            state.queue.append(request)
+        wait_limit = self.default_timeout if timeout is None else timeout
+        if wait_limit is not None:
+            request.timeout_handle = self._kernel.schedule(
+                wait_limit, lambda: self._timeout(request)
+            )
+        if self.on_wait is not None:
+            self.on_wait()
+        return event
+
+    def _grantable(
+        self, state: _ResourceState, owner: SubtxnId, mode: LockMode
+    ) -> bool:
+        return all(
+            compatible(held, mode)
+            for holder, held in state.holders.items()
+            if holder != owner
+        )
+
+    def _must_wait_fifo(self, state: _ResourceState, conversion: bool) -> bool:
+        """FIFO fairness: a fresh request must not overtake the queue.
+
+        Conversions may overtake waiting fresh requests (they only ever
+        queue behind other conversions), which is the standard policy to
+        keep upgraders from starving behind newcomers.
+        """
+        if not state.queue:
+            return False
+        if conversion:
+            return any(req.conversion for req in state.queue)
+        return True
+
+    def _grant(
+        self,
+        state: _ResourceState,
+        owner: SubtxnId,
+        resource: Resource,
+        mode: LockMode,
+    ) -> None:
+        self.grants += 1
+        state.holders[owner] = mode
+        self._held_by_owner.setdefault(owner, set()).add(resource)
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+
+    def release(self, owner: SubtxnId, resource: Resource) -> None:
+        """Release one resource (used by the non-rigorous LTM variant)."""
+        state = self._resources.get(resource)
+        if state is None or owner not in state.holders:
+            return
+        del state.holders[owner]
+        held = self._held_by_owner.get(owner)
+        if held is not None:
+            held.discard(resource)
+        self._wake(resource, state)
+
+    def release_all(self, owner: SubtxnId) -> None:
+        """Release everything ``owner`` holds and drop its queued requests.
+
+        Queued requests are pruned *before* any wake-up runs: otherwise
+        releasing the owner's holdings could immediately re-grant its
+        own still-queued conversion request, resurrecting a lock for a
+        transaction that is terminating.
+        """
+        for resource, state in self._resources.items():
+            pruned = [req for req in state.queue if req.owner == owner]
+            for req in pruned:
+                self._drop_request(state, req)
+        for resource in sorted(self._held_by_owner.pop(owner, set())):
+            state = self._resources[resource]
+            state.holders.pop(owner, None)
+            self._wake(resource, state)
+        # Dropped queue entries may unblock others even where the owner
+        # held nothing (it was only queued there).
+        for resource, state in self._resources.items():
+            self._wake(resource, state)
+
+    def _drop_request(self, state: _ResourceState, request: _Request) -> None:
+        state.queue.remove(request)
+        if request.timeout_handle is not None:
+            request.timeout_handle.cancel()
+
+    def _wake(self, resource: Resource, state: _ResourceState) -> None:
+        """Grant queued requests in order until one must keep waiting."""
+        progressed = True
+        while progressed and state.queue:
+            progressed = False
+            request = state.queue[0]
+            if self._grantable(state, request.owner, request.mode):
+                self._drop_request(state, request)
+                self._grant(state, request.owner, resource, request.mode)
+                request.event.succeed(request.mode)
+                progressed = True
+
+    def _timeout(self, request: _Request) -> None:
+        state = self._resources.get(request.resource)
+        if state is None or request not in state.queue:
+            return
+        self.timeouts += 1
+        state.queue.remove(request)
+        request.event.fail(
+            LockTimeout(
+                f"{request.owner} waited too long for {request.mode} on "
+                f"{request.resource}"
+            )
+        )
+        self._wake(request.resource, state)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def holders(self, resource: Resource) -> Dict[SubtxnId, LockMode]:
+        state = self._resources.get(resource)
+        return dict(state.holders) if state else {}
+
+    def held_by(self, owner: SubtxnId) -> Dict[Resource, LockMode]:
+        result: Dict[Resource, LockMode] = {}
+        for resource in self._held_by_owner.get(owner, set()):
+            result[resource] = self._resources[resource].holders[owner]
+        return result
+
+    def waiting(self, resource: Resource) -> List[SubtxnId]:
+        state = self._resources.get(resource)
+        return [req.owner for req in state.queue] if state else []
+
+    def wait_for_graph(self) -> Dict[SubtxnId, Set[SubtxnId]]:
+        """Edges waiter → blocking holder, over all resources."""
+        graph: Dict[SubtxnId, Set[SubtxnId]] = {}
+        for state in self._resources.values():
+            for request in state.queue:
+                blockers = {
+                    holder
+                    for holder, held in state.holders.items()
+                    if holder != request.owner and not compatible(held, request.mode)
+                }
+                if blockers:
+                    graph.setdefault(request.owner, set()).update(blockers)
+        return graph
+
+    def find_deadlock(self) -> Optional[List[SubtxnId]]:
+        """Return one wait-for cycle if any exists (diagnostics)."""
+        graph = self.wait_for_graph()
+        visiting: List[SubtxnId] = []
+        visited: Set[SubtxnId] = set()
+
+        def visit(node: SubtxnId) -> Optional[List[SubtxnId]]:
+            if node in visiting:
+                return visiting[visiting.index(node):] + [node]
+            if node in visited:
+                return None
+            visiting.append(node)
+            for successor in sorted(graph.get(node, set())):
+                cycle = visit(successor)
+                if cycle is not None:
+                    return cycle
+            visiting.pop()
+            visited.add(node)
+            return None
+
+        for node in sorted(graph):
+            cycle = visit(node)
+            if cycle is not None:
+                return cycle
+        return None
+
+    def assert_consistent(self) -> None:
+        """Internal invariant check used by property tests."""
+        for resource, state in self._resources.items():
+            holders = list(state.holders.items())
+            for i, (owner_a, mode_a) in enumerate(holders):
+                for owner_b, mode_b in holders[i + 1:]:
+                    if not compatible(mode_a, mode_b):
+                        raise SimulationError(
+                            f"incompatible holders on {resource}: "
+                            f"{owner_a}:{mode_a} vs {owner_b}:{mode_b}"
+                        )

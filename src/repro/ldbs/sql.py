@@ -1,0 +1,339 @@
+"""A miniature SQL front-end for the local interface.
+
+The paper's heterogeneity story is about SQL at the local interface:
+"each LDBS offers, at its LI, a full set of data manipulation (e.g.
+SQL) commands".  This module parses a deliberately small SQL dialect
+into the command objects of :mod:`repro.ldbs.commands`, so examples and
+workloads can be written the way a 1992 application programmer would
+have written them.
+
+Grammar (case-insensitive keywords, single-quoted string literals,
+integer literals, bare identifiers for tables)::
+
+    SELECT * FROM <table>
+    SELECT * FROM <table> WHERE KEY = <lit>
+    SELECT * FROM <table> WHERE VALUE <op> <lit>        op: = < >
+    INSERT INTO <table> VALUES (<lit>, <lit>)
+    UPDATE <table> SET VALUE = <lit> WHERE KEY = <lit>
+    UPDATE <table> SET VALUE = VALUE + <int> WHERE KEY = <lit>
+    UPDATE <table> SET VALUE = VALUE - <int> WHERE KEY = <lit>
+    UPDATE <table> SET VALUE = VALUE + <int> WHERE VALUE <op> <lit>
+    DELETE FROM <table> WHERE KEY = <lit>
+    DELETE FROM <table> WHERE VALUE <op> <lit>
+    DELETE FROM <table>
+
+Rows in this model are ``(key, value)`` pairs, so ``KEY`` and ``VALUE``
+are the only addressable columns — which is exactly the granularity of
+the paper's data items ("single concrete table rows").
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.ldbs.commands import (
+    AddValue,
+    Command,
+    DeleteItem,
+    DeleteWhere,
+    InsertItem,
+    Predicate,
+    ReadItem,
+    ScanTable,
+    SelectWhere,
+    SetValue,
+    TrueP,
+    UpdateItem,
+    UpdateWhere,
+    ValueEq,
+    ValueGt,
+    ValueLt,
+)
+
+
+class SqlError(ConfigError):
+    """The statement does not belong to the supported dialect."""
+
+
+_TOKEN = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')      # 'quoted literal'
+      | (?P<number>-?\d+)               # integer
+      | (?P<symbol>[(),=<>*+-])         # punctuation / operators
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*)  # keyword or identifier
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "insert", "into", "values",
+    "update", "set", "delete", "key", "value", "and",
+}
+
+
+def _tokenize(text: str) -> List[Tuple[str, Any]]:
+    tokens: List[Tuple[str, Any]] = []
+    position = 0
+    stripped = text.strip().rstrip(";")
+    while position < len(stripped):
+        match = _TOKEN.match(stripped, position)
+        if match is None:
+            raise SqlError(f"cannot tokenize at: {stripped[position:]!r}")
+        position = match.end()
+        if match.lastgroup == "string":
+            literal = match.group("string")[1:-1].replace("''", "'")
+            tokens.append(("lit", literal))
+        elif match.lastgroup == "number":
+            tokens.append(("lit", int(match.group("number"))))
+        elif match.lastgroup == "symbol":
+            tokens.append(("sym", match.group("symbol")))
+        else:
+            word = match.group("word")
+            lowered = word.lower()
+            if lowered in _KEYWORDS:
+                tokens.append(("kw", lowered))
+            else:
+                tokens.append(("ident", word))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, Any]], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    def _fail(self, why: str):
+        raise SqlError(f"{why} in {self._text!r}")
+
+    def peek(self) -> Optional[Tuple[str, Any]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> Tuple[str, Any]:
+        token = self.peek()
+        if token is None:
+            self._fail("unexpected end of statement")
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, value: Any = None) -> Any:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            self._fail(f"expected {value or kind}, found {token[1]!r}")
+        return token[1]
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    # -- clauses -------------------------------------------------------
+
+    def table(self) -> str:
+        kind, value = self.next()
+        if kind != "ident":
+            self._fail(f"expected a table name, found {value!r}")
+        return value
+
+    def literal(self) -> Any:
+        kind, value = self.next()
+        if kind != "lit":
+            self._fail(f"expected a literal, found {value!r}")
+        return value
+
+    def where(self) -> Tuple[str, Any]:
+        """Returns ("key", literal) or ("pred", Predicate)."""
+        self.expect("kw", "where")
+        kind, column = self.next()
+        if kind != "kw" or column not in ("key", "value"):
+            self._fail("WHERE supports only KEY or VALUE")
+        op = self.expect("sym")
+        constant = self.literal()
+        if column == "key":
+            if op != "=":
+                self._fail("KEY supports only equality")
+            return ("key", constant)
+        predicate: Predicate
+        if op == "=":
+            predicate = ValueEq(constant)
+        elif op == ">":
+            predicate = ValueGt(constant)
+        elif op == "<":
+            predicate = ValueLt(constant)
+        else:
+            self._fail(f"unsupported comparison {op!r}")
+        return ("pred", predicate)
+
+
+def parse_sql(text: str) -> Command:
+    """Parse one SQL statement into a :class:`Command`."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise SqlError("empty statement")
+    parser = _Parser(tokens, text)
+    kind, first = parser.next()
+    if kind != "kw":
+        raise SqlError(f"statement must start with a keyword: {text!r}")
+    if first == "select":
+        command = _parse_select(parser)
+    elif first == "insert":
+        command = _parse_insert(parser)
+    elif first == "update":
+        command = _parse_update(parser)
+    elif first == "delete":
+        command = _parse_delete(parser)
+    else:
+        raise SqlError(f"unsupported statement {first.upper()} in {text!r}")
+    if not parser.at_end():
+        parser._fail("trailing tokens")
+    return command
+
+
+def parse_script(text: str) -> List[Command]:
+    """Parse a ``;``-separated script into commands."""
+    return [
+        parse_sql(statement)
+        for statement in text.split(";")
+        if statement.strip()
+    ]
+
+
+def _parse_select(parser: _Parser) -> Command:
+    parser.expect("sym", "*")
+    parser.expect("kw", "from")
+    table = parser.table()
+    if parser.at_end():
+        return ScanTable(table)
+    where_kind, where_value = parser.where()
+    if where_kind == "key":
+        return ReadItem(table, where_value)
+    return SelectWhere(table, where_value)
+
+
+def _parse_insert(parser: _Parser) -> Command:
+    parser.expect("kw", "into")
+    table = parser.table()
+    parser.expect("kw", "values")
+    parser.expect("sym", "(")
+    key = parser.literal()
+    parser.expect("sym", ",")
+    value = parser.literal()
+    parser.expect("sym", ")")
+    return InsertItem(table, key, value)
+
+
+def _parse_update(parser: _Parser) -> Command:
+    table = parser.table()
+    parser.expect("kw", "set")
+    parser.expect("kw", "value")
+    parser.expect("sym", "=")
+    token = parser.next()
+    if token == ("kw", "value"):
+        sign = parser.expect("sym")
+        if sign not in ("+", "-"):
+            parser._fail(f"expected + or - after VALUE, found {sign!r}")
+        delta = parser.literal()
+        if not isinstance(delta, int):
+            parser._fail("VALUE +/- needs an integer literal")
+        op = AddValue(delta if sign == "+" else -delta)
+    elif token[0] == "lit":
+        op = SetValue(token[1])
+    else:
+        parser._fail(f"expected literal or VALUE, found {token[1]!r}")
+    where_kind, where_value = parser.where()
+    if where_kind == "key":
+        return UpdateItem(table, where_value, op)
+    return UpdateWhere(table, where_value, op)
+
+
+def _parse_delete(parser: _Parser) -> Command:
+    parser.expect("kw", "from")
+    table = parser.table()
+    if parser.at_end():
+        return DeleteWhere(table, TrueP())
+    where_kind, where_value = parser.where()
+    if where_kind == "key":
+        return DeleteItem(table, where_value)
+    return DeleteWhere(table, where_value)
+
+
+# ----------------------------------------------------------------------
+# Rendering (the inverse of parse_sql, for logs and round-trip tests)
+# ----------------------------------------------------------------------
+
+
+def _render_literal(value: Any) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, int) and not isinstance(value, bool):
+        return str(value)
+    raise SqlError(f"cannot render literal {value!r} in SQL")
+
+
+def _render_predicate(predicate: Predicate) -> str:
+    if isinstance(predicate, ValueEq):
+        return f"VALUE = {_render_literal(predicate.constant)}"
+    if isinstance(predicate, ValueGt):
+        return f"VALUE > {_render_literal(predicate.constant)}"
+    if isinstance(predicate, ValueLt):
+        return f"VALUE < {_render_literal(predicate.constant)}"
+    if isinstance(predicate, TrueP):
+        return ""
+    raise SqlError(f"predicate {predicate!r} has no SQL rendering")
+
+
+def to_sql(command: Command) -> str:
+    """Render a command back into the dialect (``parse_sql`` inverse).
+
+    Only the command shapes the dialect can express are supported;
+    anything else raises :class:`SqlError`.
+    """
+    if isinstance(command, ReadItem):
+        return (
+            f"SELECT * FROM {command.table} "
+            f"WHERE KEY = {_render_literal(command.key)}"
+        )
+    if isinstance(command, ScanTable):
+        return f"SELECT * FROM {command.table}"
+    if isinstance(command, SelectWhere):
+        clause = _render_predicate(command.pred)
+        if not clause:
+            return f"SELECT * FROM {command.table}"
+        return f"SELECT * FROM {command.table} WHERE {clause}"
+    if isinstance(command, InsertItem):
+        return (
+            f"INSERT INTO {command.table} VALUES "
+            f"({_render_literal(command.key)}, {_render_literal(command.value)})"
+        )
+    if isinstance(command, (UpdateItem, UpdateWhere)):
+        op = command.op
+        if isinstance(op, SetValue):
+            assignment = f"VALUE = {_render_literal(op.value)}"
+        elif isinstance(op, AddValue) and isinstance(op.delta, int):
+            sign = "+" if op.delta >= 0 else "-"
+            assignment = f"VALUE = VALUE {sign} {abs(op.delta)}"
+        else:
+            raise SqlError(f"update operator {op!r} has no SQL rendering")
+        if isinstance(command, UpdateItem):
+            clause = f"KEY = {_render_literal(command.key)}"
+        else:
+            clause = _render_predicate(command.pred)
+            if not clause:
+                raise SqlError("UPDATE needs a WHERE clause in this dialect")
+        return f"UPDATE {command.table} SET {assignment} WHERE {clause}"
+    if isinstance(command, DeleteItem):
+        return (
+            f"DELETE FROM {command.table} "
+            f"WHERE KEY = {_render_literal(command.key)}"
+        )
+    if isinstance(command, DeleteWhere):
+        clause = _render_predicate(command.pred)
+        if not clause:
+            return f"DELETE FROM {command.table}"
+        return f"DELETE FROM {command.table} WHERE {clause}"
+    raise SqlError(f"command {command!r} has no SQL rendering")

@@ -1,0 +1,189 @@
+"""Versioned row storage with before-images (system S3, RR assumption).
+
+Rows are keyed by :class:`~repro.common.ids.DataItemId` and tagged with
+the :class:`~repro.common.ids.SubtxnId` of the incarnation whose write
+produced the current version (``None`` = the initial value, the paper's
+hypothetical initializing transaction ``T_0``).  The writer tag is what
+lets the history recorder capture the physical reads-from relation.
+
+Undo is before-image based: each transaction's first write to an item
+saves ``(existed, value, writer)``; :meth:`VersionedStore.undo` restores
+them in reverse order — exactly the paper's RR assumption ("the LTM
+restores the concrete before images for all data items affected").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.common.errors import HistoryError
+from repro.common.ids import DataItemId, SubtxnId
+
+
+@dataclass
+class Row:
+    """One stored row version: the value and the surviving writer tag."""
+
+    value: Any
+    writer: Optional[SubtxnId] = None
+
+
+@dataclass(frozen=True)
+class BeforeImage:
+    """Undo record for one item touched by one transaction."""
+
+    item: DataItemId
+    existed: bool
+    value: Any = None
+    writer: Optional[SubtxnId] = None
+
+
+class VersionedStore:
+    """The concrete database state ``S^i`` of one LDBS.
+
+    The store itself is oblivious to concurrency control — the LTM is
+    responsible for acquiring locks before calling into it.  All mutating
+    entry points take the acting incarnation so writer tags and undo
+    logs stay accurate.
+    """
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        self._rows: Dict[DataItemId, Row] = {}
+        self._undo: Dict[SubtxnId, List[BeforeImage]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # Loading initial data
+    # ------------------------------------------------------------------
+
+    def load(self, table: str, rows: Dict[Any, Any]) -> None:
+        """Install initial rows (writer tag ``None`` = ``T_0``)."""
+        for key, value in rows.items():
+            self._rows[DataItemId(table, key)] = Row(value=value, writer=None)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def exists(self, item: DataItemId) -> bool:
+        row = self._rows.get(item)
+        return row is not None and row.value is not _TOMBSTONE
+
+    def read(self, item: DataItemId) -> Tuple[bool, Any, Optional[SubtxnId]]:
+        """Return ``(existed, value, writer)`` for ``item``.
+
+        A read of a missing row still "touches" the item (the paper's
+        decompositions include the probing read); it observes the writer
+        responsible for the deletion as ``None`` is indistinguishable
+        from never-existed at this level, so deleted rows keep a
+        tombstone carrying the deleting writer.
+        """
+        self.reads += 1
+        row = self._rows.get(item)
+        if row is None:
+            return (False, None, None)
+        if row.value is _TOMBSTONE:
+            return (False, None, row.writer)
+        return (True, row.value, row.writer)
+
+    def scan(self, table: str) -> List[DataItemId]:
+        """All *existing* rows of ``table`` in deterministic key order."""
+        items = [
+            item
+            for item, row in self._rows.items()
+            if item.table == table and row.value is not _TOMBSTONE
+        ]
+        return sorted(items)
+
+    def snapshot(self, table: Optional[str] = None) -> Dict[DataItemId, Any]:
+        """Copy of the visible state, for assertions and RTT checks."""
+        return {
+            item: row.value
+            for item, row in self._rows.items()
+            if row.value is not _TOMBSTONE and (table is None or item.table == table)
+        }
+
+    # ------------------------------------------------------------------
+    # Writing (with undo capture)
+    # ------------------------------------------------------------------
+
+    def _save_before_image(self, writer: SubtxnId, item: DataItemId) -> None:
+        log = self._undo.setdefault(writer, [])
+        if any(entry.item == item for entry in log):
+            return  # first-touch image already captured
+        row = self._rows.get(item)
+        if row is None or row.value is _TOMBSTONE:
+            log.append(
+                BeforeImage(
+                    item=item,
+                    existed=False,
+                    writer=None if row is None else row.writer,
+                )
+            )
+        else:
+            log.append(
+                BeforeImage(item=item, existed=True, value=row.value, writer=row.writer)
+            )
+
+    def write(self, writer: SubtxnId, item: DataItemId, value: Any) -> None:
+        """Insert or overwrite ``item`` with ``value`` on behalf of ``writer``."""
+        if value is _TOMBSTONE:
+            raise HistoryError("use delete() to remove a row")
+        self.writes += 1
+        self._save_before_image(writer, item)
+        self._rows[item] = Row(value=value, writer=writer)
+
+    def delete(self, writer: SubtxnId, item: DataItemId) -> bool:
+        """Delete ``item``; returns whether it existed.
+
+        Deletion leaves a tombstone tagged with the deleting writer so a
+        later read can attribute the absence (needed by the reads-from
+        capture: in the paper's H1, the resubmitted ``T^a_11`` observes
+        that ``Y^a`` is gone *because of* ``T_2``).
+        """
+        self.writes += 1
+        row = self._rows.get(item)
+        existed = row is not None and row.value is not _TOMBSTONE
+        self._save_before_image(writer, item)
+        self._rows[item] = Row(value=_TOMBSTONE, writer=writer)
+        return existed
+
+    # ------------------------------------------------------------------
+    # Transaction termination
+    # ------------------------------------------------------------------
+
+    def commit(self, subtxn: SubtxnId) -> None:
+        """Forget the undo log; versions become permanent."""
+        self._undo.pop(subtxn, None)
+
+    def undo(self, subtxn: SubtxnId) -> int:
+        """Restore before-images in reverse order (the RR assumption).
+
+        Returns the number of items restored.
+        """
+        log = self._undo.pop(subtxn, [])
+        for image in reversed(log):
+            if image.existed:
+                self._rows[image.item] = Row(value=image.value, writer=image.writer)
+            elif image.writer is None:
+                self._rows.pop(image.item, None)
+            else:
+                self._rows[image.item] = Row(value=_TOMBSTONE, writer=image.writer)
+        return len(log)
+
+    def touched_by(self, subtxn: SubtxnId) -> List[DataItemId]:
+        """Items with an undo entry for ``subtxn`` (its write set so far)."""
+        return [image.item for image in self._undo.get(subtxn, [])]
+
+
+class _Tombstone:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<deleted>"
+
+
+_TOMBSTONE = _Tombstone()

@@ -1,0 +1,15 @@
+"""2PC messages and the simulated network (system S2 in DESIGN.md).
+
+The paper assumes messages "are not corrupted, lost or out of order";
+the :class:`Network` honours that per channel (FIFO between one sender
+and one receiver) while still allowing *cross-channel* races — e.g. a
+COMMIT for transaction ``T_k`` arriving at site ``s`` before a PREPARE
+for ``T_j`` sent earlier by a different coordinator.  That race is
+exactly what motivates the paper's prepare-certification extension
+(Sec. 5.3), so the network must be able to produce it.
+"""
+
+from repro.net.messages import Message, MsgType
+from repro.net.network import LatencyModel, Network
+
+__all__ = ["LatencyModel", "Message", "MsgType", "Network"]

@@ -1,0 +1,71 @@
+"""The 2PC message vocabulary of the paper's Sec. 2.
+
+Coordinator → Participant: BEGIN, COMMAND (DML submission), PREPARE,
+COMMIT, ROLLBACK.  Participant → Coordinator: COMMAND_RESULT, READY,
+REFUSE, COMMIT_ACK, ROLLBACK_ACK.
+
+The COMMAND/COMMAND_RESULT pair is how the coordinator "submits [global
+subtransactions], command by command, to the Participating Sites"; the
+rest is the standard two-phase-commit exchange.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import RefusalReason
+from repro.common.ids import SerialNumber, TxnId
+
+
+class MsgType(enum.Enum):
+    """Message kinds exchanged between Coordinators and 2PC Agents."""
+
+    BEGIN = "BEGIN"
+    COMMAND = "COMMAND"
+    COMMAND_RESULT = "COMMAND_RESULT"
+    PREPARE = "PREPARE"
+    READY = "READY"
+    REFUSE = "REFUSE"
+    COMMIT = "COMMIT"
+    COMMIT_ACK = "COMMIT-ACK"
+    ROLLBACK = "ROLLBACK"
+    ROLLBACK_ACK = "ROLLBACK-ACK"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_msg_seq = itertools.count()
+
+
+@dataclass
+class Message:
+    """One message in flight.
+
+    ``payload`` carries the DML command (COMMAND), the command's result
+    or error (COMMAND_RESULT), or arbitrary method-specific extras.
+    ``sn`` rides on PREPARE messages — the paper transmits the serial
+    number "with the PREPARE messages to each participating site".
+    ``reason`` explains a REFUSE.  ``seq`` is a globally unique send
+    sequence used only for deterministic tie-breaking and tracing.
+    """
+
+    type: MsgType
+    src: str
+    dst: str
+    txn: TxnId
+    payload: Any = None
+    sn: Optional[SerialNumber] = None
+    reason: Optional[RefusalReason] = None
+    seq: int = field(default_factory=lambda: next(_msg_seq))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        extra = ""
+        if self.sn is not None:
+            extra += f" {self.sn}"
+        if self.reason is not None:
+            extra += f" ({self.reason})"
+        return f"{self.type} {self.txn} {self.src}->{self.dst}{extra}"

@@ -1,0 +1,136 @@
+"""Reliable, per-channel-FIFO message transport with seeded latencies.
+
+Delivery guarantees match the paper's Network assumptions exactly:
+
+* no loss, no corruption;
+* messages between one ``(src, dst)`` pair are delivered in send order,
+  even when the jittered latency draw for a later message is smaller;
+* messages on *different* channels may overtake each other freely —
+  which is what produces the Sec. 5.3 COMMIT-overtakes-PREPARE race.
+
+A per-message trace is kept (bounded) for debugging and for tests that
+assert on the exact interleavings a scenario produced.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.kernel.events import EventKernel
+from repro.net.messages import Message
+
+Handler = Callable[[Message], None]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Latency = ``base`` + Uniform(0, ``jitter``) drawn from a seeded RNG.
+
+    ``overrides`` pins the latency of specific channels, which scenario
+    scripts use to force a particular message race deterministically.
+    """
+
+    base: float = 5.0
+    jitter: float = 0.0
+    overrides: Optional[Dict[Tuple[str, str], float]] = None
+
+    def sample(self, src: str, dst: str, rng: random.Random) -> float:
+        if self.overrides is not None and (src, dst) in self.overrides:
+            return self.overrides[(src, dst)]
+        if self.jitter <= 0:
+            return self.base
+        return self.base + rng.uniform(0.0, self.jitter)
+
+
+class Network:
+    """The medium the 2PC messages travel through (paper Fig. 1)."""
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        trace_limit: int = 10_000,
+    ) -> None:
+        self._kernel = kernel
+        self._latency = latency or LatencyModel()
+        self._rng = random.Random(seed)
+        self._handlers: Dict[str, Handler] = {}
+        #: Earliest admissible delivery time per channel, enforcing FIFO.
+        self._channel_clock: Dict[Tuple[str, str], float] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self._trace_limit = trace_limit
+        #: ``(send_time, delivery_time, message)`` triples, bounded.
+        self.trace: List[Tuple[float, float, Message]] = []
+        #: Channels currently held back (scenario scripting); messages
+        #: queue here in send order and drain on resume.
+        self._paused: Dict[Tuple[str, str], List[Message]] = {}
+
+    def register(self, address: str, handler: Handler) -> None:
+        """Attach the message handler for ``address`` (one per endpoint)."""
+        if address in self._handlers:
+            raise ConfigError(f"endpoint {address!r} already registered")
+        self._handlers[address] = handler
+
+    def pause_channel(self, src: str, dst: str) -> None:
+        """Hold back every message sent on ``(src, dst)`` until resume.
+
+        A paused channel models an arbitrarily slow link — still
+        lossless and FIFO, so the paper's Network assumptions hold; the
+        scenario scripts use it to place one message race exactly where
+        they want it without committing to static latencies up front.
+        """
+        self._paused.setdefault((src, dst), [])
+
+    def resume_channel(self, src: str, dst: str) -> int:
+        """Release a paused channel; queued messages leave now, in order.
+
+        Returns the number of messages released.
+        """
+        queued = self._paused.pop((src, dst), [])
+        for message in queued:
+            self.send(message)
+        return len(queued)
+
+    def is_paused(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._paused
+
+    def send(self, message: Message) -> float:
+        """Enqueue ``message`` for delivery; returns the delivery time.
+
+        Messages on a paused channel are queued (FIFO) and sent on
+        resume; their reported delivery time is ``inf`` until then.
+        """
+        if message.dst not in self._handlers:
+            raise SimulationError(f"no endpoint registered for {message.dst!r}")
+        channel_key = (message.src, message.dst)
+        if channel_key in self._paused:
+            self._paused[channel_key].append(message)
+            return float("inf")
+        now = self._kernel.now
+        delay = self._latency.sample(message.src, message.dst, self._rng)
+        if delay < 0:
+            raise ConfigError(f"negative latency {delay} for {message}")
+        channel = (message.src, message.dst)
+        earliest = self._channel_clock.get(channel, now)
+        delivery = max(now + delay, earliest)
+        # Strictly increase the channel clock so two same-channel
+        # messages can never swap even at identical times.
+        self._channel_clock[channel] = delivery + 1e-9
+        self.messages_sent += 1
+        if len(self.trace) < self._trace_limit:
+            self.trace.append((now, delivery, message))
+        self._kernel.schedule_at(delivery, lambda: self._deliver(message))
+        return delivery
+
+    def _deliver(self, message: Message) -> None:
+        self.messages_delivered += 1
+        self._handlers[message.dst](message)
+
+    @property
+    def in_flight(self) -> int:
+        return self.messages_sent - self.messages_delivered

@@ -1,0 +1,33 @@
+"""Simulation driver, failure injection, metrics and reporting (S21).
+
+* :mod:`repro.sim.failures` — scripted and randomized unilateral-abort
+  injection (the paper's failure model: an LDBS may roll back any
+  transaction at any time, even after all commands executed);
+* :mod:`repro.sim.driver` — runs a workload schedule against a built
+  system, collects outcomes and enforces quiescence;
+* :mod:`repro.sim.metrics` — aggregate counters and the correctness
+  audit (view serializability of C(H), rigorousness, distortions);
+* :mod:`repro.sim.report` — plain-text table rendering for benchmarks.
+"""
+
+from repro.sim.driver import SimulationResult, run_schedule
+from repro.sim.failures import (
+    RandomFailureInjector,
+    abort_current_incarnation,
+    inject_abort_after_global_commit,
+    inject_abort_after_prepare,
+)
+from repro.sim.metrics import CorrectnessAudit, SystemMetrics, audit, collect_metrics
+
+__all__ = [
+    "CorrectnessAudit",
+    "RandomFailureInjector",
+    "SimulationResult",
+    "SystemMetrics",
+    "abort_current_incarnation",
+    "audit",
+    "collect_metrics",
+    "inject_abort_after_global_commit",
+    "inject_abort_after_prepare",
+    "run_schedule",
+]

@@ -1,0 +1,164 @@
+"""Unilateral-abort injection (the paper's failure model).
+
+"Preserving D- and E-autonomy of an LDBS means that it can roll back a
+single transaction at any time ... even after all the database commands
+have been executed.  The reasons are various implementation-dependent
+issues, like the log buffer overflow (INGRES), or unexpected system
+bugs."
+
+Two styles of injection:
+
+* **scripted** — the paper's worked histories need a specific abort at
+  a specific moment (e.g. H1's ``A^a_10`` *after* the global commit
+  decision ``C_1``).  :func:`inject_abort_after_global_commit` and
+  :func:`inject_abort_after_prepare` watch the history recorder and
+  fire once, deterministically;
+* **randomized** — :class:`RandomFailureInjector` flips a seeded coin
+  whenever a subtransaction enters the prepared state and schedules an
+  abort a random delay later, bounded per subtransaction (the TW
+  assumption: after a fixed number of resubmissions the subtransaction
+  can commit).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.common.ids import TxnId
+from repro.core.dtm import MultidatabaseSystem
+from repro.history.model import OpKind, Operation
+
+
+def abort_current_incarnation(
+    system: MultidatabaseSystem, txn: TxnId, site: str
+) -> bool:
+    """Unilaterally abort whatever incarnation of ``txn`` currently
+    exists at ``site`` (False when it already terminated)."""
+    incarnation = system.agent(site).current_incarnation(txn)
+    if incarnation is None:
+        return False
+    return system.ltm(site).unilaterally_abort(incarnation)
+
+
+def inject_abort_after_global_commit(
+    system: MultidatabaseSystem, txn: TxnId, site: str, delay: float = 1.0
+) -> None:
+    """Arrange ``A^site`` of ``txn`` shortly after ``C_txn`` is recorded.
+
+    This is the H1/H2 pattern: the Coordinator has durably decided to
+    commit, every participant voted READY, and *then* the LDBS throws
+    the prepared subtransaction away — the exact window the 2PC Agent's
+    resubmission exists for.
+    """
+
+    def observer(op: Operation) -> None:
+        if op.kind is OpKind.GLOBAL_COMMIT and op.txn == txn:
+            system.kernel.schedule(
+                delay, lambda: abort_current_incarnation(system, txn, site)
+            )
+
+    system.history.subscribe(observer)
+
+
+def inject_abort_after_prepare(
+    system: MultidatabaseSystem, txn: TxnId, site: str, delay: float = 1.0
+) -> None:
+    """Arrange a unilateral abort shortly after ``P^site_txn``."""
+
+    def observer(op: Operation) -> None:
+        if op.kind is OpKind.PREPARE and op.txn == txn and op.site == site:
+            system.kernel.schedule(
+                delay, lambda: abort_current_incarnation(system, txn, site)
+            )
+
+    system.history.subscribe(observer)
+
+
+@dataclass
+class RandomFailureInjector:
+    """Seeded random unilateral aborts of prepared subtransactions.
+
+    ``probability`` is the chance that one (txn, site) prepared
+    subtransaction suffers an abort; when it does, the abort lands a
+    uniform random delay in ``[0, max_delay]`` after the prepare.  At
+    most ``max_aborts_per_subtxn`` aborts hit any one (txn, site) pair,
+    honouring the paper's TW (trustworthiness) assumption.
+    """
+
+    system: MultidatabaseSystem
+    probability: float
+    max_delay: float = 40.0
+    max_aborts_per_subtxn: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._aborts: Dict[Tuple[TxnId, str], int] = {}
+        self.injected = 0
+        self.system.history.subscribe(self._observe)
+
+    def _observe(self, op: Operation) -> None:
+        if op.kind is not OpKind.PREPARE or op.site is None:
+            return
+        self._maybe_schedule(op.txn, op.site)
+
+    def _maybe_schedule(self, txn: TxnId, site: str) -> None:
+        key = (txn, site)
+        if self._aborts.get(key, 0) >= self.max_aborts_per_subtxn:
+            return
+        if self._rng.random() >= self.probability:
+            return
+        delay = self._rng.uniform(0.0, self.max_delay)
+        self.system.kernel.schedule(delay, lambda: self._fire(key))
+
+    def _fire(self, key: Tuple[TxnId, str]) -> None:
+        txn, site = key
+        if abort_current_incarnation(self.system, txn, site):
+            self._aborts[key] = self._aborts.get(key, 0) + 1
+            self.injected += 1
+            # The resubmitted incarnation may fail again, up to the cap.
+            self._maybe_schedule(txn, site)
+
+
+def inject_site_crash(
+    system: MultidatabaseSystem, site: str, at: float
+) -> None:
+    """Crash ``site`` at simulated time ``at`` (collective abort).
+
+    Every transaction active at the LDBS — global subtransactions in
+    any phase and local transactions alike — is unilaterally aborted;
+    prepared global subtransactions are later repaired by their agents'
+    resubmission machinery.
+    """
+    system.kernel.schedule_at(at, lambda: system.ltm(site).crash())
+
+
+@dataclass
+class PeriodicCrashInjector:
+    """Crash a random site every ``period`` (plus jitter), ``count`` times."""
+
+    system: MultidatabaseSystem
+    period: float
+    count: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self.crashes: Dict[str, int] = {}
+        self._remaining = self.count
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        if self._remaining <= 0:
+            return
+        self._remaining -= 1
+        delay = self.period * (0.5 + self._rng.random())
+        self.system.kernel.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        site = self._rng.choice(list(self.system.config.sites))
+        self.system.ltm(site).crash()
+        self.crashes[site] = self.crashes.get(site, 0) + 1
+        self._schedule_next()

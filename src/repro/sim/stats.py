@@ -1,0 +1,80 @@
+"""Small statistics helpers for the experiment tables.
+
+No numpy dependency is needed at this scale; everything here is exact
+over the collected samples.  ``Summary`` is what latency columns in the
+benchmark tables are built from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) with linear interpolation.
+
+    Matches the "linear" method of numpy.percentile; defined as 0.0 on
+    an empty sample set (benchmark tables print it rather than crash).
+    """
+    if not samples:
+        return 0.0
+    if not (0.0 <= q <= 1.0):
+        raise ValueError(f"quantile out of range: {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    fraction = position - lower
+    # a + f*(b-a) rather than a*(1-f)+b*f: exact when a == b, keeping
+    # the result inside [min, max] and monotone in q despite rounding.
+    return ordered[lower] + fraction * (ordered[upper] - ordered[lower])
+
+
+def mean(samples: Sequence[float]) -> float:
+    return sum(samples) / len(samples) if samples else 0.0
+
+
+def stddev(samples: Sequence[float]) -> float:
+    """Sample standard deviation (n-1 denominator)."""
+    if len(samples) < 2:
+        return 0.0
+    centre = mean(samples)
+    return math.sqrt(
+        sum((value - centre) ** 2 for value in samples) / (len(samples) - 1)
+    )
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one metric."""
+
+    n: int
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    max: float
+
+    @staticmethod
+    def of(samples: Iterable[float]) -> "Summary":
+        values: List[float] = list(samples)
+        return Summary(
+            n=len(values),
+            mean=mean(values),
+            std=stddev(values),
+            p50=percentile(values, 0.50),
+            p95=percentile(values, 0.95),
+            max=max(values) if values else 0.0,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"n={self.n} mean={self.mean:.2f} std={self.std:.2f} "
+            f"p50={self.p50:.2f} p95={self.p95:.2f} max={self.max:.2f}"
+        )

@@ -1,0 +1,94 @@
+"""Swimlane timeline rendering of a recorded history.
+
+One text lane per site (plus a lane for the coordinators' global
+decisions), events in time order — the quickest way to *see* a race
+like Hx's COMMIT-overtakes-PREPARE or H1's resubmission window.  Used
+by the CLI (``python -m repro scenario H1 --timeline``) and handy in
+notebooks and debugging sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.history.model import History, OpKind, Operation
+
+#: Compact event tags per op kind.
+_TAGS = {
+    OpKind.READ: "r",
+    OpKind.WRITE: "w",
+    OpKind.PREPARE: "P",
+    OpKind.LOCAL_COMMIT: "C",
+    OpKind.LOCAL_ABORT: "A",
+    OpKind.GLOBAL_COMMIT: "C!",
+    OpKind.GLOBAL_ABORT: "A!",
+}
+
+
+def _describe(op: Operation) -> str:
+    tag = _TAGS[op.kind]
+    if op.kind in (OpKind.READ, OpKind.WRITE):
+        assert op.subtxn is not None
+        inc = "" if op.txn.is_local else str(op.subtxn.incarnation)
+        return f"{tag}{op.txn.label}{inc}({op.item.key!r})"
+    if op.kind is OpKind.PREPARE:
+        return f"P({op.txn.label})"
+    if op.kind is OpKind.LOCAL_COMMIT:
+        assert op.subtxn is not None
+        inc = "" if op.txn.is_local else str(op.subtxn.incarnation)
+        return f"C({op.txn.label}{inc})"
+    if op.kind is OpKind.LOCAL_ABORT:
+        assert op.subtxn is not None
+        inc = "" if op.txn.is_local else str(op.subtxn.incarnation)
+        flavour = "!" if op.unilateral else ""
+        return f"A{flavour}({op.txn.label}{inc})"
+    return f"{tag}({op.txn.label})"
+
+
+def render_timeline(
+    history: History,
+    sites: Optional[Iterable[str]] = None,
+    width: int = 100,
+    coalesce: float = 0.0,
+) -> str:
+    """Render the history as per-site swimlanes.
+
+    ``coalesce`` groups events closer than that many time units into
+    one line (keeps dense command bursts readable).
+    """
+    lanes: List[str] = list(sites) if sites is not None else history.sites()
+    lanes.append("@global")
+    rows: List[tuple] = []
+    for op in history.ops:
+        lane = op.site if op.site is not None else "@global"
+        rows.append((op.time, lane, _describe(op)))
+    if not rows:
+        return "(empty history)"
+
+    lines: List[str] = []
+    lane_width = max(len(lane) for lane in lanes) + 2
+    header = "time".rjust(9) + " | " + " | ".join(
+        lane.ljust(18) for lane in lanes
+    )
+    lines.append(header)
+    lines.append("-" * min(len(header), width))
+
+    pending: Optional[List] = None
+
+    def flush() -> None:
+        if pending is None:
+            return
+        time_str = f"{pending[0]:9.2f}"
+        cells = []
+        for lane in lanes:
+            cells.append(" ".join(pending[1].get(lane, []))[:18].ljust(18))
+        lines.append(time_str + " | " + " | ".join(cells))
+
+    for time, lane, text in rows:
+        if pending is not None and time - pending[0] <= coalesce:
+            pending[1].setdefault(lane, []).append(text)
+            continue
+        flush()
+        pending = [time, {lane: [text]}]
+    flush()
+    return "\n".join(lines)

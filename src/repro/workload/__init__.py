@@ -1,0 +1,48 @@
+"""Workloads: random generation and the paper's worked scenarios (S20).
+
+* :mod:`repro.workload.generator` — seeded random mixes of global and
+  local transactions over a multi-site key space, with tunable
+  contention, multi-site fan-out, update fraction and arrival process;
+* :mod:`repro.workload.scenarios` — executable reconstructions of the
+  paper's Fig. 2 transactions and of histories H1, H2, H3 and Hx, each
+  runnable under any method preset so the benchmarks can show the
+  anomaly appearing under the weak method and disappearing under 2CM.
+"""
+
+from repro.workload.debitcredit import (
+    DebitCreditConfig,
+    DebitCreditGenerator,
+    DebitCreditSchedule,
+    verify_invariants,
+)
+from repro.workload.generator import (
+    Schedule,
+    ScheduledGlobal,
+    ScheduledLocal,
+    WorkloadConfig,
+    WorkloadGenerator,
+)
+from repro.workload.scenarios import (
+    ScenarioResult,
+    run_h1,
+    run_h2,
+    run_h3,
+    run_hx,
+)
+
+__all__ = [
+    "DebitCreditConfig",
+    "DebitCreditGenerator",
+    "DebitCreditSchedule",
+    "Schedule",
+    "ScheduledGlobal",
+    "ScheduledLocal",
+    "ScenarioResult",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "run_h1",
+    "run_h2",
+    "run_h3",
+    "run_hx",
+    "verify_invariants",
+]

@@ -1,0 +1,212 @@
+"""A TPC-A / DebitCredit-style multidatabase workload.
+
+The canonical OLTP benchmark of the paper's era (DebitCredit, 1985;
+TPC-A, 1989), transplanted to the multidatabase setting: every site is
+a *branch* running its own LDBS with ``accounts``, ``tellers`` and a
+one-row ``branch`` table.  A debit/credit transaction picks a teller
+and an account, applies the same delta to account, teller and branch —
+and, with probability ``remote_fraction`` (TPC-A's classic 15%), the
+account lives at a *different* branch, which turns the transaction into
+a two-site global transaction through the coordinators.
+
+The workload's value for this reproduction is its built-in
+**consistency invariants**, checkable after any run (including runs
+with unilateral aborts and resubmissions — exactly-once repair):
+
+* per site: ``branch.balance == sum(teller balances)``;
+* federation-wide: ``sum(branch balances) == sum(account deltas)
+  == sum of the deltas of exactly the committed transactions``.
+
+:func:`verify_invariants` performs those checks given the set of
+committed transactions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.ids import TxnId, global_txn
+from repro.core.coordinator import GlobalTransactionSpec
+from repro.core.dtm import MultidatabaseSystem
+from repro.ldbs.commands import AddValue, ReadItem, UpdateItem
+from repro.workload.generator import Schedule, ScheduledGlobal, ScheduledLocal
+
+
+@dataclass(frozen=True)
+class DebitCreditConfig:
+    """Shape of a debit-credit run."""
+
+    sites: Tuple[str, ...] = ("branch1", "branch2", "branch3")
+    n_transactions: int = 60
+    accounts_per_branch: int = 100
+    tellers_per_branch: int = 10
+    #: TPC-A's remote-account probability (multi-site transactions).
+    remote_fraction: float = 0.15
+    #: Local balance inquiries per branch (reads, invisible to the DTM).
+    n_inquiries: int = 0
+    mean_interarrival: float = 10.0
+    initial_account_balance: int = 1_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            raise ConfigError("need at least one branch")
+        if not (0.0 <= self.remote_fraction <= 1.0):
+            raise ConfigError("remote_fraction out of range")
+        if len(self.sites) < 2 and self.remote_fraction > 0:
+            raise ConfigError("remote accounts need at least two branches")
+
+
+@dataclass
+class DebitCreditSchedule:
+    """The generated schedule plus the per-transaction deltas."""
+
+    schedule: Schedule
+    #: txn -> (home branch, account branch, delta)
+    deltas: Dict[TxnId, Tuple[str, str, int]]
+
+
+class DebitCreditGenerator:
+    """Deterministic debit-credit workload factory."""
+
+    def __init__(self, config: DebitCreditConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+
+    def generate(self) -> DebitCreditSchedule:
+        config = self.config
+        initial: Dict[str, Dict[str, Dict[object, object]]] = {}
+        for site in config.sites:
+            initial[site] = {
+                "accounts": {
+                    i: config.initial_account_balance
+                    for i in range(config.accounts_per_branch)
+                },
+                "tellers": {i: 0 for i in range(config.tellers_per_branch)},
+                "branch": {"balance": 0},
+            }
+        schedule = Schedule(initial_data=initial)
+        deltas: Dict[TxnId, Tuple[str, str, int]] = {}
+
+        clock = 0.0
+        for number in range(1, config.n_transactions + 1):
+            clock += self._rng.expovariate(1.0 / config.mean_interarrival)
+            txn = global_txn(number)
+            home = self._rng.choice(config.sites)
+            if (
+                self._rng.random() < config.remote_fraction
+                and len(config.sites) > 1
+            ):
+                account_site = self._rng.choice(
+                    [site for site in config.sites if site != home]
+                )
+            else:
+                account_site = home
+            teller = self._rng.randrange(config.tellers_per_branch)
+            account = self._rng.randrange(config.accounts_per_branch)
+            delta = self._rng.choice((-100, -50, -10, 10, 50, 100))
+            steps = (
+                (account_site, UpdateItem("accounts", account, AddValue(delta))),
+                (home, UpdateItem("tellers", teller, AddValue(delta))),
+                (home, UpdateItem("branch", "balance", AddValue(delta))),
+            )
+            schedule.globals_.append(
+                ScheduledGlobal(
+                    at=clock,
+                    spec=GlobalTransactionSpec(txn=txn, steps=steps),
+                )
+            )
+            deltas[txn] = (home, account_site, delta)
+
+        clock = 0.0
+        for index in range(config.n_inquiries):
+            clock += self._rng.expovariate(1.0 / config.mean_interarrival)
+            site = self._rng.choice(config.sites)
+            account = self._rng.randrange(config.accounts_per_branch)
+            schedule.locals_.append(
+                ScheduledLocal(
+                    at=clock,
+                    site=site,
+                    commands=(
+                        ReadItem("accounts", account),
+                        ReadItem("branch", "balance"),
+                    ),
+                    number=9001 + index,
+                )
+            )
+        return DebitCreditSchedule(schedule=schedule, deltas=deltas)
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of the consistency verification."""
+
+    ok: bool
+    details: List[str]
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def verify_invariants(
+    system: MultidatabaseSystem,
+    generated: DebitCreditSchedule,
+    committed: Sequence[TxnId],
+) -> InvariantReport:
+    """Check the bank's books after a run.
+
+    ``committed`` is the set of transactions whose global commit was
+    decided — their deltas (and only theirs) must be reflected exactly
+    once, everywhere, no matter how many unilateral aborts and
+    resubmissions happened along the way.
+    """
+    details: List[str] = []
+    committed_set = set(committed)
+    config_sites = list(generated.schedule.initial_data)
+
+    # Per-site: branch balance equals the sum of teller balances.
+    for site in config_sites:
+        ltm = system.ltm(site)
+        branch = sum(ltm.store.snapshot("branch").values())
+        tellers = sum(ltm.store.snapshot("tellers").values())
+        if branch != tellers:
+            details.append(
+                f"{site}: branch balance {branch} != teller sum {tellers}"
+            )
+
+    # Per-site: branch balance equals the committed deltas homed there.
+    for site in config_sites:
+        expected = sum(
+            delta
+            for txn, (home, _acct_site, delta) in generated.deltas.items()
+            if home == site and txn in committed_set
+        )
+        actual = sum(system.ltm(site).store.snapshot("branch").values())
+        if actual != expected:
+            details.append(
+                f"{site}: branch balance {actual} != committed deltas {expected}"
+            )
+
+    # Federation-wide: account money moved by exactly the committed sum.
+    initial_total = sum(
+        sum(tables["accounts"].values())
+        for tables in generated.schedule.initial_data.values()
+    )
+    actual_total = sum(
+        sum(system.ltm(site).store.snapshot("accounts").values())
+        for site in config_sites
+    )
+    expected_total = initial_total + sum(
+        delta
+        for txn, (_home, _acct, delta) in generated.deltas.items()
+        if txn in committed_set
+    )
+    if actual_total != expected_total:
+        details.append(
+            f"account total {actual_total} != expected {expected_total}"
+        )
+
+    return InvariantReport(ok=not details, details=details)

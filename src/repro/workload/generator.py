@@ -1,0 +1,242 @@
+"""Random workload generation for the quantitative experiments.
+
+The generator produces a deterministic :class:`Schedule` from its seed:
+timed global transactions (each an ordered list of per-site DML
+commands routed through the coordinators) and timed local transactions
+(submitted straight to one LTM, invisible to the DTM — the paper's
+model of local work).
+
+Contention is shaped the usual way: a small set of *hot* keys per site
+attracts a configurable fraction of accesses; everything else is
+uniform over the cold range.  Updates are balanced ``AddValue`` deltas
+so that bank-style invariants (sum preservation per key set) remain
+checkable by the examples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.ids import TxnId, global_txn
+from repro.core.coordinator import GlobalTransactionSpec
+from repro.ldbs.commands import (
+    AddValue,
+    Command,
+    InsertItem,
+    ReadItem,
+    ScanTable,
+    UpdateItem,
+)
+
+
+@dataclass(frozen=True)
+class ScheduledGlobal:
+    """One timed global submission."""
+
+    at: float
+    spec: GlobalTransactionSpec
+
+
+@dataclass(frozen=True)
+class ScheduledLocal:
+    """One timed local submission."""
+
+    at: float
+    site: str
+    commands: Tuple[Command, ...]
+    number: int
+    think_time: float = 0.0
+
+
+@dataclass
+class Schedule:
+    """A complete deterministic workload."""
+
+    initial_data: Dict[str, Dict[str, Dict[object, object]]]
+    globals_: List[ScheduledGlobal] = field(default_factory=list)
+    locals_: List[ScheduledLocal] = field(default_factory=list)
+
+    @property
+    def n_global(self) -> int:
+        return len(self.globals_)
+
+    @property
+    def n_local(self) -> int:
+        return len(self.locals_)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of a random workload."""
+
+    sites: Tuple[str, ...] = ("a", "b", "c")
+    n_global: int = 40
+    n_local: int = 0
+    table: str = "t"
+    #: Number of tables per site (``t``, ``t1``, ``t2``, ...).  More
+    #: tables give table-granularity methods (CGM's global locks, scan
+    #: locks) room to breathe; keys are spread evenly across tables.
+    n_tables: int = 1
+    keys_per_site: int = 64
+    initial_value: int = 100
+    #: Commands per global transaction (uniform in [min, max]).
+    ops_min: int = 2
+    ops_max: int = 4
+    #: Participating sites per global transaction (uniform in [min, max]).
+    sites_min: int = 1
+    sites_max: int = 2
+    update_fraction: float = 0.5
+    #: Fraction of commands that are full-table scans (S table locks).
+    scan_fraction: float = 0.0
+    hot_keys: int = 4
+    hot_access_fraction: float = 0.2
+    mean_interarrival: float = 15.0
+    think_time: float = 0.0
+    local_ops: int = 2
+    #: Local transactions update with this probability per command.
+    local_update_fraction: float = 0.5
+    #: Probability that a local update is an INSERT of a brand-new row
+    #: (exercises the phantom path against scanned tables).
+    local_insert_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            raise ConfigError("need at least one site")
+        if self.ops_min < 1 or self.ops_max < self.ops_min:
+            raise ConfigError("invalid ops range")
+        if self.sites_min < 1 or self.sites_max < self.sites_min:
+            raise ConfigError("invalid sites range")
+        if self.sites_max > len(self.sites):
+            raise ConfigError("sites_max exceeds the number of sites")
+        if not (0.0 <= self.update_fraction <= 1.0):
+            raise ConfigError("update_fraction out of range")
+        if self.hot_keys > self.keys_per_site:
+            raise ConfigError("more hot keys than keys")
+        if self.n_tables < 1:
+            raise ConfigError("need at least one table")
+
+
+class WorkloadGenerator:
+    """Deterministic workload factory (same seed → same schedule)."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+
+    def _table_names(self) -> List[str]:
+        config = self.config
+        names = [config.table]
+        names.extend(f"{config.table}{i}" for i in range(1, config.n_tables))
+        return names
+
+    def _table_of(self, key: int) -> str:
+        return self._table_names()[key % self.config.n_tables]
+
+    def generate(self) -> Schedule:
+        config = self.config
+        initial = {
+            site: {
+                name: {
+                    key: config.initial_value
+                    for key in range(config.keys_per_site)
+                    if self._table_of(key) == name
+                }
+                for name in self._table_names()
+            }
+            for site in config.sites
+        }
+        schedule = Schedule(initial_data=initial)
+
+        clock = 0.0
+        for number in range(1, config.n_global + 1):
+            clock += self._rng.expovariate(1.0 / config.mean_interarrival)
+            schedule.globals_.append(
+                ScheduledGlobal(at=clock, spec=self._global_spec(number))
+            )
+
+        clock = 0.0
+        for index in range(config.n_local):
+            clock += self._rng.expovariate(1.0 / config.mean_interarrival)
+            site = self._rng.choice(config.sites)
+            schedule.locals_.append(
+                ScheduledLocal(
+                    at=clock,
+                    site=site,
+                    commands=tuple(self._local_commands()),
+                    number=9001 + index,
+                    think_time=config.think_time,
+                )
+            )
+        return schedule
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+
+    def _global_spec(self, number: int) -> GlobalTransactionSpec:
+        config = self.config
+        n_sites = self._rng.randint(config.sites_min, config.sites_max)
+        sites = self._rng.sample(list(config.sites), n_sites)
+        n_ops = self._rng.randint(config.ops_min, config.ops_max)
+        steps: List[Tuple[str, Command]] = []
+        for _ in range(n_ops):
+            site = self._rng.choice(sites)
+            steps.append((site, self._command()))
+        # Ensure every chosen site is actually visited.
+        visited = {site for site, _cmd in steps}
+        for site in sites:
+            if site not in visited:
+                steps.append((site, self._command()))
+        return GlobalTransactionSpec(
+            txn=global_txn(number),
+            steps=tuple(steps),
+            think_time=config.think_time,
+        )
+
+    def _command(self) -> Command:
+        config = self.config
+        roll = self._rng.random()
+        if roll < config.scan_fraction:
+            return ScanTable(self._rng.choice(self._table_names()))
+        key = self._pick_key()
+        table = self._table_of(key)
+        if self._rng.random() < config.update_fraction:
+            delta = self._rng.choice([-5, -2, -1, 1, 2, 5])
+            return UpdateItem(table, key, AddValue(delta))
+        return ReadItem(table, key)
+
+    def _local_commands(self) -> List[Command]:
+        config = self.config
+        commands: List[Command] = []
+        for _ in range(config.local_ops):
+            key = self._pick_key()
+            table = self._table_of(key)
+            if self._rng.random() < config.local_update_fraction:
+                if self._rng.random() < config.local_insert_fraction:
+                    # A fresh key beyond the initial range: a phantom
+                    # candidate for any concurrent scan of the table.
+                    new_key = config.keys_per_site + self._rng.randrange(1000)
+                    commands.append(
+                        InsertItem(self._table_of(new_key), new_key, 1)
+                    )
+                else:
+                    delta = self._rng.choice([-1, 1])
+                    commands.append(UpdateItem(table, key, AddValue(delta)))
+            else:
+                commands.append(ReadItem(table, key))
+        return commands
+
+    def _pick_key(self) -> int:
+        config = self.config
+        if (
+            config.hot_keys > 0
+            and self._rng.random() < config.hot_access_fraction
+        ):
+            return self._rng.randrange(config.hot_keys)
+        if config.keys_per_site == config.hot_keys:
+            return self._rng.randrange(config.keys_per_site)
+        return self._rng.randrange(config.hot_keys, config.keys_per_site)

@@ -1,0 +1,529 @@
+"""Executable reconstructions of the paper's worked histories.
+
+Each ``run_*`` function builds a fresh two-coordinator system, pins
+message latencies and failure injections so the paper's interleaving is
+reproduced deterministically, runs to quiescence and returns a
+:class:`ScenarioResult` bundling the outcomes with the correctness
+audit.  Every scenario accepts a ``method`` argument, so the same
+script demonstrates both the anomaly (under the weak method) and its
+prevention (under 2CM):
+
+==========  =============================  ==================================
+Scenario    Weak method → anomaly          2CM behaviour
+==========  =============================  ==================================
+H1 (E2)     ``naive`` → global view        ``2cm``: T2 refused by the basic
+            distortion (T1's resubmission  prepare certification (empty alive
+            reads X from T2, and its       interval intersection); history
+            decomposition changes because  view serializable.
+            T2 deleted Y)
+H2 (E3)     ``naive`` → local view         ``2cm``: T3 refused at site a;
+            distortion (CG cycle           clean history.
+            T1→T3→L4→T1)
+H3 (E4)     ``2cm-prepare-order`` /        ``2cm``: commit certification
+            ``2cm-nocommitcert`` /         orders C^b_5 < C^b_6 by serial
+            ``naive`` → CG cycle with      number; zero aborts, view
+            indirectly conflicting         serializable.
+            globals; L7/L8 get
+            non-serializable views
+Hx (E5)     ``2cm-noext`` → COMMIT of      ``2cm``: the late PREPARE is
+            T8 overtakes PREPARE of T7     refused by the certification
+            at site s, CG cycle            extension (SN smaller than an
+                                           already-committed one).
+==========  =============================  ==================================
+
+The item names mirror the paper: ``X, Y, Z, Q, U`` for H1/H2 (sites a
+and b), ``P, R, S, U`` for H3, and site names ``i``/``s`` for Hx.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.common.ids import TxnId, global_txn, local_txn
+from repro.core.coordinator import GlobalOutcome, GlobalTransactionSpec
+from repro.core.dtm import LocalOutcome, MultidatabaseSystem, SystemConfig
+from repro.history.model import OpKind, Operation
+from repro.ldbs.commands import (
+    AddValue,
+    DeleteItem,
+    InsertItem,
+    ReadItem,
+    UpdateItem,
+)
+from repro.ldbs.ltm import LTMConfig
+from repro.net.network import LatencyModel
+from repro.sim.failures import (
+    abort_current_incarnation,
+    inject_abort_after_global_commit,
+)
+from repro.sim.metrics import CorrectnessAudit, audit
+from repro.core.agent import AgentConfig
+
+
+@dataclass
+class ScenarioResult:
+    """System + outcomes + correctness audit of one scenario run."""
+
+    system: MultidatabaseSystem
+    global_outcomes: Dict[TxnId, GlobalOutcome] = field(default_factory=dict)
+    local_outcomes: Dict[TxnId, LocalOutcome] = field(default_factory=dict)
+
+    _audit: Optional[CorrectnessAudit] = None
+
+    @property
+    def audit(self) -> CorrectnessAudit:
+        if self._audit is None:
+            self._audit = audit(self.system)
+        return self._audit
+
+    def outcome(self, number: int) -> GlobalOutcome:
+        return self.global_outcomes[global_txn(number)]
+
+    def local_outcome(self, number: int, site: str) -> LocalOutcome:
+        return self.local_outcomes[local_txn(number, site)]
+
+
+# ----------------------------------------------------------------------
+# Shared plumbing
+# ----------------------------------------------------------------------
+
+
+def _build(
+    method: str,
+    sites,
+    overrides: Dict,
+    alive_check_interval: float = 500.0,
+) -> MultidatabaseSystem:
+    """A two-coordinator system with pinned per-channel latencies.
+
+    The long default alive-check interval keeps resubmission driven by
+    the scenario's message timing (the COMMIT arrival) rather than by a
+    timer racing it, which is how the paper's interleavings order their
+    operations.
+    """
+    return MultidatabaseSystem(
+        SystemConfig(
+            sites=tuple(sites),
+            n_coordinators=2,
+            method=method,
+            latency=LatencyModel(base=5.0, jitter=0.0, overrides=overrides),
+            ltm=LTMConfig(op_duration=1.0, lock_timeout=2000.0),
+            agent=AgentConfig(
+                alive_check_interval=alive_check_interval,
+                commit_retry_interval=15.0,
+            ),
+        )
+    )
+
+
+def _watch_outcome(result: ScenarioResult, completion, kind: str = "global"):
+    def done(event) -> None:
+        if event.error is not None:
+            raise event.error
+        outcome = event._value
+        if kind == "global":
+            result.global_outcomes[outcome.txn] = outcome
+        else:
+            result.local_outcomes[outcome.txn] = outcome
+
+    completion.subscribe(done)
+
+
+def _on_history(
+    system: MultidatabaseSystem,
+    predicate: Callable[[Operation], bool],
+    delay: float,
+    action: Callable[[], None],
+) -> None:
+    """Run ``action`` ``delay`` after the first matching history op."""
+    fired = [False]
+
+    def observer(op: Operation) -> None:
+        if fired[0] or not predicate(op):
+            return
+        fired[0] = True
+        system.kernel.schedule(delay, action)
+
+    system.history.subscribe(observer)
+
+
+def _drain(system: MultidatabaseSystem, limit: float = 100_000.0) -> None:
+    while system.kernel.pending and system.kernel.now <= limit:
+        system.run(max_events=50_000)
+    if system.kernel.pending:
+        raise RuntimeError("scenario did not quiesce")
+
+
+# ----------------------------------------------------------------------
+# H1 — global view distortion (paper Sec. 3, experiment E2)
+# ----------------------------------------------------------------------
+
+
+def run_h1(method: str = "naive") -> ScenarioResult:
+    """History H1: T1 prepared everywhere, globally committed, then
+    unilaterally aborted at site a; T2 runs over the released data
+    (deleting Y and updating X) before T1's COMMIT reaches site a.
+
+    Under ``naive``, T1's resubmission reads X from T2 (its original
+    read came from T0) and its update of Y decomposes differently
+    because Y is gone — the paper's global view distortion, visible as
+    a non-view-serializable C(H).  Under ``2cm``, T2's PREPARE at site a
+    fails the alive-interval intersection and T2 is aborted instead.
+    """
+    system = _build(
+        method,
+        sites=("a", "b"),
+        overrides={("coord:c1", "agent:a"): 80.0},
+    )
+    system.load("a", "acct", {"X": 100, "Y": 50})
+    system.load("b", "acct", {"Z": 10})
+    result = ScenarioResult(system=system)
+
+    t1 = GlobalTransactionSpec(
+        txn=global_txn(1),
+        steps=(
+            ("a", ReadItem("acct", "X")),
+            ("a", UpdateItem("acct", "Y", AddValue(5))),
+            ("b", UpdateItem("acct", "Z", AddValue(1))),
+        ),
+    )
+    t2 = GlobalTransactionSpec(
+        txn=global_txn(2),
+        steps=(
+            ("a", DeleteItem("acct", "Y")),
+            ("a", UpdateItem("acct", "X", AddValue(-10))),
+            ("b", UpdateItem("acct", "Z", AddValue(2))),
+        ),
+    )
+
+    _watch_outcome(result, system.submit(t1, coordinator=0))
+    # A^a_10 lands just after C_1 (the Coordinator's durable decision).
+    inject_abort_after_global_commit(system, t1.txn, "a", delay=1.0)
+    # T2 starts once C_1 is decided, while T1's COMMIT crawls to site a.
+    _on_history(
+        system,
+        lambda op: op.kind is OpKind.GLOBAL_COMMIT and op.txn == t1.txn,
+        delay=2.0,
+        action=lambda: _watch_outcome(result, system.submit(t2, coordinator=1)),
+    )
+    _drain(system)
+    return result
+
+
+# ----------------------------------------------------------------------
+# H2 — local view distortion via a direct conflict (Sec. 5.1, E3)
+# ----------------------------------------------------------------------
+
+
+def run_h2(method: str = "naive") -> ScenarioResult:
+    """History H2: the cycle T1 → T3 → L4 → T1.
+
+    T3 reads Z at site b *from T1* (after C^b_10) and updates Q at a;
+    the local transaction L4 then reads Q from T3 but Y from T0 —
+    while T1's resubmission at a commits its write of Y only later.
+    Local commits end up in reversed orders at the two sites (CG cycle)
+    and L4's view is non-serializable.
+    """
+    system = _build(
+        method,
+        sites=("a", "b"),
+        overrides={("coord:c1", "agent:a"): 80.0},
+    )
+    system.load("a", "acct", {"X": 100, "Y": 50, "Q": 7})
+    system.load("b", "acct", {"Z": 10})
+    result = ScenarioResult(system=system)
+
+    t1 = GlobalTransactionSpec(
+        txn=global_txn(1),
+        steps=(
+            ("a", ReadItem("acct", "X")),
+            ("a", UpdateItem("acct", "Y", AddValue(5))),
+            ("b", UpdateItem("acct", "Z", AddValue(1))),
+        ),
+    )
+    t3 = GlobalTransactionSpec(
+        txn=global_txn(3),
+        steps=(
+            ("b", ReadItem("acct", "Z")),
+            ("a", UpdateItem("acct", "Q", AddValue(3))),
+        ),
+    )
+
+    _watch_outcome(result, system.submit(t1, coordinator=0))
+    inject_abort_after_global_commit(system, t1.txn, "a", delay=1.0)
+
+    def launch_t3() -> None:
+        completion = system.submit(t3, coordinator=1)
+        _watch_outcome(result, completion)
+
+        def after_t3(event) -> None:
+            if event.error is not None:
+                raise event.error
+            local = system.submit_local(
+                "a",
+                [
+                    ReadItem("acct", "Q"),
+                    ReadItem("acct", "Y"),
+                    InsertItem("acct", "U", 1),
+                ],
+                number=4,
+            )
+            _watch_outcome(result, local, kind="local")
+
+        completion.subscribe(after_t3)
+
+    # T3 starts after C_1 — late enough for C^b_10 to have landed.
+    _on_history(
+        system,
+        lambda op: op.kind is OpKind.GLOBAL_COMMIT and op.txn == t1.txn,
+        delay=7.0,
+        action=launch_t3,
+    )
+    _drain(system)
+    return result
+
+
+# ----------------------------------------------------------------------
+# H3 — local view distortion via indirect conflicts (Sec. 5.1, E4)
+# ----------------------------------------------------------------------
+
+
+def run_h3(method: str = "2cm") -> ScenarioResult:
+    """History H3: globals T5 and T6 never conflict directly; each is
+    unilaterally aborted at one site after the global commit decision,
+    and a local transaction at each site reads *between* the local
+    commits — L7 sees {P from T5, R from T0}, L8 sees {U from T6, S
+    from T0}.  Their prepare operations arrive in *opposite* orders at
+    the two sites, so the PREPARE_ORDER commit policy (and of course
+    ``naive`` / ``2cm-nocommitcert``) produces a commit-order-graph
+    cycle and a non-view-serializable history; serial-number commit
+    certification orders both sites identically and stays anomaly-free
+    with zero aborts.
+    """
+    system = _build(
+        method,
+        sites=("a", "b"),
+        overrides={
+            ("coord:c1", "agent:b"): 40.0,
+            ("coord:c2", "agent:a"): 40.0,
+        },
+    )
+    system.load("a", "acct", {"P": 1, "R": 2})
+    system.load("b", "acct", {"S": 3, "U": 4})
+    result = ScenarioResult(system=system)
+
+    t5 = GlobalTransactionSpec(
+        txn=global_txn(5),
+        steps=(
+            ("a", UpdateItem("acct", "P", AddValue(10))),
+            ("b", UpdateItem("acct", "S", AddValue(10))),
+        ),
+    )
+    t6 = GlobalTransactionSpec(
+        txn=global_txn(6),
+        steps=(
+            ("a", UpdateItem("acct", "R", AddValue(20))),
+            ("b", UpdateItem("acct", "U", AddValue(20))),
+        ),
+    )
+    _watch_outcome(result, system.submit(t5, coordinator=0))
+    # T6 starts slightly later so SN(5) < SN(6) deterministically (a
+    # simultaneous start would tie the clock readings and leave the
+    # order to message-timing epsilons).
+    system.kernel.schedule(
+        2.0,
+        lambda: _watch_outcome(result, system.submit(t6, coordinator=1)),
+    )
+    # Each global loses one prepared subtransaction right after its
+    # global commit decision: T6 at site a, T5 at site b.
+    inject_abort_after_global_commit(system, t6.txn, "a", delay=1.0)
+    inject_abort_after_global_commit(system, t5.txn, "b", delay=1.0)
+
+    def launch_l7() -> None:
+        local = system.submit_local(
+            "a",
+            [
+                ReadItem("acct", "P"),
+                ReadItem("acct", "R"),
+                InsertItem("acct", "V", 1),
+            ],
+            number=7,
+        )
+        _watch_outcome(result, local, kind="local")
+
+    def launch_l8() -> None:
+        local = system.submit_local(
+            "b",
+            [
+                ReadItem("acct", "U"),
+                ReadItem("acct", "S"),
+                InsertItem("acct", "W", 1),
+            ],
+            number=8,
+        )
+        _watch_outcome(result, local, kind="local")
+
+    _on_history(
+        system,
+        lambda op: (
+            op.kind is OpKind.LOCAL_COMMIT
+            and op.txn == t5.txn
+            and op.site == "a"
+        ),
+        delay=1.0,
+        action=launch_l7,
+    )
+    _on_history(
+        system,
+        lambda op: (
+            op.kind is OpKind.LOCAL_COMMIT
+            and op.txn == t6.txn
+            and op.site == "b"
+        ),
+        delay=1.0,
+        action=launch_l8,
+    )
+    _drain(system)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Hx — COMMIT overtakes PREPARE (Sec. 5.3, E5)
+# ----------------------------------------------------------------------
+
+
+def run_hx(method: str = "2cm") -> ScenarioResult:
+    """The Sec. 5.3 race: SN(7) < SN(8), yet T8's COMMIT reaches site s
+    before T7's PREPARE does (T7's channel to s is slow).
+
+    Without the prepare-certification extension (``2cm-noext``) site s
+    happily prepares and commits T7 after T8 — yielding commit orders
+    ``7 < 8`` at site i but ``8 < 7`` at site s: a CG cycle.  With the
+    extension, site s refuses T7's PREPARE because a subtransaction
+    with a bigger serial number already committed there.
+    """
+    system = _build(
+        method,
+        sites=("i", "s"),
+        overrides={("coord:c1", "agent:s"): 100.0},
+    )
+    system.load("i", "acct", {"I1": 1, "I2": 2})
+    system.load("s", "acct", {"S1": 3, "S2": 4})
+    result = ScenarioResult(system=system)
+
+    t7 = GlobalTransactionSpec(
+        txn=global_txn(7),
+        steps=(
+            ("s", UpdateItem("acct", "S1", AddValue(1))),
+            ("i", UpdateItem("acct", "I1", AddValue(1))),
+        ),
+    )
+    t8 = GlobalTransactionSpec(
+        txn=global_txn(8),
+        steps=(
+            ("i", UpdateItem("acct", "I2", AddValue(2))),
+            ("s", UpdateItem("acct", "S2", AddValue(2))),
+        ),
+    )
+    _watch_outcome(result, system.submit(t7, coordinator=0))
+    # T8 starts once T7 is prepared at site i, so SN(7) < SN(8) while
+    # T8's (fast) COMMIT still overtakes T7's (slow) PREPARE at site s.
+    _on_history(
+        system,
+        lambda op: op.kind is OpKind.PREPARE and op.txn == t7.txn and op.site == "i",
+        delay=1.0,
+        action=lambda: _watch_outcome(result, system.submit(t8, coordinator=1)),
+    )
+    _drain(system)
+    return result
+
+
+# ----------------------------------------------------------------------
+# H2' — indirect conflicts defeat conflict-aware certification (E17)
+# ----------------------------------------------------------------------
+
+
+def run_h2_indirect(method: str = "2cm") -> ScenarioResult:
+    """H2 rearranged to isolate *why* the interval rule is conflict-blind.
+
+    At site a the two globals touch disjoint data (T1: X, Y; T3: Q) —
+    their direct conflict lives at site b (Z).  The local transaction L4
+    bridges them at site a: it reads Y (T1's item, unlocked after the
+    unilateral abort, readable despite being bound) *before* T1's
+    resubmission re-writes it, and reads Q (T3's item) — blocking on
+    T3's lock until T3 commits there.  Result: T1 < T3 (Z at b),
+    T3 < L4 (Q), L4 < T1 (Y) — the H2 cycle, built entirely from a
+    conflict the certifier cannot see because local transactions are
+    invisible to the DTM.
+
+    * ``2cm`` — the conflict-blind interval rule refuses T3 at site a
+      (their alive intervals cannot intersect after T1's failure), so
+      the chain never forms;
+    * ``2cm-conflict-aware`` — the predicate-style variant sees the
+      disjoint access sets {X, Y} vs {Q}, passes T3, and the indirect
+      conflict through L4 produces a non-view-serializable history —
+      even though commit certification correctly orders
+      ``C^a_11 < C^a_30``.
+    """
+    system = _build(
+        method,
+        sites=("a", "b"),
+        overrides={("coord:c1", "agent:a"): 80.0},
+    )
+    system.load("a", "acct", {"X": 100, "Y": 50, "Q": 7})
+    system.load("b", "acct", {"Z": 10})
+    result = ScenarioResult(system=system)
+
+    t1 = GlobalTransactionSpec(
+        txn=global_txn(1),
+        steps=(
+            ("a", ReadItem("acct", "X")),
+            ("a", UpdateItem("acct", "Y", AddValue(5))),
+            ("b", UpdateItem("acct", "Z", AddValue(1))),
+        ),
+    )
+    t3 = GlobalTransactionSpec(
+        txn=global_txn(3),
+        steps=(
+            ("b", ReadItem("acct", "Z")),
+            ("a", UpdateItem("acct", "Q", AddValue(3))),
+        ),
+    )
+
+    _watch_outcome(result, system.submit(t1, coordinator=0))
+    inject_abort_after_global_commit(system, t1.txn, "a", delay=1.0)
+
+    def launch_t3() -> None:
+        _watch_outcome(result, system.submit(t3, coordinator=1))
+
+    def launch_l4() -> None:
+        # R4[Y] lands immediately (Y is unlocked after A^a_10; bound
+        # data may be read); R4[Q] blocks on T3's lock until C^a_30.
+        local = system.submit_local(
+            "a",
+            [
+                ReadItem("acct", "Y"),
+                ReadItem("acct", "Q"),
+                InsertItem("acct", "U", 1),
+            ],
+            number=4,
+        )
+        _watch_outcome(result, local, kind="local")
+
+    _on_history(
+        system,
+        lambda op: op.kind is OpKind.GLOBAL_COMMIT and op.txn == t1.txn,
+        delay=7.0,
+        action=launch_t3,
+    )
+    # L4 starts on T3's prepare at site a — after T3's update of Q (the
+    # lock L4 will wait on), before any local commit there.
+    _on_history(
+        system,
+        lambda op: op.kind is OpKind.PREPARE and op.txn == t3.txn and op.site == "a",
+        delay=1.0,
+        action=launch_l4,
+    )
+    _drain(system)
+    return result

@@ -1,0 +1,86 @@
+"""Unit tests for the Agent log (repro.core.agent_log)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.ids import SerialNumber, global_txn
+from repro.core.agent_log import AgentLog
+from repro.ldbs.commands import AddValue, ReadItem, UpdateItem
+
+
+@pytest.fixture
+def log():
+    return AgentLog("a")
+
+
+class TestEntries:
+    def test_open_and_lookup(self, log):
+        entry = log.open(global_txn(1))
+        assert entry.txn == global_txn(1)
+        assert log.has_entry(global_txn(1))
+
+    def test_duplicate_open_rejected(self, log):
+        log.open(global_txn(1))
+        with pytest.raises(SimulationError):
+            log.open(global_txn(1))
+
+    def test_missing_entry_rejected(self, log):
+        with pytest.raises(SimulationError):
+            log.entry(global_txn(1))
+
+    def test_discard_then_reopen(self, log):
+        log.open(global_txn(1))
+        log.discard(global_txn(1))
+        assert not log.has_entry(global_txn(1))
+        log.open(global_txn(1))  # fine after discard
+
+    def test_open_entries_sorted(self, log):
+        log.open(global_txn(2))
+        log.open(global_txn(1))
+        assert log.open_entries() == [global_txn(1), global_txn(2)]
+
+
+class TestCommands:
+    def test_commands_replayed_in_submission_order(self, log):
+        log.open(global_txn(1))
+        first = ReadItem("t", "X")
+        second = UpdateItem("t", "Y", AddValue(1))
+        log.log_command(global_txn(1), first)
+        log.log_command(global_txn(1), second)
+        assert log.commands(global_txn(1)) == [first, second]
+
+    def test_commands_returns_copy(self, log):
+        log.open(global_txn(1))
+        log.log_command(global_txn(1), ReadItem("t", "X"))
+        replay = log.commands(global_txn(1))
+        replay.clear()
+        assert len(log.commands(global_txn(1))) == 1
+
+
+class TestRecords:
+    def test_prepare_record_is_forced(self, log):
+        log.open(global_txn(1))
+        sn = SerialNumber(5.0, "c1", 0)
+        log.write_prepare(global_txn(1), sn, time=10.0)
+        entry = log.entry(global_txn(1))
+        assert entry.prepared
+        assert entry.prepare_sn == sn
+        assert log.force_writes == 1
+
+    def test_double_prepare_rejected(self, log):
+        log.open(global_txn(1))
+        log.write_prepare(global_txn(1), None, time=1.0)
+        with pytest.raises(SimulationError):
+            log.write_prepare(global_txn(1), None, time=2.0)
+
+    def test_commit_record(self, log):
+        log.open(global_txn(1))
+        log.write_commit(global_txn(1), time=20.0)
+        assert log.entry(global_txn(1)).committed
+        assert log.force_writes == 1
+
+    def test_double_commit_record_rejected(self, log):
+        log.open(global_txn(1))
+        log.write_commit(global_txn(1), time=1.0)
+        with pytest.raises(SimulationError):
+            log.write_commit(global_txn(1), time=2.0)

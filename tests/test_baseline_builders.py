@@ -1,0 +1,46 @@
+"""Tests for the documented baseline constructors (repro.baselines)."""
+
+from repro.baselines import build_naive_system, build_ticket_system
+from repro.common.ids import global_txn
+from repro.core.coordinator import GlobalTransactionSpec
+from repro.core.serial import CentralCounterSN
+from repro.ldbs.commands import AddValue, UpdateItem
+
+
+class TestNaiveBuilder:
+    def test_builds_naive_method(self):
+        system = build_naive_system(sites=("a", "b"))
+        assert system.config.method == "naive"
+        config = system.certifier("a").config
+        assert not config.basic_prepare
+        assert not config.commit_certification
+
+    def test_kwargs_forwarded(self):
+        system = build_naive_system(sites=("x",), n_coordinators=3)
+        assert len(system.coordinators) == 3
+
+    def test_runs_transactions(self):
+        system = build_naive_system(sites=("a",))
+        system.load("a", "t", {1: 5})
+        done = system.submit(
+            GlobalTransactionSpec(
+                txn=global_txn(1),
+                steps=(("a", UpdateItem("t", 1, AddValue(1))),),
+            )
+        )
+        system.run()
+        assert done.value.committed
+
+
+class TestTicketBuilder:
+    def test_builds_ticket_method(self):
+        system = build_ticket_system(sites=("a", "b"))
+        assert system.config.method == "ticket"
+        assert isinstance(system.sn_generator, CentralCounterSN)
+        assert all(c.sn_at_begin for c in system.coordinators)
+
+    def test_certifications_stay_on(self):
+        system = build_ticket_system()
+        config = system.certifier("a").config
+        assert config.basic_prepare
+        assert config.commit_certification

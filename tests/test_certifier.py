@@ -1,0 +1,251 @@
+"""Unit tests for the Certifier decisions (repro.core.certifier)."""
+
+import pytest
+
+from repro.common.errors import RefusalReason, SimulationError
+from repro.common.ids import SerialNumber, global_txn
+from repro.core.certifier import (
+    Certifier,
+    CertifierConfig,
+    CommitOrderPolicy,
+)
+from repro.core.intervals import AliveInterval
+
+
+def sn(value, site="c1"):
+    return SerialNumber(float(value), site, 0)
+
+
+@pytest.fixture
+def certifier():
+    return Certifier("a")
+
+
+class TestBasicPrepare:
+    """The alive time intersection rule (Appendix B, basic part)."""
+
+    def test_empty_table_always_passes(self, certifier):
+        decision = certifier.certify_prepare(
+            global_txn(1), sn(1), AliveInterval(0, 5)
+        )
+        assert decision.ok
+
+    def test_intersecting_intervals_pass(self, certifier):
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
+        decision = certifier.certify_prepare(
+            global_txn(2), sn(2), AliveInterval(5, 15)
+        )
+        assert decision.ok
+
+    def test_disjoint_interval_refused(self, certifier):
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
+        decision = certifier.certify_prepare(
+            global_txn(2), sn(2), AliveInterval(11, 20)
+        )
+        assert not decision.ok
+        assert decision.reason is RefusalReason.ALIVE_INTERSECTION
+        assert certifier.prepare_refusals_intersection == 1
+
+    def test_must_intersect_every_entry(self, certifier):
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
+        certifier.insert(global_txn(2), sn(2), AliveInterval(8, 30))
+        decision = certifier.certify_prepare(
+            global_txn(3), sn(3), AliveInterval(12, 20)
+        )
+        assert not decision.ok  # misses T1's interval
+
+    def test_disabled_basic_accepts_disjoint(self):
+        certifier = Certifier("a", CertifierConfig(basic_prepare=False))
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
+        decision = certifier.certify_prepare(
+            global_txn(2), sn(2), AliveInterval(11, 20)
+        )
+        assert decision.ok
+
+    def test_duplicate_prepare_rejected(self, certifier):
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
+        with pytest.raises(SimulationError):
+            certifier.certify_prepare(global_txn(1), sn(1), AliveInterval(0, 5))
+
+
+class TestPrepareExtension:
+    """Refuse a PREPARE whose SN is below an already-committed one."""
+
+    def commit_one(self, certifier, number, value):
+        certifier.insert(global_txn(number), sn(value), AliveInterval(0, 10))
+        certifier.record_local_commit(global_txn(number))
+        certifier.remove(global_txn(number))
+
+    def test_out_of_order_prepare_refused(self, certifier):
+        self.commit_one(certifier, 8, 50)
+        decision = certifier.certify_prepare(
+            global_txn(7), sn(40), AliveInterval(0, 100)
+        )
+        assert not decision.ok
+        assert decision.reason is RefusalReason.PREPARE_OUT_OF_ORDER
+        assert certifier.prepare_refusals_extension == 1
+
+    def test_in_order_prepare_passes(self, certifier):
+        self.commit_one(certifier, 7, 40)
+        decision = certifier.certify_prepare(
+            global_txn(8), sn(50), AliveInterval(0, 100)
+        )
+        assert decision.ok
+
+    def test_tracks_maximum_committed(self, certifier):
+        self.commit_one(certifier, 1, 60)
+        self.commit_one(certifier, 2, 30)  # smaller: must not lower the max
+        decision = certifier.certify_prepare(
+            global_txn(3), sn(45), AliveInterval(0, 100)
+        )
+        assert not decision.ok
+
+    def test_disabled_extension_accepts_out_of_order(self):
+        certifier = Certifier("a", CertifierConfig(prepare_extension=False))
+        certifier.insert(global_txn(8), sn(50), AliveInterval(0, 10))
+        certifier.record_local_commit(global_txn(8))
+        certifier.remove(global_txn(8))
+        decision = certifier.certify_prepare(
+            global_txn(7), sn(40), AliveInterval(0, 100)
+        )
+        assert decision.ok
+
+    def test_no_sn_skips_extension(self, certifier):
+        self.commit_one(certifier, 8, 50)
+        decision = certifier.certify_prepare(
+            global_txn(7), None, AliveInterval(0, 100)
+        )
+        assert decision.ok
+
+
+class TestCommitCertification:
+    """All other table entries must carry a bigger serial number."""
+
+    def test_smallest_sn_commits(self, certifier):
+        certifier.insert(global_txn(1), sn(10), AliveInterval(0, 10))
+        certifier.insert(global_txn(2), sn(20), AliveInterval(0, 10))
+        assert certifier.certify_commit(global_txn(1)).ok
+
+    def test_bigger_sn_waits(self, certifier):
+        certifier.insert(global_txn(1), sn(10), AliveInterval(0, 10))
+        certifier.insert(global_txn(2), sn(20), AliveInterval(0, 10))
+        decision = certifier.certify_commit(global_txn(2))
+        assert not decision.ok
+        assert certifier.commit_delays == 1
+
+    def test_unblocked_after_removal(self, certifier):
+        certifier.insert(global_txn(1), sn(10), AliveInterval(0, 10))
+        certifier.insert(global_txn(2), sn(20), AliveInterval(0, 10))
+        certifier.remove(global_txn(1))
+        assert certifier.certify_commit(global_txn(2)).ok
+
+    def test_disabled_commit_cert_always_passes(self):
+        certifier = Certifier("a", CertifierConfig(commit_certification=False))
+        certifier.insert(global_txn(1), sn(10), AliveInterval(0, 10))
+        certifier.insert(global_txn(2), sn(20), AliveInterval(0, 10))
+        assert certifier.certify_commit(global_txn(2)).ok
+
+    def test_unknown_txn_rejected(self, certifier):
+        with pytest.raises(SimulationError):
+            certifier.certify_commit(global_txn(9))
+
+
+class TestPrepareOrderPolicy:
+    """The rejected alternative: commit in prepared order."""
+
+    def make(self):
+        return Certifier(
+            "a",
+            CertifierConfig(
+                prepare_extension=False,
+                commit_order=CommitOrderPolicy.PREPARE_ORDER,
+            ),
+        )
+
+    def test_earlier_prepared_commits_first(self):
+        certifier = self.make()
+        certifier.insert(global_txn(1), None, AliveInterval(0, 10))
+        certifier.insert(global_txn(2), None, AliveInterval(0, 10))
+        assert certifier.certify_commit(global_txn(1)).ok
+        assert not certifier.certify_commit(global_txn(2)).ok
+
+    def test_order_independent_of_sn(self):
+        certifier = self.make()
+        certifier.insert(global_txn(1), sn(99), AliveInterval(0, 10))
+        certifier.insert(global_txn(2), sn(1), AliveInterval(0, 10))
+        # T1 prepared first: it goes first despite the bigger SN.
+        assert certifier.certify_commit(global_txn(1)).ok
+        assert not certifier.certify_commit(global_txn(2)).ok
+
+
+class TestIntervalMaintenance:
+    def test_extend_interval(self, certifier):
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
+        certifier.extend_interval(global_txn(1), 50.0)
+        assert certifier.interval_of(global_txn(1)) == AliveInterval(0, 50)
+
+    def test_restart_interval(self, certifier):
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
+        certifier.restart_interval(global_txn(1), 99.0)
+        assert certifier.interval_of(global_txn(1)) == AliveInterval.instant(99.0)
+
+    def test_remove_is_idempotent(self, certifier):
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
+        certifier.remove(global_txn(1))
+        certifier.remove(global_txn(1))
+        assert not certifier.contains(global_txn(1))
+
+    def test_introspection(self, certifier):
+        certifier.insert(global_txn(2), sn(2), AliveInterval(0, 10))
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
+        assert certifier.prepared_txns() == [global_txn(1), global_txn(2)]
+        assert certifier.sn_of(global_txn(1)) == sn(1)
+        assert certifier.table_size() == 2
+
+    def test_record_commit_of_removed_entry_is_noop(self, certifier):
+        certifier.record_local_commit(global_txn(5))
+        assert certifier.max_committed_sn is None
+
+
+class TestMultipleIntervals:
+    """The paper's optional optimization: remember several alive
+    intervals per prepared subtransaction."""
+
+    def make(self, max_intervals):
+        return Certifier("a", CertifierConfig(max_intervals=max_intervals))
+
+    def test_single_interval_forgets_history(self):
+        certifier = self.make(1)
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 50))
+        certifier.restart_interval(global_txn(1), 80.0)
+        # Candidate overlapping only the OLD incarnation's aliveness:
+        decision = certifier.certify_prepare(
+            global_txn(2), sn(2), AliveInterval(20, 45)
+        )
+        assert not decision.ok  # unnecessary refusal
+
+    def test_archived_interval_avoids_unnecessary_refusal(self):
+        certifier = self.make(3)
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 50))
+        certifier.restart_interval(global_txn(1), 80.0)
+        decision = certifier.certify_prepare(
+            global_txn(2), sn(2), AliveInterval(20, 45)
+        )
+        assert decision.ok  # the archive remembers [0, 50]
+
+    def test_archive_bounded(self):
+        certifier = self.make(2)  # 1 archived + 1 current
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
+        certifier.restart_interval(global_txn(1), 20.0)
+        certifier.restart_interval(global_txn(1), 40.0)
+        entry_intervals = certifier._entry(global_txn(1)).all_intervals()
+        assert len(entry_intervals) == 2
+        # The oldest interval [0, 10] was evicted.
+        assert AliveInterval(0, 10) not in entry_intervals
+
+    def test_current_interval_still_extended(self):
+        certifier = self.make(3)
+        certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
+        certifier.restart_interval(global_txn(1), 30.0)
+        certifier.extend_interval(global_txn(1), 45.0)
+        assert certifier.interval_of(global_txn(1)) == AliveInterval(30, 45)

@@ -1,0 +1,178 @@
+"""Unit tests for the DML language and decomposition (repro.ldbs.commands)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.ids import DataItemId, SubtxnId, global_txn
+from repro.ldbs.commands import (
+    AddValue,
+    DeleteItem,
+    DeleteWhere,
+    InsertItem,
+    KeyIn,
+    ReadItem,
+    ScanTable,
+    SelectWhere,
+    SetValue,
+    TrueP,
+    UpdateItem,
+    UpdateWhere,
+    ValueEq,
+    ValueGt,
+    ValueLt,
+    decompose,
+    validate_command,
+)
+from repro.ldbs.storage import VersionedStore
+
+
+@pytest.fixture
+def store():
+    s = VersionedStore("a")
+    s.load("t", {"A": 5, "B": 15, "C": 25})
+    return s
+
+
+class TestPredicates:
+    def test_truep(self):
+        assert TrueP().matches("k", 1)
+
+    def test_value_eq(self):
+        assert ValueEq(5).matches("k", 5)
+        assert not ValueEq(5).matches("k", 6)
+
+    def test_value_gt_and_lt(self):
+        assert ValueGt(10).matches("k", 11)
+        assert not ValueGt(10).matches("k", 10)
+        assert ValueLt(10).matches("k", 9)
+        assert not ValueLt(10).matches("k", 10)
+
+    def test_comparison_with_incomparable_type_is_false(self):
+        assert not ValueGt(10).matches("k", "text")
+        assert not ValueLt(10).matches("k", None)
+
+    def test_key_in(self):
+        pred = KeyIn(["A", "B"])
+        assert pred.matches("A", 0)
+        assert not pred.matches("C", 0)
+
+    def test_key_in_hashable_and_equal(self):
+        assert KeyIn(["A"]) == KeyIn(["A"])
+        assert hash(KeyIn(["A"])) == hash(KeyIn(["A"]))
+
+
+class TestUpdateOps:
+    def test_set_value(self):
+        assert SetValue(9).apply(1) == 9
+
+    def test_add_value(self):
+        assert AddValue(3).apply(4) == 7
+        assert AddValue(-3).apply(4) == 1
+
+
+class TestCommandShape:
+    def test_update_flags(self):
+        assert UpdateItem("t", "A", SetValue(1)).is_update()
+        assert InsertItem("t", "A", 1).is_update()
+        assert DeleteItem("t", "A").is_update()
+        assert not ReadItem("t", "A").is_update()
+        assert not ScanTable("t").is_update()
+
+    def test_scan_flags(self):
+        assert ScanTable("t").is_scan()
+        assert SelectWhere("t", TrueP()).is_scan()
+        assert UpdateWhere("t", TrueP(), SetValue(1)).is_scan()
+        assert DeleteWhere("t", TrueP()).is_scan()
+        assert not ReadItem("t", "A").is_scan()
+        assert not UpdateItem("t", "A", SetValue(1)).is_scan()
+
+    def test_commands_are_values(self):
+        assert ReadItem("t", "A") == ReadItem("t", "A")
+        assert UpdateItem("t", "A", AddValue(1)) == UpdateItem("t", "A", AddValue(1))
+
+    def test_validate_rejects_non_commands(self):
+        with pytest.raises(ConfigError):
+            validate_command("SELECT * FROM t")
+
+    def test_validate_rejects_empty_table(self):
+        with pytest.raises(ConfigError):
+            validate_command(ReadItem("", "A"))
+
+
+class TestDecompose:
+    """D(O, S) — the DDF assumption made executable."""
+
+    def shapes(self, ops):
+        return [(op.kind, op.item.key) for op in ops]
+
+    def test_read_item(self, store):
+        ops = decompose(ReadItem("t", "A"), store)
+        assert self.shapes(ops) == [("R", "A")]
+
+    def test_read_missing_item_still_probes(self, store):
+        ops = decompose(ReadItem("t", "Z"), store)
+        assert self.shapes(ops) == [("R", "Z")]
+
+    def test_scan_reads_all_rows_in_key_order(self, store):
+        ops = decompose(ScanTable("t"), store)
+        assert self.shapes(ops) == [("R", "A"), ("R", "B"), ("R", "C")]
+
+    def test_select_where_reads_all_rows(self, store):
+        ops = decompose(SelectWhere("t", ValueGt(10)), store)
+        assert self.shapes(ops) == [("R", "A"), ("R", "B"), ("R", "C")]
+
+    def test_insert_is_blind_write(self, store):
+        ops = decompose(InsertItem("t", "Z", 1), store)
+        assert self.shapes(ops) == [("W", "Z")]
+
+    def test_update_existing_is_read_write(self, store):
+        ops = decompose(UpdateItem("t", "A", AddValue(1)), store)
+        assert self.shapes(ops) == [("R", "A"), ("W", "A")]
+
+    def test_update_missing_is_read_only(self, store):
+        """The state-dependence that makes H1's resubmission decompose
+        differently after T2 deleted the row."""
+        ops = decompose(UpdateItem("t", "Z", AddValue(1)), store)
+        assert self.shapes(ops) == [("R", "Z")]
+
+    def test_update_where_writes_matching_only(self, store):
+        ops = decompose(UpdateWhere("t", ValueGt(10), AddValue(1)), store)
+        assert self.shapes(ops) == [
+            ("R", "A"),
+            ("R", "B"),
+            ("W", "B"),
+            ("R", "C"),
+            ("W", "C"),
+        ]
+
+    def test_delete_existing(self, store):
+        ops = decompose(DeleteItem("t", "A"), store)
+        assert self.shapes(ops) == [("R", "A"), ("D", "A")]
+
+    def test_delete_missing(self, store):
+        ops = decompose(DeleteItem("t", "Z"), store)
+        assert self.shapes(ops) == [("R", "Z")]
+
+    def test_delete_where(self, store):
+        ops = decompose(DeleteWhere("t", ValueLt(10)), store)
+        assert self.shapes(ops) == [("R", "A"), ("D", "A"), ("R", "B"), ("R", "C")]
+
+    def test_deterministic_for_same_state(self, store):
+        command = UpdateWhere("t", ValueGt(0), AddValue(1))
+        first = decompose(command, store)
+        second = decompose(command, store)
+        assert first == second
+
+    def test_changes_with_state(self, store):
+        command = UpdateItem("t", "A", AddValue(1))
+        before = decompose(command, store)
+        store.delete(SubtxnId(global_txn(9), "a", 0), DataItemId("t", "A"))
+        after = decompose(command, store)
+        assert len(before) == 2 and len(after) == 1
+
+    def test_unknown_command_rejected(self, store):
+        class Fake:
+            table = "t"
+
+        with pytest.raises(ConfigError):
+            decompose(Fake(), store)

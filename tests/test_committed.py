@@ -1,0 +1,80 @@
+"""Unit tests for the committed projection C(H) (repro.history.committed)."""
+
+from repro.common.ids import global_txn, local_txn
+from repro.history.committed import committed_projection
+from repro.history.model import OpKind
+
+from tests.helpers import HistoryBuilder
+
+
+class TestInclusion:
+    def test_committed_complete_global_included(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").c(1).cl(1, "a")
+        proj = committed_projection(h.history)
+        assert proj.global_txns == frozenset({global_txn(1)})
+        assert len(proj.ops) == 3
+
+    def test_globally_aborted_excluded(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").c(1).cl(1, "a")
+        h.r(2, "a", "Y").a(2)
+        proj = committed_projection(h.history)
+        assert global_txn(2) not in proj.txns
+        assert all(op.txn != global_txn(2) for op in proj.ops)
+
+    def test_incomplete_global_excluded(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(1, "b", "Z").c(1).cl(1, "a")  # b never committed
+        proj = committed_projection(h.history)
+        assert proj.global_txns == frozenset()
+
+    def test_committed_local_included(self):
+        h = HistoryBuilder()
+        h.r(4, "a", "Q", local=True).cl(4, "a", local=True)
+        proj = committed_projection(h.history)
+        assert proj.local_txns == frozenset({local_txn(4, "a")})
+
+    def test_uncommitted_local_excluded(self):
+        h = HistoryBuilder()
+        h.r(4, "a", "Q", local=True).al(4, "a", local=True, unilateral=False)
+        proj = committed_projection(h.history)
+        assert proj.txns == set()
+
+
+class TestPaperTwist:
+    """The redefinition: unilaterally aborted subtransactions of
+    committed complete transactions stay inside C(H)."""
+
+    def test_aborted_incarnation_ops_included(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").p(1, "a").c(1).al(1, "a", inc=0)
+        h.r(1, "a", "X", inc=1).cl(1, "a", inc=1)
+        proj = committed_projection(h.history)
+        kinds = [op.kind for op in proj.ops]
+        assert OpKind.LOCAL_ABORT in kinds
+        reads = [op for op in proj.ops if op.kind is OpKind.READ]
+        assert {op.subtxn.incarnation for op in reads} == {0, 1}
+
+    def test_projection_render_matches_paper_shape(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").p(1, "a").c(1).al(1, "a", inc=0)
+        h.r(1, "a", "X", inc=1).cl(1, "a", inc=1)
+        text = committed_projection(h.history).render()
+        assert "A^a_10" in text
+        assert "R11[t.'X'^a]" in text
+
+
+class TestHelpers:
+    def test_data_ops_filters(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(1, "a", "Y").p(1, "a").c(1).cl(1, "a")
+        proj = committed_projection(h.history)
+        assert len(proj.data_ops()) == 2
+
+    def test_txns_union(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").c(1).cl(1, "a")
+        h.r(4, "a", "Q", local=True).cl(4, "a", local=True)
+        proj = committed_projection(h.history)
+        assert proj.txns == {global_txn(1), local_txn(4, "a")}

@@ -1,0 +1,68 @@
+"""Unit tests for the exception hierarchy (repro.common.errors)."""
+
+import pytest
+
+from repro.common.errors import (
+    CertificationRefused,
+    ConfigError,
+    DLUViolation,
+    HistoryError,
+    LockTimeout,
+    RefusalReason,
+    ReproError,
+    SimulationError,
+    TransactionAborted,
+    reason_of,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (
+            ConfigError,
+            SimulationError,
+            HistoryError,
+            TransactionAborted,
+            LockTimeout,
+            DLUViolation,
+            CertificationRefused,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_lock_timeout_is_a_transaction_abort(self):
+        exc = LockTimeout("row X")
+        assert isinstance(exc, TransactionAborted)
+        assert exc.reason is RefusalReason.LOCK_TIMEOUT
+
+    def test_dlu_violation_reason(self):
+        assert DLUViolation().reason is RefusalReason.DLU
+
+    def test_certification_refused_carries_reason(self):
+        exc = CertificationRefused(RefusalReason.ALIVE_INTERSECTION, "empty")
+        assert exc.reason is RefusalReason.ALIVE_INTERSECTION
+        assert "empty" in str(exc)
+
+    def test_message_without_detail(self):
+        exc = TransactionAborted(RefusalReason.UNILATERAL)
+        assert str(exc) == "unilateral-abort"
+
+
+class TestReasonOf:
+    def test_extracts_reason(self):
+        assert (
+            reason_of(TransactionAborted(RefusalReason.NOT_ALIVE))
+            is RefusalReason.NOT_ALIVE
+        )
+
+    def test_none_for_other_exceptions(self):
+        assert reason_of(ValueError("x")) is None
+        assert reason_of(None) is None
+
+
+class TestRefusalReason:
+    def test_str_is_value(self):
+        assert str(RefusalReason.PREPARE_OUT_OF_ORDER) == "prepare-out-of-order"
+
+    def test_all_reasons_distinct(self):
+        values = [r.value for r in RefusalReason]
+        assert len(values) == len(set(values))

@@ -1,0 +1,106 @@
+"""Unit tests for identifier types (repro.common.ids)."""
+
+import pytest
+
+from repro.common.ids import (
+    DataItemId,
+    SerialNumber,
+    SubtxnId,
+    TxnId,
+    global_txn,
+    local_txn,
+    qualified_item,
+)
+
+
+class TestTxnId:
+    def test_global_label(self):
+        assert global_txn(1).label == "T1"
+
+    def test_local_label(self):
+        assert local_txn(4, "a").label == "L4"
+
+    def test_local_requires_site(self):
+        with pytest.raises(ValueError):
+            TxnId(number=4, is_local=True)
+
+    def test_global_rejects_site(self):
+        with pytest.raises(ValueError):
+            TxnId(number=1, is_local=False, site="a")
+
+    def test_equality_and_hash(self):
+        assert global_txn(3) == global_txn(3)
+        assert hash(global_txn(3)) == hash(global_txn(3))
+        assert global_txn(3) != local_txn(3, "a")
+
+    def test_ordering_is_deterministic(self):
+        ids = [local_txn(1, "b"), global_txn(2), global_txn(1), local_txn(1, "a")]
+        ordered = sorted(ids)
+        # Sorted by number first, locals after globals within a number.
+        assert ordered == [
+            global_txn(1),
+            local_txn(1, "a"),
+            local_txn(1, "b"),
+            global_txn(2),
+        ]
+
+    def test_str_matches_label(self):
+        assert str(global_txn(7)) == "T7"
+
+
+class TestSubtxnId:
+    def test_label_matches_paper_notation(self):
+        sub = SubtxnId(global_txn(1), "a", 0)
+        assert sub.label == "T10^a"
+
+    def test_local_subtxn_label_has_no_incarnation(self):
+        sub = SubtxnId(local_txn(4, "a"), "a")
+        assert sub.label == "L4^a"
+
+    def test_resubmitted_increments_incarnation(self):
+        sub = SubtxnId(global_txn(1), "a", 0)
+        nxt = sub.resubmitted()
+        assert nxt.incarnation == 1
+        assert nxt.txn == sub.txn
+        assert nxt.site == sub.site
+
+    def test_ordering_by_incarnation(self):
+        s0 = SubtxnId(global_txn(1), "a", 0)
+        s1 = s0.resubmitted()
+        assert s0 < s1
+
+
+class TestSerialNumber:
+    def test_orders_by_clock_first(self):
+        assert SerialNumber(1.0, "z") < SerialNumber(2.0, "a")
+
+    def test_site_breaks_clock_ties(self):
+        assert SerialNumber(1.0, "a") < SerialNumber(1.0, "b")
+
+    def test_seq_breaks_full_ties(self):
+        assert SerialNumber(1.0, "a", 0) < SerialNumber(1.0, "a", 1)
+
+    def test_uniqueness_under_equality(self):
+        assert SerialNumber(1.0, "a", 0) == SerialNumber(1.0, "a", 0)
+
+
+class TestDataItemId:
+    def test_label(self):
+        assert DataItemId("acct", "X").label == "acct['X']"
+
+    def test_hashable_with_heterogeneous_keys(self):
+        items = {DataItemId("t", 1), DataItemId("t", "1"), DataItemId("t", (1, 2))}
+        assert len(items) == 3
+
+    def test_equality(self):
+        assert DataItemId("t", 1) == DataItemId("t", 1)
+        assert DataItemId("t", 1) != DataItemId("u", 1)
+
+    def test_deterministic_ordering_across_key_types(self):
+        a = DataItemId("t", 1)
+        b = DataItemId("t", "x")
+        assert (a < b) != (b < a)
+
+    def test_qualified_item(self):
+        item = DataItemId("t", "X")
+        assert qualified_item("a", item) == ("a", item)

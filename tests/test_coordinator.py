@@ -1,0 +1,173 @@
+"""Focused tests for the Coordinator and transaction specs."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.ids import global_txn, local_txn
+from repro.core.coordinator import GlobalTransactionSpec
+from repro.core.dtm import MultidatabaseSystem, SystemConfig
+from repro.ldbs.commands import AddValue, ReadItem, UpdateItem
+from repro.net.network import LatencyModel
+from repro.sim.metrics import audit
+
+
+class TestSpec:
+    def test_sites_in_first_use_order(self):
+        spec = GlobalTransactionSpec(
+            txn=global_txn(1),
+            steps=(
+                ("b", ReadItem("t", 1)),
+                ("a", ReadItem("t", 2)),
+                ("b", ReadItem("t", 3)),
+            ),
+        )
+        assert spec.sites == ["b", "a"]
+
+    def test_local_txn_id_rejected(self):
+        with pytest.raises(SimulationError):
+            GlobalTransactionSpec(
+                txn=local_txn(1, "a"), steps=(("a", ReadItem("t", 1)),)
+            )
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(SimulationError):
+            GlobalTransactionSpec(txn=global_txn(1), steps=())
+
+    def test_from_site_commands_orders_by_site(self):
+        spec = GlobalTransactionSpec.from_site_commands(
+            global_txn(1),
+            {
+                "b": [ReadItem("t", 1), ReadItem("t", 2)],
+                "a": [ReadItem("t", 3)],
+            },
+        )
+        assert [site for site, _ in spec.steps] == ["a", "b", "b"]
+
+    def test_think_time_propagates(self):
+        spec = GlobalTransactionSpec.from_site_commands(
+            global_txn(1), {"a": [ReadItem("t", 1)]}, think_time=5.0
+        )
+        assert spec.think_time == 5.0
+
+
+class TestOutcome:
+    def build(self):
+        system = MultidatabaseSystem(
+            SystemConfig(sites=("a", "b"), latency=LatencyModel(base=5.0))
+        )
+        system.load("a", "t", {1: 10})
+        system.load("b", "t", {2: 20})
+        return system
+
+    def test_latency_measured_from_submission(self):
+        system = self.build()
+        done = system.submit(
+            GlobalTransactionSpec(
+                txn=global_txn(1),
+                steps=(("a", ReadItem("t", 1)),),
+                think_time=13.0,
+            )
+        )
+        system.run()
+        outcome = done.value
+        assert outcome.latency >= 13.0
+        assert outcome.finished_at > outcome.started_at
+
+    def test_results_align_with_steps(self):
+        system = self.build()
+        done = system.submit(
+            GlobalTransactionSpec(
+                txn=global_txn(1),
+                steps=(
+                    ("a", ReadItem("t", 1)),
+                    ("b", UpdateItem("t", 2, AddValue(1))),
+                ),
+            )
+        )
+        system.run()
+        results = done.value.results
+        assert len(results) == 2
+        assert results[0].rows == ((1, 10),)
+        assert results[1].affected == 1
+
+    def test_decisions_logged_counter(self):
+        system = self.build()
+        system.submit(
+            GlobalTransactionSpec(
+                txn=global_txn(1), steps=(("a", ReadItem("t", 1)),)
+            )
+        )
+        system.run()
+        assert system.coordinators[0].decisions_logged == 1
+
+    def test_single_site_transaction_still_runs_full_2pc(self):
+        """The paper's protocol does not special-case one participant."""
+        system = self.build()
+        done = system.submit(
+            GlobalTransactionSpec(
+                txn=global_txn(1), steps=(("a", ReadItem("t", 1)),)
+            )
+        )
+        system.run()
+        assert done.value.committed
+        kinds = [op.kind.value for op in system.history.ops]
+        assert "P" in kinds  # prepared even with one participant
+        assert audit(system).ok
+
+    def test_many_sequential_transactions_one_coordinator(self):
+        system = self.build()
+        for number in range(1, 11):
+            done = system.submit(
+                GlobalTransactionSpec(
+                    txn=global_txn(number),
+                    steps=(("a", UpdateItem("t", 1, AddValue(1))),),
+                ),
+                coordinator=0,
+            )
+            system.run()
+            assert done.value.committed
+        snapshot = {k.key: v for k, v in system.ltm("a").store.snapshot().items()}
+        assert snapshot[1] == 20
+        assert system.coordinators[0].committed == 10
+
+    def test_sn_uniqueness_across_transactions(self):
+        system = self.build()
+        sns = []
+        for number in range(1, 6):
+            done = system.submit(
+                GlobalTransactionSpec(
+                    txn=global_txn(number), steps=(("a", ReadItem("t", 1)),)
+                )
+            )
+            system.run()
+            sns.append(done.value.sn)
+        assert len(set(sns)) == 5
+        assert sns == sorted(sns)  # drawn later -> bigger
+
+
+class TestClockRates:
+    def test_rate_skewed_clock_accelerates_sns(self):
+        system = MultidatabaseSystem(
+            SystemConfig(
+                sites=("a",),
+                n_coordinators=2,
+                clock_rates={"c2": 1.0},  # c2's clock runs 2x
+            )
+        )
+        system.load("a", "t", {1: 1})
+        first = system.submit(
+            GlobalTransactionSpec(
+                txn=global_txn(1), steps=(("a", ReadItem("t", 1)),)
+            ),
+            coordinator=0,
+        )
+        system.run()
+        second = system.submit(
+            GlobalTransactionSpec(
+                txn=global_txn(2), steps=(("a", ReadItem("t", 1)),)
+            ),
+            coordinator=1,
+        )
+        system.run()
+        # c2's reading is roughly double the simulated time.
+        assert second.value.sn.clock > 1.5 * first.value.sn.clock

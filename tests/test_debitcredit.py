@@ -1,0 +1,123 @@
+"""Tests for the debit-credit workload (repro.workload.debitcredit)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.dtm import MultidatabaseSystem, SystemConfig
+from repro.sim.driver import run_schedule
+from repro.sim.failures import RandomFailureInjector
+from repro.sim.metrics import audit
+from repro.workload.debitcredit import (
+    DebitCreditConfig,
+    DebitCreditGenerator,
+    verify_invariants,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        DebitCreditConfig()
+
+    def test_remote_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            DebitCreditConfig(remote_fraction=1.5)
+
+    def test_remote_needs_two_branches(self):
+        with pytest.raises(ConfigError):
+            DebitCreditConfig(sites=("solo",), remote_fraction=0.2)
+
+    def test_single_branch_all_local_ok(self):
+        DebitCreditConfig(sites=("solo",), remote_fraction=0.0)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        config = DebitCreditConfig(n_transactions=20, seed=5)
+        first = DebitCreditGenerator(config).generate()
+        second = DebitCreditGenerator(config).generate()
+        assert first.deltas == second.deltas
+
+    def test_remote_fraction_shapes_multi_site_txns(self):
+        config = DebitCreditConfig(
+            n_transactions=200, remote_fraction=0.5, seed=2
+        )
+        generated = DebitCreditGenerator(config).generate()
+        remote = sum(
+            1
+            for home, acct_site, _d in generated.deltas.values()
+            if home != acct_site
+        )
+        assert 0.3 < remote / 200 < 0.7
+
+    def test_all_local_when_zero_remote(self):
+        config = DebitCreditConfig(
+            n_transactions=50, remote_fraction=0.0, seed=2
+        )
+        generated = DebitCreditGenerator(config).generate()
+        assert all(
+            home == acct for home, acct, _d in generated.deltas.values()
+        )
+
+    def test_initial_data_shape(self):
+        config = DebitCreditConfig(
+            accounts_per_branch=7, tellers_per_branch=3
+        )
+        generated = DebitCreditGenerator(config).generate()
+        tables = generated.schedule.initial_data["branch1"]
+        assert len(tables["accounts"]) == 7
+        assert len(tables["tellers"]) == 3
+        assert tables["branch"] == {"balance": 0}
+
+    def test_inquiries_generated(self):
+        config = DebitCreditConfig(n_inquiries=5)
+        generated = DebitCreditGenerator(config).generate()
+        assert generated.schedule.n_local == 5
+
+
+class TestInvariants:
+    def run_bank(self, method="2cm", failures=0.0, seed=4, n=25):
+        config = DebitCreditConfig(
+            sites=("branch1", "branch2"),
+            n_transactions=n,
+            remote_fraction=0.3,
+            seed=seed,
+        )
+        generated = DebitCreditGenerator(config).generate()
+        system = MultidatabaseSystem(
+            SystemConfig(
+                sites=config.sites, n_coordinators=2, method=method, seed=seed
+            )
+        )
+        if failures:
+            RandomFailureInjector(system, probability=failures, seed=seed)
+        result = run_schedule(system, generated.schedule)
+        return system, generated, result
+
+    def test_failure_free_books_balance(self):
+        system, generated, result = self.run_bank()
+        report = verify_invariants(system, generated, result.committed_globals)
+        assert report.ok, report.details
+
+    def test_books_balance_under_failures(self):
+        """Exactly-once repair: resubmission never double-applies."""
+        system, generated, result = self.run_bank(failures=0.5)
+        assert system.agents["branch1"].resubmissions + \
+            system.agents["branch2"].resubmissions > 0
+        report = verify_invariants(system, generated, result.committed_globals)
+        assert report.ok, report.details
+        assert audit(system).rigor_violations == 0
+
+    def test_invariant_checker_catches_corruption(self):
+        system, generated, result = self.run_bank()
+        # Corrupt one branch balance behind the checker's back.
+        from repro.common.ids import DataItemId, SubtxnId, global_txn
+
+        store = system.ltm("branch1").store
+        store.write(
+            SubtxnId(global_txn(999), "branch1", 0),
+            DataItemId("branch", "balance"),
+            123_456,
+        )
+        report = verify_invariants(system, generated, result.committed_globals)
+        assert not report.ok
+        assert any("branch1" in line for line in report.details)

@@ -1,0 +1,98 @@
+"""Unit tests for the distortion detectors (repro.history.distortion)."""
+
+from repro.common.ids import global_txn
+from repro.history.committed import committed_projection
+from repro.history.distortion import find_distortions
+
+from tests.helpers import HistoryBuilder
+
+
+def report(h):
+    return find_distortions(committed_projection(h.history))
+
+
+class TestGlobalViewDistortion:
+    def test_view_split_detected(self):
+        """Two incarnations of T1 read X from different sources."""
+        h = HistoryBuilder()
+        h.r(1, "a", "X").p(1, "a").c(1).al(1, "a", inc=0)
+        h.w(2, "a", "X").c(2).cl(2, "a")
+        h.r(1, "a", "X", inc=1).cl(1, "a", inc=1)
+        rep = report(h)
+        assert rep.has_global_distortion
+        assert len(rep.view_splits) == 1
+        split = rep.view_splits[0]
+        assert split.txn == global_txn(1)
+        assert split.first_source is None            # T0
+        assert split.second_source == global_txn(2)
+
+    def test_decomposition_change_detected(self):
+        """Incarnation 1 lost the write (the H1 'Y was deleted' case)."""
+        h = HistoryBuilder()
+        h.r(1, "a", "Y").w(1, "a", "Y").p(1, "a").c(1).al(1, "a", inc=0)
+        h.r(1, "a", "Y", inc=1).cl(1, "a", inc=1)   # same read source (T0)
+        rep = report(h)
+        assert rep.decomposition_changes
+        change = rep.decomposition_changes[0]
+        assert change.first_incarnation == 0
+        assert change.second_incarnation == 1
+
+    def test_identical_resubmission_clean(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(1, "a", "Y").p(1, "a").c(1).al(1, "a", inc=0)
+        h.r(1, "a", "X", inc=1).w(1, "a", "Y", inc=1).cl(1, "a", inc=1)
+        rep = report(h)
+        assert not rep.has_global_distortion
+
+    def test_single_incarnation_never_distorted(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").c(1).cl(1, "a")
+        assert not report(h).has_global_distortion
+
+    def test_local_txns_ignored(self):
+        h = HistoryBuilder()
+        h.r(4, "a", "X", local=True).cl(4, "a", local=True)
+        assert not report(h).has_global_distortion
+
+    def test_excluded_txn_not_examined(self):
+        """A globally aborted transaction's incarnations are outside
+        C(H) and cannot distort anything."""
+        h = HistoryBuilder()
+        h.r(1, "a", "X").al(1, "a", inc=0)
+        h.w(2, "a", "X").c(2).cl(2, "a")
+        h.r(1, "a", "X", inc=1).a(1)
+        assert not report(h).has_global_distortion
+
+
+class TestLocalViewDistortionRisk:
+    def test_cg_cycle_reported(self):
+        h = HistoryBuilder()
+        h.cl(1, "a").cl(2, "a").cl(2, "b").cl(1, "b")
+        h.c(1).c(2)
+        # make them committed & complete so they are inside C(H)
+        rep = report(h)
+        assert rep.has_local_distortion_risk
+        assert rep.commit_graph_cycle is not None
+
+    def test_aligned_commit_orders_clean(self):
+        h = HistoryBuilder()
+        h.cl(1, "a").cl(2, "a").cl(1, "b").cl(2, "b")
+        h.c(1).c(2)
+        rep = report(h)
+        assert not rep.has_local_distortion_risk
+
+
+class TestReportRendering:
+    def test_describe_clean(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").c(1).cl(1, "a")
+        assert report(h).describe() == "no distortions"
+        assert report(h).clean
+
+    def test_describe_mentions_findings(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").p(1, "a").c(1).al(1, "a", inc=0)
+        h.w(2, "a", "X").c(2).cl(2, "a")
+        h.r(1, "a", "X", inc=1).cl(1, "a", inc=1)
+        text = report(h).describe()
+        assert "view split" in text

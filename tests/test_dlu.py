@@ -1,0 +1,102 @@
+"""Unit tests for the DLU bound-data guard (repro.ldbs.dlu)."""
+
+import pytest
+
+from repro.common.errors import DLUViolation
+from repro.common.ids import DataItemId, global_txn
+from repro.kernel import EventKernel
+from repro.ldbs.dlu import BoundDataGuard, DLUPolicy
+
+X = DataItemId("t", "X")
+Y = DataItemId("t", "Y")
+
+
+@pytest.fixture
+def kernel():
+    return EventKernel()
+
+
+class TestBinding:
+    def test_bind_and_query(self, kernel):
+        guard = BoundDataGuard(kernel)
+        guard.bind(global_txn(1), [X, Y])
+        assert guard.is_bound(X)
+        assert guard.binders(X) == {global_txn(1)}
+        assert guard.bound_items() == {X, Y}
+
+    def test_unbind_releases(self, kernel):
+        guard = BoundDataGuard(kernel)
+        guard.bind(global_txn(1), [X])
+        guard.unbind(global_txn(1))
+        assert not guard.is_bound(X)
+
+    def test_item_bound_by_two_txns_stays_bound(self, kernel):
+        guard = BoundDataGuard(kernel)
+        guard.bind(global_txn(1), [X])
+        guard.bind(global_txn(2), [X])
+        guard.unbind(global_txn(1))
+        assert guard.is_bound(X)
+        guard.unbind(global_txn(2))
+        assert not guard.is_bound(X)
+
+    def test_rebinding_same_txn_idempotent(self, kernel):
+        guard = BoundDataGuard(kernel)
+        guard.bind(global_txn(1), [X])
+        guard.bind(global_txn(1), [X, Y])
+        guard.unbind(global_txn(1))
+        assert guard.bound_items() == set()
+
+
+class TestAbortPolicy:
+    def test_unbound_item_authorized(self, kernel):
+        guard = BoundDataGuard(kernel, policy=DLUPolicy.ABORT)
+        event = guard.authorize_local_update(X)
+        kernel.run()
+        assert event.ok
+
+    def test_bound_item_denied(self, kernel):
+        guard = BoundDataGuard(kernel, policy=DLUPolicy.ABORT)
+        guard.bind(global_txn(1), [X])
+        event = guard.authorize_local_update(X)
+        kernel.run()
+        assert isinstance(event.error, DLUViolation)
+        assert guard.denials == 1
+
+
+class TestBlockPolicy:
+    def test_waits_until_unbind(self, kernel):
+        guard = BoundDataGuard(kernel, policy=DLUPolicy.BLOCK, wait_timeout=100.0)
+        guard.bind(global_txn(1), [X])
+        event = guard.authorize_local_update(X)
+        kernel.run(until=10.0)
+        assert not event.done
+        guard.unbind(global_txn(1))
+        kernel.run()
+        assert event.ok
+        assert guard.blocks == 1
+
+    def test_timeout_denies(self, kernel):
+        guard = BoundDataGuard(kernel, policy=DLUPolicy.BLOCK, wait_timeout=20.0)
+        guard.bind(global_txn(1), [X])
+        event = guard.authorize_local_update(X)
+        kernel.run()
+        assert isinstance(event.error, DLUViolation)
+
+    def test_waiter_on_other_item_not_woken(self, kernel):
+        guard = BoundDataGuard(kernel, policy=DLUPolicy.BLOCK, wait_timeout=None)
+        guard.bind(global_txn(1), [X])
+        guard.bind(global_txn(2), [Y])
+        waiter_y = guard.authorize_local_update(Y)
+        guard.unbind(global_txn(1))
+        kernel.run()
+        assert not waiter_y.done
+
+
+class TestViolatePolicy:
+    def test_bound_item_allowed_and_counted(self, kernel):
+        guard = BoundDataGuard(kernel, policy=DLUPolicy.VIOLATE)
+        guard.bind(global_txn(1), [X])
+        event = guard.authorize_local_update(X)
+        kernel.run()
+        assert event.ok
+        assert guard.violations_allowed == 1

@@ -1,0 +1,280 @@
+"""Edge-case coverage across modules: protocol errors, renderings,
+empty inputs, idempotent paths."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.ids import SubtxnId, global_txn
+from repro.core.dtm import MultidatabaseSystem, SystemConfig
+from repro.history.committed import committed_projection
+from repro.history.model import History, OpKind
+from repro.kernel import EventKernel
+from repro.ldbs.commands import AddValue, ReadItem, UpdateItem
+from repro.net.messages import Message, MsgType
+
+from tests.helpers import HistoryBuilder
+
+
+class TestAgentProtocolErrors:
+    def build(self):
+        system = MultidatabaseSystem(SystemConfig(sites=("a",)))
+        system.load("a", "t", {1: 1})
+        return system
+
+    def test_duplicate_begin_rejected(self):
+        system = self.build()
+        agent = system.agent("a")
+        msg = Message(
+            type=MsgType.BEGIN, src="coord:c1", dst="agent:a", txn=global_txn(1)
+        )
+        agent._on_message(msg)
+        with pytest.raises(SimulationError):
+            agent._on_message(msg)
+
+    def test_unexpected_message_type_rejected(self):
+        system = self.build()
+        agent = system.agent("a")
+        msg = Message(
+            type=MsgType.READY, src="coord:c1", dst="agent:a", txn=global_txn(1)
+        )
+        with pytest.raises(SimulationError):
+            agent._on_message(msg)
+
+    def test_commit_for_unknown_txn_rejected(self):
+        system = self.build()
+        agent = system.agent("a")
+        msg = Message(
+            type=MsgType.COMMIT, src="coord:c1", dst="agent:a", txn=global_txn(9)
+        )
+        with pytest.raises(SimulationError):
+            agent._on_message(msg)
+
+    def test_rollback_for_unknown_txn_acked(self):
+        """Idempotent: late/duplicate ROLLBACKs are acknowledged."""
+        system = self.build()
+        agent = system.agent("a")
+        msg = Message(
+            type=MsgType.ROLLBACK, src="coord:c1", dst="agent:a", txn=global_txn(9)
+        )
+        agent._on_message(msg)  # must not raise
+        system.run()
+        # The coordinator got an ack (its router creates a done event).
+        assert system.network.messages_delivered >= 1
+
+
+class TestCoordinatorProtocolErrors:
+    def test_unexpected_message_type_rejected(self):
+        system = MultidatabaseSystem(SystemConfig(sites=("a",)))
+        coordinator = system.coordinators[0]
+        msg = Message(
+            type=MsgType.PREPARE, src="agent:a", dst="coord:c1", txn=global_txn(1)
+        )
+        with pytest.raises(SimulationError):
+            coordinator._on_message(msg)
+
+
+class TestHistoryRenderings:
+    def test_render_subset(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(1, "a", "Y").c(1).cl(1, "a")
+        reads = [op for op in h.history.ops if op.kind is OpKind.READ]
+        assert h.history.render(reads) == "R10[t.'X'^a]"
+
+    def test_restricted_to(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").r(2, "a", "Y")
+        only_one = h.history.restricted_to({global_txn(1)})
+        assert len(only_one) == 1
+
+    def test_committed_projection_render(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").c(1).cl(1, "a")
+        text = committed_projection(h.history).render()
+        assert "R10" in text and "C^a_10" in text
+
+    def test_empty_history_helpers(self):
+        history = History()
+        assert history.sites() == []
+        assert history.txns() == []
+        assert history.globally_committed() == set()
+        assert history.complete_global_txns() == set()
+        assert len(history) == 0
+        assert committed_projection(history).txns == set()
+
+
+class TestLtmIdempotencies:
+    def test_double_abort_is_noop(self):
+        system = MultidatabaseSystem(SystemConfig(sites=("a",)))
+        system.load("a", "t", {1: 1})
+        ltm = system.ltm("a")
+        txn = ltm.begin(SubtxnId(global_txn(1), "a", 0))
+        txn.abort()
+        txn.abort()  # second abort: silently ignored
+        assert ltm.aborts == 1
+
+    def test_abort_after_commit_is_noop(self):
+        system = MultidatabaseSystem(SystemConfig(sites=("a",)))
+        system.load("a", "t", {1: 1})
+        ltm = system.ltm("a")
+        txn = ltm.begin(SubtxnId(global_txn(1), "a", 0))
+        txn.commit()
+        system.run()
+        txn.abort()
+        assert ltm.commits == 1 and ltm.aborts == 0
+
+    def test_commit_of_unknown_txn_fails_cleanly(self):
+        system = MultidatabaseSystem(SystemConfig(sites=("a",)))
+        ltm = system.ltm("a")
+        event = ltm._commit(SubtxnId(global_txn(9), "a", 0))
+        system.run()
+        assert isinstance(event.error, SimulationError)
+
+
+class TestKernelEdge:
+    def test_event_value_of_success(self):
+        from repro.kernel import Event
+
+        kernel = EventKernel()
+        event = Event(kernel)
+        event.succeed({"k": 1})
+        assert event.value == {"k": 1}
+        assert event.ok
+
+    def test_events_fired_counter(self):
+        kernel = EventKernel()
+        for _ in range(5):
+            kernel.call_soon(lambda: None)
+        kernel.run()
+        assert kernel.events_fired == 5
+
+
+class TestMetricsEdges:
+    def test_abort_rate_with_only_aborts(self):
+        from repro.sim.metrics import SystemMetrics
+
+        metrics = SystemMetrics(method="x", global_aborted=5)
+        assert metrics.abort_rate == 1.0
+
+    def test_throughput_zero_time(self):
+        from repro.sim.metrics import SystemMetrics
+
+        assert SystemMetrics(method="x").throughput == 0.0
+
+
+class TestOutcomesThroughSystem:
+    def test_rollback_everywhere_after_midstream_failure(self):
+        """A command failure rolls back *all* begun sites, including the
+        failing one, and leaves no agent state behind."""
+        system = MultidatabaseSystem(SystemConfig(sites=("a", "b")))
+        system.load("a", "t", {1: 1})
+        system.load("b", "t", {1: 1})
+        from repro.core.coordinator import GlobalTransactionSpec
+        from repro.ldbs.ltm import LTMConfig
+
+        # Block site b's row with another owner to force a timeout.
+        system.ltms["b"].locks.default_timeout = 20.0
+        blocker = system.ltm("b").begin(SubtxnId(global_txn(99), "b", 0))
+        blocker.execute(UpdateItem("t", 1, AddValue(1)))
+        system.run(until=5.0)
+        done = system.submit(
+            GlobalTransactionSpec(
+                txn=global_txn(1),
+                steps=(
+                    ("a", UpdateItem("t", 1, AddValue(5))),
+                    ("b", UpdateItem("t", 1, AddValue(5))),
+                ),
+            )
+        )
+        system.run(until=100.0)
+        assert done.done and not done.value.committed
+        blocker.abort()
+        system.run()
+        snapshot = {k.key: v for k, v in system.ltm("a").store.snapshot().items()}
+        assert snapshot[1] == 1  # site a's tentative update undone
+        assert system.ltm("a").active_txns() == []
+
+
+class TestLockIntrospection:
+    def test_waiting_and_held_by(self):
+        from repro.ldbs.locks import LockManager, LockMode
+
+        kernel = EventKernel()
+        lm = LockManager(kernel)
+        a = SubtxnId(global_txn(1), "a", 0)
+        b = SubtxnId(global_txn(2), "a", 0)
+        resource = ("row", 1)
+        lm.acquire(a, resource, LockMode.X)
+        lm.acquire(b, resource, LockMode.X)
+        assert lm.waiting(resource) == [b]
+        assert lm.held_by(a) == {resource: LockMode.X}
+        assert lm.held_by(b) == {}
+        assert lm.waiting(("row", 2)) == []
+        assert lm.has_waiters
+
+    def test_release_of_unheld_resource_is_noop(self):
+        from repro.ldbs.locks import LockManager
+
+        kernel = EventKernel()
+        lm = LockManager(kernel)
+        lm.release(SubtxnId(global_txn(1), "a", 0), ("row", 1))  # no raise
+
+
+class TestAgentLogRecoveryFields:
+    def test_entries_in_order_with_coordinator(self):
+        from repro.core.agent_log import AgentLog
+
+        log = AgentLog("a")
+        log.open(global_txn(2), coordinator="coord:c2")
+        log.open(global_txn(1), coordinator="coord:c1")
+        entries = log.entries()
+        assert [e.txn for e in entries] == [global_txn(1), global_txn(2)]
+        assert entries[0].coordinator == "coord:c1"
+
+    def test_note_resubmission_persists_count(self):
+        from repro.core.agent_log import AgentLog
+
+        log = AgentLog("a")
+        log.open(global_txn(1))
+        log.note_resubmission(global_txn(1))
+        log.note_resubmission(global_txn(1))
+        assert log.entry(global_txn(1)).incarnations == 3
+
+    def test_committed_sn_register_monotone(self):
+        from repro.common.ids import SerialNumber
+        from repro.core.agent_log import AgentLog
+
+        log = AgentLog("a")
+        log.record_committed_sn(SerialNumber(5.0, "c1"))
+        log.record_committed_sn(SerialNumber(3.0, "c1"))
+        log.record_committed_sn(None)
+        assert log.max_committed_sn == SerialNumber(5.0, "c1")
+
+
+class TestTimelineSitesParameter:
+    def test_explicit_lanes(self):
+        from repro.sim.timeline import render_timeline
+
+        h = HistoryBuilder()
+        h.r(1, "a", "X").r(1, "b", "Y")
+        text = render_timeline(h.history, sites=["b"])
+        header = text.splitlines()[0]
+        assert "b" in header and "@global" in header
+
+
+class TestAdversaryConfig:
+    def test_describe_mentions_all_fields(self):
+        import random
+
+        from repro.sim.adversary import draw_config
+
+        config = draw_config(random.Random(1))
+        text = config.describe()
+        assert "t2@C1+" in text and "local@C1+" in text and "abort@" in text
+
+    def test_clean_template_run_under_2cm(self):
+        import random
+
+        from repro.sim.adversary import draw_config, run_template
+
+        config = draw_config(random.Random(5))
+        assert run_template("2cm", config) is True

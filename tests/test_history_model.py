@@ -1,0 +1,160 @@
+"""Unit tests for the history model (repro.history.model)."""
+
+import pytest
+
+from repro.common.errors import HistoryError
+from repro.common.ids import DataItemId, SubtxnId, global_txn, local_txn
+from repro.history.model import History, OpKind
+
+from tests.helpers import HistoryBuilder
+
+
+class TestRecording:
+    def test_ops_keep_recording_order(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(1, "a", "Y").p(1, "a").c(1).cl(1, "a")
+        kinds = [op.kind for op in h.history.ops]
+        assert kinds == [
+            OpKind.READ,
+            OpKind.WRITE,
+            OpKind.PREPARE,
+            OpKind.GLOBAL_COMMIT,
+            OpKind.LOCAL_COMMIT,
+        ]
+
+    def test_time_monotonicity_enforced(self):
+        history = History()
+        sub = SubtxnId(global_txn(1), "a", 0)
+        history.record_read(5.0, sub, "a", DataItemId("t", "X"), None)
+        with pytest.raises(HistoryError):
+            history.record_read(4.0, sub, "a", DataItemId("t", "X"), None)
+
+    def test_observer_sees_every_op(self):
+        h = HistoryBuilder()
+        seen = []
+        h.history.subscribe(seen.append)
+        h.r(1, "a", "X").c(1)
+        assert len(seen) == 2
+
+
+class TestLabels:
+    """The paper-notation rendering used throughout docs and debugging."""
+
+    def test_read_label(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X")
+        assert h.history.ops[0].label == "R10[t.'X'^a]"
+
+    def test_resubmitted_read_label(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X", inc=1)
+        assert h.history.ops[0].label == "R11[t.'X'^a]"
+
+    def test_local_txn_label_has_no_incarnation(self):
+        h = HistoryBuilder()
+        h.r(4, "a", "Q", local=True)
+        assert h.history.ops[0].label == "R4[t.'Q'^a]"
+
+    def test_prepare_and_decision_labels(self):
+        h = HistoryBuilder()
+        h.p(1, "a").c(1).a(2)
+        labels = [op.label for op in h.history.ops]
+        assert labels == ["P^a_1", "C_1", "A_2"]
+
+    def test_local_commit_abort_labels(self):
+        h = HistoryBuilder()
+        h.cl(1, "a", inc=1).al(2, "b")
+        labels = [op.label for op in h.history.ops]
+        assert labels == ["C^a_11", "A^b_20"]
+
+    def test_render_joins_labels(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").c(1)
+        assert h.history.render() == "R10[t.'X'^a] C_1"
+
+
+class TestConflicts:
+    def test_rw_conflict_same_item(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(2, "a", "X")
+        first, second = h.history.ops
+        assert first.conflicts_with(second)
+
+    def test_rr_no_conflict(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").r(2, "a", "X")
+        first, second = h.history.ops
+        assert not first.conflicts_with(second)
+
+    def test_same_txn_no_conflict(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(1, "a", "X")
+        first, second = h.history.ops
+        assert not first.conflicts_with(second)
+
+    def test_different_site_no_conflict(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").w(2, "b", "X")
+        first, second = h.history.ops
+        assert not first.conflicts_with(second)
+
+    def test_resubmissions_of_one_txn_do_not_conflict(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X", inc=0).w(1, "a", "X", inc=1)
+        first, second = h.history.ops
+        assert not first.conflicts_with(second)
+
+
+class TestProjections:
+    def make(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(1, "b", "Z").p(1, "a").p(1, "b").c(1)
+        h.cl(1, "a").cl(1, "b")
+        h.r(4, "a", "Q", local=True).cl(4, "a", local=True)
+        return h.history
+
+    def test_local_projection(self):
+        history = self.make()
+        sites = {op.site for op in history.local("a")}
+        assert sites == {"a"}
+        assert len(history.local("a")) == 5
+
+    def test_txn_projection(self):
+        history = self.make()
+        assert len(history.of_txn(global_txn(1))) == 7
+        assert len(history.of_txn(local_txn(4, "a"))) == 2
+
+    def test_sites_and_txns_in_first_use_order(self):
+        history = self.make()
+        assert history.sites() == ["a", "b"]
+        assert history.txns() == [global_txn(1), local_txn(4, "a")]
+
+    def test_globally_committed(self):
+        history = self.make()
+        assert history.globally_committed() == {global_txn(1)}
+
+    def test_committed_local_txns(self):
+        history = self.make()
+        assert history.committed_local_txns() == {local_txn(4, "a")}
+
+
+class TestCompleteness:
+    def test_complete_needs_local_commit_at_every_site(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(1, "b", "Z").c(1).cl(1, "a")
+        assert h.history.complete_global_txns() == set()
+        h.cl(1, "b")
+        assert h.history.complete_global_txns() == {global_txn(1)}
+
+    def test_aborted_global_never_complete(self):
+        h = HistoryBuilder()
+        h.r(2, "a", "X").a(2)
+        assert h.history.complete_global_txns() == set()
+
+    def test_unilaterally_aborted_incarnation_does_not_spoil_completeness(self):
+        """The H1 shape: the aborted incarnation at site a is part of a
+        complete transaction because incarnation 1 committed there."""
+        h = HistoryBuilder()
+        h.r(1, "a", "X").p(1, "a").c(1).al(1, "a", inc=0)
+        h.r(1, "a", "X", inc=1).cl(1, "a", inc=1)
+        assert h.history.complete_global_txns() == {global_txn(1)}

@@ -1,0 +1,68 @@
+"""Unit tests for alive time intervals (repro.core.intervals)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.intervals import AliveInterval
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        interval = AliveInterval(1.0, 5.0)
+        assert interval.length == 4.0
+
+    def test_degenerate_interval_allowed(self):
+        assert AliveInterval(3.0, 3.0).length == 0.0
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            AliveInterval(5.0, 1.0)
+
+    def test_instant(self):
+        interval = AliveInterval.instant(7.0)
+        assert (interval.start, interval.end) == (7.0, 7.0)
+
+
+class TestIntersection:
+    """The alive time intersection rule of Sec. 4.2."""
+
+    def test_overlap(self):
+        assert AliveInterval(0, 10).intersects(AliveInterval(5, 15))
+
+    def test_containment(self):
+        assert AliveInterval(0, 10).intersects(AliveInterval(3, 4))
+
+    def test_disjoint(self):
+        assert not AliveInterval(0, 10).intersects(AliveInterval(11, 20))
+
+    def test_touching_endpoints_intersect(self):
+        """Closed intervals: a shared instant counts — both were alive
+        at that moment, which is all the Conflict Detection Basis needs."""
+        assert AliveInterval(0, 10).intersects(AliveInterval(10, 20))
+
+    def test_symmetry(self):
+        a, b = AliveInterval(0, 5), AliveInterval(6, 9)
+        assert a.intersects(b) == b.intersects(a)
+
+    def test_degenerate_intersections(self):
+        point = AliveInterval.instant(5.0)
+        assert point.intersects(AliveInterval(0, 10))
+        assert not point.intersects(AliveInterval(6, 10))
+
+
+class TestExtension:
+    def test_extends_forward(self):
+        interval = AliveInterval(1.0, 2.0).extended_to(9.0)
+        assert interval == AliveInterval(1.0, 9.0)
+
+    def test_never_shrinks(self):
+        interval = AliveInterval(1.0, 5.0).extended_to(3.0)
+        assert interval == AliveInterval(1.0, 5.0)
+
+    def test_is_a_new_value(self):
+        original = AliveInterval(1.0, 2.0)
+        original.extended_to(9.0)
+        assert original.end == 2.0
+
+    def test_str(self):
+        assert str(AliveInterval(1.0, 2.5)) == "[1, 2.5]"

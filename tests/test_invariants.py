@@ -1,0 +1,80 @@
+"""Tests for the Correctness Invariant checker (repro.history.invariants)."""
+
+from repro.common.ids import global_txn
+from repro.history.invariants import check_correctness_invariant
+from repro.workload.scenarios import run_h1, run_h2, run_h3, run_hx
+
+from tests.helpers import HistoryBuilder
+
+
+class TestPartOne:
+    def test_disjoint_prepared_txns_ok(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").p(1, "a")
+        h.w(2, "a", "Y").p(2, "a")
+        h.c(1).cl(1, "a").c(2).cl(2, "a")
+        assert check_correctness_invariant(h.history) == []
+
+    def test_conflicting_simultaneously_prepared_flagged(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").p(1, "a")
+        h.w(2, "a", "X").p(2, "a")          # overlap + conflict on X
+        h.c(1).cl(1, "a").c(2).cl(2, "a")
+        violations = check_correctness_invariant(h.history)
+        assert any(v.part == 1 for v in violations)
+
+    def test_sequential_windows_ok(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").p(1, "a").c(1).cl(1, "a")
+        h.w(2, "a", "X").p(2, "a").c(2).cl(2, "a")
+        assert check_correctness_invariant(h.history) == []
+
+    def test_read_read_overlap_ok(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").p(1, "a")
+        h.r(2, "a", "X").p(2, "a")
+        h.c(1).cl(1, "a").c(2).cl(2, "a")
+        assert check_correctness_invariant(h.history) == []
+
+    def test_requested_rollback_closes_window(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").p(1, "a").al(1, "a", unilateral=False)  # rollback
+        h.w(2, "a", "X").p(2, "a").c(2).cl(2, "a")
+        assert check_correctness_invariant(h.history) == []
+
+    def test_unilateral_abort_keeps_window_open(self):
+        """The agent still simulates the prepared state after a
+        unilateral abort, so a conflicting later prepare violates CI."""
+        h = HistoryBuilder()
+        h.w(1, "a", "X").p(1, "a").al(1, "a", inc=0, unilateral=True)
+        h.w(2, "a", "X").p(2, "a").c(2).cl(2, "a")
+        h.c(1)
+        h.w(1, "a", "X", inc=1).cl(1, "a", inc=1)
+        violations = check_correctness_invariant(h.history)
+        assert any(v.part == 1 for v in violations)
+
+
+class TestPartTwo:
+    def test_prepare_after_unilateral_abort_flagged(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").al(1, "a", inc=0, unilateral=True)
+        h.p(1, "a")
+        violations = check_correctness_invariant(h.history)
+        assert any(v.part == 2 for v in violations)
+
+    def test_prepare_of_live_incarnation_ok(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").p(1, "a").c(1).cl(1, "a")
+        assert check_correctness_invariant(h.history) == []
+
+
+class TestScenarios:
+    def test_2cm_holds_ci_everywhere(self):
+        for scenario in (run_h1, run_h2, run_h3, run_hx):
+            result = scenario("2cm")
+            assert check_correctness_invariant(result.system.history) == []
+
+    def test_naive_h1_violates_ci(self):
+        result = run_h1("naive")
+        violations = check_correctness_invariant(result.system.history)
+        assert any(v.part == 1 and v.site == "a" for v in violations)

@@ -1,0 +1,367 @@
+"""Unit tests for the discrete-event kernel (repro.kernel)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.kernel import Event, EventKernel, Process, Sleep, Timer
+from repro.kernel.process import spawn
+
+
+class TestEventKernel:
+    def test_time_starts_at_zero(self):
+        assert EventKernel().now == 0.0
+
+    def test_schedule_and_run_in_time_order(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(2.0, lambda: fired.append("b"))
+        kernel.schedule(1.0, lambda: fired.append("a"))
+        kernel.run()
+        assert fired == ["a", "b"]
+        assert kernel.now == 2.0
+
+    def test_equal_time_events_fire_in_schedule_order(self):
+        kernel = EventKernel()
+        fired = []
+        for name in "abcde":
+            kernel.schedule(1.0, lambda n=name: fired.append(n))
+        kernel.run()
+        assert fired == list("abcde")
+
+    def test_cancel_prevents_firing(self):
+        kernel = EventKernel()
+        fired = []
+        handle = kernel.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        kernel.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventKernel().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        kernel = EventKernel()
+        kernel.schedule(5.0, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(1.0, lambda: None)
+
+    def test_run_until_stops_before_future_events(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(10.0, lambda: fired.append("late"))
+        kernel.run(until=5.0)
+        assert fired == []
+        assert kernel.now == 5.0
+        kernel.run()
+        assert fired == ["late"]
+
+    def test_run_until_advances_time_when_queue_empty(self):
+        kernel = EventKernel()
+        kernel.run(until=7.0)
+        assert kernel.now == 7.0
+
+    def test_nested_scheduling_from_callback(self):
+        kernel = EventKernel()
+        fired = []
+
+        def outer():
+            fired.append(("outer", kernel.now))
+            kernel.schedule(1.0, lambda: fired.append(("inner", kernel.now)))
+
+        kernel.schedule(1.0, outer)
+        kernel.run()
+        assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_max_events_bound(self):
+        kernel = EventKernel()
+        fired = []
+        for i in range(5):
+            kernel.schedule(float(i), lambda i=i: fired.append(i))
+        kernel.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_fires_one_event(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(1.0, lambda: fired.append(1))
+        assert kernel.step() is True
+        assert fired == [1]
+        assert kernel.step() is False
+
+    def test_pending_count_ignores_cancelled(self):
+        kernel = EventKernel()
+        kernel.schedule(1.0, lambda: None)
+        handle = kernel.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert kernel.pending == 1
+
+    def test_run_not_reentrant(self):
+        kernel = EventKernel()
+        errors = []
+
+        def reenter():
+            try:
+                kernel.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        kernel.schedule(1.0, reenter)
+        kernel.run()
+        assert len(errors) == 1
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self):
+        kernel = EventKernel()
+        event = Event(kernel)
+        seen = []
+        event.subscribe(lambda ev: seen.append(ev.value))
+        event.succeed(42)
+        kernel.run()
+        assert seen == [42]
+
+    def test_fail_delivers_exception(self):
+        kernel = EventKernel()
+        event = Event(kernel)
+        seen = []
+        event.subscribe(lambda ev: seen.append(ev.error))
+        failure = RuntimeError("boom")
+        event.fail(failure)
+        kernel.run()
+        assert seen == [failure]
+
+    def test_value_raises_stored_error(self):
+        kernel = EventKernel()
+        event = Event(kernel)
+        event.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError):
+            event.value
+
+    def test_value_before_completion_raises(self):
+        event = Event(EventKernel())
+        with pytest.raises(SimulationError):
+            event.value
+
+    def test_double_completion_rejected(self):
+        event = Event(EventKernel())
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_late_subscription_still_fires(self):
+        kernel = EventKernel()
+        event = Event(kernel)
+        event.succeed("v")
+        kernel.run()
+        seen = []
+        event.subscribe(lambda ev: seen.append(ev.value))
+        kernel.run()
+        assert seen == ["v"]
+
+    def test_callbacks_fire_through_kernel_not_synchronously(self):
+        kernel = EventKernel()
+        event = Event(kernel)
+        seen = []
+        event.subscribe(lambda ev: seen.append("cb"))
+        event.succeed(None)
+        assert seen == []  # not yet: delivery goes through the queue
+        kernel.run()
+        assert seen == ["cb"]
+
+
+class TestProcess:
+    def test_process_sleeps_and_returns(self):
+        kernel = EventKernel()
+
+        def body():
+            yield Sleep(3.0)
+            return "done"
+
+        process = Process(kernel, body(), name="p")
+        kernel.run()
+        assert process.done
+        assert process.completion.value == "done"
+        assert kernel.now == 3.0
+
+    def test_process_waits_on_event_value(self):
+        kernel = EventKernel()
+        gate = Event(kernel)
+
+        def body():
+            value = yield gate
+            return value * 2
+
+        process = Process(kernel, body())
+        kernel.schedule(5.0, lambda: gate.succeed(21))
+        kernel.run()
+        assert process.completion.value == 42
+
+    def test_event_failure_is_thrown_into_generator(self):
+        kernel = EventKernel()
+        gate = Event(kernel)
+        caught = []
+
+        def body():
+            try:
+                yield gate
+            except RuntimeError as exc:
+                caught.append(exc)
+                return "recovered"
+
+        process = Process(kernel, body())
+        kernel.schedule(1.0, lambda: gate.fail(RuntimeError("x")))
+        kernel.run()
+        assert process.completion.value == "recovered"
+        assert len(caught) == 1
+
+    def test_uncaught_exception_fails_completion(self):
+        kernel = EventKernel()
+
+        def body():
+            yield Sleep(1.0)
+            raise ValueError("bad")
+
+        process = Process(kernel, body())
+        kernel.run()
+        assert process.done
+        assert isinstance(process.completion.error, ValueError)
+
+    def test_interrupt_while_blocked(self):
+        kernel = EventKernel()
+        gate = Event(kernel)  # never completed
+        caught = []
+
+        def body():
+            try:
+                yield gate
+            except RuntimeError as exc:
+                caught.append(exc)
+            return "aborted"
+
+        process = Process(kernel, body())
+        kernel.schedule(2.0, lambda: process.interrupt(RuntimeError("abort")))
+        kernel.run()
+        assert process.completion.value == "aborted"
+        assert len(caught) == 1
+
+    def test_interrupt_after_done_is_noop(self):
+        kernel = EventKernel()
+
+        def body():
+            return "ok"
+            yield  # pragma: no cover
+
+        process = Process(kernel, body())
+        kernel.run()
+        process.interrupt(RuntimeError("late"))
+        kernel.run()
+        assert process.completion.value == "ok"
+
+    def test_process_can_wait_on_process(self):
+        kernel = EventKernel()
+
+        def child():
+            yield Sleep(2.0)
+            return 7
+
+        def parent():
+            value = yield Process(kernel, child())
+            return value + 1
+
+        process = Process(kernel, parent())
+        kernel.run()
+        assert process.completion.value == 8
+
+    def test_yielding_garbage_fails_process(self):
+        kernel = EventKernel()
+
+        def body():
+            yield "not-a-waitable"
+
+        process = Process(kernel, body())
+        kernel.run()
+        assert isinstance(process.completion.error, SimulationError)
+
+    def test_spawn_on_done_callback(self):
+        kernel = EventKernel()
+        seen = []
+
+        def body():
+            yield Sleep(1.0)
+            return "v"
+
+        spawn(kernel, body(), on_done=lambda ev: seen.append(ev.value))
+        kernel.run()
+        assert seen == ["v"]
+
+    def test_interrupt_race_with_completion_event(self):
+        """If the awaited event completes and an interrupt lands before the
+        continuation runs, the interrupt wins (the paper's abort path must
+        dominate a concurrently arriving grant)."""
+        kernel = EventKernel()
+        gate = Event(kernel)
+        outcome = []
+
+        def body():
+            try:
+                yield gate
+                outcome.append("granted")
+            except RuntimeError:
+                outcome.append("interrupted")
+
+        process = Process(kernel, body())
+        kernel.run(max_events=1)  # start the process; it now waits on gate
+        gate.succeed("grant")
+        process.interrupt(RuntimeError("abort"))
+        kernel.run()
+        assert outcome == ["interrupted"]
+        assert process.done
+
+
+class TestTimer:
+    def test_timer_fires_after_interval(self):
+        kernel = EventKernel()
+        fired = []
+        timer = Timer(kernel, 5.0, lambda: fired.append(kernel.now))
+        timer.start()
+        kernel.run()
+        assert fired == [5.0]
+
+    def test_timer_restart_resets_deadline(self):
+        kernel = EventKernel()
+        fired = []
+        timer = Timer(kernel, 5.0, lambda: fired.append(kernel.now))
+        timer.start()
+        kernel.schedule(3.0, timer.restart)
+        kernel.run()
+        assert fired == [8.0]
+
+    def test_timer_cancel(self):
+        kernel = EventKernel()
+        fired = []
+        timer = Timer(kernel, 5.0, lambda: fired.append(1))
+        timer.start()
+        timer.cancel()
+        kernel.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_timer_rejects_nonpositive_interval(self):
+        with pytest.raises(SimulationError):
+            Timer(EventKernel(), 0.0, lambda: None)
+
+    def test_timer_can_rearm_from_callback(self):
+        kernel = EventKernel()
+        fired = []
+
+        def on_fire():
+            fired.append(kernel.now)
+            if len(fired) < 3:
+                timer.restart()
+
+        timer = Timer(kernel, 2.0, on_fire)
+        timer.start()
+        kernel.run()
+        assert fired == [2.0, 4.0, 6.0]

@@ -1,0 +1,261 @@
+"""Unit tests for the multi-granularity lock manager (repro.ldbs.locks)."""
+
+import pytest
+
+from repro.common.errors import LockTimeout
+from repro.common.ids import DataItemId, SubtxnId, global_txn
+from repro.kernel import EventKernel
+from repro.ldbs.locks import (
+    LockManager,
+    LockMode,
+    compatible,
+    covers,
+    supremum,
+)
+
+
+def sub(n, inc=0):
+    return SubtxnId(global_txn(n), "a", inc)
+
+
+ROW = ("row", DataItemId("t", "X"))
+TABLE = ("table", "t")
+
+
+@pytest.fixture
+def kernel():
+    return EventKernel()
+
+
+@pytest.fixture
+def lm(kernel):
+    return LockManager(kernel, default_timeout=None)
+
+
+class TestCompatibilityMatrix:
+    def test_is_compatible_with_everything_but_x(self):
+        for mode in (LockMode.IS, LockMode.IX, LockMode.S, LockMode.SIX):
+            assert compatible(LockMode.IS, mode)
+        assert not compatible(LockMode.IS, LockMode.X)
+
+    def test_s_conflicts_with_ix(self):
+        assert not compatible(LockMode.S, LockMode.IX)
+        assert not compatible(LockMode.IX, LockMode.S)
+
+    def test_six_only_with_is(self):
+        assert compatible(LockMode.SIX, LockMode.IS)
+        for mode in (LockMode.IX, LockMode.S, LockMode.SIX, LockMode.X):
+            assert not compatible(LockMode.SIX, mode)
+
+    def test_x_conflicts_with_all(self):
+        for mode in LockMode:
+            assert not compatible(LockMode.X, mode)
+
+    def test_matrix_symmetric(self):
+        for a in LockMode:
+            for b in LockMode:
+                assert compatible(a, b) == compatible(b, a)
+
+
+class TestSupremum:
+    def test_ix_plus_s_is_six(self):
+        assert supremum(LockMode.IX, LockMode.S) is LockMode.SIX
+        assert supremum(LockMode.S, LockMode.IX) is LockMode.SIX
+
+    def test_anything_with_x_is_x(self):
+        for mode in LockMode:
+            assert supremum(mode, LockMode.X) is LockMode.X
+
+    def test_idempotent(self):
+        for mode in LockMode:
+            assert supremum(mode, mode) is mode
+
+    def test_covers(self):
+        assert covers(LockMode.X, LockMode.S)
+        assert covers(LockMode.SIX, LockMode.IX)
+        assert covers(LockMode.SIX, LockMode.S)
+        assert not covers(LockMode.S, LockMode.IX)
+        assert not covers(LockMode.IS, LockMode.S)
+
+
+class TestGrantAndQueue:
+    def test_immediate_grant_on_free_resource(self, kernel, lm):
+        event = lm.acquire(sub(1), ROW, LockMode.X)
+        kernel.run()
+        assert event.ok
+        assert lm.holders(ROW) == {sub(1): LockMode.X}
+
+    def test_shared_holders_coexist(self, kernel, lm):
+        e1 = lm.acquire(sub(1), ROW, LockMode.S)
+        e2 = lm.acquire(sub(2), ROW, LockMode.S)
+        kernel.run()
+        assert e1.ok and e2.ok
+
+    def test_conflicting_request_queues_until_release(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.X)
+        e2 = lm.acquire(sub(2), ROW, LockMode.X)
+        kernel.run()
+        assert not e2.done
+        lm.release_all(sub(1))
+        kernel.run()
+        assert e2.ok
+
+    def test_reentrant_covering_request_granted(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.X)
+        again = lm.acquire(sub(1), ROW, LockMode.S)
+        kernel.run()
+        assert again.ok
+
+    def test_fifo_order_on_release(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.X)
+        order = []
+        e2 = lm.acquire(sub(2), ROW, LockMode.X)
+        e3 = lm.acquire(sub(3), ROW, LockMode.X)
+        e2.subscribe(lambda ev: order.append(2))
+        e3.subscribe(lambda ev: order.append(3))
+        kernel.run()
+        lm.release_all(sub(1))
+        kernel.run()
+        assert order == [2]  # strict FIFO: 3 still behind 2
+        lm.release_all(sub(2))
+        kernel.run()
+        assert order == [2, 3]
+
+    def test_fresh_request_cannot_overtake_queue(self, kernel, lm):
+        """Even a compatible newcomer waits behind a queued conflicting
+        request — no starvation of writers by a read stream."""
+        lm.acquire(sub(1), ROW, LockMode.S)
+        writer = lm.acquire(sub(2), ROW, LockMode.X)
+        late_reader = lm.acquire(sub(3), ROW, LockMode.S)
+        kernel.run()
+        assert not writer.done
+        assert not late_reader.done
+
+    def test_multiple_compatible_wakeups(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.X)
+        readers = [lm.acquire(sub(n), ROW, LockMode.S) for n in (2, 3, 4)]
+        kernel.run()
+        lm.release_all(sub(1))
+        kernel.run()
+        assert all(r.ok for r in readers)
+
+
+class TestConversion:
+    def test_upgrade_s_to_x_when_alone(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.S)
+        upgrade = lm.acquire(sub(1), ROW, LockMode.X)
+        kernel.run()
+        assert upgrade.ok
+        assert lm.holders(ROW)[sub(1)] is LockMode.X
+
+    def test_upgrade_waits_for_other_reader(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.S)
+        lm.acquire(sub(2), ROW, LockMode.S)
+        upgrade = lm.acquire(sub(1), ROW, LockMode.X)
+        kernel.run()
+        assert not upgrade.done
+        lm.release_all(sub(2))
+        kernel.run()
+        assert upgrade.ok
+
+    def test_conversion_overtakes_fresh_requests(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.S)
+        lm.acquire(sub(2), ROW, LockMode.S)
+        fresh = lm.acquire(sub(3), ROW, LockMode.X)
+        upgrade = lm.acquire(sub(1), ROW, LockMode.X)
+        kernel.run()
+        lm.release_all(sub(2))
+        kernel.run()
+        assert upgrade.ok
+        assert not fresh.done
+
+    def test_ix_plus_s_yields_six_holder(self, kernel, lm):
+        lm.acquire(sub(1), TABLE, LockMode.IX)
+        merge = lm.acquire(sub(1), TABLE, LockMode.S)
+        kernel.run()
+        assert merge.ok
+        assert lm.holders(TABLE)[sub(1)] is LockMode.SIX
+
+
+class TestTimeouts:
+    def test_timeout_fails_request(self, kernel):
+        lm = LockManager(kernel, default_timeout=10.0)
+        lm.acquire(sub(1), ROW, LockMode.X)
+        blocked = lm.acquire(sub(2), ROW, LockMode.X)
+        kernel.run()
+        assert isinstance(blocked.error, LockTimeout)
+        assert lm.timeouts == 1
+
+    def test_explicit_timeout_overrides_default(self, kernel):
+        lm = LockManager(kernel, default_timeout=1000.0)
+        lm.acquire(sub(1), ROW, LockMode.X)
+        blocked = lm.acquire(sub(2), ROW, LockMode.X, timeout=5.0)
+        kernel.run(until=6.0)
+        assert isinstance(blocked.error, LockTimeout)
+
+    def test_grant_cancels_timeout(self, kernel):
+        lm = LockManager(kernel, default_timeout=10.0)
+        lm.acquire(sub(1), ROW, LockMode.X)
+        blocked = lm.acquire(sub(2), ROW, LockMode.X)
+        kernel.run(until=5.0)
+        lm.release_all(sub(1))
+        kernel.run()
+        assert blocked.ok
+        assert lm.timeouts == 0
+
+    def test_timeout_unblocks_queue_behind_it(self, kernel):
+        lm = LockManager(kernel, default_timeout=None)
+        lm.acquire(sub(1), ROW, LockMode.S)
+        writer = lm.acquire(sub(2), ROW, LockMode.X, timeout=5.0)
+        reader = lm.acquire(sub(3), ROW, LockMode.S, timeout=None)
+        kernel.run()
+        assert isinstance(writer.error, LockTimeout)
+        assert reader.ok
+
+
+class TestReleaseAll:
+    def test_release_all_drops_queued_requests(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.X)
+        blocked = lm.acquire(sub(2), ROW, LockMode.X)
+        lm.release_all(sub(2))  # aborting waiter
+        lm.release_all(sub(1))
+        kernel.run()
+        assert not blocked.done  # its request was silently dropped
+        assert lm.holders(ROW) == {}
+
+    def test_release_specific_resource(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.S)
+        lm.acquire(sub(1), TABLE, LockMode.IS)
+        kernel.run()
+        lm.release(sub(1), ROW)
+        assert ROW not in lm.held_by(sub(1))
+        assert TABLE in lm.held_by(sub(1))
+
+
+class TestDeadlockDetection:
+    def test_wait_for_graph_edges(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.X)
+        lm.acquire(sub(2), ROW, LockMode.X)
+        graph = lm.wait_for_graph()
+        assert graph == {sub(2): {sub(1)}}
+
+    def test_find_deadlock_cycle(self, kernel, lm):
+        row2 = ("row", DataItemId("t", "Y"))
+        lm.acquire(sub(1), ROW, LockMode.X)
+        lm.acquire(sub(2), row2, LockMode.X)
+        lm.acquire(sub(1), row2, LockMode.X)
+        lm.acquire(sub(2), ROW, LockMode.X)
+        cycle = lm.find_deadlock()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert {sub(1), sub(2)} == set(cycle[:-1])
+
+    def test_no_deadlock_reported_when_none(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.X)
+        lm.acquire(sub(2), ROW, LockMode.X)
+        assert lm.find_deadlock() is None
+
+    def test_assert_consistent_passes(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.S)
+        lm.acquire(sub(2), ROW, LockMode.S)
+        lm.assert_consistent()

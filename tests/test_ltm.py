@@ -1,0 +1,453 @@
+"""Unit and behaviour tests for the Local Transaction Manager."""
+
+import pytest
+
+from repro.common.errors import RefusalReason, SimulationError, TransactionAborted
+from repro.common.ids import DataItemId, SubtxnId, global_txn, local_txn
+from repro.history.model import History, OpKind
+from repro.history.rigor import check_rigorous
+from repro.kernel import EventKernel
+from repro.ldbs.commands import (
+    AddValue,
+    DeleteItem,
+    InsertItem,
+    ReadItem,
+    ScanTable,
+    SelectWhere,
+    SetValue,
+    TrueP,
+    UpdateItem,
+    UpdateWhere,
+    ValueGt,
+    decompose,
+)
+from repro.ldbs.dlu import BoundDataGuard, DLUPolicy
+from repro.ldbs.ltm import LTMConfig, LocalTransactionManager, TxnState
+
+
+def sub(n, inc=0):
+    return SubtxnId(global_txn(n), "a", inc)
+
+
+def lsub(n):
+    return SubtxnId(local_txn(n, "a"), "a", 0)
+
+
+@pytest.fixture
+def env():
+    kernel = EventKernel()
+    history = History()
+    ltm = LocalTransactionManager("a", kernel, history)
+    ltm.store.load("t", {"X": 10, "Y": 20, "Z": 30})
+    return kernel, history, ltm
+
+
+class TestLifecycle:
+    def test_begin_execute_commit(self, env):
+        kernel, history, ltm = env
+        txn = ltm.begin(sub(1))
+        result = txn.execute(ReadItem("t", "X"))
+        kernel.run()
+        assert result.value.rows == (("X", 10),)
+        commit = txn.commit()
+        kernel.run()
+        assert commit.ok
+        assert txn.state is TxnState.COMMITTED
+        assert ltm.commits == 1
+
+    def test_duplicate_begin_rejected(self, env):
+        _kernel, _history, ltm = env
+        ltm.begin(sub(1))
+        with pytest.raises(SimulationError):
+            ltm.begin(sub(1))
+
+    def test_abort_rolls_back(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        txn.execute(UpdateItem("t", "X", SetValue(99)))
+        kernel.run()
+        txn.abort()
+        kernel.run()
+        assert ltm.store.read(DataItemId("t", "X"))[1] == 10
+        assert txn.state is TxnState.ABORTED
+
+    def test_commit_after_abort_fails(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        txn.abort()
+        commit = txn.commit()
+        kernel.run()
+        assert isinstance(commit.error, TransactionAborted)
+
+    def test_execute_after_abort_fails(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        txn.abort()
+        result = txn.execute(ReadItem("t", "X"))
+        kernel.run()
+        assert isinstance(result.error, TransactionAborted)
+
+    def test_commit_is_idempotent(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        txn.commit()
+        kernel.run()
+        second = txn.commit()
+        kernel.run()
+        assert second.ok
+
+    def test_command_while_executing_rejected(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        txn.execute(ReadItem("t", "X"))
+        overlapping = txn.execute(ReadItem("t", "Y"))
+        kernel.run()
+        assert isinstance(overlapping.error, SimulationError)
+
+
+class TestAliveness:
+    def test_alive_after_commands_done(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        txn.execute(ReadItem("t", "X"))
+        kernel.run()
+        assert ltm.is_alive(sub(1))
+
+    def test_not_alive_while_executing(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        txn.execute(ReadItem("t", "X"))
+        kernel.run(max_events=1)  # command started, not finished
+        assert not ltm.is_alive(sub(1))
+
+    def test_not_alive_after_terminal_states(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        txn.commit()
+        kernel.run()
+        assert not ltm.is_alive(sub(1))
+        other = ltm.begin(sub(2))
+        other.abort()
+        assert not ltm.is_alive(sub(2))
+
+
+class TestUnilateralAbort:
+    def test_uan_callback_fires(self, env):
+        kernel, _history, ltm = env
+        seen = []
+        ltm.on_unilateral_abort(seen.append)
+        txn = ltm.begin(sub(1))
+        txn.execute(UpdateItem("t", "X", SetValue(1)))
+        kernel.run()
+        assert ltm.unilaterally_abort(sub(1)) is True
+        assert seen == [sub(1)]
+        assert ltm.store.read(DataItemId("t", "X"))[1] == 10
+
+    def test_unilateral_abort_of_terminated_txn_refused(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        txn.commit()
+        kernel.run()
+        assert ltm.unilaterally_abort(sub(1)) is False
+
+    def test_abort_interrupts_blocked_command(self, env):
+        kernel, _history, ltm = env
+        holder = ltm.begin(sub(1))
+        holder.execute(UpdateItem("t", "X", SetValue(1)))
+        kernel.run()
+        blocked_txn = ltm.begin(sub(2))
+        blocked = blocked_txn.execute(UpdateItem("t", "X", SetValue(2)))
+        kernel.run(until=kernel.now + 5)
+        assert not blocked.done
+        ltm.unilaterally_abort(sub(2))
+        kernel.run(until=kernel.now + 5)
+        assert isinstance(blocked.error, TransactionAborted)
+        holder.commit()
+        kernel.run()
+
+    def test_history_marks_unilateral(self, env):
+        kernel, history, ltm = env
+        txn = ltm.begin(sub(1))
+        txn.execute(ReadItem("t", "X"))
+        kernel.run()
+        ltm.unilaterally_abort(sub(1))
+        aborts = [op for op in history.ops if op.kind is OpKind.LOCAL_ABORT]
+        assert len(aborts) == 1
+        assert aborts[0].unilateral
+
+
+class TestLockInteraction:
+    def test_lock_timeout_aborts_and_notifies(self, env):
+        kernel, _history, ltm = env
+        ltm.config = LTMConfig(lock_timeout=20.0)
+        ltm.locks.default_timeout = 20.0
+        seen = []
+        ltm.on_unilateral_abort(seen.append)
+        t1 = ltm.begin(sub(1))
+        t1.execute(UpdateItem("t", "X", SetValue(1)))
+        kernel.run()
+        t2 = ltm.begin(sub(2))
+        blocked = t2.execute(UpdateItem("t", "X", SetValue(2)))
+        kernel.run()
+        assert isinstance(blocked.error, TransactionAborted)
+        assert blocked.error.reason is RefusalReason.LOCK_TIMEOUT
+        assert t2.state is TxnState.ABORTED
+        # A lock-timeout rollback of a global subtransaction is a
+        # unilateral abort from the DTM's perspective (UAN fires).
+        assert seen == [sub(2)]
+
+    def test_local_txn_lock_timeout_not_uan(self, env):
+        kernel, _history, ltm = env
+        ltm.locks.default_timeout = 20.0
+        seen = []
+        ltm.on_unilateral_abort(seen.append)
+        t1 = ltm.begin(sub(1))
+        t1.execute(UpdateItem("t", "X", SetValue(1)))
+        kernel.run()
+        t2 = ltm.begin(lsub(4))
+        blocked = t2.execute(UpdateItem("t", "X", SetValue(2)))
+        kernel.run()
+        assert isinstance(blocked.error, TransactionAborted)
+        assert seen == []
+
+    def test_scan_blocks_insert(self, env):
+        kernel, _history, ltm = env
+        scanner = ltm.begin(sub(1))
+        scanner.execute(ScanTable("t"))
+        kernel.run()
+        inserter = ltm.begin(sub(2))
+        insert = inserter.execute(InsertItem("t", "NEW", 1))
+        kernel.run(until=kernel.now + 5)
+        assert not insert.done  # S(table) vs IX(table)
+        scanner.commit()
+        kernel.run()
+        assert insert.ok
+
+    def test_point_ops_on_distinct_rows_run_concurrently(self, env):
+        kernel, _history, ltm = env
+        t1 = ltm.begin(sub(1))
+        t2 = ltm.begin(sub(2))
+        r1 = t1.execute(UpdateItem("t", "X", SetValue(1)))
+        r2 = t2.execute(UpdateItem("t", "Y", SetValue(2)))
+        kernel.run()
+        assert r1.ok and r2.ok
+
+    def test_readers_share_a_row(self, env):
+        kernel, _history, ltm = env
+        t1 = ltm.begin(sub(1))
+        t2 = ltm.begin(sub(2))
+        r1 = t1.execute(ReadItem("t", "X"))
+        r2 = t2.execute(ReadItem("t", "X"))
+        kernel.run()
+        assert r1.ok and r2.ok
+
+
+class TestCommandSemantics:
+    def test_update_where_applies_to_matches(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        result = txn.execute(UpdateWhere("t", ValueGt(15), AddValue(100)))
+        txn.commit()
+        kernel.run()
+        assert result.value.affected == 2
+        assert ltm.store.read(DataItemId("t", "Y"))[1] == 120
+        assert ltm.store.read(DataItemId("t", "Z"))[1] == 130
+        assert ltm.store.read(DataItemId("t", "X"))[1] == 10
+
+    def test_select_where_filters_but_reads_all(self, env):
+        kernel, history, ltm = env
+        txn = ltm.begin(sub(1))
+        result = txn.execute(SelectWhere("t", ValueGt(15)))
+        kernel.run()
+        assert result.value.rows == (("Y", 20), ("Z", 30))
+        reads = [op for op in history.ops if op.kind is OpKind.READ]
+        assert len(reads) == 3
+
+    def test_delete_item(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        result = txn.execute(DeleteItem("t", "X"))
+        txn.commit()
+        kernel.run()
+        assert result.value.affected == 1
+        assert not ltm.store.exists(DataItemId("t", "X"))
+
+    def test_update_missing_row_affects_zero(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        result = txn.execute(UpdateItem("t", "NOPE", AddValue(1)))
+        kernel.run()
+        assert result.value.affected == 0
+
+    def test_execution_matches_decomposition_function(self, env):
+        """DDF: the recorded elementary trace equals D(O, S at start)."""
+        kernel, history, ltm = env
+        command = UpdateWhere("t", ValueGt(15), AddValue(1))
+        expected = [
+            (op.kind if op.kind != "D" else "W", op.item)
+            for op in decompose(command, ltm.store)
+        ]
+        txn = ltm.begin(sub(1))
+        txn.execute(command)
+        kernel.run()
+        recorded = [
+            (op.kind.value, op.item)
+            for op in history.ops
+            if op.kind in (OpKind.READ, OpKind.WRITE)
+        ]
+        assert recorded == expected
+
+    def test_access_set_tracks_items(self, env):
+        kernel, _history, ltm = env
+        txn = ltm.begin(sub(1))
+        txn.execute(ReadItem("t", "X"))
+        kernel.run()
+        txn.execute(UpdateItem("t", "Y", AddValue(1)))
+        kernel.run()
+        keys = {item.key for item in ltm.access_set_of(sub(1))}
+        assert keys == {"X", "Y"}
+
+
+class TestRigorousness:
+    def test_s2pl_histories_are_rigorous(self, env):
+        kernel, history, ltm = env
+        t1 = ltm.begin(sub(1))
+        t1.execute(UpdateItem("t", "X", AddValue(1)))
+        kernel.run()
+        t2 = ltm.begin(sub(2))
+        blocked = t2.execute(ReadItem("t", "X"))
+        t1.commit()
+        kernel.run()
+        t2.commit()
+        kernel.run()
+        assert blocked.ok
+        assert check_rigorous(history.ops) == []
+
+    def test_non_rigorous_config_violates(self):
+        """Early read-lock release lets a write slip under an
+        uncommitted read — the E12 ablation's mechanism."""
+        kernel = EventKernel()
+        history = History()
+        ltm = LocalTransactionManager(
+            "a", kernel, history, config=LTMConfig(rigorous=False)
+        )
+        ltm.store.load("t", {"X": 10})
+        reader = ltm.begin(sub(1))
+        reader.execute(ReadItem("t", "X"))
+        kernel.run()
+        writer = ltm.begin(sub(2))
+        write = writer.execute(UpdateItem("t", "X", SetValue(99)))
+        kernel.run()
+        assert write.ok  # read lock was dropped: write got in
+        violations = check_rigorous(history.ops)
+        assert violations  # R(T1) ... W(T2) without T1 terminating
+
+
+class TestDLUIntegration:
+    def make_guarded(self, policy):
+        kernel = EventKernel()
+        history = History()
+        guard = BoundDataGuard(kernel, policy=policy, wait_timeout=30.0)
+        ltm = LocalTransactionManager("a", kernel, history, dlu_guard=guard)
+        ltm.store.load("t", {"X": 10})
+        return kernel, ltm, guard
+
+    def test_local_update_of_bound_item_denied(self):
+        kernel, ltm, guard = self.make_guarded(DLUPolicy.ABORT)
+        guard.bind(global_txn(1), [DataItemId("t", "X")])
+        local = ltm.begin(lsub(4))
+        result = local.execute(UpdateItem("t", "X", SetValue(0)))
+        kernel.run()
+        assert isinstance(result.error, TransactionAborted)
+        assert result.error.reason is RefusalReason.DLU
+
+    def test_local_read_of_bound_item_allowed(self):
+        kernel, ltm, guard = self.make_guarded(DLUPolicy.ABORT)
+        guard.bind(global_txn(1), [DataItemId("t", "X")])
+        local = ltm.begin(lsub(4))
+        result = local.execute(ReadItem("t", "X"))
+        kernel.run()
+        assert result.ok
+
+    def test_global_subtxn_exempt_from_dlu(self):
+        kernel, ltm, guard = self.make_guarded(DLUPolicy.ABORT)
+        guard.bind(global_txn(1), [DataItemId("t", "X")])
+        other_global = ltm.begin(sub(2))
+        result = other_global.execute(UpdateItem("t", "X", SetValue(0)))
+        kernel.run()
+        assert result.ok
+
+
+class TestDeadlockDetection:
+    def make_detecting(self, period=10.0):
+        kernel = EventKernel()
+        history = History()
+        ltm = LocalTransactionManager(
+            "a",
+            kernel,
+            history,
+            config=LTMConfig(
+                lock_timeout=10_000.0, deadlock_detection_period=period
+            ),
+        )
+        ltm.store.load("t", {"X": 1, "Y": 2})
+        return kernel, ltm
+
+    def test_cycle_detected_and_victim_aborted(self):
+        kernel, ltm = self.make_detecting()
+        t1 = ltm.begin(sub(1))
+        t2 = ltm.begin(sub(2))
+        t1.execute(UpdateItem("t", "X", SetValue(1)))
+        t2.execute(UpdateItem("t", "Y", SetValue(2)))
+        kernel.run()
+        # Cross: t1 wants Y (held by t2), t2 wants X (held by t1).
+        blocked1 = t1.execute(UpdateItem("t", "Y", SetValue(3)))
+        blocked2 = t2.execute(UpdateItem("t", "X", SetValue(4)))
+        kernel.run(until=kernel.now + 50)
+        assert ltm.deadlocks_broken == 1
+        # Deterministic victim: the larger id (T2) dies, T1 proceeds.
+        assert isinstance(blocked2.error, TransactionAborted)
+        assert blocked2.error.reason is RefusalReason.DEADLOCK_VICTIM
+        assert blocked1.ok
+        t1.commit()
+        kernel.run()
+
+    def test_victim_abort_is_unilateral_for_globals(self):
+        kernel, ltm = self.make_detecting()
+        seen = []
+        ltm.on_unilateral_abort(seen.append)
+        t1 = ltm.begin(sub(1))
+        t2 = ltm.begin(sub(2))
+        t1.execute(UpdateItem("t", "X", SetValue(1)))
+        t2.execute(UpdateItem("t", "Y", SetValue(2)))
+        kernel.run()
+        t1.execute(UpdateItem("t", "Y", SetValue(3)))
+        t2.execute(UpdateItem("t", "X", SetValue(4)))
+        kernel.run(until=kernel.now + 50)
+        assert seen == [sub(2)]
+
+    def test_no_false_positives_without_cycle(self):
+        kernel, ltm = self.make_detecting()
+        t1 = ltm.begin(sub(1))
+        t2 = ltm.begin(sub(2))
+        t1.execute(UpdateItem("t", "X", SetValue(1)))
+        kernel.run()
+        blocked = t2.execute(UpdateItem("t", "X", SetValue(2)))
+        kernel.run(until=kernel.now + 30)
+        assert ltm.deadlocks_broken == 0
+        assert not blocked.done
+        t1.commit()
+        kernel.run()
+        assert blocked.ok
+        t2.commit()
+        kernel.run()
+
+    def test_system_quiesces_with_detector_enabled(self):
+        """The demand-driven timer must not keep the kernel alive."""
+        kernel, ltm = self.make_detecting()
+        t1 = ltm.begin(sub(1))
+        t1.execute(ReadItem("t", "X"))
+        kernel.run()
+        t1.commit()
+        kernel.run()
+        assert kernel.pending == 0

@@ -1,0 +1,212 @@
+"""Unit tests for the simulated network (repro.net)."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.ids import global_txn
+from repro.kernel import EventKernel
+from repro.net.messages import Message, MsgType
+from repro.net.network import LatencyModel, Network
+
+
+def make(kernel=None, **kwargs):
+    kernel = kernel or EventKernel()
+    return kernel, Network(kernel, **kwargs)
+
+
+def msg(src, dst, type_=MsgType.BEGIN, txn=None):
+    return Message(type=type_, src=src, dst=dst, txn=txn or global_txn(1))
+
+
+class TestDelivery:
+    def test_basic_delivery_with_base_latency(self):
+        kernel, net = make(latency=LatencyModel(base=7.0))
+        got = []
+        net.register("b", got.append)
+        net.send(msg("a", "b"))
+        kernel.run()
+        assert len(got) == 1
+        assert kernel.now == 7.0
+
+    def test_unregistered_destination_rejected(self):
+        _kernel, net = make()
+        with pytest.raises(SimulationError):
+            net.send(msg("a", "nowhere"))
+
+    def test_duplicate_registration_rejected(self):
+        _kernel, net = make()
+        net.register("b", lambda m: None)
+        with pytest.raises(ConfigError):
+            net.register("b", lambda m: None)
+
+    def test_counters(self):
+        kernel, net = make()
+        net.register("b", lambda m: None)
+        net.send(msg("a", "b"))
+        assert net.messages_sent == 1
+        assert net.in_flight == 1
+        kernel.run()
+        assert net.messages_delivered == 1
+        assert net.in_flight == 0
+
+
+class TestFifoPerChannel:
+    def test_same_channel_messages_never_reorder(self):
+        kernel, net = make(latency=LatencyModel(base=1.0, jitter=20.0), seed=42)
+        got = []
+        net.register("b", lambda m: got.append(m.seq))
+        sent = [msg("a", "b") for _ in range(20)]
+        for m in sent:
+            net.send(m)
+        kernel.run()
+        assert got == [m.seq for m in sent]
+
+    def test_cross_channel_overtaking_possible(self):
+        """A later message on a fast channel beats an earlier one on a
+        slow channel — the Sec. 5.3 race the extension exists for."""
+        kernel, net = make(
+            latency=LatencyModel(base=5.0, overrides={("slow", "s"): 100.0})
+        )
+        got = []
+        net.register("s", lambda m: got.append(m.src))
+        net.send(msg("slow", "s"))
+        net.send(msg("fast", "s"))
+        kernel.run()
+        assert got == ["fast", "slow"]
+
+    def test_override_applies_to_exact_channel_only(self):
+        kernel, net = make(
+            latency=LatencyModel(base=5.0, overrides={("a", "b"): 50.0})
+        )
+        times = {}
+        net.register("b", lambda m: times.setdefault(m.src, kernel.now))
+        net.send(msg("a", "b"))
+        net.send(msg("c", "b"))
+        kernel.run()
+        assert times["c"] == 5.0
+        assert times["a"] == 50.0
+
+
+class TestLatencyModel:
+    def test_no_jitter_is_deterministic(self):
+        import random
+
+        model = LatencyModel(base=3.0)
+        assert model.sample("a", "b", random.Random(0)) == 3.0
+
+    def test_jitter_bounded(self):
+        import random
+
+        model = LatencyModel(base=3.0, jitter=2.0)
+        rng = random.Random(7)
+        for _ in range(100):
+            value = model.sample("a", "b", rng)
+            assert 3.0 <= value <= 5.0
+
+    def test_same_seed_same_delays(self):
+        kernel1, net1 = make(latency=LatencyModel(base=1.0, jitter=9.0), seed=5)
+        kernel2, net2 = make(latency=LatencyModel(base=1.0, jitter=9.0), seed=5)
+        arrivals1, arrivals2 = [], []
+        net1.register("b", lambda m: arrivals1.append(kernel1.now))
+        net2.register("b", lambda m: arrivals2.append(kernel2.now))
+        for _ in range(10):
+            net1.send(msg("a", "b"))
+            net2.send(msg("a", "b"))
+        kernel1.run()
+        kernel2.run()
+        assert arrivals1 == arrivals2
+
+    def test_negative_override_rejected(self):
+        _kernel, net = make(
+            latency=LatencyModel(base=5.0, overrides={("a", "b"): -1.0})
+        )
+        net.register("b", lambda m: None)
+        with pytest.raises(ConfigError):
+            net.send(msg("a", "b"))
+
+
+class TestTrace:
+    def test_trace_records_send_and_delivery_times(self):
+        kernel, net = make(latency=LatencyModel(base=4.0))
+        net.register("b", lambda m: None)
+        net.send(msg("a", "b"))
+        kernel.run()
+        (send_time, delivery_time, message) = net.trace[0]
+        assert send_time == 0.0
+        assert delivery_time == 4.0
+        assert message.dst == "b"
+
+    def test_trace_bounded(self):
+        kernel, net = make(trace_limit=3)
+        net.register("b", lambda m: None)
+        for _ in range(10):
+            net.send(msg("a", "b"))
+        assert len(net.trace) == 3
+
+
+class TestMessageRendering:
+    def test_str_contains_route_and_type(self):
+        text = str(msg("a", "b", MsgType.PREPARE))
+        assert "PREPARE" in text
+        assert "a->b" in text
+
+
+class TestPauseResume:
+    def test_paused_channel_holds_messages(self):
+        kernel, net = make()
+        got = []
+        net.register("b", got.append)
+        net.pause_channel("a", "b")
+        net.send(msg("a", "b"))
+        kernel.run()
+        assert got == []
+        assert net.is_paused("a", "b")
+
+    def test_resume_delivers_in_order(self):
+        kernel, net = make()
+        got = []
+        net.register("b", lambda m: got.append(m.seq))
+        net.pause_channel("a", "b")
+        queued = [msg("a", "b") for _ in range(3)]
+        for m in queued:
+            net.send(m)
+        released = net.resume_channel("a", "b")
+        kernel.run()
+        assert released == 3
+        assert got == [m.seq for m in queued]
+
+    def test_other_channels_unaffected(self):
+        kernel, net = make()
+        got = []
+        net.register("b", lambda m: got.append(m.src))
+        net.pause_channel("a", "b")
+        net.send(msg("a", "b"))
+        net.send(msg("c", "b"))
+        kernel.run()
+        assert got == ["c"]
+        net.resume_channel("a", "b")
+        kernel.run()
+        assert got == ["c", "a"]
+
+    def test_resume_of_unpaused_channel_is_noop(self):
+        _kernel, net = make()
+        assert net.resume_channel("x", "y") == 0
+
+    def test_paused_send_reports_inf(self):
+        _kernel, net = make()
+        net.register("b", lambda m: None)
+        net.pause_channel("a", "b")
+        assert net.send(msg("a", "b")) == float("inf")
+
+    def test_pause_resume_scenario_race(self):
+        """A dynamic Hx-style overtake: pause only the PREPARE leg."""
+        kernel, net = make(latency=LatencyModel(base=5.0))
+        got = []
+        net.register("s", lambda m: got.append(m.src))
+        net.pause_channel("coordJ", "s")
+        net.send(msg("coordJ", "s"))   # e.g. a PREPARE, held back
+        net.send(msg("coordK", "s"))   # e.g. a COMMIT, sails through
+        kernel.run()
+        net.resume_channel("coordJ", "s")
+        kernel.run()
+        assert got == ["coordK", "coordJ"]

@@ -1,0 +1,86 @@
+"""Unit tests for the rigorousness checker (repro.history.rigor)."""
+
+from repro.history.rigor import check_rigorous, is_rigorous
+
+from tests.helpers import HistoryBuilder
+
+
+class TestRigorous:
+    def test_serial_history_is_rigorous(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(1, "a", "X").cl(1, "a")
+        h.r(2, "a", "X").w(2, "a", "X").cl(2, "a")
+        assert is_rigorous(h.history)
+
+    def test_termination_by_abort_also_counts(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").al(1, "a")
+        h.w(2, "a", "X").cl(2, "a")
+        assert is_rigorous(h.history)
+
+    def test_concurrent_reads_are_fine(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").r(2, "a", "X").cl(1, "a").cl(2, "a")
+        assert is_rigorous(h.history)
+
+    def test_disjoint_items_are_fine(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").w(2, "a", "Y").cl(1, "a").cl(2, "a")
+        assert is_rigorous(h.history)
+
+
+class TestViolations:
+    def test_write_after_uncommitted_read_violates(self):
+        """The condition that separates rigorous from merely strict."""
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(2, "a", "X")
+        violations = check_rigorous(h.history.ops)
+        assert len(violations) == 1
+        assert violations[0].first.txn.number == 1
+        assert violations[0].second.txn.number == 2
+
+    def test_write_after_uncommitted_write_violates(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").w(2, "a", "X")
+        assert len(check_rigorous(h.history.ops)) == 1
+
+    def test_read_after_uncommitted_write_violates(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").r(2, "a", "X")
+        assert len(check_rigorous(h.history.ops)) == 1
+
+    def test_violation_rendering(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").r(2, "a", "X")
+        text = str(check_rigorous(h.history.ops)[0])
+        assert "conflicts" in text
+
+    def test_incarnation_granularity(self):
+        """T1's aborted incarnation terminated — its ops may be
+        followed by others; the *new* incarnation is a fresh txn."""
+        h = HistoryBuilder()
+        h.w(1, "a", "X", inc=0).al(1, "a", inc=0)
+        h.w(2, "a", "X").cl(2, "a")
+        h.w(1, "a", "X", inc=1).cl(1, "a", inc=1)
+        assert is_rigorous(h.history)
+
+    def test_same_incarnation_self_ops_ok(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(1, "a", "X").r(1, "a", "X")
+        assert is_rigorous(h.history)
+
+
+class TestSiteFiltering:
+    def test_check_single_site(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").w(2, "a", "X")      # violation at a
+        h.w(1, "b", "X").cl(1, "b")
+        h.w(2, "b", "X")                     # fine at b
+        assert check_rigorous(h.history.ops, site="b") == []
+        assert len(check_rigorous(h.history.ops, site="a")) == 1
+
+    def test_all_sites_by_default(self):
+        h = HistoryBuilder()
+        h.w(1, "a", "X").w(2, "a", "X")
+        h.w(1, "b", "Y").w(2, "b", "Y")
+        assert len(check_rigorous(h.history.ops)) == 2

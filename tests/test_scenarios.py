@@ -1,0 +1,187 @@
+"""Tests of the paper's worked histories (repro.workload.scenarios).
+
+These are the headline reproduction assertions: each of the paper's
+anomaly histories materializes under the weak method and disappears
+under the full 2CM method.
+"""
+
+import pytest
+
+from repro.common.errors import RefusalReason
+from repro.common.ids import global_txn, local_txn
+from repro.history.model import OpKind
+from repro.workload.scenarios import run_h1, run_h2, run_h3, run_hx
+
+
+class TestH1GlobalViewDistortion:
+    """Paper Sec. 3 / experiment E2."""
+
+    def test_naive_reproduces_the_distortion(self):
+        result = run_h1("naive")
+        assert result.outcome(1).committed
+        assert result.outcome(2).committed
+        report = result.audit.distortions
+        # T1's resubmission read X from T2 while the original read it
+        # from T0 — the view split of H1.
+        splits = [s for s in report.view_splits if s.txn == global_txn(1)]
+        assert splits
+        split = splits[0]
+        assert split.first_source is None
+        assert split.second_source == global_txn(2)
+        # And the decomposition changed (T2 deleted Y).
+        assert report.decomposition_changes
+        assert result.audit.view_serializability.serializable is False
+
+    def test_naive_resubmission_happened(self):
+        result = run_h1("naive")
+        resub_reads = [
+            op
+            for op in result.system.history.ops
+            if op.kind is OpKind.READ and op.subtxn and op.subtxn.incarnation == 1
+        ]
+        assert resub_reads
+
+    def test_2cm_prevents_it(self):
+        result = run_h1("2cm")
+        assert result.outcome(1).committed
+        assert not result.outcome(2).committed
+        assert result.outcome(2).reason is RefusalReason.ALIVE_INTERSECTION
+        assert result.audit.ok
+
+    def test_2cm_t1_still_resubmits_and_completes(self):
+        result = run_h1("2cm")
+        assert result.system.agent("a").resubmissions == 1
+        snapshot = {
+            k.key: v
+            for k, v in result.system.ltm("a").store.snapshot("acct").items()
+        }
+        assert snapshot["Y"] == 55  # T1's +5 applied exactly once
+
+
+class TestH2LocalViewDistortion:
+    """Paper Sec. 5.1 / experiment E3."""
+
+    def test_naive_reproduces_the_cycle(self):
+        result = run_h2("naive")
+        assert result.outcome(1).committed
+        assert result.outcome(3).committed
+        assert result.local_outcome(4, "a").committed
+        cycle = result.audit.distortions.commit_graph_cycle
+        assert cycle is not None
+        labels = {txn.label for txn in cycle}
+        assert labels == {"T1", "T3", "L4"}
+        assert result.audit.view_serializability.serializable is False
+
+    def test_l4_views_are_the_papers(self):
+        result = run_h2("naive")
+        l4_reads = {
+            op.item.key: (op.read_from.txn if op.read_from else None)
+            for op in result.system.history.ops
+            if op.kind is OpKind.READ and op.txn == local_txn(4, "a")
+        }
+        assert l4_reads["Q"] == global_txn(3)   # Q from T3
+        assert l4_reads["Y"] is None            # Y from T0 — not from T1!
+
+    def test_2cm_prevents_it(self):
+        result = run_h2("2cm")
+        assert result.outcome(1).committed
+        assert result.audit.ok
+
+
+class TestH3IndirectConflicts:
+    """Paper Sec. 5.1 (H3) / experiment E4."""
+
+    @pytest.mark.parametrize("method", ["naive", "2cm-nocommitcert", "2cm-prepare-order"])
+    def test_weak_methods_reproduce_the_anomaly(self, method):
+        result = run_h3(method)
+        assert result.outcome(5).committed
+        assert result.outcome(6).committed
+        assert result.audit.distortions.commit_graph_cycle is not None
+        assert result.audit.view_serializability.serializable is False
+
+    def test_prepare_orders_are_opposite(self):
+        """The premise of Sec. 5.3's argument: prepare ops of T5 and T6
+        arrive in different orders at the two sites."""
+        result = run_h3("2cm")
+        prepares = [
+            (op.site, op.txn.number)
+            for op in result.system.history.ops
+            if op.kind is OpKind.PREPARE
+        ]
+        order_a = [n for site, n in prepares if site == "a"]
+        order_b = [n for site, n in prepares if site == "b"]
+        assert order_a == [5, 6]
+        assert order_b == [6, 5]
+
+    def test_2cm_prevents_it_with_zero_aborts(self):
+        result = run_h3("2cm")
+        assert result.outcome(5).committed
+        assert result.outcome(6).committed
+        assert result.local_outcome(7, "a").committed
+        assert result.local_outcome(8, "b").committed
+        assert result.audit.ok
+        for coordinator in result.system.coordinators:
+            assert coordinator.aborted == 0
+
+    def test_locals_get_consistent_views_under_2cm(self):
+        result = run_h3("2cm")
+        l8_reads = {
+            op.item.key: (op.read_from.txn if op.read_from else None)
+            for op in result.system.history.ops
+            if op.kind is OpKind.READ and op.txn == local_txn(8, "b")
+        }
+        # Commit certification held T6's commit at b until T5's landed:
+        # L8 sees both updates, a view consistent with SN order.
+        assert l8_reads["S"] == global_txn(5)
+        assert l8_reads["U"] == global_txn(6)
+
+
+class TestHxCommitOvertakesPrepare:
+    """Paper Sec. 5.3 / experiment E5."""
+
+    def test_noext_builds_cyclic_cg(self):
+        result = run_hx("2cm-noext")
+        assert result.outcome(7).committed
+        assert result.outcome(8).committed
+        cycle = result.audit.distortions.commit_graph_cycle
+        assert cycle is not None
+        assert {txn.label for txn in cycle} == {"T7", "T8"}
+
+    def test_noext_matches_papers_operation_order(self):
+        """The paper's order for history Hx:
+        P^i_7 .. P^i_8? — no: T8's COMMIT overtakes T7's PREPARE at s,
+        then C^i_7 < C^i_8 (commit certification at i) and C^s_8 < C^s_7."""
+        result = run_hx("2cm-noext")
+        ops = [
+            (op.kind, op.site, op.txn.number)
+            for op in result.system.history.ops
+            if op.kind in (OpKind.PREPARE, OpKind.LOCAL_COMMIT)
+        ]
+        # C^s_8 before P^s_7 — the overtake itself.
+        s_events = [(k, n) for k, site, n in ops if site == "s"]
+        assert s_events.index((OpKind.LOCAL_COMMIT, 8)) < s_events.index(
+            (OpKind.PREPARE, 7)
+        )
+        # At site i the commit certification kept SN order: C^i_7 < C^i_8.
+        i_commits = [n for k, site, n in ops if site == "i" and k is OpKind.LOCAL_COMMIT]
+        assert i_commits == [7, 8]
+
+    def test_extension_refuses_the_late_prepare(self):
+        result = run_hx("2cm")
+        assert not result.outcome(7).committed
+        assert result.outcome(7).reason is RefusalReason.PREPARE_OUT_OF_ORDER
+        assert result.outcome(8).committed
+        assert result.audit.ok
+
+    def test_hx_is_failure_free(self):
+        """No unilateral aborts are needed for this race."""
+        result = run_hx("2cm-noext")
+        for site in ("i", "s"):
+            assert result.system.ltm(site).unilateral_aborts == 0
+
+
+class TestScenarioDeterminism:
+    def test_same_scenario_same_history(self):
+        first = run_h1("naive")
+        second = run_h1("naive")
+        assert first.system.history.render() == second.system.history.render()

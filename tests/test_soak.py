@@ -1,0 +1,122 @@
+"""Soak test: everything at once, audited.
+
+One larger run combining every stressor the reproduction models —
+multi-site global transactions, local transactions, random unilateral
+aborts, a site crash, clock drift, DLU enforcement — and the full
+correctness battery at the end.  This is the closest single test to
+"the system works".
+"""
+
+from repro.core.agent import AgentConfig
+from repro.core.dtm import MultidatabaseSystem, SystemConfig
+from repro.history.invariants import check_correctness_invariant
+from repro.sim.driver import run_schedule
+from repro.sim.failures import RandomFailureInjector, inject_site_crash
+from repro.sim.metrics import audit, collect_metrics
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+def test_soak_everything_at_once():
+    system = MultidatabaseSystem(
+        SystemConfig(
+            sites=("a", "b", "c"),
+            n_coordinators=3,
+            method="2cm",
+            seed=99,
+            clock_offsets={"c2": 15.0, "c3": -10.0},
+            agent=AgentConfig(alive_check_interval=30.0),
+        )
+    )
+    RandomFailureInjector(system, probability=0.3, seed=99)
+    inject_site_crash(system, "b", at=250.0)
+    inject_site_crash(system, "a", at=500.0)
+    schedule = WorkloadGenerator(
+        WorkloadConfig(
+            sites=("a", "b", "c"),
+            n_global=40,
+            n_local=10,
+            n_tables=4,
+            keys_per_site=40,
+            update_fraction=0.6,
+            sites_max=2,
+            mean_interarrival=12.0,
+            seed=99,
+        )
+    ).generate()
+    result = run_schedule(system, schedule)
+
+    metrics = collect_metrics(system, latencies=result.commit_latencies)
+    # The run exercised what it was meant to exercise.
+    assert metrics.global_committed + metrics.global_aborted == 40
+    assert metrics.global_committed >= 25
+    assert len(result.local_outcomes) == 10
+    assert metrics.unilateral_aborts > 0
+
+    # The paper's guarantees, in full.
+    report = audit(system)
+    assert report.rigor_violations == 0
+    assert not report.distortions.has_global_distortion
+    assert report.distortions.commit_graph_cycle is None
+    assert report.view_serializability.serializable in (True, None)
+    assert check_correctness_invariant(system.history) == []
+
+    # Bookkeeping is clean: nothing leaked anywhere.
+    for site in ("a", "b", "c"):
+        assert system.ltm(site).active_txns() == []
+        assert system.certifier(site).table_size() == 0
+        assert not system.guards[site].bound_items()
+
+
+def test_soak_is_deterministic():
+    def run_once():
+        system = MultidatabaseSystem(
+            SystemConfig(sites=("a", "b"), n_coordinators=2, seed=7)
+        )
+        RandomFailureInjector(system, probability=0.4, seed=7)
+        schedule = WorkloadGenerator(
+            WorkloadConfig(sites=("a", "b"), n_global=15, seed=7)
+        ).generate()
+        run_schedule(system, schedule)
+        return system.history.render()
+
+    assert run_once() == run_once()
+
+
+def test_soak_with_agent_restarts():
+    """Random failures + periodic agent restarts, guarantee intact."""
+    system = MultidatabaseSystem(
+        SystemConfig(
+            sites=("a", "b"),
+            n_coordinators=2,
+            method="2cm",
+            seed=17,
+            agent=AgentConfig(alive_check_interval=25.0),
+        )
+    )
+    RandomFailureInjector(system, probability=0.3, seed=17)
+    for at, site in ((150.0, "a"), (300.0, "b"), (450.0, "a")):
+        system.kernel.schedule_at(
+            at, lambda s=site: system.agent(s).simulate_restart()
+        )
+    schedule = WorkloadGenerator(
+        WorkloadConfig(
+            sites=("a", "b"),
+            n_global=25,
+            n_local=5,
+            keys_per_site=32,
+            seed=17,
+            mean_interarrival=20.0,
+        )
+    ).generate()
+    run_schedule(system, schedule)
+
+    restarts = sum(system.agent(s).restarts for s in ("a", "b"))
+    assert restarts == 3
+    report = audit(system)
+    assert report.rigor_violations == 0
+    assert not report.distortions.has_global_distortion
+    assert report.distortions.commit_graph_cycle is None
+    assert check_correctness_invariant(system.history) == []
+    for site in ("a", "b"):
+        assert system.ltm(site).active_txns() == []
+        assert system.certifier(site).table_size() == 0

@@ -1,0 +1,76 @@
+"""Tests for the statistics helpers (repro.sim.stats)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import Summary, mean, percentile, stddev
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_median_even(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_extremes(self):
+        samples = [5.0, 1.0, 3.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 5.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 0.25) == 2.5
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_bounds_property(self, samples):
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            value = percentile(samples, q)
+            assert min(samples) <= value <= max(samples)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_monotone_in_q(self, samples):
+        values = [percentile(samples, q) for q in (0.1, 0.5, 0.9)]
+        assert values == sorted(values)
+
+
+class TestMoments:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_stddev_constant_series(self):
+        assert stddev([4.0, 4.0, 4.0]) == 0.0
+
+    def test_stddev_known_value(self):
+        assert stddev([2.0, 4.0]) == pytest.approx(2.0 ** 0.5)
+
+    def test_stddev_degenerate(self):
+        assert stddev([1.0]) == 0.0
+        assert stddev([]) == 0.0
+
+
+class TestSummary:
+    def test_of_samples(self):
+        summary = Summary.of([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.n == 5
+        assert summary.max == 100.0
+        assert summary.p50 == 3.0
+        assert summary.mean == 22.0
+
+    def test_of_empty(self):
+        summary = Summary.of([])
+        assert summary.n == 0
+        assert summary.mean == 0.0
+        assert summary.max == 0.0
+
+    def test_str_contains_fields(self):
+        text = str(Summary.of([1.0, 2.0]))
+        assert "p95=" in text and "mean=" in text

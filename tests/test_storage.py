@@ -1,0 +1,145 @@
+"""Unit tests for the versioned row store (repro.ldbs.storage)."""
+
+import pytest
+
+from repro.common.ids import DataItemId, SubtxnId, global_txn
+from repro.ldbs.storage import VersionedStore
+
+
+def sub(n, site="a", inc=0):
+    return SubtxnId(global_txn(n), site, inc)
+
+
+@pytest.fixture
+def store():
+    s = VersionedStore("a")
+    s.load("t", {"X": 10, "Y": 20})
+    return s
+
+
+class TestReads:
+    def test_initial_rows_have_no_writer(self, store):
+        existed, value, writer = store.read(DataItemId("t", "X"))
+        assert existed and value == 10 and writer is None
+
+    def test_missing_row(self, store):
+        existed, value, writer = store.read(DataItemId("t", "Z"))
+        assert not existed and value is None and writer is None
+
+    def test_scan_returns_sorted_existing(self, store):
+        items = store.scan("t")
+        assert [item.key for item in items] == ["X", "Y"]
+
+    def test_scan_other_table_empty(self, store):
+        assert store.scan("u") == []
+
+    def test_snapshot(self, store):
+        snap = store.snapshot("t")
+        assert {item.key: v for item, v in snap.items()} == {"X": 10, "Y": 20}
+
+
+class TestWritesAndWriterTags:
+    def test_write_updates_value_and_writer(self, store):
+        writer = sub(1)
+        store.write(writer, DataItemId("t", "X"), 99)
+        existed, value, tag = store.read(DataItemId("t", "X"))
+        assert existed and value == 99 and tag == writer
+
+    def test_insert_new_row(self, store):
+        store.write(sub(1), DataItemId("t", "Z"), 5)
+        assert store.exists(DataItemId("t", "Z"))
+        assert [item.key for item in store.scan("t")] == ["X", "Y", "Z"]
+
+    def test_delete_leaves_attributing_tombstone(self, store):
+        """After T deletes X, a read attributes the absence to T — the
+        mechanism behind H1's 'Y was deleted by T2' observation."""
+        writer = sub(2)
+        assert store.delete(writer, DataItemId("t", "X")) is True
+        existed, value, tag = store.read(DataItemId("t", "X"))
+        assert not existed and tag == writer
+
+    def test_delete_missing_row_reports_false(self, store):
+        assert store.delete(sub(2), DataItemId("t", "Z")) is False
+
+    def test_deleted_rows_not_scanned(self, store):
+        store.delete(sub(2), DataItemId("t", "X"))
+        assert [item.key for item in store.scan("t")] == ["Y"]
+
+
+class TestUndo:
+    def test_undo_restores_value_and_writer(self, store):
+        t1, t2 = sub(1), sub(2)
+        store.write(t1, DataItemId("t", "X"), 50)
+        store.commit(t1)
+        store.write(t2, DataItemId("t", "X"), 99)
+        store.undo(t2)
+        existed, value, tag = store.read(DataItemId("t", "X"))
+        assert existed and value == 50 and tag == t1
+
+    def test_undo_removes_inserted_row(self, store):
+        t1 = sub(1)
+        store.write(t1, DataItemId("t", "Z"), 5)
+        store.undo(t1)
+        assert not store.exists(DataItemId("t", "Z"))
+
+    def test_undo_restores_deleted_row(self, store):
+        t1 = sub(1)
+        store.delete(t1, DataItemId("t", "X"))
+        store.undo(t1)
+        existed, value, tag = store.read(DataItemId("t", "X"))
+        assert existed and value == 10 and tag is None
+
+    def test_undo_uses_first_touch_image(self, store):
+        """Multiple writes by one txn roll back to the pre-txn state."""
+        t1 = sub(1)
+        item = DataItemId("t", "X")
+        store.write(t1, item, 11)
+        store.write(t1, item, 12)
+        store.delete(t1, item)
+        count = store.undo(t1)
+        assert count == 1
+        existed, value, _writer = store.read(item)
+        assert existed and value == 10
+
+    def test_undo_restores_tombstone(self, store):
+        """Undoing a write over a deleted row re-deletes it and keeps
+        the original deleter attribution."""
+        t1, t2 = sub(1), sub(2)
+        item = DataItemId("t", "X")
+        store.delete(t1, item)
+        store.commit(t1)
+        store.write(t2, item, 77)
+        store.undo(t2)
+        existed, _value, tag = store.read(item)
+        assert not existed and tag == t1
+
+    def test_undo_in_reverse_order_across_items(self, store):
+        t1 = sub(1)
+        store.write(t1, DataItemId("t", "X"), 1)
+        store.write(t1, DataItemId("t", "Y"), 2)
+        store.undo(t1)
+        assert store.read(DataItemId("t", "X"))[1] == 10
+        assert store.read(DataItemId("t", "Y"))[1] == 20
+
+    def test_commit_then_undo_is_noop(self, store):
+        t1 = sub(1)
+        store.write(t1, DataItemId("t", "X"), 50)
+        store.commit(t1)
+        assert store.undo(t1) == 0
+        assert store.read(DataItemId("t", "X"))[1] == 50
+
+    def test_touched_by_lists_write_set(self, store):
+        t1 = sub(1)
+        store.write(t1, DataItemId("t", "X"), 1)
+        store.delete(t1, DataItemId("t", "Y"))
+        touched = store.touched_by(t1)
+        assert {item.key for item in touched} == {"X", "Y"}
+
+
+class TestCounters:
+    def test_read_write_counters(self, store):
+        store.read(DataItemId("t", "X"))
+        store.write(sub(1), DataItemId("t", "X"), 1)
+        store.delete(sub(1), DataItemId("t", "Y"))
+        assert store.reads == 1
+        assert store.writes == 2

@@ -1,0 +1,99 @@
+"""Tests for execution-tree reconstruction (repro.history.trees)."""
+
+import pytest
+
+from repro.common.errors import HistoryError
+from repro.common.ids import global_txn, local_txn
+from repro.history.trees import execution_tree, render_figure, render_tree
+from repro.workload.scenarios import run_h1
+
+from tests.helpers import HistoryBuilder
+
+
+class TestStructure:
+    def make_committed(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").w(1, "a", "Y").w(1, "b", "Z")
+        h.p(1, "a").p(1, "b").c(1).cl(1, "a").cl(1, "b")
+        return h.history
+
+    def test_root_carries_decision(self):
+        tree = execution_tree(self.make_committed(), global_txn(1))
+        assert "C_1" in tree.label
+
+    def test_one_agent_node_per_site(self):
+        tree = execution_tree(self.make_committed(), global_txn(1))
+        assert len(tree.children) == 2
+        assert "P^a_1" in tree.children[0].label
+        assert "P^b_1" in tree.children[1].label
+
+    def test_leaves_list_ops_and_termination(self):
+        tree = execution_tree(self.make_committed(), global_txn(1))
+        leaf_a = tree.children[0].children[0]
+        assert "R10" in leaf_a.label and "W10" in leaf_a.label
+        assert "C^a_10" in leaf_a.label
+
+    def test_resubmission_adds_a_leaf(self):
+        """The H1 shape of the paper's Fig. 2: the aborted incarnation
+        and the resubmitted one hang under the same 2PCA node."""
+        h = HistoryBuilder()
+        h.r(1, "a", "X").p(1, "a").c(1).al(1, "a", inc=0)
+        h.r(1, "a", "X", inc=1).cl(1, "a", inc=1)
+        tree = execution_tree(h.history, global_txn(1))
+        agent = tree.children[0]
+        assert len(agent.children) == 2
+        assert "A^a_10" in agent.children[0].label
+        assert "C^a_11" in agent.children[1].label
+
+    def test_aborted_global_tree(self):
+        h = HistoryBuilder()
+        h.r(2, "a", "X").a(2)
+        tree = execution_tree(h.history, global_txn(2))
+        assert "A_2" in tree.label
+
+    def test_local_transaction_tree(self):
+        h = HistoryBuilder()
+        h.r(4, "a", "Q", local=True).cl(4, "a", local=True)
+        tree = execution_tree(h.history, local_txn(4, "a"))
+        assert tree.label == "L4"
+        assert len(tree.children) == 1
+        assert "C^a_4" in tree.children[0].label
+
+    def test_unknown_txn_rejected(self):
+        h = HistoryBuilder()
+        with pytest.raises(HistoryError):
+            execution_tree(h.history, global_txn(9))
+
+    def test_size_and_walk(self):
+        tree = execution_tree(self.make_committed(), global_txn(1))
+        assert tree.size == 1 + 2 + 2  # root + 2 agents + 2 leaves
+
+
+class TestRendering:
+    def test_render_tree_ascii(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").p(1, "a").c(1).cl(1, "a")
+        text = render_tree(execution_tree(h.history, global_txn(1)))
+        lines = text.splitlines()
+        assert lines[0].startswith("T1")
+        assert any(line.startswith("|-- ") or line.startswith("`-- ")
+                   for line in lines[1:])
+
+    def test_render_figure_multiple_txns(self):
+        h = HistoryBuilder()
+        h.r(1, "a", "X").c(1).cl(1, "a")
+        h.r(4, "a", "Q", local=True).cl(4, "a", local=True)
+        text = render_figure(h.history)
+        assert "T1" in text and "L4" in text
+
+    def test_h1_tree_matches_paper_fig2_shape(self):
+        """The live H1 run regenerates Fig. 2's T1: prepared at both
+        sites, aborted and resubmitted at site a, committed everywhere."""
+        result = run_h1("naive")
+        text = render_tree(
+            execution_tree(result.system.history, global_txn(1))
+        )
+        assert "P^a_1" in text and "P^b_1" in text
+        assert "A^a_10" in text          # the unilateral abort
+        assert "C^a_11" in text          # the resubmitted incarnation
+        assert "C^b_10" in text

@@ -1,0 +1,134 @@
+"""Tests for the random workload generator (repro.workload.generator)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.ldbs.commands import ReadItem, ScanTable, UpdateItem
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    def test_bad_ops_range(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(ops_min=3, ops_max=2)
+
+    def test_bad_sites_range(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(sites_min=2, sites_max=1)
+
+    def test_sites_max_bounded_by_sites(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(sites=("a",), sites_max=2)
+
+    def test_update_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(update_fraction=1.5)
+
+    def test_hot_keys_bounded(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(keys_per_site=4, hot_keys=5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        config = WorkloadConfig(n_global=20, n_local=5, seed=7)
+        first = WorkloadGenerator(config).generate()
+        second = WorkloadGenerator(config).generate()
+        assert [(g.at, g.spec) for g in first.globals_] == [
+            (g.at, g.spec) for g in second.globals_
+        ]
+        assert first.locals_ == second.locals_
+
+    def test_different_seed_different_schedule(self):
+        base = WorkloadConfig(n_global=20, seed=1)
+        other = WorkloadConfig(n_global=20, seed=2)
+        first = WorkloadGenerator(base).generate()
+        second = WorkloadGenerator(other).generate()
+        assert [g.spec for g in first.globals_] != [g.spec for g in second.globals_]
+
+
+class TestShape:
+    def test_counts(self):
+        config = WorkloadConfig(n_global=15, n_local=6, seed=3)
+        schedule = WorkloadGenerator(config).generate()
+        assert schedule.n_global == 15
+        assert schedule.n_local == 6
+
+    def test_arrival_times_increase(self):
+        schedule = WorkloadGenerator(WorkloadConfig(n_global=30, seed=3)).generate()
+        times = [g.at for g in schedule.globals_]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_sites_respect_bounds(self):
+        config = WorkloadConfig(
+            sites=("a", "b", "c"), sites_min=2, sites_max=3, n_global=30, seed=4
+        )
+        schedule = WorkloadGenerator(config).generate()
+        for entry in schedule.globals_:
+            assert 2 <= len(entry.spec.sites) <= 3
+
+    def test_every_chosen_site_is_visited(self):
+        config = WorkloadConfig(sites_min=2, sites_max=2, n_global=30, seed=5)
+        schedule = WorkloadGenerator(config).generate()
+        for entry in schedule.globals_:
+            visited = {site for site, _cmd in entry.spec.steps}
+            assert visited == set(entry.spec.sites)
+
+    def test_read_only_workload(self):
+        config = WorkloadConfig(update_fraction=0.0, n_global=20, seed=6)
+        schedule = WorkloadGenerator(config).generate()
+        for entry in schedule.globals_:
+            for _site, command in entry.spec.steps:
+                assert isinstance(command, ReadItem)
+
+    def test_update_only_workload(self):
+        config = WorkloadConfig(update_fraction=1.0, n_global=20, seed=6)
+        schedule = WorkloadGenerator(config).generate()
+        for entry in schedule.globals_:
+            for _site, command in entry.spec.steps:
+                assert isinstance(command, UpdateItem)
+
+    def test_scan_fraction_produces_scans(self):
+        config = WorkloadConfig(scan_fraction=1.0, n_global=10, seed=6)
+        schedule = WorkloadGenerator(config).generate()
+        commands = [
+            command
+            for entry in schedule.globals_
+            for _site, command in entry.spec.steps
+        ]
+        assert all(isinstance(c, ScanTable) for c in commands)
+
+    def test_initial_data_covers_all_sites(self):
+        config = WorkloadConfig(sites=("a", "b"), keys_per_site=8)
+        schedule = WorkloadGenerator(config).generate()
+        assert set(schedule.initial_data) == {"a", "b"}
+        assert len(schedule.initial_data["a"]["t"]) == 8
+
+    def test_hot_keys_attract_accesses(self):
+        config = WorkloadConfig(
+            n_global=200,
+            keys_per_site=100,
+            hot_keys=2,
+            hot_access_fraction=0.8,
+            seed=9,
+        )
+        schedule = WorkloadGenerator(config).generate()
+        keys = [
+            command.key
+            for entry in schedule.globals_
+            for _site, command in entry.spec.steps
+            if hasattr(command, "key")
+        ]
+        hot = sum(1 for k in keys if k < 2)
+        assert hot / len(keys) > 0.6
+
+    def test_local_txns_have_home_sites(self):
+        config = WorkloadConfig(n_local=10, seed=2)
+        schedule = WorkloadGenerator(config).generate()
+        for entry in schedule.locals_:
+            assert entry.site in config.sites
+            assert len(entry.commands) == config.local_ops

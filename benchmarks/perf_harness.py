@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Standalone entry point for the substrate perf harness.
+
+Equivalent to ``python -m repro bench``; kept under ``benchmarks/`` so
+the perf tooling lives next to the pytest-benchmark suites::
+
+    PYTHONPATH=src python benchmarks/perf_harness.py [--out DIR] [--quick]
+
+Writes ``BENCH_kernel.json`` and ``BENCH_e2e.json`` — the
+machine-readable perf trajectory described in ``docs/PERF.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.sim.perf import main  # noqa: E402  (path bootstrap above)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=".", help="artifact directory")
+    parser.add_argument("--quick", action="store_true", help="smoke pass")
+    parser.add_argument("--repeat", type=int, default=None)
+    args = parser.parse_args()
+    sys.exit(main(out_dir=args.out, quick=args.quick, repeats=args.repeat))

@@ -120,3 +120,113 @@ def test_bench_simulated_throughput(benchmark):
         return len(result.global_outcomes)
 
     assert benchmark(run) == 30
+
+
+def test_bench_timer_restart_churn(benchmark):
+    """Watchdog pattern: a timer restarted 2k times before firing once."""
+    from repro.kernel import Timer
+
+    def run():
+        kernel = EventKernel()
+        fired = []
+        timer = Timer(kernel, 10.0, lambda: fired.append(kernel.now))
+        timer.start()
+        for i in range(2_000):
+            kernel.run(until=(i + 1) * 0.001)
+            timer.restart()
+        kernel.run()
+        return len(fired), len(kernel._queue)
+
+    fired, residue = benchmark(run)
+    assert fired == 1
+    assert residue <= 2  # carrier design: no tombstone pile-up
+
+
+def test_bench_kernel_cancel_heavy(benchmark):
+    """10k schedules with 80% cancelled — tombstone compaction path."""
+
+    def run():
+        kernel = EventKernel()
+        handles = [
+            kernel.schedule(float(i % 199) + 1.0, _noop) for i in range(10_000)
+        ]
+        for i, handle in enumerate(handles):
+            if i % 5:
+                handle.cancel()
+        kernel.run()
+        return kernel.events_fired
+
+    assert benchmark(run) == 2_000
+
+
+def test_bench_lock_release_all_wide(benchmark):
+    """release_all over an owner holding 200 rows with queued rivals."""
+    rows = [("row", DataItemId("t", k)) for k in range(200)]
+    hoarder = SubtxnId(global_txn(1), "a", 0)
+    rivals = [SubtxnId(global_txn(n), "a", 0) for n in range(2, 6)]
+
+    def run():
+        kernel = EventKernel()
+        lm = LockManager(kernel)
+        for _ in range(10):
+            for row in rows:
+                lm.acquire(hoarder, row, LockMode.X)
+            for n, rival in enumerate(rivals):
+                lm.acquire(rival, rows[n * 40], LockMode.S)
+            kernel.run()
+            lm.release_all(hoarder)
+            kernel.run()
+            for rival in rivals:
+                lm.release_all(rival)
+            kernel.run()
+        return lm.grants
+
+    assert benchmark(run) > 0
+
+
+def test_bench_wait_for_graph_contended(benchmark):
+    """Deadlock-detector input on a manager with many idle resources."""
+    rows = [("row", DataItemId("t", k)) for k in range(500)]
+    owners = [SubtxnId(global_txn(n), "a", 0) for n in range(1, 11)]
+
+    def run():
+        kernel = EventKernel()
+        lm = LockManager(kernel)
+        for i, row in enumerate(rows):
+            lm.acquire(owners[i % 10], row, LockMode.S)
+        # One contended row out of 500: the graph scan must not pay
+        # for the 499 quiet ones.
+        lm.acquire(owners[0], rows[0], LockMode.X)
+        kernel.run()
+        total = 0
+        for _ in range(200):
+            total += len(lm.wait_for_graph())
+        return total
+
+    assert benchmark(run) >= 0
+
+
+def test_bench_serialization_graph(benchmark):
+    """SG over a 60-txn, 2.4k-op committed projection (read-heavy)."""
+    from repro.history.graphs import serialization_graph
+    from repro.history.model import History
+
+    h = History()
+    items = [DataItemId("t", f"k{i}") for i in range(25)]
+    t = 0.0
+    for n in range(1, 61):
+        st = SubtxnId(global_txn(n), "a", 0)
+        for j in range(40):
+            t += 1.0
+            item = items[(n * 7 + j * 3) % 25]
+            if (n + j) % 3 == 0:
+                h.record_write(t, st, "a", item)
+            else:
+                h.record_read(t, st, "a", item, read_from=None)
+        t += 1.0
+        h.record_local_commit(t, st, "a")
+        h.record_global_commit(t, st.txn)
+    ops = h.ops
+
+    graph = benchmark(lambda: serialization_graph(ops))
+    assert graph.number_of_nodes() == 60

@@ -16,6 +16,9 @@ Commands
     Run the full experiment library into one Markdown report.
 ``workload [--method M] [--failures P] [--globals N] ...``
     Run a random workload and print metrics + audit.
+``bench [--out DIR] [--quick] [--repeat N]``
+    Run the substrate perf harness; writes ``BENCH_kernel.json`` and
+    ``BENCH_e2e.json`` (see docs/PERF.md).
 ``methods``
     List the method presets.
 """
@@ -252,6 +255,12 @@ def _cmd_methods(_args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.sim.perf import main as bench_main
+
+    return bench_main(out_dir=args.out, quick=args.quick, repeats=args.repeat)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -288,6 +297,17 @@ def main(argv=None) -> int:
     workload.add_argument("--failures", type=float, default=0.0)
     workload.add_argument("--seed", type=int, default=0)
 
+    bench = sub.add_parser(
+        "bench", help="run the perf harness -> BENCH_*.json artifacts"
+    )
+    bench.add_argument("--out", default=".", help="artifact directory")
+    bench.add_argument(
+        "--quick", action="store_true", help="smoke pass (fewer repeats)"
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=None, help="repeats per micro-benchmark"
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
@@ -297,6 +317,7 @@ def main(argv=None) -> int:
         "experiment": _cmd_experiment,
         "workload": _cmd_workload,
         "methods": _cmd_methods,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

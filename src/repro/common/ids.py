@@ -40,12 +40,22 @@ class TxnId:
     is_local: bool = False
     #: Home site for local transactions; ``None`` for global ones.
     site: Optional[str] = None
+    #: Cached hash — transaction ids key nearly every dict in the
+    #: system, and the dataclass-generated hash rebuilds a tuple per
+    #: call.
+    _hash: int = field(init=False, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.is_local and self.site is None:
             raise ValueError("a local transaction needs a home site")
         if not self.is_local and self.site is not None:
             raise ValueError("a global transaction has no home site")
+        object.__setattr__(
+            self, "_hash", hash((self.number, self.is_local, self.site))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def label(self) -> str:
@@ -81,6 +91,15 @@ class SubtxnId:
     txn: TxnId
     site: str
     incarnation: int = 0
+    _hash: int = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.txn, self.site, self.incarnation))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def label(self) -> str:
@@ -126,11 +145,14 @@ class DataItemId:
     #: that heterogeneous key types still produce a deterministic order.
     _key_repr: str = field(init=False, compare=True, repr=False)
 
+    _hash: int = field(init=False, compare=False, repr=False)
+
     def __post_init__(self) -> None:
         object.__setattr__(self, "_key_repr", repr(self.key))
+        object.__setattr__(self, "_hash", hash((self.table, self._key_repr)))
 
     def __hash__(self) -> int:
-        return hash((self.table, self._key_repr))
+        return self._hash
 
     @property
     def label(self) -> str:

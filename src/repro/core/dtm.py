@@ -366,9 +366,14 @@ class MultidatabaseSystem:
     # Running
     # ------------------------------------------------------------------
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None):
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        advance: bool = True,
+    ):
         """Drain the kernel (optionally bounded)."""
-        return self.kernel.run(until=until, max_events=max_events)
+        return self.kernel.run(until=until, max_events=max_events, advance=advance)
 
     @property
     def now(self) -> float:

@@ -36,19 +36,54 @@ def serialization_graph(ops: Sequence[Operation]) -> "nx.DiGraph":
     global serializability notion requires.
     """
     graph = nx.DiGraph()
-    per_item: Dict[Tuple[str, object], List[Operation]] = {}
+    add_node = graph.add_node
+    # Single pass with per-item writer/reader partitioning: a later
+    # write conflicts with every earlier transaction that touched the
+    # item; a later read conflicts only with earlier *writers* — so
+    # read-read pairs are never even enumerated, and repeated conflicts
+    # collapse into per-transaction sets instead of O(ops²) pairs.
+    # Each distinct edge is handed to networkx exactly once (``seen``
+    # guard); the per-source adjacency order — which decides e.g. which
+    # cycle ``find_cycle`` reports — is fixed by the position of the
+    # *later* op, so it does not depend on set iteration order.
+    read, write = OpKind.READ, OpKind.WRITE
+    writers: Dict[Tuple[str, object], Set[TxnId]] = {}
+    touched: Dict[Tuple[str, object], Set[TxnId]] = {}
+    seen: Set[Tuple[TxnId, TxnId]] = set()
+    add_edge = graph.add_edge
     for op in ops:
-        if op.kind not in (OpKind.READ, OpKind.WRITE):
+        kind = op.kind
+        if kind is not read and kind is not write:
             continue
-        graph.add_node(op.txn)
-        per_item.setdefault((op.site, op.item), []).append(op)
-    for sequence in per_item.values():
-        for i, earlier in enumerate(sequence):
-            for later in sequence[i + 1:]:
-                if earlier.txn == later.txn:
-                    continue
-                if earlier.kind is OpKind.WRITE or later.kind is OpKind.WRITE:
-                    graph.add_edge(earlier.txn, later.txn)
+        txn = op.txn
+        add_node(txn)
+        key = (op.site, op.item)
+        earlier = touched.get(key)
+        if kind is write:
+            if earlier:
+                for other in earlier:
+                    if other != txn and (other, txn) not in seen:
+                        seen.add((other, txn))
+                        add_edge(other, txn)
+                earlier.add(txn)
+            else:
+                touched[key] = {txn}
+            item_writers = writers.get(key)
+            if item_writers is None:
+                writers[key] = {txn}
+            else:
+                item_writers.add(txn)
+        else:
+            item_writers = writers.get(key)
+            if item_writers:
+                for other in item_writers:
+                    if other != txn and (other, txn) not in seen:
+                        seen.add((other, txn))
+                        add_edge(other, txn)
+            if earlier is None:
+                touched[key] = {txn}
+            else:
+                earlier.add(txn)
     return graph
 
 
@@ -59,17 +94,22 @@ def commit_order_graph(ops: Sequence[Operation]) -> "nx.DiGraph":
     ``T_k → T_i`` iff ``C^x_kj <_H C^x_ig`` for some site ``x``.
     """
     graph = nx.DiGraph()
-    commits_per_site: Dict[str, List[TxnId]] = {}
+    committed_per_site: Dict[str, Set[TxnId]] = {}
+    seen: Set[Tuple[TxnId, TxnId]] = set()
     for op in ops:
         if op.kind is not OpKind.LOCAL_COMMIT:
             continue
-        graph.add_node(op.txn)
-        commits_per_site.setdefault(op.site, []).append(op.txn)
-    for sequence in commits_per_site.values():
-        for i, earlier in enumerate(sequence):
-            for later in sequence[i + 1:]:
-                if earlier != later:
-                    graph.add_edge(earlier, later)
+        txn = op.txn
+        graph.add_node(txn)
+        earlier = committed_per_site.get(op.site)
+        if earlier is None:
+            committed_per_site[op.site] = {txn}
+            continue
+        for other in earlier:
+            if other != txn and (other, txn) not in seen:
+                seen.add((other, txn))
+                graph.add_edge(other, txn)
+        earlier.add(txn)
     return graph
 
 

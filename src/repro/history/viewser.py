@@ -34,6 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import networkx as nx
+
 from repro.common.ids import SubtxnId, TxnId
 from repro.history.committed import CommittedProjection
 from repro.history.graphs import serialization_graph, topological_order
@@ -168,6 +170,28 @@ def check_view_serializable(
                 True, order=full, permutations_tried=1, reason="SG acyclic"
             )
 
+    tried = 0
+
+    # Cyclic residue: only the transactions inside a strongly connected
+    # component of SG can need reordering relative to each other; the
+    # condensation's topological order pins everything else.  Searching
+    # per-SCC permutations is polynomial when cycles stay small (the
+    # common case under resubmission), and every witness it finds is
+    # replay-verified, so a positive answer is sound.  It is *not*
+    # complete — view equivalence may reorder across SG edges — so a
+    # miss falls through to the exhaustive search below.
+    scc_order, scc_tried = _search_scc_residue(
+        sg, txns, blocks, recorded, target_tags, max_txns
+    )
+    tried += scc_tried
+    if scc_order is not None:
+        return ViewSerializabilityResult(
+            True,
+            order=scc_order,
+            permutations_tried=tried,
+            reason="SCC-guided search",
+        )
+
     if len(txns) > max_txns:
         return ViewSerializabilityResult(
             None,
@@ -178,7 +202,6 @@ def check_view_serializable(
         )
 
     # Exact search with prefix pruning.
-    tried = 0
 
     def search(
         remaining: List[TxnId], tags: Dict[_ItemKey, _Source], prefix: List[TxnId]
@@ -212,6 +235,74 @@ def check_view_serializable(
         permutations_tried=tried,
         reason="no serial order is view equivalent to C(H)",
     )
+
+
+def _search_scc_residue(
+    sg: "nx.DiGraph",
+    txns: Sequence[TxnId],
+    blocks: Dict[TxnId, List[Operation]],
+    recorded: Dict[TxnId, List[_Source]],
+    target_tags: Dict[_ItemKey, _Source],
+    max_txns: int,
+) -> Tuple[Optional[List[TxnId]], int]:
+    """Search serial orders that permute only within SG's cyclic SCCs.
+
+    The condensation's topological order fixes the relative order of
+    distinct components; only members of the same strongly connected
+    component are permuted (with the same prefix pruning as the full
+    search).  Returns ``(witness_order_or_None, permutations_tried)``.
+    Skipped entirely — ``(None, 0)`` — when there is no non-trivial SCC,
+    when the largest SCC exceeds ``max_txns`` (the search would be as
+    exponential as the full one), or when a single SCC spans every
+    transaction (the full search would repeat the identical work).
+    """
+    components = list(nx.strongly_connected_components(sg))
+    largest = max((len(c) for c in components), default=0)
+    if largest <= 1 or largest > max_txns or largest >= len(txns):
+        return None, 0
+    condensation = nx.condensation(sg)
+    groups = [
+        sorted(condensation.nodes[cid]["members"])
+        for cid in nx.topological_sort(condensation)
+    ]
+    in_sg = set(sg.nodes)
+    groups.extend([txn] for txn in txns if txn not in in_sg)
+    tried = 0
+
+    def search_groups(
+        index: int, tags: Dict[_ItemKey, _Source], prefix: List[TxnId]
+    ) -> Optional[List[TxnId]]:
+        if index == len(groups):
+            return list(prefix) if _tags_match(tags, target_tags) else None
+        return search_within(groups[index], index, tags, prefix)
+
+    def search_within(
+        remaining: List[TxnId],
+        index: int,
+        tags: Dict[_ItemKey, _Source],
+        prefix: List[TxnId],
+    ) -> Optional[List[TxnId]]:
+        nonlocal tried
+        if not remaining:
+            return search_groups(index + 1, tags, prefix)
+        for txn in remaining:
+            tried += 1
+            branch = dict(tags)
+            if _replay_block(branch, blocks[txn], recorded[txn]) is None:
+                continue
+            prefix.append(txn)
+            result = search_within(
+                [other for other in remaining if other != txn],
+                index,
+                branch,
+                prefix,
+            )
+            if result is not None:
+                return result
+            prefix.pop()
+        return None
+
+    return search_groups(0, {}, []), tried
 
 
 def _tags_match(

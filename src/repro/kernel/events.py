@@ -1,36 +1,70 @@
 """The event queue, one-shot events and timers.
 
 The kernel is intentionally small: a binary heap of ``(time, seq,
-callback)`` entries plus a monotonically increasing sequence counter.
+handle)`` entries plus a monotonically increasing sequence counter.
 Determinism matters more than speed here — the correctness experiments
 replay adversarial interleavings, so two runs with the same seed must
 produce byte-identical histories.
+
+Hot-path design notes (the substrate underneath every experiment):
+
+* Heap entries are plain ``(time, seq, handle)`` tuples, so ``heapq``
+  orders them with C-level tuple comparisons instead of calling a
+  Python ``__lt__`` per comparison.  ``seq`` is unique, so the handle
+  itself is never compared.
+* ``pending`` is O(1): the kernel keeps a live-event counter updated on
+  schedule/fire/cancel rather than scanning the heap.  The driver polls
+  it on every drain iteration.
+* Cancelled entries stay in the heap as *tombstones* until popped — or
+  until they outnumber the live entries, at which point the heap is
+  compacted in place (filter + ``heapify``, amortised O(1) per cancel).
+* :class:`Timer` re-arms without heap churn: a restart only bumps the
+  stored deadline; the already-queued entry acts as a carrier that
+  re-dispatches itself on expiry.  Sequence numbers are still allocated
+  at restart time, so firing order is byte-identical to the naive
+  cancel-and-push implementation.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
+
+#: Compact the heap when tombstones exceed half of it (but never bother
+#: below this floor — tiny heaps are cheap to scan).
+_COMPACT_MIN = 64
 
 
 class EventHandle:
     """A cancellable reference to one scheduled callback."""
 
-    __slots__ = ("time", "seq", "_callback", "_cancelled")
+    __slots__ = ("time", "seq", "_callback", "_cancelled", "_fired", "_kernel")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        kernel: Optional["EventKernel"] = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self._callback = callback
         self._cancelled = False
+        self._fired = False
+        self._kernel = kernel
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
         self._callback = _noop
+        if self._kernel is not None:
+            self._kernel._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -57,11 +91,13 @@ class EventKernel:
     """
 
     def __init__(self) -> None:
-        self._queue: List[EventHandle] = []
+        self._queue: List[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
         self._events_fired = 0
+        self._live = 0
+        self._tombstones = 0
 
     @property
     def now(self) -> float:
@@ -75,14 +111,23 @@ class EventKernel:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled, not-yet-fired, not-cancelled callbacks."""
-        return sum(1 for handle in self._queue if not handle.cancelled)
+        """Number of scheduled, not-yet-fired, not-cancelled callbacks.
+
+        O(1): maintained as a counter, not a heap scan — the driver
+        reads this on every iteration of its drain loop.
+        """
+        return self._live
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback)
+        time = self._now + delay
+        seq = next(self._seq)
+        handle = EventHandle(time, seq, callback, self)
+        heapq.heappush(self._queue, (time, seq, handle))
+        self._live += 1
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` at absolute simulated ``time``."""
@@ -90,51 +135,145 @@ class EventKernel:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        handle = EventHandle(time, next(self._seq), callback)
-        heapq.heappush(self._queue, handle)
+        seq = next(self._seq)
+        handle = EventHandle(time, seq, callback, self)
+        heapq.heappush(self._queue, (time, seq, handle))
+        self._live += 1
         return handle
 
     def call_soon(self, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` at the current time, after pending same-time events."""
         return self.schedule(0.0, callback)
 
+    # -- internal plumbing ---------------------------------------------
+
+    def _alloc_seq(self) -> int:
+        """Reserve one sequence number (Timer re-arm bookkeeping)."""
+        return next(self._seq)
+
+    def _schedule_preallocated(
+        self, time: float, seq: int, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Enqueue an entry under a sequence number reserved earlier.
+
+        Used by :class:`Timer` so that a deferred re-arm fires at exactly
+        the ``(time, seq)`` slot a cancel-and-push implementation would
+        have used — keeping histories byte-identical.
+        """
+        handle = EventHandle(time, seq, callback, self)
+        heapq.heappush(self._queue, (time, seq, handle))
+        self._live += 1
+        return handle
+
+    def _note_cancelled(self) -> None:
+        """Account for one live entry turning into a tombstone."""
+        self._live -= 1
+        self._tombstones += 1
+        if self._tombstones > _COMPACT_MIN and self._tombstones * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstones and re-heapify (in place: ``run`` holds an alias)."""
+        self._queue[:] = [
+            entry for entry in self._queue if not entry[2]._cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
+
+    def _next_live_time(self) -> Optional[float]:
+        """Time of the earliest non-cancelled entry (pops tombstones)."""
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[2]._cancelled:
+                heapq.heappop(queue)
+                self._tombstones -= 1
+                continue
+            return entry[0]
+        return None
+
+    # -- draining ------------------------------------------------------
+
     def run(
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
+        advance: bool = True,
     ) -> float:
         """Drain the event queue.
 
         Stops when the queue is empty, when the next event lies beyond
-        ``until`` (time then advances exactly to ``until``), or after
-        ``max_events`` callbacks.  Returns the simulated time reached.
+        ``until``, or after ``max_events`` callbacks.  Returns the
+        simulated time reached.
+
+        Contract for ``now`` on return (with ``advance=True``, the
+        default):
+
+        * queue drained, or next event beyond ``until`` → ``now`` is
+          ``until`` (when given and later than the last event);
+        * stopped by ``max_events`` with live work still due at or
+          before ``until`` → ``now`` is the time of the last fired
+          event (the stop is genuinely early);
+        * stopped by ``max_events`` but nothing live remains at or
+          before ``until`` → ``now`` still advances to ``until``,
+          exactly as if the queue had drained naturally.
+
+        ``advance=False`` suppresses every fast-forward: ``now`` is left
+        at the last fired event, which lets a caller use ``until`` as a
+        pure safety bound without distorting the quiescence time.
         """
         if self._running:
             raise SimulationError("kernel.run() is not reentrant")
         self._running = True
         fired = 0
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
+            if until is None and max_events is None:
+                # Unbounded drain (the overwhelmingly common call): no
+                # per-event bound checks, pop straight off the heap.
+                while queue:
+                    entry = pop(queue)
+                    handle = entry[2]
+                    if handle._cancelled:
+                        self._tombstones -= 1
+                        continue
+                    self._live -= 1
+                    handle._fired = True
+                    self._now = entry[0]
+                    handle._callback()
+                    fired += 1
+                return self._now
+            while True:
+                if not queue:
+                    if advance and until is not None and until > self._now:
+                        self._now = until
+                    break
                 if max_events is not None and fired >= max_events:
+                    if advance and until is not None and until > self._now:
+                        nxt = self._next_live_time()
+                        if nxt is None or nxt > until:
+                            self._now = until
                     break
-                handle = self._queue[0]
-                if handle.cancelled:
-                    heapq.heappop(self._queue)
+                time, seq, handle = queue[0]
+                if handle._cancelled:
+                    pop(queue)
+                    self._tombstones -= 1
                     continue
-                if until is not None and handle.time > until:
-                    self._now = until
+                if until is not None and time > until:
+                    if advance and until > self._now:
+                        self._now = until
                     break
-                heapq.heappop(self._queue)
-                self._now = handle.time
-                handle._fire()
-                self._events_fired += 1
+                pop(queue)
+                self._live -= 1
+                handle._fired = True
+                self._now = time
+                handle._callback()
                 fired += 1
-            else:
-                if until is not None and until > self._now:
-                    self._now = until
+            return self._now
         finally:
             self._running = False
-        return self._now
+            self._events_fired += fired
 
     def step(self) -> bool:
         """Fire exactly one event; return ``False`` if none were pending."""
@@ -151,11 +290,15 @@ class Event:
     one of :meth:`succeed` / :meth:`fail` may be called; subscribers are
     notified through the kernel (never synchronously inside the call) so
     that completion order remains deterministic.
+
+    ``name`` is diagnostics-only and may be any object; it is rendered
+    with ``repr`` solely inside error messages, so hot paths can pass a
+    cheap tuple instead of formatting a string per event.
     """
 
     __slots__ = ("_kernel", "_done", "_value", "_error", "_callbacks", "name")
 
-    def __init__(self, kernel: EventKernel, name: str = "") -> None:
+    def __init__(self, kernel: EventKernel, name: Any = "") -> None:
         self._kernel = kernel
         self._done = False
         self._value: Any = None
@@ -221,6 +364,15 @@ class Timer:
     the callback once; ``cancel`` stops it.  The owner restarts it after
     handling each expiry, which matches the Appendix pseudo-code's
     "set the ... timeout; return to prepared state" steps.
+
+    Restart is churn-free: instead of tombstoning the queued entry and
+    pushing a fresh one per restart (which floods the heap under the
+    agents' per-message alive-check restarts), the timer keeps exactly
+    one entry in the heap — a *carrier*.  A restart merely reserves a
+    sequence number and records the new deadline; when the carrier
+    expires early it re-dispatches itself at the recorded ``(deadline,
+    seq)``, which is precisely the slot the cancel-and-push scheme would
+    have occupied, so event order is unchanged.
     """
 
     def __init__(
@@ -234,24 +386,57 @@ class Timer:
         self._kernel = kernel
         self.interval = interval
         self._callback = callback
+        #: The heap entry currently carrying the timer (may sit at an
+        #: out-of-date time; the authoritative expiry is ``_deadline``).
         self._handle: Optional[EventHandle] = None
+        self._deadline: Optional[float] = None
+        self._seq: Optional[int] = None
 
     @property
     def armed(self) -> bool:
-        return self._handle is not None and not self._handle.cancelled
+        return self._deadline is not None
 
     def start(self) -> None:
         """Arm the timer for one expiry ``interval`` from now."""
-        self.cancel()
-        self._handle = self._kernel.schedule(self.interval, self._expire)
+        kernel = self._kernel
+        deadline = kernel._now + self.interval
+        seq = kernel._alloc_seq()
+        self._deadline = deadline
+        self._seq = seq
+        carrier = self._handle
+        if (
+            carrier is not None
+            and not carrier._cancelled
+            and not carrier._fired
+            and carrier.time <= deadline
+        ):
+            # Churn-free path: the queued entry will re-dispatch at the
+            # new (deadline, seq) when it pops.  Nothing to push now.
+            return
+        self._handle = kernel._schedule_preallocated(deadline, seq, self._expire)
 
     restart = start
 
     def cancel(self) -> None:
+        self._deadline = None
+        self._seq = None
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
 
     def _expire(self) -> None:
+        deadline = self._deadline
+        if deadline is None:  # cancelled; stale carrier (defensive)
+            self._handle = None
+            return
+        if deadline > self._kernel._now:
+            # A restart moved the deadline out while we sat in the heap:
+            # re-dispatch at the reserved (deadline, seq) slot.
+            self._handle = self._kernel._schedule_preallocated(
+                deadline, self._seq, self._expire
+            )
+            return
         self._handle = None
+        self._deadline = None
+        self._seq = None
         self._callback()

@@ -123,12 +123,24 @@ class _Request:
 
 @dataclass
 class _ResourceState:
+    resource: Resource
+    #: Creation rank (``_resources`` insertion order) — used to wake
+    #: resources in the same order the old full-scan implementation did.
+    index: int
     holders: Dict[SubtxnId, LockMode] = field(default_factory=dict)
     queue: List[_Request] = field(default_factory=list)
 
 
 class LockManager:
-    """FIFO-fair strict lock manager with conversion priority."""
+    """FIFO-fair strict lock manager with conversion priority.
+
+    Two owner-keyed indexes keep the termination path off the
+    scan-every-queue slow path: ``_held_by_owner`` (resources an owner
+    holds) and ``_queued_by_owner`` (resources where it has queued
+    requests, with multiplicity).  ``_contended`` tracks the resources
+    with a non-empty queue so ``has_waiters`` and the wait-for-graph
+    snapshot never visit uncontended resources.
+    """
 
     def __init__(
         self,
@@ -139,6 +151,8 @@ class LockManager:
         self.default_timeout = default_timeout
         self._resources: Dict[Resource, _ResourceState] = {}
         self._held_by_owner: Dict[SubtxnId, Set[Resource]] = {}
+        self._queued_by_owner: Dict[SubtxnId, Dict[Resource, int]] = {}
+        self._contended: Dict[Resource, _ResourceState] = {}
         self.grants = 0
         self.waits = 0
         self.timeouts = 0
@@ -148,7 +162,7 @@ class LockManager:
 
     @property
     def has_waiters(self) -> bool:
-        return any(state.queue for state in self._resources.values())
+        return bool(self._contended)
 
     # ------------------------------------------------------------------
     # Acquisition
@@ -170,9 +184,16 @@ class LockManager:
         Conversions queue ahead of fresh acquisitions.  On timeout the
         event fails with :class:`LockTimeout`.
         """
-        state = self._resources.setdefault(resource, _ResourceState())
-        event = Event(self._kernel, name=f"lock:{owner}:{resource}:{mode}")
-        held = state.holders.get(owner)
+        state = self._resources.get(resource)
+        if state is None:
+            state = _ResourceState(resource=resource, index=len(self._resources))
+            self._resources[resource] = state
+        # NB: a tuple, not an f-string — rendering owner/resource/mode
+        # per acquire dominated the uncontended fast path; ``Event``
+        # only ever repr()s the name inside error messages.
+        event = Event(self._kernel, name=("lock", owner, resource, mode))
+        holders = state.holders
+        held = holders.get(owner)
         if held is not None and covers(held, mode):
             self.grants += 1
             event.succeed(held)
@@ -180,9 +201,19 @@ class LockManager:
 
         effective = mode if held is None else supremum(held, mode)
         conversion = held is not None
-        if self._grantable(state, owner, effective) and not self._must_wait_fifo(
-            state, conversion
+        # Uncontended fast path: nobody queued and no *other* holder —
+        # no compatibility scan or FIFO check needed.
+        if not state.queue and (
+            not holders
+            or (held is not None and len(holders) == 1)
+            or self._grantable(state, owner, effective)
         ):
+            self._grant(state, owner, resource, effective)
+            event.succeed(effective)
+            return event
+        if state.queue and self._grantable(
+            state, owner, effective
+        ) and not self._must_wait_fifo(state, conversion):
             self._grant(state, owner, resource, effective)
             event.succeed(effective)
             return event
@@ -203,6 +234,9 @@ class LockManager:
             state.queue.insert(insert_at, request)
         else:
             state.queue.append(request)
+        self._contended.setdefault(resource, state)
+        qmap = self._queued_by_owner.setdefault(owner, {})
+        qmap[resource] = qmap.get(resource, 0) + 1
         wait_limit = self.default_timeout if timeout is None else timeout
         if wait_limit is not None:
             request.timeout_handle = self._kernel.schedule(
@@ -267,24 +301,45 @@ class LockManager:
         releasing the owner's holdings could immediately re-grant its
         own still-queued conversion request, resurrecting a lock for a
         transaction that is terminating.
+
+        Both passes use the owner-keyed indexes, so the cost scales with
+        the owner's own footprint, not with the total number of
+        resources the manager has ever seen.
         """
-        for resource, state in self._resources.items():
-            pruned = [req for req in state.queue if req.owner == owner]
-            for req in pruned:
-                self._drop_request(state, req)
+        queued = self._queued_by_owner.get(owner)
+        touched: List[_ResourceState] = []
+        if queued:
+            for resource in list(queued):
+                state = self._resources[resource]
+                for req in [r for r in state.queue if r.owner == owner]:
+                    self._drop_request(state, req)
+                touched.append(state)
         for resource in sorted(self._held_by_owner.pop(owner, set())):
             state = self._resources[resource]
             state.holders.pop(owner, None)
             self._wake(resource, state)
         # Dropped queue entries may unblock others even where the owner
-        # held nothing (it was only queued there).
-        for resource, state in self._resources.items():
-            self._wake(resource, state)
+        # held nothing (it was only queued there).  Wake in resource
+        # creation order — the order the old full scan used — so grant
+        # (and therefore event-completion) order is unchanged.
+        for state in sorted(touched, key=lambda s: s.index):
+            self._wake(state.resource, state)
 
     def _drop_request(self, state: _ResourceState, request: _Request) -> None:
         state.queue.remove(request)
         if request.timeout_handle is not None:
             request.timeout_handle.cancel()
+        if not state.queue:
+            self._contended.pop(state.resource, None)
+        qmap = self._queued_by_owner.get(request.owner)
+        if qmap is not None:
+            count = qmap.get(state.resource, 0) - 1
+            if count > 0:
+                qmap[state.resource] = count
+            else:
+                qmap.pop(state.resource, None)
+                if not qmap:
+                    del self._queued_by_owner[request.owner]
 
     def _wake(self, resource: Resource, state: _ResourceState) -> None:
         """Grant queued requests in order until one must keep waiting."""
@@ -303,7 +358,7 @@ class LockManager:
         if state is None or request not in state.queue:
             return
         self.timeouts += 1
-        state.queue.remove(request)
+        self._drop_request(state, request)
         request.event.fail(
             LockTimeout(
                 f"{request.owner} waited too long for {request.mode} on "
@@ -331,9 +386,14 @@ class LockManager:
         return [req.owner for req in state.queue] if state else []
 
     def wait_for_graph(self) -> Dict[SubtxnId, Set[SubtxnId]]:
-        """Edges waiter → blocking holder, over all resources."""
+        """Edges waiter → blocking holder, over all contended resources.
+
+        Only resources with a non-empty queue are visited (via the
+        ``_contended`` index); uncontended resources cannot contribute
+        edges.
+        """
         graph: Dict[SubtxnId, Set[SubtxnId]] = {}
-        for state in self._resources.values():
+        for state in self._contended.values():
             for request in state.queue:
                 blockers = {
                     holder
@@ -381,3 +441,23 @@ class LockManager:
                             f"incompatible holders on {resource}: "
                             f"{owner_a}:{mode_a} vs {owner_b}:{mode_b}"
                         )
+            if bool(state.queue) != (resource in self._contended):
+                raise SimulationError(
+                    f"contended-index out of sync for {resource}: "
+                    f"queue={len(state.queue)} indexed={resource in self._contended}"
+                )
+            for owner in state.holders:
+                if resource not in self._held_by_owner.get(owner, set()):
+                    raise SimulationError(
+                        f"held-by-owner index missing {owner} -> {resource}"
+                    )
+        queued: Dict[SubtxnId, Dict[Resource, int]] = {}
+        for resource, state in self._resources.items():
+            for request in state.queue:
+                per = queued.setdefault(request.owner, {})
+                per[resource] = per.get(resource, 0) + 1
+        if queued != self._queued_by_owner:
+            raise SimulationError(
+                f"queued-by-owner index out of sync: "
+                f"{self._queued_by_owner} != {queued}"
+            )

@@ -159,9 +159,7 @@ def run_template(method: str, config: AdversaryConfig) -> bool:
         )
 
     system.history.subscribe(on_decision)
-    limit = 50_000.0
-    while system.kernel.pending and system.kernel.now <= limit:
-        system.run(max_events=50_000)
+    system.run(until=50_000.0, advance=False)
     report = audit(system)
     return (
         bool(report.view_serializability.serializable)

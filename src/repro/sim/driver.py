@@ -99,7 +99,7 @@ def run_schedule(
                 raise SimulationError(
                     f"coordinator process for {spec.txn} died: {event.error!r}"
                 ) from event.error
-            outcome: GlobalOutcome = event._value
+            outcome: GlobalOutcome = event.value
             result.global_outcomes[spec.txn] = outcome
             if outcome.committed or attempts_left <= 0:
                 return
@@ -134,7 +134,7 @@ def run_schedule(
                 raise SimulationError(
                     f"local txn runner died: {event.error!r}"
                 ) from event.error
-            outcome: LocalOutcome = event._value
+            outcome: LocalOutcome = event.value
             result.local_outcomes[outcome.txn] = outcome
 
         completion.subscribe(done)
@@ -142,10 +142,12 @@ def run_schedule(
     for entry in schedule.locals_:
         system.kernel.schedule(entry.at, lambda e=entry: submit_local(e))
 
-    # Drain in bounded slices so simulated time ends at the last event
-    # (running with until= would fast-forward the clock to the limit).
-    while system.kernel.pending and system.kernel.now <= run_limit:
-        system.run(max_events=50_000)
+    # Single bounded drain: `until` is a pure safety bound and
+    # `advance=False` keeps simulated time at the last event instead of
+    # fast-forwarding the clock to the limit.  (This replaces the old
+    # poll-until-quiescent slice loop, which rescanned the heap between
+    # 50k-event slices.)
+    system.run(until=run_limit, advance=False)
     if system.kernel.pending:
         raise SimulationError(
             f"run did not quiesce within {run_limit} time units "

@@ -149,8 +149,7 @@ def _on_history(
 
 
 def _drain(system: MultidatabaseSystem, limit: float = 100_000.0) -> None:
-    while system.kernel.pending and system.kernel.now <= limit:
-        system.run(max_events=50_000)
+    system.run(until=limit, advance=False)
     if system.kernel.pending:
         raise RuntimeError("scenario did not quiesce")
 

@@ -1,0 +1,66 @@
+"""Event-order fingerprinting for determinism tests.
+
+The fingerprint digests everything observable about one driven run:
+the full rendered history (every recorded operation in order), every
+global/local outcome, and the simulated completion time.  Two runs
+with the same seed must produce the same fingerprint; the golden
+values in ``test_determinism_golden.py`` were captured on the seed
+revision so that substrate optimizations can prove they did not
+perturb a single event.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.dtm import MultidatabaseSystem, SystemConfig
+from repro.sim.driver import SimulationResult, run_schedule
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+def fingerprint(result: SimulationResult) -> str:
+    """SHA-256 over the rendered history, outcomes and finish time."""
+    system = result.system
+    parts = [system.history.render()]
+    for txn in sorted(result.global_outcomes):
+        out = result.global_outcomes[txn]
+        parts.append(
+            f"G {txn.label} committed={out.committed} sn={out.sn} "
+            f"reason={out.reason!r} latency={out.latency!r}"
+        )
+    for txn in sorted(result.local_outcomes):
+        out = result.local_outcomes[txn]
+        parts.append(f"L {txn.label} committed={out.committed} reason={out.reason!r}")
+    parts.append(f"finished_at={result.finished_at!r}")
+    blob = "\n".join(parts).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def run_seeded_workload(
+    seed: int,
+    n_global: int = 20,
+    n_local: int = 6,
+    method: str = "2cm",
+    failures: float = 0.0,
+    retry_aborted: int = 1,
+) -> SimulationResult:
+    """One fully seeded end-to-end run (the determinism workhorse)."""
+    sites = ("a", "b", "c")
+    system = MultidatabaseSystem(
+        SystemConfig(sites=sites, n_coordinators=2, method=method, seed=seed)
+    )
+    if failures > 0:
+        from repro.sim.failures import RandomFailureInjector
+
+        RandomFailureInjector(system, probability=failures, seed=seed)
+    schedule = WorkloadGenerator(
+        WorkloadConfig(
+            sites=sites,
+            n_global=n_global,
+            n_local=n_local,
+            update_fraction=0.6,
+            seed=seed,
+            sites_max=2,
+        )
+    ).generate()
+    return run_schedule(system, schedule, retry_aborted=retry_aborted)

@@ -1,0 +1,50 @@
+"""Golden event-order fingerprints (byte-identical determinism).
+
+The digests below were captured on the *seed revision* — before the
+substrate hot-path overhaul (O(1) kernel accounting, tombstone
+compaction, carrier-based timers, indexed locks, single-drain driver
+loop).  Every optimization since must reproduce these runs exactly:
+same operations in the same order, same outcomes, same simulated
+finish time.  If one of these ever changes, an "optimization" altered
+observable behaviour — that is a correctness bug, not a perf tweak.
+
+Regenerate (only after an *intentional* semantic change) with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from tests.fingerprint_util import fingerprint, run_seeded_workload
+    for seed, failures, method in [(0, 0.0, "2cm"), (7, 0.0, "2cm"),
+                                   (13, 0.15, "2cm"), (42, 0.3, "2cm"),
+                                   (3, 0.1, "cgm"), (5, 0.1, "naive")]:
+        fp = fingerprint(run_seeded_workload(seed, failures=failures, method=method))
+        print(f"({seed}, {failures}, {method!r}): {fp}")
+    EOF
+"""
+
+import pytest
+
+from tests.fingerprint_util import fingerprint, run_seeded_workload
+
+GOLDEN = {
+    (0, 0.0, "2cm"): "f9bbfd8388daa01d6911459d60bcb6a85548c4b6b38cb522b164488817bc5283",
+    (7, 0.0, "2cm"): "9fd22dd3f0e36e50ebb1299d6d576319f55451f3126fe19990df2eb77e07982a",
+    (13, 0.15, "2cm"): "82b01734dbac082ef00e18f15902d11448054bb21806f3328070fafab296e7d3",
+    (42, 0.3, "2cm"): "20d85a4588e9d402e4204709bddfb4ee0a141d8f67e92fe0f845e5a42530865e",
+    (3, 0.1, "cgm"): "bf9a1c516ae9f3e03bf58a7856ad40f07d9bb7496bb923c9e4b34bee9156726f",
+    (5, 0.1, "naive"): "c4a80e2f59666f7dc73259b20c05ede334c69114a6cd4283cb49c5f7de3e0526",
+}
+
+
+@pytest.mark.parametrize("seed,failures,method", sorted(GOLDEN))
+def test_matches_seed_revision_fingerprint(seed, failures, method):
+    result = run_seeded_workload(seed, failures=failures, method=method)
+    assert fingerprint(result) == GOLDEN[(seed, failures, method)]
+
+
+def test_back_to_back_runs_are_identical():
+    a = fingerprint(run_seeded_workload(11, failures=0.2))
+    b = fingerprint(run_seeded_workload(11, failures=0.2))
+    assert a == b
+
+
+def test_different_seeds_diverge():
+    assert fingerprint(run_seeded_workload(1)) != fingerprint(run_seeded_workload(2))

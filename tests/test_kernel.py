@@ -365,3 +365,174 @@ class TestTimer:
         timer.start()
         kernel.run()
         assert fired == [2.0, 4.0, 6.0]
+
+
+class TestKernelAccounting:
+    """O(1) ``pending`` and tombstone compaction (perf overhaul)."""
+
+    def test_pending_tracks_schedule_fire_cancel(self):
+        kernel = EventKernel()
+        handles = [kernel.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert kernel.pending == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert kernel.pending == 6
+        kernel.run()
+        assert kernel.pending == 0
+
+    def test_double_cancel_counted_once(self):
+        kernel = EventKernel()
+        handle = kernel.schedule(1.0, lambda: None)
+        kernel.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert kernel.pending == 1
+
+    def test_cancel_after_fire_is_noop(self):
+        kernel = EventKernel()
+        handle = kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        handle.cancel()
+        assert kernel.pending == 0
+
+    def test_compaction_shrinks_heap_and_preserves_order(self):
+        kernel = EventKernel()
+        fired = []
+        keep = []
+        doomed = []
+        # Interleave survivors and cancellations so compaction has to
+        # re-heapify a genuinely mixed queue.
+        for i in range(300):
+            handle = kernel.schedule(float(i + 1), lambda i=i: fired.append(i))
+            (doomed if i % 3 else keep).append((i, handle))
+        for _, handle in doomed:
+            handle.cancel()
+        # Enough tombstones relative to heap size -> compaction ran.
+        assert len(kernel._queue) < 300
+        assert kernel.pending == len(keep)
+        kernel.run()
+        assert fired == [i for i, _ in keep]
+
+    def test_no_compaction_below_threshold(self):
+        kernel = EventKernel()
+        handles = [kernel.schedule(float(i + 1), lambda: None) for i in range(40)]
+        for handle in handles[:20]:
+            handle.cancel()
+        # 20 tombstones is under the compaction floor: lazy deletion only.
+        assert len(kernel._queue) == 40
+        kernel.run()
+        assert kernel.pending == 0
+        assert kernel._queue == []
+
+    def test_events_fired_excludes_cancelled(self):
+        kernel = EventKernel()
+        before = kernel.events_fired
+        handles = [kernel.schedule(float(i + 1), lambda: None) for i in range(6)]
+        handles[0].cancel()
+        handles[3].cancel()
+        kernel.run()
+        assert kernel.events_fired - before == 4
+
+
+class TestRunContract:
+    """``run(until, max_events, advance)`` clock semantics."""
+
+    def test_max_events_break_leaves_now_at_last_fired(self):
+        kernel = EventKernel()
+        for i in range(5):
+            kernel.schedule(float(i + 1), lambda: None)
+        kernel.run(until=10.0, max_events=3)
+        # Live events remain at 4.0/5.0 <= until: the clock must NOT
+        # jump to `until` past events that still have to fire.
+        assert kernel.now == 3.0
+        assert kernel.pending == 2
+        kernel.run(until=10.0)
+        assert kernel.now == 10.0
+        assert kernel.pending == 0
+
+    def test_max_events_break_advances_when_drained(self):
+        kernel = EventKernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.run(until=10.0, max_events=1)
+        # Queue drained under the bound: behaves like a normal
+        # run-until and fast-forwards to the horizon.
+        assert kernel.now == 10.0
+
+    def test_advance_false_keeps_clock_at_last_event(self):
+        kernel = EventKernel()
+        kernel.schedule(2.0, lambda: None)
+        kernel.run(until=100.0, advance=False)
+        assert kernel.now == 2.0
+        assert kernel.pending == 0
+
+    def test_advance_false_on_empty_queue_keeps_clock(self):
+        kernel = EventKernel()
+        kernel.run(until=100.0, advance=False)
+        assert kernel.now == 0.0
+
+    def test_until_still_bounds_with_advance_false(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(1.0, lambda: fired.append(1))
+        kernel.schedule(50.0, lambda: fired.append(50))
+        kernel.run(until=10.0, advance=False)
+        assert fired == [1]
+        assert kernel.now == 1.0
+        assert kernel.pending == 1
+
+
+class TestTimerChurn:
+    """Carrier-based ``Timer.restart`` must not grow the heap."""
+
+    def test_heavy_restart_keeps_single_heap_entry(self):
+        kernel = EventKernel()
+        fired = []
+        timer = Timer(kernel, 10.0, lambda: fired.append(kernel.now))
+        timer.start()
+        # A watchdog being petted 1000 times: the naive implementation
+        # left 1000 tombstones; the carrier leaves exactly one entry.
+        for i in range(1000):
+            kernel.run(until=float(i + 1) * 0.005)
+            timer.restart()
+        assert len(kernel._queue) <= 2
+        assert kernel.pending <= 2
+        kernel.run()
+        # Last restart happened at t=5.0 -> single firing at 15.0.
+        assert fired == [15.0]
+
+    def test_restart_after_fire_rearms(self):
+        kernel = EventKernel()
+        fired = []
+        timer = Timer(kernel, 3.0, lambda: fired.append(kernel.now))
+        timer.start()
+        kernel.run()
+        assert fired == [3.0]
+        assert not timer.armed
+        timer.restart()
+        assert timer.armed
+        kernel.run()
+        assert fired == [3.0, 6.0]
+
+    def test_cancel_between_restarts(self):
+        kernel = EventKernel()
+        fired = []
+        timer = Timer(kernel, 5.0, lambda: fired.append(kernel.now))
+        timer.start()
+        kernel.run(until=2.0)
+        timer.restart()
+        timer.cancel()
+        assert not timer.armed
+        kernel.run()
+        assert fired == []
+
+    def test_restart_churn_then_cancel_then_start(self):
+        kernel = EventKernel()
+        fired = []
+        timer = Timer(kernel, 4.0, lambda: fired.append(kernel.now))
+        for _ in range(50):
+            timer.start()
+            timer.cancel()
+        timer.start()
+        kernel.run()
+        assert fired == [4.0]
+        assert len(kernel._queue) == 0

@@ -259,3 +259,82 @@ class TestDeadlockDetection:
         lm.acquire(sub(1), ROW, LockMode.S)
         lm.acquire(sub(2), ROW, LockMode.S)
         lm.assert_consistent()
+
+
+class TestOwnerAndContentionIndexes:
+    """The owner->queued and contended-resource indexes (perf overhaul)."""
+
+    def test_release_all_prunes_queued_only_owner(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.X)
+        lm.acquire(sub(2), ROW, LockMode.X)  # queued, holds nothing
+        kernel.run()
+        lm.release_all(sub(2))
+        assert sub(2) not in lm._queued_by_owner
+        assert not lm.has_waiters
+        lm.assert_consistent()
+
+    def test_contended_index_empties_after_grant(self, kernel, lm):
+        lm.acquire(sub(1), ROW, LockMode.X)
+        lm.acquire(sub(2), ROW, LockMode.X)
+        kernel.run()
+        assert lm.has_waiters
+        lm.release_all(sub(1))
+        kernel.run()
+        assert not lm.has_waiters
+        assert lm.holders(ROW) == {sub(2): LockMode.X}
+        lm.assert_consistent()
+
+    def test_same_owner_queued_on_several_resources(self, kernel, lm):
+        row2 = ("row", DataItemId("t", "Y"))
+        lm.acquire(sub(1), ROW, LockMode.X)
+        lm.acquire(sub(2), row2, LockMode.X)
+        lm.acquire(sub(3), ROW, LockMode.X)
+        lm.acquire(sub(3), row2, LockMode.X)
+        kernel.run()
+        assert lm.wait_for_graph() == {sub(3): {sub(1), sub(2)}}
+        lm.release_all(sub(3))
+        assert lm.wait_for_graph() == {}
+        lm.assert_consistent()
+
+    def test_timeout_cleans_indexes(self, kernel):
+        lm = LockManager(kernel, default_timeout=5.0)
+        lm.acquire(sub(1), ROW, LockMode.X)
+        blocked = lm.acquire(sub(2), ROW, LockMode.X)
+        kernel.run()
+        assert isinstance(blocked.error, LockTimeout)
+        assert not lm.has_waiters
+        assert sub(2) not in lm._queued_by_owner
+        lm.assert_consistent()
+
+    def test_wake_order_follows_resource_creation_order(self, kernel, lm):
+        """release_all wakes touched queues in resource-creation order,
+        reproducing the full-scan order of the unindexed implementation."""
+        row2 = ("row", DataItemId("t", "Y"))
+        order = []
+        lm.acquire(sub(1), ROW, LockMode.X)
+        lm.acquire(sub(1), row2, LockMode.X)
+        e2 = lm.acquire(sub(2), ROW, LockMode.X)
+        e3 = lm.acquire(sub(3), row2, LockMode.X)
+        e2.subscribe(lambda ev: order.append("row1"))
+        e3.subscribe(lambda ev: order.append("row2"))
+        kernel.run()
+        lm.release_all(sub(1))
+        kernel.run()
+        assert order == ["row1", "row2"]
+        lm.assert_consistent()
+
+    def test_consistency_after_churn(self, kernel, lm):
+        resources = [("row", DataItemId("t", f"k{i}")) for i in range(8)]
+        for n in range(1, 7):
+            for r in resources[n % 4 :: 2]:
+                lm.acquire(sub(n), r, LockMode.X if n % 2 else LockMode.S)
+        kernel.run()
+        for n in (2, 4, 6):
+            lm.release_all(sub(n))
+        kernel.run()
+        lm.assert_consistent()
+        for n in (1, 3, 5):
+            lm.release_all(sub(n))
+        kernel.run()
+        lm.assert_consistent()
+        assert not lm.has_waiters

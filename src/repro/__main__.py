@@ -19,6 +19,9 @@ Commands
 ``bench [--out DIR] [--quick] [--repeat N]``
     Run the substrate perf harness; writes ``BENCH_kernel.json`` and
     ``BENCH_e2e.json`` (see docs/PERF.md).
+``wal {inspect,verify,stats} PATH``
+    Offline tooling for the durability subsystem's WAL directories
+    (see docs/DURABILITY.md).
 ``methods``
     List the method presets.
 """
@@ -308,7 +311,13 @@ def main(argv=None) -> int:
         "--repeat", type=int, default=None, help="repeats per micro-benchmark"
     )
 
+    from repro.durability.cli import add_wal_parser
+
+    add_wal_parser(sub)
+
     args = parser.parse_args(argv)
+    if getattr(args, "run", None) is not None:
+        return args.run(args)
     handlers = {
         "demo": _cmd_demo,
         "fig2": _cmd_fig2,

@@ -62,9 +62,29 @@ class RefusalReason(enum.Enum):
     TICKET_ORDER = "ticket-order"
     #: The application or coordinator requested the abort.
     REQUESTED = "requested"
+    #: The coordinator gave up on a site that stopped answering (crash
+    #: injection / vote or result timeout), or an agent refused because
+    #: a restart wiped the transaction's volatile state.
+    SITE_UNREACHABLE = "site-unreachable"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
+
+
+class AgentCrashed(ReproError):
+    """A crash probe fired: the 2PC Agent died mid-handler.
+
+    Raised to unwind the in-flight message handler exactly where the
+    crash was injected — everything the handler would have done after
+    the kill point never happens, like a real process death.  Caught at
+    the agent's event-loop boundaries, never propagated to the kernel.
+    """
+
+    def __init__(self, site: str, point: str, txn: object = None) -> None:
+        self.site = site
+        self.point = point
+        self.txn = txn
+        super().__init__(f"agent {site} crashed at {point} ({txn})")
 
 
 class TransactionAborted(ReproError):

@@ -18,7 +18,12 @@
 
 from repro.core.agent import AgentConfig, TwoPCAgent
 from repro.core.certifier import Certifier, CertifierConfig, CommitOrderPolicy
-from repro.core.coordinator import Coordinator, GlobalOutcome, GlobalTransactionSpec
+from repro.core.coordinator import (
+    Coordinator,
+    CoordinatorTimeouts,
+    GlobalOutcome,
+    GlobalTransactionSpec,
+)
 from repro.core.dtm import MultidatabaseSystem, SystemConfig
 from repro.core.intervals import AliveInterval
 from repro.core.serial import (
@@ -37,6 +42,7 @@ __all__ = [
     "CertifierConfig",
     "CommitOrderPolicy",
     "Coordinator",
+    "CoordinatorTimeouts",
     "GlobalOutcome",
     "GlobalTransactionSpec",
     "LamportSN",

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import (
+    AgentCrashed,
     RefusalReason,
     SimulationError,
     TransactionAborted,
@@ -69,6 +70,20 @@ class AgentConfig:
     eager_commit_retry: bool = True
 
 
+#: Protocol points at which a crash probe can kill the agent, in
+#: protocol order.  Each marks a distinct durability window:
+#: before the prepare record, after it but before READY, after READY,
+#: on COMMIT arrival, after the commit record, after the local commit.
+CRASH_POINTS = (
+    "pre-prepare",
+    "post-prepare",
+    "post-ready",
+    "post-commit-decision",
+    "post-commit-record",
+    "post-local-commit",
+)
+
+
 class AgentPhase(enum.Enum):
     """Participant states (paper Sec. 2) as seen by the agent."""
 
@@ -92,6 +107,9 @@ class _AgentTxn:
     resubmitting: bool = False
     commit_pending: bool = False
     commit_record_written: bool = False
+    #: A local.commit() is outstanding — duplicate COMMIT messages
+    #: (coordinator ack-timeout resends) must not issue a second one.
+    commit_in_flight: bool = False
     incarnations: int = 1
     resubmissions: int = 0
     alive_timer: Optional[Timer] = None
@@ -111,6 +129,7 @@ class TwoPCAgent:
         certifier: Certifier,
         dlu_guard: Optional[BoundDataGuard] = None,
         config: Optional[AgentConfig] = None,
+        log: Optional[AgentLog] = None,
     ) -> None:
         self.site = site
         self.address = f"agent:{site}"
@@ -121,8 +140,15 @@ class TwoPCAgent:
         self.certifier = certifier
         self.dlu_guard = dlu_guard
         self.config = config or AgentConfig()
-        self.log = AgentLog(site)
+        self.log = log if log is not None else AgentLog(site)
         self._txns: Dict[TxnId, _AgentTxn] = {}
+        #: Crash injection hook: ``probe(point, txn) -> bool``; returning
+        #: True kills the agent at that protocol point (see crash()).
+        self.crash_probe: Optional[Callable[[str, TxnId], bool]] = None
+        self._crashed = False
+        #: Bumped on every crash so completions subscribed by a previous
+        #: incarnation of the agent process are recognisably stale.
+        self._epoch = 0
         # Observers for centralized baselines (CGM needs to see prepared
         # and locally-committed transitions).
         self.on_ready_observers: List[Callable[[TxnId, str], None]] = []
@@ -141,6 +167,7 @@ class TwoPCAgent:
         self.resubmissions = 0
         self.alive_checks = 0
         self.restarts = 0
+        self.crashes = 0
         network.register(self.address, self._on_message)
         ltm.on_unilateral_abort(self._on_uan)
 
@@ -149,18 +176,32 @@ class TwoPCAgent:
     # ------------------------------------------------------------------
 
     def _on_message(self, msg: Message) -> None:
-        if msg.type is MsgType.BEGIN:
-            self._on_begin(msg)
-        elif msg.type is MsgType.COMMAND:
-            self._on_command(msg)
-        elif msg.type is MsgType.PREPARE:
-            self._on_prepare(msg)
-        elif msg.type is MsgType.COMMIT:
-            self._on_commit(msg)
-        elif msg.type is MsgType.ROLLBACK:
-            self._on_rollback(msg)
-        else:
-            raise SimulationError(f"agent {self.site} got unexpected {msg}")
+        if self._crashed:
+            return  # a dead process receives nothing
+        try:
+            if msg.type is MsgType.BEGIN:
+                self._on_begin(msg)
+            elif msg.type is MsgType.COMMAND:
+                self._on_command(msg)
+            elif msg.type is MsgType.PREPARE:
+                self._on_prepare(msg)
+            elif msg.type is MsgType.COMMIT:
+                self._on_commit(msg)
+            elif msg.type is MsgType.ROLLBACK:
+                self._on_rollback(msg)
+            else:
+                raise SimulationError(f"agent {self.site} got unexpected {msg}")
+        except AgentCrashed:
+            # The probe killed the agent mid-handler; the rest of the
+            # handler (replies included) never happened.
+            pass
+
+    def _probe(self, point: str, txn: TxnId) -> None:
+        """Crash here if the injected probe says so."""
+        hook = self.crash_probe
+        if hook is not None and not self._crashed and hook(point, txn):
+            self.crash()
+            raise AgentCrashed(self.site, point, txn)
 
     def _reply(
         self,
@@ -204,12 +245,28 @@ class TwoPCAgent:
         self.log.open(msg.txn, coordinator=msg.src)
 
     def _on_command(self, msg: Message) -> None:
-        state = self._state(msg.txn)
+        state = self._txns.get(msg.txn)
+        if state is None:
+            # A restart wiped the volatile state (the entry never
+            # reached its prepare record): fail the command so the
+            # coordinator aborts, exactly like a refused participant.
+            self._reply(
+                msg,
+                MsgType.COMMAND_RESULT,
+                payload=TransactionAborted(
+                    RefusalReason.SITE_UNREACHABLE,
+                    f"agent {self.site} restarted; no state for {msg.txn}",
+                ),
+            )
+            return
         command: Command = msg.payload
         self.log.log_command(msg.txn, command)
         completion = state.local.execute(command)
+        epoch = self._epoch
 
         def answer(event) -> None:
+            if self._epoch != epoch:
+                return  # subscribed by a process incarnation that died
             if event.error is None:
                 state.last_activity = self.kernel.now
                 self._reply(msg, MsgType.COMMAND_RESULT, payload=event._value)
@@ -223,7 +280,20 @@ class TwoPCAgent:
     # ------------------------------------------------------------------
 
     def _on_prepare(self, msg: Message) -> None:
-        state = self._state(msg.txn)
+        state = self._txns.get(msg.txn)
+        if state is None:
+            # Restart wiped an un-prepared entry; refuse so the
+            # coordinator rolls the global transaction back.
+            reason = RefusalReason.SITE_UNREACHABLE
+            self.refusals[reason] = self.refusals.get(reason, 0) + 1
+            self._reply(
+                msg,
+                MsgType.REFUSE,
+                payload=f"agent {self.site} restarted; no state for {msg.txn}",
+                reason=reason,
+            )
+            return
+        self._probe("pre-prepare", msg.txn)
         state.sn = msg.sn
         self._note_sn(msg.sn)
         candidate = AliveInterval(state.last_activity, self.kernel.now)
@@ -257,6 +327,11 @@ class TwoPCAgent:
             )
         self.history.record_prepare(self.kernel.now, msg.txn, self.site, msg.sn)
         state.phase = AgentPhase.PREPARED
+        # Prepare record is on disk, READY not yet sent: a crash here
+        # leaves the coordinator to time the vote out and abort, while
+        # the recovered agent re-enters prepared and later obeys the
+        # ROLLBACK idempotently.
+        self._probe("post-prepare", msg.txn)
         state.alive_timer = Timer(
             self.kernel,
             self.config.alive_check_interval,
@@ -267,6 +342,8 @@ class TwoPCAgent:
         self._reply(msg, MsgType.READY)
         for observer in self.on_ready_observers:
             observer(msg.txn, self.site)
+        # READY is out: the durable promise is now binding.
+        self._probe("post-ready", msg.txn)
 
     def _abort_and_refuse(
         self,
@@ -382,7 +459,7 @@ class TwoPCAgent:
                     tables=self.ltm.scanned_tables_of(incarnation),
                 )
             if state.commit_pending:
-                self.kernel.call_soon(lambda: self._try_commit(state))
+                self.kernel.call_soon(lambda: self._guarded_try_commit(state))
             return
         state.resubmitting = False
 
@@ -391,13 +468,29 @@ class TwoPCAgent:
     # ------------------------------------------------------------------
 
     def _on_commit(self, msg: Message) -> None:
-        state = self._state(msg.txn)
+        state = self._txns.get(msg.txn)
+        if state is None or state.phase is AgentPhase.DONE:
+            # Already committed (possibly by a recovered incarnation that
+            # re-acked and discarded): acknowledge idempotently so
+            # coordinator resends converge.
+            self._reply(msg, MsgType.COMMIT_ACK)
+            return
         if state.phase is not AgentPhase.PREPARED:
             raise SimulationError(
                 f"COMMIT for {msg.txn} at {self.site} in phase {state.phase}"
             )
+        # The global decision has arrived but nothing local happened yet.
+        self._probe("post-commit-decision", msg.txn)
         state.commit_pending = True
         self._try_commit(state)
+
+    def _guarded_try_commit(self, state: _AgentTxn) -> None:
+        """_try_commit for timer/call_soon contexts: a crash probe firing
+        here must not unwind into the kernel."""
+        try:
+            self._try_commit(state)
+        except AgentCrashed:
+            pass
 
     def _try_commit(self, state: _AgentTxn) -> None:
         if state.phase is not AgentPhase.PREPARED or not state.commit_pending:
@@ -409,7 +502,7 @@ class TwoPCAgent:
                 state.retry_timer = Timer(
                     self.kernel,
                     self.config.commit_retry_interval,
-                    lambda: self._try_commit(state),
+                    lambda: self._guarded_try_commit(state),
                 )
             state.retry_timer.restart()
             return
@@ -419,22 +512,39 @@ class TwoPCAgent:
             # The incarnation is gone; resubmit first, then commit.
             self._ensure_resubmission(state)
             return
+        if state.commit_in_flight:
+            return  # a duplicate COMMIT; the running local commit answers
         if not state.commit_record_written:
             self.log.write_commit(state.txn, self.kernel.now)
             state.commit_record_written = True
+        # The commit record is durable, the local commit not yet issued:
+        # recovery resumes the commit from the log.
+        self._probe("post-commit-record", state.txn)
+        state.commit_in_flight = True
         completion = state.local.commit()
+        epoch = self._epoch
 
         def on_commit(event) -> None:
-            if event.error is None:
-                self._local_commit_done(state)
-            else:
-                # A unilateral abort raced the commit and won; resubmit.
-                state.uan = True
-                self._ensure_resubmission(state)
+            if self._epoch != epoch:
+                return  # the agent process that issued this commit died
+            state.commit_in_flight = False
+            try:
+                if event.error is None:
+                    self._local_commit_done(state)
+                else:
+                    # A unilateral abort raced the commit and won; resubmit.
+                    state.uan = True
+                    self._ensure_resubmission(state)
+            except AgentCrashed:
+                pass
 
         completion.subscribe(on_commit)
 
     def _local_commit_done(self, state: _AgentTxn) -> None:
+        # The LDBS committed; the COMMIT-ACK is not out yet.  A crash
+        # here is the classic committed-but-unacked window: recovery
+        # finds commit record + committed local state and just re-acks.
+        self._probe("post-local-commit", state.txn)
         self.certifier.record_local_commit(state.txn)
         self.log.record_committed_sn(state.sn)
         self.commits_done += 1
@@ -502,38 +612,29 @@ class TwoPCAgent:
             for other in list(self._txns.values()):
                 if other.commit_pending and other.phase is AgentPhase.PREPARED:
                     self.kernel.call_soon(
-                        lambda candidate=other: self._try_commit(candidate)
+                        lambda candidate=other: self._guarded_try_commit(candidate)
                     )
 
     # ------------------------------------------------------------------
     # Agent restart recovery
     # ------------------------------------------------------------------
 
-    def simulate_restart(self) -> int:
-        """Crash the 2PC Agent process and recover from the Agent log.
+    def crash(self) -> None:
+        """Kill the 2PC Agent process.
 
-        This is the scenario the durable Agent log exists for: the
-        simulated prepared state must survive the agent itself.  On
-        restart:
-
-        * every volatile structure dies — the transaction table, the
-          timers, the certifier's alive interval table;
-        * the LDBS aborts the orphaned local subtransactions (a lost
-          connection is a unilateral abort from the DTM's view);
-        * the log is scanned: entries with a prepare record re-enter the
-          prepared state (their last known alive interval is the instant
-          of the prepare record; the alive check will discover the dead
-          incarnation and resubmit), entries with a commit record resume
-          the commit (idempotently re-acking if the local commit had
-          already happened), and entries still in the active state are
-          left to fail their next COMMAND or PREPARE — the coordinator
-          then aborts them, exactly as a refused participant would;
-        * the certification extension's max-committed-SN register is
-          reloaded from its durable home in the log.
-
-        Returns the number of recovered (non-final) transactions.
+        Every volatile structure dies — the transaction table, the
+        timers, the certifier's alive interval table.  The LDBS aborts
+        the orphaned local subtransactions (a lost connection is a
+        unilateral abort from the DTM's view) and the log is closed (a
+        durable log's on-disk state is exactly what the dead process
+        managed to write).  Until :meth:`recover` runs, incoming
+        messages are dropped on the floor.
         """
-        self.restarts += 1
+        if self._crashed:
+            return
+        self._crashed = True
+        self.crashes += 1
+        self._epoch += 1
         old_states = self._txns
         self._txns = {}
         for state in old_states.values():
@@ -545,8 +646,39 @@ class TwoPCAgent:
         # The LDBS rolls orphaned subtransactions back (connection loss).
         for state in old_states.values():
             self.ltm.unilaterally_abort(state.local.subtxn)
+        # Volatile certifier state is gone with the process.
+        self.certifier = Certifier(self.site, self.certifier.config)
+        self.log.close()
 
-        # Volatile certifier state is gone; rebuild what is durable.
+    def recover(self, log: Optional[AgentLog] = None) -> int:
+        """Restart the crashed agent from its (durable) Agent log.
+
+        This is the scenario the durable Agent log exists for: the
+        simulated prepared state must survive the agent itself.  On
+        restart:
+
+        * the log is scanned: entries with a prepare record re-enter the
+          prepared state (their last known alive interval is the instant
+          of the prepare record; the alive check will discover the dead
+          incarnation and resubmit), entries with a commit record resume
+          the commit (idempotently re-acking if the local commit had
+          already happened), and entries still in the active state are
+          left to fail their next COMMAND or PREPARE — the coordinator
+          then aborts them, exactly as a refused participant would;
+        * the certification extension's max-committed-SN register is
+          reloaded from its durable home in the log.
+
+        With the in-memory log, pass nothing — the object survives by
+        fiat.  With a :class:`~repro.durability.agent_log.DurableAgentLog`,
+        pass a freshly re-opened instance (``DurableAgentLog.open_site``)
+        — the crashed one is closed and holds only dead file handles.
+
+        Returns the number of recovered (non-final) transactions.
+        """
+        if log is not None:
+            self.log = log
+        self._crashed = False
+        self.restarts += 1
         self.certifier = Certifier(self.site, self.certifier.config)
         self.certifier.restore_max_committed_sn(self.log.max_committed_sn)
 
@@ -598,11 +730,22 @@ class TwoPCAgent:
                 )
                 state.alive_timer.start()
                 if state.commit_pending:
-                    self.kernel.call_soon(lambda s=state: self._try_commit(s))
+                    self.kernel.call_soon(
+                        lambda s=state: self._guarded_try_commit(s)
+                    )
             # Active-state entries stay ACTIVE with a dead incarnation:
             # their next COMMAND or PREPARE fails and the coordinator
             # rolls them back.
         return recovered
+
+    def simulate_restart(self) -> int:
+        """Crash and immediately recover (in-memory log convenience)."""
+        self.crash()
+        return self.recover()
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
 
     # ------------------------------------------------------------------
     # Introspection

@@ -59,6 +59,13 @@ class AgentLog:
         self.site = site
         self._entries: Dict[TxnId, AgentLogEntry] = {}
         self.force_writes = 0
+        #: Per-kind breakdown of the log I/O the method costs: forced
+        #: prepare and commit records plus entry discards at txn end.
+        self.force_writes_by_kind: Dict[str, int] = {
+            "prepare": 0,
+            "commit": 0,
+            "discard": 0,
+        }
         #: Durable site-level register: the biggest serial number of a
         #: locally committed subtransaction.  The certification
         #: extension needs it to survive an agent restart.
@@ -96,6 +103,7 @@ class AgentLog:
         entry.prepare_sn = sn
         entry.prepare_time = time
         self.force_writes += 1
+        self.force_writes_by_kind["prepare"] += 1
 
     def write_commit(self, txn: TxnId, time: float) -> None:
         """Force-write the commit record."""
@@ -104,6 +112,7 @@ class AgentLog:
             raise SimulationError(f"{txn} already has a commit record at {self.site}")
         entry.commit_time = time
         self.force_writes += 1
+        self.force_writes_by_kind["commit"] += 1
 
     def note_resubmission(self, txn: TxnId) -> None:
         """Persist that another incarnation was started."""
@@ -118,7 +127,11 @@ class AgentLog:
 
     def discard(self, txn: TxnId) -> None:
         """Drop the entry once the transaction reached a final state."""
-        self._entries.pop(txn, None)
+        if self._entries.pop(txn, None) is not None:
+            self.force_writes_by_kind["discard"] += 1
+
+    def close(self) -> None:
+        """Release durable resources; the in-memory log has none."""
 
     def open_entries(self) -> List[TxnId]:
         return sorted(self._entries)

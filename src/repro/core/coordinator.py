@@ -27,7 +27,7 @@ Two extension points serve the baselines:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import (
     RefusalReason,
@@ -35,6 +35,9 @@ from repro.common.errors import (
     TransactionAborted,
     reason_of,
 )
+
+if TYPE_CHECKING:  # avoid a core ↔ durability import knot at runtime
+    from repro.durability.decision_log import DurableDecisionLog
 from repro.common.ids import SerialNumber, TxnId
 from repro.core.serial import SNGenerator
 from repro.history.model import History
@@ -148,6 +151,33 @@ class Scheduler:
         """Called once per transaction after the 2PC outcome is final."""
 
 
+@dataclass(frozen=True)
+class CoordinatorTimeouts:
+    """Opt-in liveness knobs for runs where agents can crash.
+
+    All ``None`` by default: the failure-free goldens depend on the
+    coordinator waiting forever (every expected message arrives in the
+    paper's Network model).  Crash injection breaks that assumption —
+    a dead agent's in-flight handler never answers — so these put
+    bounds on every wait:
+
+    * ``result_timeout`` — a COMMAND whose result never comes is
+      treated as a failed command (global abort);
+    * ``vote_timeout`` — a PREPARE whose vote never comes counts as a
+      REFUSE with :attr:`RefusalReason.SITE_UNREACHABLE`; the silent
+      site *is* rolled back (unlike a refusing one, it may recover into
+      the prepared state and must be told);
+    * ``ack_timeout`` — an unacknowledged COMMIT/ROLLBACK is re-sent
+      (agents treat duplicates idempotently), at most ``max_resends``
+      times before the run is declared broken.
+    """
+
+    result_timeout: Optional[float] = None
+    vote_timeout: Optional[float] = None
+    ack_timeout: Optional[float] = None
+    max_resends: int = 25
+
+
 class Coordinator:
     """One Coordinating Site's transaction manager half."""
 
@@ -161,6 +191,9 @@ class Coordinator:
         sn_generator: SNGenerator,
         sn_at_begin: bool = False,
         scheduler: Optional[Scheduler] = None,
+        timeouts: Optional[CoordinatorTimeouts] = None,
+        decision_log: Optional["DurableDecisionLog"] = None,
+        takeover: bool = False,
     ) -> None:
         self.name = name
         self.site = site
@@ -171,15 +204,23 @@ class Coordinator:
         self.sn_generator = sn_generator
         self.sn_at_begin = sn_at_begin
         self.scheduler = scheduler
+        self.timeouts = timeouts or CoordinatorTimeouts()
+        #: Optional durable decision log: the DECISION record is forced
+        #: before any COMMIT leaves, so a successor coordinator can
+        #: finish delivery of every in-doubt outcome (resume_in_doubt).
+        self.decision_log = decision_log
         self._pending: Dict[Tuple[TxnId, str, str], Event] = {}
         self.committed = 0
         self.aborted = 0
         self.aborts_by_reason: Dict[RefusalReason, int] = {}
+        self.vote_timeouts = 0
+        self.result_timeouts = 0
+        self.resends = 0
         #: Durable decision records written (the paper: the Coordinator
         #: "recorded, in a stable storage, the decision").  Counted so
         #: the force-write I/O accounting covers both ends of 2PC.
         self.decisions_logged = 0
-        network.register(self.address, self._on_message)
+        network.register(self.address, self._on_message, replace=takeover)
 
     # ------------------------------------------------------------------
     # Message plumbing
@@ -222,6 +263,71 @@ class Coordinator:
                 **kwargs,
             )
         )
+
+    def _race(self, wait: Event, timeout: Optional[float]) -> Event:
+        """``wait``, bounded: yields the message, or ``None`` on timeout.
+
+        With ``timeout=None`` this is ``wait`` itself — the zero-cost
+        default keeps the failure-free goldens byte-identical.
+        """
+        if timeout is None:
+            return wait
+        race = Event(self.kernel, name=f"race:{wait.name}")
+
+        def on_msg(event: Event) -> None:
+            if not race.done:
+                race.succeed(event._value)  # noqa: SLF001 - relaying
+
+        def on_timeout() -> None:
+            if not race.done:
+                race.succeed(None)
+
+        wait.subscribe(on_msg)
+        self.kernel.schedule(timeout, on_timeout)
+        return race
+
+    def _await_ack(
+        self, txn: TxnId, site: str, kind: str, resend: MsgType, wait: Event
+    ):
+        """Wait for one decision ack, re-sending on ack timeout.
+
+        ``wait`` is the event registered *before* the decision message
+        was sent (so an early ack is never lost).  A crashed agent
+        drops the in-flight COMMIT/ROLLBACK; once it recovers, the
+        resend reaches it and the (idempotent) handler acknowledges.
+        Bounded by ``max_resends`` so a truly dead site fails the run
+        loudly instead of hanging it.
+        """
+        timeout = self.timeouts.ack_timeout
+        attempts = 0
+        while True:
+            reply = yield self._race(wait, timeout)
+            if reply is not None:
+                return
+            attempts += 1
+            if attempts > self.timeouts.max_resends:
+                raise SimulationError(
+                    f"coordinator {self.name}: no {kind} from {site} for "
+                    f"{txn} after {attempts} attempts"
+                )
+            self.resends += 1
+            wait = self._expect(txn, f"agent:{site}", kind)
+            self._send(resend, txn, site)
+
+    def _log_decision(
+        self, txn: TxnId, committed: bool, sn, sites: Sequence[str]
+    ) -> None:
+        self.decisions_logged += 1
+        if self.decision_log is not None:
+            from repro.durability.decision_log import Decision
+
+            self.decision_log.log_decision(
+                Decision(txn=txn, committed=committed, sn=sn, sites=tuple(sites))
+            )
+
+    def _log_end(self, txn: TxnId) -> None:
+        if self.decision_log is not None:
+            self.decision_log.log_end(txn)
 
     # ------------------------------------------------------------------
     # Submission
@@ -301,7 +407,19 @@ class Coordinator:
                 begun.append(site)
             wait = self._expect(spec.txn, f"agent:{site}", "result")
             self._send(MsgType.COMMAND, spec.txn, site, payload=command)
-            reply = yield wait
+            reply = yield self._race(wait, self.timeouts.result_timeout)
+            if reply is None:
+                # The site went silent mid-command (crash injection):
+                # give the transaction up, telling every begun site.
+                self.result_timeouts += 1
+                yield from self._global_abort(
+                    spec,
+                    begun,
+                    outcome,
+                    RefusalReason.SITE_UNREACHABLE,
+                    site,
+                )
+                return outcome
             if isinstance(reply.payload, BaseException):
                 yield from self._global_abort(
                     spec, begun, outcome, reason_of(reply.payload), site
@@ -337,9 +455,20 @@ class Coordinator:
             votes.append((site, self._expect(spec.txn, f"agent:{site}", "vote")))
             self._send(MsgType.PREPARE, spec.txn, site, sn=sn)
         ready_sites: List[str] = []
+        silent_sites: List[str] = []
         for site, wait in votes:
-            reply = yield wait
-            if reply.type is MsgType.READY:
+            reply = yield self._race(wait, self.timeouts.vote_timeout)
+            if reply is None:
+                # No vote: count the silence as a REFUSE — but unlike a
+                # refusing site (which already aborted itself), a silent
+                # one may recover into the prepared state, so it must be
+                # in the rollback set.
+                self.vote_timeouts += 1
+                silent_sites.append(site)
+                outcome.refusing_sites.append(site)
+                if outcome.reason is None:
+                    outcome.reason = RefusalReason.SITE_UNREACHABLE
+            elif reply.type is MsgType.READY:
                 ready_sites.append(site)
             else:
                 outcome.refusing_sites.append(site)
@@ -348,19 +477,27 @@ class Coordinator:
 
         if outcome.refusing_sites:
             yield from self._global_abort(
-                spec, ready_sites, outcome, outcome.reason, None, record=True
+                spec,
+                ready_sites + silent_sites,
+                outcome,
+                outcome.reason,
+                None,
+                record=True,
             )
             return outcome
 
         # -- decision: global commit -------------------------------------
-        self.decisions_logged += 1
+        self._log_decision(spec.txn, True, sn, begun)
         self.history.record_global_commit(self.kernel.now, spec.txn)
-        acks: List[Event] = []
+        acks: List[Tuple[str, Event]] = []
         for site in begun:
-            acks.append(self._expect(spec.txn, f"agent:{site}", "commit-ack"))
+            acks.append((site, self._expect(spec.txn, f"agent:{site}", "commit-ack")))
             self._send(MsgType.COMMIT, spec.txn, site)
-        for wait in acks:
-            yield wait
+        for site, wait in acks:
+            yield from self._await_ack(
+                spec.txn, site, "commit-ack", MsgType.COMMIT, wait
+            )
+        self._log_end(spec.txn)
         outcome.committed = True
         outcome.finished_at = self.kernel.now
         self.committed += 1
@@ -382,16 +519,22 @@ class Coordinator:
         if failing_site is not None and failing_site not in outcome.refusing_sites:
             outcome.refusing_sites.append(failing_site)
         if record:
-            self.decisions_logged += 1
+            self._log_decision(spec.txn, False, outcome.sn, rollback_sites)
             self.history.record_global_abort(
                 self.kernel.now, spec.txn, reason=outcome.reason
             )
-        acks: List[Event] = []
+        acks: List[Tuple[str, Event]] = []
         for site in rollback_sites:
-            acks.append(self._expect(spec.txn, f"agent:{site}", "rollback-ack"))
+            acks.append(
+                (site, self._expect(spec.txn, f"agent:{site}", "rollback-ack"))
+            )
             self._send(MsgType.ROLLBACK, spec.txn, site)
-        for wait in acks:
-            yield wait
+        for site, wait in acks:
+            yield from self._await_ack(
+                spec.txn, site, "rollback-ack", MsgType.ROLLBACK, wait
+            )
+        if record:
+            self._log_end(spec.txn)
         outcome.finished_at = self.kernel.now
         self.aborted += 1
         self.aborts_by_reason[outcome.reason] = (
@@ -399,3 +542,46 @@ class Coordinator:
         )
         if self.scheduler is not None:
             self.scheduler.on_end(spec.txn, committed=False)
+
+    # ------------------------------------------------------------------
+    # Recovery: finishing in-doubt decisions from the decision log
+    # ------------------------------------------------------------------
+
+    def resume_in_doubt(self) -> int:
+        """Re-drive delivery of every logged-but-unfinished decision.
+
+        A coordinator (this one restarted, or a successor built with
+        ``takeover=True`` on the dead one's address and decision log)
+        calls this after opening the decision log: each DECISION record
+        without a matching END is re-sent to its participant sites —
+        COMMIT for sealed commits, ROLLBACK for sealed aborts — until
+        all acks arrive, then the END record is written.  Outcome
+        counters and the history are *not* touched: the original
+        coordinator recorded those before (or while) the decision was
+        forced; only delivery was interrupted.
+
+        Returns the number of in-doubt transactions being re-driven.
+        """
+        if self.decision_log is None:
+            return 0
+        pending = self.decision_log.in_doubt()
+        for decision in pending:
+            Process(
+                self.kernel,
+                self._finish_decision(decision),
+                name=f"resume:{decision.txn}",
+            )
+        return len(pending)
+
+    def _finish_decision(self, decision):
+        msg_type = MsgType.COMMIT if decision.committed else MsgType.ROLLBACK
+        kind = "commit-ack" if decision.committed else "rollback-ack"
+        acks: List[Tuple[str, Event]] = []
+        for site in decision.sites:
+            acks.append(
+                (site, self._expect(decision.txn, f"agent:{site}", kind))
+            )
+            self._send(msg_type, decision.txn, site)
+        for site, wait in acks:
+            yield from self._await_ack(decision.txn, site, kind, msg_type, wait)
+        self._log_end(decision.txn)

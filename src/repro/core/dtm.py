@@ -33,13 +33,21 @@ The ``method`` string selects the transaction-management method:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError, RefusalReason, TransactionAborted
 from repro.common.ids import SubtxnId, TxnId, local_txn
 from repro.core.agent import AgentConfig, TwoPCAgent
 from repro.core.certifier import Certifier, CertifierConfig, CommitOrderPolicy
-from repro.core.coordinator import Coordinator, GlobalTransactionSpec, Scheduler
+from repro.core.coordinator import (
+    Coordinator,
+    CoordinatorTimeouts,
+    GlobalTransactionSpec,
+    Scheduler,
+)
+
+if TYPE_CHECKING:
+    from repro.durability.config import DurabilityConfig
 from repro.core.serial import SiteClock, make_sn_generator
 from repro.history.model import History
 from repro.kernel.events import Event, EventKernel
@@ -96,6 +104,13 @@ class SystemConfig:
     #: paper's "several of them might be stored" optimization; 1 = the
     #: paper's easiest implementation).
     max_intervals: int = 1
+    #: Opt into real on-disk WALs for the Agent logs and the
+    #: coordinators' decision logs (None = in-memory simulation, the
+    #: deterministic-golden default).
+    durability: Optional["DurabilityConfig"] = None
+    #: Opt-in liveness bounds for crash-injection runs (all None =
+    #: wait forever, the failure-free default).
+    coordinator_timeouts: Optional[CoordinatorTimeouts] = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -191,6 +206,11 @@ class MultidatabaseSystem:
                 dlu_guard=guard,
             )
             certifier = Certifier(site, cert_config)
+            agent_log = None
+            if config.durability is not None:
+                from repro.durability.agent_log import DurableAgentLog
+
+                agent_log = DurableAgentLog.open_site(site, config.durability)
             agent = TwoPCAgent(
                 site,
                 self.kernel,
@@ -200,6 +220,7 @@ class MultidatabaseSystem:
                 certifier,
                 dlu_guard=guard,
                 config=config.agent_overrides.get(site, config.agent),
+                log=agent_log,
             )
             self.guards[site] = guard
             self.ltms[site] = ltm
@@ -238,6 +259,13 @@ class MultidatabaseSystem:
 
         self.coordinators: List[Coordinator] = []
         for coord_site in coordinator_sites:
+            decision_log = None
+            if config.durability is not None:
+                from repro.durability.decision_log import DurableDecisionLog
+
+                decision_log = DurableDecisionLog.open_name(
+                    coord_site, config.durability
+                )
             self.coordinators.append(
                 Coordinator(
                     name=coord_site,
@@ -248,6 +276,8 @@ class MultidatabaseSystem:
                     sn_generator=self.sn_generator,
                     sn_at_begin=(config.method == "ticket"),
                     scheduler=scheduler,
+                    timeouts=config.coordinator_timeouts,
+                    decision_log=decision_log,
                 )
             )
         self._next_coordinator = 0
@@ -284,6 +314,38 @@ class MultidatabaseSystem:
 
     def coordinator(self, index: int = 0) -> Coordinator:
         return self.coordinators[index]
+
+    # ------------------------------------------------------------------
+    # Crash / recovery (durability subsystem)
+    # ------------------------------------------------------------------
+
+    def crash_agent(self, site: str) -> None:
+        """Kill one site's 2PC Agent (see :meth:`TwoPCAgent.crash`)."""
+        self.agents[site].crash()
+
+    def recover_agent(self, site: str) -> int:
+        """Restart a crashed agent.
+
+        With durability configured, the Agent log is re-opened from
+        disk — the crash-recovery path the subsystem exists for; with
+        the in-memory log, the surviving object is reused (durable by
+        fiat, the paper's simulation stance).
+        """
+        agent = self.agents[site]
+        log = None
+        if self.config.durability is not None:
+            from repro.durability.agent_log import DurableAgentLog
+
+            log = DurableAgentLog.open_site(site, self.config.durability)
+        return agent.recover(log)
+
+    def close(self) -> None:
+        """Close every durable log (drains group-commit windows)."""
+        for agent in self.agents.values():
+            agent.log.close()
+        for coordinator in self.coordinators:
+            if coordinator.decision_log is not None:
+                coordinator.decision_log.close()
 
     # ------------------------------------------------------------------
     # Submission

@@ -1,0 +1,52 @@
+"""Durability subsystem: a real write-ahead log under the 2PC Agent.
+
+The paper's method rests on one durable promise: the prepare record is
+*force-written* before READY is sent, so the simulated prepared state
+survives the death of the agent itself.  The in-memory
+:class:`~repro.core.agent_log.AgentLog` only *counts* those force
+writes; this package makes them real:
+
+* :mod:`repro.durability.records` — a checksummed, length-prefixed,
+  versioned record codec;
+* :mod:`repro.durability.segments` — append-only segment files with a
+  pluggable :class:`~repro.durability.segments.SyncPolicy`
+  (always / batched group-commit / simulated);
+* :mod:`repro.durability.recovery` — a scanner that tolerates torn
+  tails and CRC-corrupt records by truncating at the first bad record;
+* :mod:`repro.durability.wal` — the segment-rotating, checkpointing,
+  compacting :class:`~repro.durability.wal.WriteAheadLog`;
+* :mod:`repro.durability.agent_log` —
+  :class:`~repro.durability.agent_log.DurableAgentLog`, a drop-in
+  replacement for the in-memory Agent log that can be killed and
+  reopened from disk;
+* :mod:`repro.durability.decision_log` —
+  :class:`~repro.durability.decision_log.DurableDecisionLog`, the
+  Coordinator's durable commit/abort decision record;
+* :mod:`repro.durability.cli` — ``python -m repro wal
+  {inspect,verify,stats}``.
+
+The in-memory log remains the default (the deterministic goldens rely
+on it); durability is opted into per system via
+:class:`DurabilityConfig` on :class:`~repro.core.dtm.SystemConfig`.
+"""
+
+from repro.durability.agent_log import DurableAgentLog
+from repro.durability.config import DurabilityConfig
+from repro.durability.decision_log import Decision, DurableDecisionLog
+from repro.durability.records import RecordKind, WalRecord
+from repro.durability.recovery import RecoveryReport, scan_wal
+from repro.durability.segments import SyncPolicy
+from repro.durability.wal import WriteAheadLog
+
+__all__ = [
+    "Decision",
+    "DurabilityConfig",
+    "DurableAgentLog",
+    "DurableDecisionLog",
+    "RecordKind",
+    "RecoveryReport",
+    "SyncPolicy",
+    "WalRecord",
+    "WriteAheadLog",
+    "scan_wal",
+]

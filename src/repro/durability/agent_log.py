@@ -1,0 +1,202 @@
+"""``DurableAgentLog``: the 2PC Agent's log, actually on disk.
+
+A drop-in subclass of :class:`~repro.core.agent_log.AgentLog` — every
+mutation first lands in the in-memory mirror (which the agent reads on
+its hot paths) and is then appended to the WAL; prepare and commit
+records are *force* appends, which is the paper's "force-written before
+READY is sent".  Kill the process (or close the log and throw the
+object away) at any point and :meth:`DurableAgentLog.open_site`
+rebuilds the exact open-entry state from the segments, honouring
+checkpoints and truncating torn tails.
+
+Record bodies deliberately mirror the mutator signatures, so replay is
+a dumb dispatch table — no derived state lives only on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.common.ids import SerialNumber, TxnId
+from repro.core.agent_log import AgentLog, AgentLogEntry
+from repro.durability.config import DurabilityConfig
+from repro.durability.records import RecordKind, WalRecord
+from repro.durability.segments import SyncPolicy
+from repro.durability.wal import WriteAheadLog
+from repro.ldbs.commands import Command
+
+
+def agent_wal_directory(root: str, site: str) -> str:
+    return os.path.join(root, f"agent-{site}")
+
+
+class DurableAgentLog(AgentLog):
+    """Per-site Agent log backed by a :class:`WriteAheadLog`."""
+
+    def __init__(self, site: str, wal: WriteAheadLog) -> None:
+        super().__init__(site)
+        self.wal = wal
+        #: Entries discarded since the last checkpoint (compaction gate).
+        self._discards_since_checkpoint = 0
+        self._compact_min = 64
+        self._compact_dead_ratio = 1.0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open_site(cls, site: str, config: DurabilityConfig) -> "DurableAgentLog":
+        """Open (or create) the durable log of ``site`` under ``config.root``.
+
+        Replays whatever survives on disk — so this is also the
+        recovery entry point: after a crash, ``open_site`` again and
+        hand the result to :meth:`TwoPCAgent.recover
+        <repro.core.agent.TwoPCAgent.recover>`.
+        """
+        wal = WriteAheadLog(
+            agent_wal_directory(config.root, site),
+            sync_policy=SyncPolicy.of(config.sync, config.batch_size),
+            segment_bytes=config.segment_bytes,
+        )
+        log = cls(site, wal)
+        log._compact_min = config.compact_min_discards
+        log._compact_dead_ratio = config.compact_dead_ratio
+        log._replay(wal.recovery.records)
+        return log
+
+    # ------------------------------------------------------------------
+    # Mutators: in-memory first, then the WAL append
+    # ------------------------------------------------------------------
+
+    def open(self, txn: TxnId, coordinator: str = "") -> AgentLogEntry:
+        entry = super().open(txn, coordinator)
+        self.wal.append(RecordKind.OPEN, {"txn": txn, "coordinator": coordinator})
+        return entry
+
+    def log_command(self, txn: TxnId, command: Command) -> None:
+        super().log_command(txn, command)
+        self.wal.append(RecordKind.COMMAND, {"txn": txn, "command": command})
+
+    def write_prepare(
+        self, txn: TxnId, sn: Optional[SerialNumber], time: float
+    ) -> None:
+        super().write_prepare(txn, sn, time)
+        self.wal.append(
+            RecordKind.PREPARE, {"txn": txn, "sn": sn, "time": time}, force=True
+        )
+
+    def write_commit(self, txn: TxnId, time: float) -> None:
+        super().write_commit(txn, time)
+        self.wal.append(RecordKind.COMMIT, {"txn": txn, "time": time}, force=True)
+
+    def note_resubmission(self, txn: TxnId) -> None:
+        super().note_resubmission(txn)
+        # Forced: a recovered agent must never reuse an incarnation id,
+        # so the incarnation counter may not run behind the LTM's truth.
+        self.wal.append(RecordKind.RESUBMIT, {"txn": txn}, force=True)
+
+    def record_committed_sn(self, sn: Optional[SerialNumber]) -> None:
+        before = self.max_committed_sn
+        super().record_committed_sn(sn)
+        if self.max_committed_sn != before:
+            self.wal.append(RecordKind.MAX_SN, {"sn": self.max_committed_sn})
+
+    def discard(self, txn: TxnId) -> None:
+        existed = self.has_entry(txn)
+        super().discard(txn)
+        if existed:
+            self.wal.append(RecordKind.DISCARD, {"txn": txn})
+            self._discards_since_checkpoint += 1
+            self._maybe_compact()
+
+    def close(self) -> None:
+        self.wal.close()
+
+    # ------------------------------------------------------------------
+    # Replay + checkpointing
+    # ------------------------------------------------------------------
+
+    def _replay(self, records: List[WalRecord]) -> None:
+        """Rebuild the in-memory mirror from recovered records.
+
+        Mutates state directly (not through the mutators) so counters
+        stay at zero and nothing is re-appended to the WAL.
+        """
+        for record in records:
+            body = record.body
+            kind = record.kind
+            if kind is RecordKind.CHECKPOINT:
+                self._load_snapshot(body)
+            elif kind is RecordKind.OPEN:
+                entry = AgentLogEntry(
+                    txn=body["txn"], coordinator=body.get("coordinator", "")
+                )
+                self._entries[entry.txn] = entry
+            elif kind is RecordKind.COMMAND:
+                self._entries[body["txn"]].commands.append(body["command"])
+            elif kind is RecordKind.PREPARE:
+                entry = self._entries[body["txn"]]
+                entry.prepare_sn = body["sn"]
+                entry.prepare_time = body["time"]
+            elif kind is RecordKind.COMMIT:
+                self._entries[body["txn"]].commit_time = body["time"]
+            elif kind is RecordKind.RESUBMIT:
+                self._entries[body["txn"]].incarnations += 1
+            elif kind is RecordKind.MAX_SN:
+                sn = body["sn"]
+                if self.max_committed_sn is None or (
+                    sn is not None and sn > self.max_committed_sn
+                ):
+                    self.max_committed_sn = sn
+            elif kind is RecordKind.DISCARD:
+                self._entries.pop(body["txn"], None)
+            # DECISION/END records never appear in an agent WAL.
+
+    def _snapshot(self) -> Dict[str, Any]:
+        return {
+            "site": self.site,
+            "max_sn": self.max_committed_sn,
+            "entries": [
+                {
+                    "txn": entry.txn,
+                    "coordinator": entry.coordinator,
+                    "commands": list(entry.commands),
+                    "prepare_sn": entry.prepare_sn,
+                    "prepare_time": entry.prepare_time,
+                    "commit_time": entry.commit_time,
+                    "incarnations": entry.incarnations,
+                }
+                for entry in self.entries()
+            ],
+        }
+
+    def _load_snapshot(self, body: Dict[str, Any]) -> None:
+        self._entries.clear()
+        self.max_committed_sn = body.get("max_sn")
+        for entry_body in body.get("entries", ()):
+            entry = AgentLogEntry(
+                txn=entry_body["txn"],
+                coordinator=entry_body.get("coordinator", ""),
+                commands=list(entry_body.get("commands", ())),
+                prepare_sn=entry_body.get("prepare_sn"),
+                prepare_time=entry_body.get("prepare_time"),
+                commit_time=entry_body.get("commit_time"),
+                incarnations=entry_body.get("incarnations", 1),
+            )
+            self._entries[entry.txn] = entry
+
+    def _maybe_compact(self) -> None:
+        discards = self._discards_since_checkpoint
+        if discards < self._compact_min:
+            return
+        live = len(self._entries)
+        if discards < self._compact_dead_ratio * max(1, live):
+            return
+        self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Force a checkpoint + compaction now (also used by tests)."""
+        self.wal.checkpoint(self._snapshot())
+        self._discards_since_checkpoint = 0

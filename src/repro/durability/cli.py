@@ -1,0 +1,142 @@
+"""``python -m repro wal`` — offline WAL inspection tooling.
+
+Three subcommands, all read-only unless ``--repair`` is given:
+
+* ``inspect DIR`` — dump every replayable record (kind + summary);
+* ``verify DIR``  — scan for torn tails / CRC damage; exit status 1
+  when damage is found (``--repair`` truncates it, like open() would);
+* ``stats DIR``   — segment/record/byte counts and a per-kind breakdown.
+
+``DIR`` may be a single WAL directory or a durability root containing
+``agent-*/`` and ``coord-*/`` WALs — the latter fans out to each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Dict, List
+
+from repro.durability.recovery import RecoveryReport, scan_wal, truncate_damage
+from repro.durability.segments import list_segments
+
+
+def wal_directories(path: str) -> List[str]:
+    """Resolve ``path`` to the WAL directories beneath it.
+
+    A directory that itself holds segments is returned as-is; otherwise
+    every immediate subdirectory holding segments is returned (the
+    durability-root layout).
+    """
+    if list_segments(path):
+        return [path]
+    found = []
+    if os.path.isdir(path):
+        for name in sorted(os.listdir(path)):
+            child = os.path.join(path, name)
+            if os.path.isdir(child) and list_segments(child):
+                found.append(child)
+    return found
+
+
+def _report_lines(report: RecoveryReport) -> List[str]:
+    lines = [f"{report.directory}: {report.summary()}"]
+    for scan in report.segments:
+        state = "ok" if scan.damage is None else f"DAMAGED ({scan.damage})"
+        lines.append(
+            f"  {os.path.basename(scan.path)}: {scan.records} record(s), "
+            f"good to byte {scan.good_until}, {state}"
+        )
+    for path in report.ignored_segments:
+        lines.append(f"  {os.path.basename(path)}: IGNORED (follows damage)")
+    return lines
+
+
+def cmd_inspect(path: str) -> int:
+    directories = wal_directories(path)
+    if not directories:
+        print(f"no WAL segments under {path!r}")
+        return 1
+    for directory in directories:
+        report = scan_wal(directory)
+        print(f"== {directory} ({report.summary()})")
+        for record in report.records:
+            print(f"  {record.describe()}")
+        if report.total_records > len(report.records):
+            superseded = report.total_records - len(report.records)
+            print(f"  ({superseded} earlier record(s) superseded by checkpoint)")
+    return 0
+
+
+def cmd_verify(path: str, repair: bool = False) -> int:
+    directories = wal_directories(path)
+    if not directories:
+        print(f"no WAL segments under {path!r}")
+        return 1
+    status = 0
+    for directory in directories:
+        report = scan_wal(directory)
+        for line in _report_lines(report):
+            print(line)
+        if not report.clean:
+            status = 1
+            if repair:
+                touched = truncate_damage(report)
+                print(f"  repaired: truncated/removed {touched} file(s)")
+    return status
+
+
+def cmd_stats(path: str) -> int:
+    directories = wal_directories(path)
+    if not directories:
+        print(f"no WAL segments under {path!r}")
+        return 1
+    for directory in directories:
+        report = scan_wal(directory)
+        by_kind: Dict[str, int] = {}
+        for record in report.records:
+            by_kind[record.kind.name] = by_kind.get(record.kind.name, 0) + 1
+        total_bytes = sum(
+            os.path.getsize(p) for _i, p in list_segments(directory)
+        )
+        print(f"== {directory}")
+        print(f"  segments:       {len(report.segments)}")
+        print(f"  bytes:          {total_bytes}")
+        print(f"  records:        {report.total_records}")
+        print(f"  replayable:     {len(report.records)}")
+        print(f"  clean:          {report.clean}")
+        for kind in sorted(by_kind):
+            print(f"  kind {kind:<11} {by_kind[kind]}")
+    return 0
+
+
+def add_wal_parser(subparsers: "argparse._SubParsersAction") -> None:
+    """Attach the ``wal`` subcommand to the ``repro`` CLI."""
+    parser = subparsers.add_parser(
+        "wal", help="inspect, verify, or summarize WAL directories"
+    )
+    wal_sub = parser.add_subparsers(dest="wal_command", required=True)
+
+    p_inspect = wal_sub.add_parser("inspect", help="dump replayable records")
+    p_inspect.add_argument("directory")
+
+    p_verify = wal_sub.add_parser("verify", help="scan for damage")
+    p_verify.add_argument("directory")
+    p_verify.add_argument(
+        "--repair",
+        action="store_true",
+        help="physically truncate damage (what open() would do)",
+    )
+
+    p_stats = wal_sub.add_parser("stats", help="segment/record statistics")
+    p_stats.add_argument("directory")
+
+    parser.set_defaults(run=run_wal_command)
+
+
+def run_wal_command(args: argparse.Namespace) -> int:
+    if args.wal_command == "inspect":
+        return cmd_inspect(args.directory)
+    if args.wal_command == "verify":
+        return cmd_verify(args.directory, repair=args.repair)
+    return cmd_stats(args.directory)

@@ -1,0 +1,28 @@
+"""Durability knobs, grouped so :class:`~repro.core.dtm.SystemConfig`
+can carry one optional field instead of six."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """How a :class:`~repro.core.dtm.MultidatabaseSystem` persists logs.
+
+    ``root`` is a directory; each agent gets ``<root>/agent-<site>/``
+    and each coordinator ``<root>/coord-<name>/``.
+    """
+
+    root: str
+    #: ``always`` | ``batched`` | ``simulated`` (see SyncPolicy).
+    sync: str = "batched"
+    #: Group-commit window for the ``batched`` policy.
+    batch_size: int = 8
+    #: Rotate to a new segment once the active one exceeds this.
+    segment_bytes: int = 256 * 1024
+    #: Compact (checkpoint + drop old segments) once at least this many
+    #: entries were discarded since the last checkpoint...
+    compact_min_discards: int = 64
+    #: ...and discarded entries outnumber live ones by this factor.
+    compact_dead_ratio: float = 1.0

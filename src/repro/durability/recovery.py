@@ -1,0 +1,169 @@
+"""Recovery scanning: read a WAL directory back, tolerating damage.
+
+The contract (docs/DURABILITY.md):
+
+* records are replayed in segment order, offset order;
+* the first torn or CRC-corrupt record ends the usable log — it and
+  everything after it (including any later segments) is discarded.  A
+  torn *tail* is the normal result of a crash mid-write; a corrupt
+  record in the middle means everything beyond it is of unknowable
+  integrity, so it must never be silently replayed;
+* a :class:`CHECKPOINT <repro.durability.records.RecordKind>` record
+  resets the replay: state is rebuilt from the checkpoint and only
+  records after it apply (the scanner returns the suffix starting at
+  the last intact checkpoint).
+
+``scan_wal`` is read-only; :class:`~repro.durability.wal.WriteAheadLog`
+uses its report to physically truncate the damage before appending.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.durability.records import (
+    CorruptRecord,
+    RecordKind,
+    TornRecord,
+    WalRecord,
+    decode_record,
+)
+from repro.durability.segments import (
+    SEGMENT_HEADER_SIZE,
+    check_segment_header,
+    list_segments,
+)
+
+
+@dataclass
+class SegmentScan:
+    """What one segment contained."""
+
+    index: int
+    path: str
+    records: int = 0
+    #: Offset just past the last intact record (= file size when clean).
+    good_until: int = 0
+    #: Why the scan stopped early, if it did.
+    damage: Optional[str] = None
+
+
+@dataclass
+class RecoveryReport:
+    """Everything :func:`scan_wal` learned about a WAL directory."""
+
+    directory: str
+    segments: List[SegmentScan] = field(default_factory=list)
+    #: Replayable records, already cut down to the last-checkpoint suffix.
+    records: List[WalRecord] = field(default_factory=list)
+    #: Total records read (including those superseded by a checkpoint).
+    total_records: int = 0
+    #: Path of the segment where damage was found (None when clean).
+    damaged_segment: Optional[str] = None
+    #: Records dropped because they sat after the damage point.
+    dropped_after_damage: int = 0
+    #: Later segments ignored entirely because an earlier one was damaged.
+    ignored_segments: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.damaged_segment is None
+
+    def summary(self) -> str:
+        state = "clean" if self.clean else f"damaged at {self.damaged_segment}"
+        return (
+            f"{len(self.segments)} segment(s), {self.total_records} record(s), "
+            f"{state}"
+        )
+
+
+def scan_segment_bytes(buffer: bytes, path: str = "") -> SegmentScan:
+    """Scan one segment image; never raises on damage, reports it."""
+    scan = SegmentScan(index=-1, path=path)
+    try:
+        check_segment_header(buffer, path)
+    except CorruptRecord as exc:
+        scan.damage = str(exc)
+        scan.good_until = 0
+        return scan
+    offset = SEGMENT_HEADER_SIZE
+    scan.good_until = offset
+    end = len(buffer)
+    while offset < end:
+        try:
+            record, offset = decode_record(buffer, offset)
+        except (TornRecord, CorruptRecord) as exc:
+            scan.damage = str(exc)
+            return scan
+        del record
+        scan.records += 1
+        scan.good_until = offset
+    return scan
+
+
+def scan_wal(directory: str) -> RecoveryReport:
+    """Read every segment of ``directory`` and return the usable log.
+
+    Pure function of the on-disk state — it never modifies files.  The
+    returned :attr:`RecoveryReport.records` already honours checkpoint
+    semantics: it is the record suffix starting at the last intact
+    CHECKPOINT (or the whole log when none exists).
+    """
+    report = RecoveryReport(directory=directory)
+    records: List[WalRecord] = []
+    damaged = False
+    for index, path in list_segments(directory):
+        if damaged:
+            report.ignored_segments.append(path)
+            continue
+        with open(path, "rb") as handle:
+            buffer = handle.read()
+        scan = scan_segment_bytes(buffer, path)
+        scan.index = index
+        report.segments.append(scan)
+        offset = SEGMENT_HEADER_SIZE
+        # Re-decode up to the good offset (scan_segment_bytes validated
+        # it, so this cannot fail) and collect the records.
+        while offset < scan.good_until:
+            record, offset = decode_record(buffer, offset)
+            records.append(record)
+        if scan.damage is not None:
+            damaged = True
+            report.damaged_segment = path
+            # Count the bytes after the damage point as dropped records
+            # is impossible (they are unparseable); record the fact.
+            report.dropped_after_damage = max(0, len(buffer) - scan.good_until)
+    report.total_records = len(records)
+    # Checkpoint semantics: replay starts at the last intact checkpoint.
+    start = 0
+    for position, record in enumerate(records):
+        if record.kind is RecordKind.CHECKPOINT:
+            start = position
+    report.records = records[start:]
+    return report
+
+
+def truncate_damage(report: RecoveryReport) -> int:
+    """Physically remove everything the scan refused to replay.
+
+    Truncates the damaged segment at its last good offset and deletes
+    the ignored later segments.  Returns the number of files touched.
+    Idempotent; a clean report is a no-op.
+    """
+    touched = 0
+    if report.damaged_segment is not None:
+        for scan in report.segments:
+            if scan.path == report.damaged_segment:
+                if scan.good_until < SEGMENT_HEADER_SIZE:
+                    # Header itself is bad: the file is unusable.
+                    os.remove(scan.path)
+                else:
+                    with open(scan.path, "r+b") as handle:
+                        handle.truncate(scan.good_until)
+                touched += 1
+    for path in report.ignored_segments:
+        os.remove(path)
+        touched += 1
+    return touched

@@ -1,0 +1,208 @@
+"""Append-only segment files and the fsync policy.
+
+A WAL directory holds numbered segments::
+
+    wal-00000001.seg
+    wal-00000002.seg
+    ...
+
+Each segment starts with a 12-byte header (magic + format version);
+records follow back to back in the codec's frame format.  Segment
+numbers only ever grow — compaction writes a *new* segment and deletes
+the old ones, so the active tail is always the highest number.
+
+:class:`SyncPolicy` decouples "the record is in the OS page cache"
+(every append is ``flush()``-ed, so an in-process crash — the failure
+the simulator can actually inject — never loses an acknowledged
+record) from "the record is on the platter" (``fsync``), which is the
+expensive call real systems batch:
+
+* ``always`` — fsync on every force point (textbook 2PC participant);
+* ``batched(n)`` — group commit: force points accumulate and one fsync
+  covers up to ``n`` of them (or an explicit ``sync()``);
+* ``simulated`` — never fsync, only count; for benchmarks where the
+  physical write cost is modelled, not paid.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.durability.records import CorruptRecord, WalError, encode_record
+
+SEGMENT_MAGIC = b"REPROWAL"
+#: Format version of the segment container (header + frame layout).
+SEGMENT_VERSION = 1
+_HEADER = struct.Struct("<8sHH")  # magic, version, reserved
+SEGMENT_HEADER_SIZE = _HEADER.size
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+
+
+def segment_name(index: int) -> str:
+    """``wal-00000042.seg`` — zero padded so lexical order = log order."""
+    return f"{_SEGMENT_PREFIX}{index:08d}{_SEGMENT_SUFFIX}"
+
+
+def segment_index(name: str) -> Optional[int]:
+    """Inverse of :func:`segment_name`; ``None`` for foreign files."""
+    if not (name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+    if not digits.isdigit():
+        return None
+    return int(digits)
+
+
+def list_segments(directory: str) -> List[Tuple[int, str]]:
+    """``(index, path)`` of every segment in ``directory``, in log order."""
+    if not os.path.isdir(directory):
+        return []
+    found = []
+    for name in os.listdir(directory):
+        index = segment_index(name)
+        if index is not None:
+            found.append((index, os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def encode_segment_header() -> bytes:
+    return _HEADER.pack(SEGMENT_MAGIC, SEGMENT_VERSION, 0)
+
+
+def check_segment_header(buffer: bytes, path: str = "") -> None:
+    """Validate a segment's 12-byte header; raises :class:`CorruptRecord`."""
+    if len(buffer) < SEGMENT_HEADER_SIZE:
+        raise CorruptRecord(f"segment {path!r} shorter than its header")
+    magic, version, _reserved = _HEADER.unpack_from(buffer, 0)
+    if magic != SEGMENT_MAGIC:
+        raise CorruptRecord(f"segment {path!r} has bad magic {magic!r}")
+    if version > SEGMENT_VERSION:
+        raise CorruptRecord(
+            f"segment {path!r} has version {version} from the future"
+        )
+
+
+@dataclass(frozen=True)
+class SyncPolicy:
+    """When force points turn into physical ``fsync`` calls.
+
+    ``batch_size`` is the group-commit window: 1 = sync every force
+    point, N>1 = one fsync per N force points, 0 = never (simulated).
+    """
+
+    name: str
+    batch_size: int
+
+    @staticmethod
+    def always() -> "SyncPolicy":
+        return SyncPolicy("always", 1)
+
+    @staticmethod
+    def batched(batch_size: int = 8) -> "SyncPolicy":
+        if batch_size < 1:
+            raise WalError(f"batch_size must be >= 1, got {batch_size}")
+        return SyncPolicy("batched", batch_size)
+
+    @staticmethod
+    def simulated() -> "SyncPolicy":
+        return SyncPolicy("simulated", 0)
+
+    @staticmethod
+    def of(name: str, batch_size: int = 8) -> "SyncPolicy":
+        """Resolve a config string (``always``/``batched``/``simulated``)."""
+        if name == "always":
+            return SyncPolicy.always()
+        if name == "batched":
+            return SyncPolicy.batched(batch_size)
+        if name == "simulated":
+            return SyncPolicy.simulated()
+        raise WalError(f"unknown sync policy {name!r}")
+
+
+class SegmentWriter:
+    """Appends framed records to one segment file.
+
+    The writer always ``flush()``-es the Python buffer after an append
+    (process-crash durability); ``maybe_sync``/``sync`` handle the
+    fsync side per :class:`SyncPolicy`.
+    """
+
+    def __init__(self, path: str, policy: SyncPolicy, fresh: bool) -> None:
+        self.path = path
+        self.policy = policy
+        self._pending_forces = 0
+        self.fsyncs = 0
+        self.appends = 0
+        if fresh:
+            self._file = open(path, "wb")
+            self._file.write(encode_segment_header())
+            self._file.flush()
+            self.size = SEGMENT_HEADER_SIZE
+        else:
+            self._file = open(path, "ab")
+            self.size = self._file.tell()
+
+    def append(self, blob: bytes) -> None:
+        self._file.write(blob)
+        self._file.flush()
+        self.size += len(blob)
+        self.appends += 1
+
+    def force(self) -> bool:
+        """Register one force point; fsync if the policy says so now."""
+        if self.policy.batch_size == 0:
+            return False
+        self._pending_forces += 1
+        if self._pending_forces >= self.policy.batch_size:
+            return self.sync()
+        return False
+
+    def sync(self) -> bool:
+        """Drain the group-commit window with one physical fsync."""
+        if self.policy.batch_size == 0:
+            self._pending_forces = 0
+            return False
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.fsyncs += 1
+        self._pending_forces = 0
+        return True
+
+    @property
+    def pending_forces(self) -> int:
+        return self._pending_forces
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        if self._pending_forces:
+            self.sync()
+        self._file.close()
+
+
+def write_segment(path: str, records) -> int:
+    """Write a brand-new segment containing ``records``; returns bytes.
+
+    Used by compaction to materialize a checkpoint segment atomically
+    (write to a temp name, fsync, rename).
+    """
+    tmp = path + ".tmp"
+    size = 0
+    with open(tmp, "wb") as handle:
+        header = encode_segment_header()
+        handle.write(header)
+        size += len(header)
+        for record in records:
+            blob = encode_record(record)
+            handle.write(blob)
+            size += len(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return size

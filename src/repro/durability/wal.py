@@ -1,0 +1,165 @@
+"""The write-ahead log: segments + recovery + checkpointing.
+
+One :class:`WriteAheadLog` owns one directory of segment files.  On
+open it scans what is on disk (tolerating a torn tail or corrupt
+record by physically truncating the damage — the scanner's report says
+where), exposes the replayable records to its owner, and positions the
+writer at the intact tail.
+
+Appends are framed through the record codec; *force* appends mark
+group-commit points for the :class:`~repro.durability.segments.SyncPolicy`.
+``checkpoint`` rewrites the live state into a fresh segment and drops
+every older one — that is also the compaction story: the owner decides
+*when* (discarded entries dominating), the WAL knows *how*.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.durability.records import RecordKind, WalRecord, encode_record
+from repro.durability.recovery import RecoveryReport, scan_wal, truncate_damage
+from repro.durability.segments import (
+    SegmentWriter,
+    SyncPolicy,
+    list_segments,
+    segment_name,
+    write_segment,
+)
+
+
+class WriteAheadLog:
+    """An append-only, segment-rotating, checksummed log directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        sync_policy: Optional[SyncPolicy] = None,
+        segment_bytes: int = 256 * 1024,
+    ) -> None:
+        self.directory = directory
+        self.sync_policy = sync_policy or SyncPolicy.batched()
+        self.segment_bytes = segment_bytes
+        os.makedirs(directory, exist_ok=True)
+
+        #: What open() found on disk (records already cut to the last
+        #: checkpoint suffix; damage already physically truncated).
+        self.recovery: RecoveryReport = scan_wal(directory)
+        self.repaired_files = truncate_damage(self.recovery)
+
+        segments = list_segments(directory)
+        if segments:
+            last_index, last_path = segments[-1]
+            self._segment_index = last_index
+            self._writer = SegmentWriter(last_path, self.sync_policy, fresh=False)
+        else:
+            self._segment_index = 1
+            self._writer = SegmentWriter(
+                os.path.join(directory, segment_name(1)),
+                self.sync_policy,
+                fresh=True,
+            )
+        self.records_appended = 0
+        self.forced_appends = 0
+        self.checkpoints = 0
+        #: fsyncs performed by writers already rotated out or closed.
+        self._retired_fsyncs = 0
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append(
+        self, kind: RecordKind, body: Dict[str, Any], force: bool = False
+    ) -> None:
+        """Append one record; ``force`` marks a group-commit point."""
+        self._ensure_open()
+        if self._writer.size >= self.segment_bytes:
+            self._rotate()
+        self._writer.append(encode_record(WalRecord(kind=kind, body=body)))
+        self.records_appended += 1
+        if force:
+            self.forced_appends += 1
+            self._writer.force()
+
+    def sync(self) -> None:
+        """Flush the group-commit window now (one fsync if pending)."""
+        self._writer.sync()
+
+    def _rotate(self) -> None:
+        self._retire_writer()
+        self._segment_index += 1
+        self._writer = SegmentWriter(
+            os.path.join(self.directory, segment_name(self._segment_index)),
+            self.sync_policy,
+            fresh=True,
+        )
+
+    def _retire_writer(self) -> None:
+        self._writer.close()
+        self._retired_fsyncs += self._writer.fsyncs
+
+    # ------------------------------------------------------------------
+    # Checkpointing / compaction
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, state: Dict[str, Any]) -> None:
+        """Write ``state`` as a CHECKPOINT into a fresh segment and drop
+        every older segment.
+
+        The new segment is materialized under a temporary name and
+        fsynced before the rename, so a crash during compaction leaves
+        either the old segments or the complete new one — never a
+        half-written checkpoint as the only copy.
+        """
+        self._ensure_open()
+        old_segments = [path for _index, path in list_segments(self.directory)]
+        self._retire_writer()
+        self._segment_index += 1
+        path = os.path.join(self.directory, segment_name(self._segment_index))
+        write_segment(path, [WalRecord(RecordKind.CHECKPOINT, state)])
+        for old in old_segments:
+            os.remove(old)
+        self._writer = SegmentWriter(path, self.sync_policy, fresh=False)
+        self.checkpoints += 1
+        self.records_appended += 1
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def fsyncs(self) -> int:
+        if self.closed:  # the last writer was already retired
+            return self._retired_fsyncs
+        return self._retired_fsyncs + self._writer.fsyncs
+
+    def segment_paths(self) -> List[str]:
+        return [path for _index, path in list_segments(self.directory)]
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "directory": self.directory,
+            "segments": len(self.segment_paths()),
+            "records_appended": self.records_appended,
+            "forced_appends": self.forced_appends,
+            "fsyncs": self.fsyncs,
+            "checkpoints": self.checkpoints,
+            "sync_policy": self.sync_policy.name,
+        }
+
+    @property
+    def closed(self) -> bool:
+        return self._writer._file.closed  # noqa: SLF001 - own module
+
+    def close(self) -> None:
+        """Flush and close; safe to call twice (crash + teardown)."""
+        if not self.closed:
+            self._retire_writer()
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(
+                f"WAL {self.directory!r} is closed (crashed agent?)"
+            )

@@ -70,9 +70,17 @@ class Network:
         #: queue here in send order and drain on resume.
         self._paused: Dict[Tuple[str, str], List[Message]] = {}
 
-    def register(self, address: str, handler: Handler) -> None:
-        """Attach the message handler for ``address`` (one per endpoint)."""
-        if address in self._handlers:
+    def register(
+        self, address: str, handler: Handler, replace: bool = False
+    ) -> None:
+        """Attach the message handler for ``address`` (one per endpoint).
+
+        ``replace=True`` takes over an existing endpoint — a successor
+        coordinator adopting a dead one's address receives whatever is
+        still in flight towards it (the simulated equivalent of a
+        standby binding the same host:port).
+        """
+        if address in self._handlers and not replace:
             raise ConfigError(f"endpoint {address!r} already registered")
         self._handlers[address] = handler
 

@@ -24,9 +24,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.common.errors import ConfigError
 from repro.common.ids import TxnId
+from repro.core.agent import CRASH_POINTS
 from repro.core.dtm import MultidatabaseSystem
 from repro.history.model import OpKind, Operation
 
@@ -97,6 +99,10 @@ class RandomFailureInjector:
         self._rng = random.Random(self.seed)
         self._aborts: Dict[Tuple[TxnId, str], int] = {}
         self.injected = 0
+        #: Every scheduling decision, in decision order — the abort
+        #: schedule.  Two injectors with the same seed over the same
+        #: workload produce identical logs (determinism contract).
+        self.schedule_log: List[Tuple[TxnId, str, float]] = []
         self.system.history.subscribe(self._observe)
 
     def _observe(self, op: Operation) -> None:
@@ -111,6 +117,7 @@ class RandomFailureInjector:
         if self._rng.random() >= self.probability:
             return
         delay = self._rng.uniform(0.0, self.max_delay)
+        self.schedule_log.append((txn, site, delay))
         self.system.kernel.schedule(delay, lambda: self._fire(key))
 
     def _fire(self, key: Tuple[TxnId, str]) -> None:
@@ -162,3 +169,102 @@ class PeriodicCrashInjector:
         self.system.ltm(site).crash()
         self.crashes[site] = self.crashes.get(site, 0) + 1
         self._schedule_next()
+
+
+# ----------------------------------------------------------------------
+# Agent crash injection (the durability subsystem's failure mode)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class AgentCrashInjector:
+    """Kill one site's 2PC Agent at a scripted protocol point.
+
+    Unlike :func:`inject_site_crash` (the *LDBS* dies and the agent
+    repairs it by resubmission), this kills the *agent process itself*
+    — the failure the durable Agent log exists for.  ``point`` is one
+    of :data:`repro.core.agent.CRASH_POINTS`; the probe fires on the
+    first transaction to reach it (or on ``txn`` specifically) and the
+    agent restarts from its log ``restart_after`` later
+    (``None`` = stay down until :meth:`recover` is called).
+    """
+
+    system: MultidatabaseSystem
+    site: str
+    point: str
+    txn: Optional[TxnId] = None
+    restart_after: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        if self.point not in CRASH_POINTS:
+            raise ConfigError(
+                f"unknown crash point {self.point!r}; pick one of {CRASH_POINTS}"
+            )
+        #: ``(time, point, txn)`` once the probe has fired.
+        self.fired: Optional[Tuple[float, str, TxnId]] = None
+        #: Transactions the restart recovered (None until it happened).
+        self.recovered_txns: Optional[int] = None
+        self.system.agent(self.site).crash_probe = self._probe
+
+    def _probe(self, point: str, txn: TxnId) -> bool:
+        if self.fired is not None:
+            return False
+        if point != self.point:
+            return False
+        if self.txn is not None and txn != self.txn:
+            return False
+        self.fired = (self.system.kernel.now, point, txn)
+        if self.restart_after is not None:
+            self.system.kernel.schedule(self.restart_after, self.recover)
+        return True
+
+    def recover(self) -> int:
+        """Restart the crashed agent now (re-opens the durable log)."""
+        self.recovered_txns = self.system.recover_agent(self.site)
+        return self.recovered_txns
+
+
+@dataclass
+class RandomAgentCrashInjector:
+    """Seeded random agent kills at protocol points, with auto-restart.
+
+    Every time any agent passes a crash point, a seeded coin decides
+    whether the process dies there; a dead agent restarts from its log
+    a uniform random downtime later.  At most ``max_crashes_per_site``
+    kills hit one site, bounding the injected chaos the way the TW
+    assumption bounds unilateral aborts.  Same seed ⇒ identical crash
+    schedule (``crash_log``).
+    """
+
+    system: MultidatabaseSystem
+    probability: float
+    min_downtime: float = 5.0
+    max_downtime: float = 60.0
+    max_crashes_per_site: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self.crashes: Dict[str, int] = {}
+        #: ``(time, site, point, txn)`` per kill, in kill order.
+        self.crash_log: List[Tuple[float, str, str, TxnId]] = []
+        for site in self.system.config.sites:
+            self.system.agent(site).crash_probe = self._probe_for(site)
+
+    def _probe_for(self, site: str):
+        def probe(point: str, txn: TxnId) -> bool:
+            if self.crashes.get(site, 0) >= self.max_crashes_per_site:
+                return False
+            if self._rng.random() >= self.probability:
+                return False
+            self.crashes[site] = self.crashes.get(site, 0) + 1
+            self.crash_log.append(
+                (self.system.kernel.now, site, point, txn)
+            )
+            downtime = self._rng.uniform(self.min_downtime, self.max_downtime)
+            self.system.kernel.schedule(
+                downtime, lambda: self.system.recover_agent(site)
+            )
+            return True
+
+        return probe

@@ -24,6 +24,7 @@ from repro.history.distortion import DistortionReport, find_distortions
 from repro.history.graphs import find_cycle, serialization_graph
 from repro.history.rigor import check_rigorous
 from repro.history.viewser import ViewSerializabilityResult, check_view_serializable
+from repro.sim.stats import merge_counts
 
 
 @dataclass
@@ -48,6 +49,14 @@ class SystemMetrics:
     dlu_blocks: int = 0
     messages: int = 0
     force_writes: int = 0
+    #: The force-write I/O breakdown: prepare/commit/discard records
+    #: from the Agent logs plus the coordinators' decision records.
+    force_writes_by_kind: Dict[str, int] = field(default_factory=dict)
+    #: Physical fsyncs actually issued (0 unless durability is on;
+    #: group commit makes this < the force-write count).
+    fsyncs: int = 0
+    agent_crashes: int = 0
+    agent_restarts: int = 0
     sim_time: float = 0.0
     latencies: List[float] = field(default_factory=list)
 
@@ -74,6 +83,12 @@ def collect_metrics(
         metrics.global_committed += coordinator.committed
         metrics.global_aborted += coordinator.aborted
         metrics.force_writes += coordinator.decisions_logged
+        metrics.force_writes_by_kind = merge_counts(
+            metrics.force_writes_by_kind,
+            {"decision": coordinator.decisions_logged},
+        )
+        if coordinator.decision_log is not None:
+            metrics.fsyncs += coordinator.decision_log.wal.fsyncs
         for reason, count in coordinator.aborts_by_reason.items():
             key = str(reason)
             metrics.aborts_by_reason[key] = (
@@ -101,6 +116,14 @@ def collect_metrics(
         metrics.dlu_denials += guard.denials
         metrics.dlu_blocks += guard.blocks
         metrics.force_writes += agent.log.force_writes
+        metrics.force_writes_by_kind = merge_counts(
+            metrics.force_writes_by_kind, agent.log.force_writes_by_kind
+        )
+        metrics.agent_crashes += agent.crashes
+        metrics.agent_restarts += agent.restarts
+        wal = getattr(agent.log, "wal", None)
+        if wal is not None:
+            metrics.fsyncs += wal.fsyncs
     metrics.messages = system.network.messages_sent
     metrics.sim_time = system.kernel.now
     if latencies is not None:

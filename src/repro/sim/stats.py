@@ -9,7 +9,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def merge_counts(*counts: Mapping[str, int]) -> Dict[str, int]:
+    """Key-wise sum of count dictionaries.
+
+    Used to aggregate per-site breakdowns (e.g. the Agent logs'
+    ``force_writes_by_kind``) into the system-wide I/O table.
+    """
+    total: Dict[str, int] = {}
+    for mapping in counts:
+        for key, value in mapping.items():
+            total[key] = total.get(key, 0) + value
+    return total
 
 
 def percentile(samples: Sequence[float], q: float) -> float:

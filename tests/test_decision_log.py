@@ -1,0 +1,80 @@
+"""DurableDecisionLog: the coordinator's presumed-nothing decision WAL."""
+
+from repro.common.ids import SerialNumber, global_txn
+from repro.durability import Decision, DurabilityConfig, DurableDecisionLog
+
+
+def config(tmp_path, **kwargs):
+    kwargs.setdefault("sync", "simulated")
+    return DurabilityConfig(root=str(tmp_path), **kwargs)
+
+
+def decision(i, committed=True, sites=("a", "b")):
+    sn = SerialNumber(float(i), "c1") if committed else None
+    return Decision(
+        txn=global_txn(i), committed=committed, sn=sn, sites=tuple(sites)
+    )
+
+
+def reopen(log, tmp_path, **kwargs):
+    log.close()
+    return DurableDecisionLog.open_name(log.name, config(tmp_path, **kwargs))
+
+
+class TestDecisionReplay:
+    def test_in_doubt_decision_survives_reopen(self, tmp_path):
+        log = DurableDecisionLog.open_name("c1", config(tmp_path))
+        log.log_decision(decision(1))
+        log = reopen(log, tmp_path)
+        assert [d.txn for d in log.in_doubt()] == [global_txn(1)]
+        got = log.decision(global_txn(1))
+        assert got.committed and got.sites == ("a", "b")
+        assert got.sn == SerialNumber(1.0, "c1")
+        log.close()
+
+    def test_end_clears_in_doubt(self, tmp_path):
+        log = DurableDecisionLog.open_name("c1", config(tmp_path))
+        log.log_decision(decision(1))
+        log.log_decision(decision(2, committed=False))
+        log.log_end(global_txn(1))
+        log = reopen(log, tmp_path)
+        assert [d.txn for d in log.in_doubt()] == [global_txn(2)]
+        # The ended decision is still queryable until compacted away.
+        log.close()
+
+    def test_abort_decision_roundtrip(self, tmp_path):
+        log = DurableDecisionLog.open_name("c1", config(tmp_path))
+        log.log_decision(decision(3, committed=False, sites=("b",)))
+        log = reopen(log, tmp_path)
+        got = log.decision(global_txn(3))
+        assert got is not None and not got.committed and got.sn is None
+        log.close()
+
+    def test_decisions_are_forced(self, tmp_path):
+        log = DurableDecisionLog.open_name("c1", config(tmp_path))
+        log.log_decision(decision(1))
+        assert log.force_writes == 1
+        assert log.wal.forced_appends >= 1
+        log.close()
+
+    def test_end_churn_compacts_to_in_doubt_only(self, tmp_path):
+        log = DurableDecisionLog.open_name(
+            "c1", config(tmp_path, compact_min_discards=4)
+        )
+        survivor = decision(100)
+        log.log_decision(survivor)
+        for i in range(1, 20):
+            log.log_decision(decision(i))
+            log.log_end(global_txn(i))
+        assert log.wal.checkpoints >= 1
+        log = reopen(log, tmp_path)
+        assert [d.txn for d in log.in_doubt()] == [global_txn(100)]
+        # Ended decisions were compacted out entirely.
+        assert log.decision(global_txn(1)) is None
+        log.close()
+
+    def test_unknown_txn_returns_none(self, tmp_path):
+        log = DurableDecisionLog.open_name("c1", config(tmp_path))
+        assert log.decision(global_txn(9)) is None
+        assert log.in_doubt() == []
+        log.close()

@@ -1,0 +1,136 @@
+"""DurableAgentLog: WAL-backed Agent log reopened purely from disk."""
+
+from repro.common.ids import SerialNumber, global_txn
+from repro.durability import DurabilityConfig, DurableAgentLog, scan_wal
+from repro.ldbs.commands import AddValue, ReadItem, UpdateItem
+
+
+def config(tmp_path, **kwargs):
+    kwargs.setdefault("sync", "simulated")
+    return DurabilityConfig(root=str(tmp_path), **kwargs)
+
+
+def reopen(log, tmp_path, **kwargs):
+    log.close()
+    return DurableAgentLog.open_site(log.site, config(tmp_path, **kwargs))
+
+
+class TestReplay:
+    def test_full_lifecycle_survives_reopen(self, tmp_path):
+        log = DurableAgentLog.open_site("a", config(tmp_path))
+        txn = global_txn(1)
+        log.open(txn, coordinator="coord:c1")
+        log.log_command(txn, ReadItem("t", "X"))
+        log.log_command(txn, UpdateItem("t", "X", AddValue(5)))
+        sn = SerialNumber(7.0, "c1")
+        log.write_prepare(txn, sn, time=12.0)
+
+        log = reopen(log, tmp_path)
+        entry = log.entry(txn)
+        assert entry.coordinator == "coord:c1"
+        assert entry.prepare_sn == sn
+        assert entry.prepare_time == 12.0
+        assert not entry.committed
+        assert [type(c).__name__ for c in entry.commands] == [
+            "ReadItem",
+            "UpdateItem",
+        ]
+
+    def test_commit_record_survives(self, tmp_path):
+        log = DurableAgentLog.open_site("a", config(tmp_path))
+        txn = global_txn(1)
+        log.open(txn)
+        log.write_prepare(txn, SerialNumber(1.0, "c1"), time=1.0)
+        log.write_commit(txn, time=2.0)
+        log = reopen(log, tmp_path)
+        assert log.entry(txn).committed
+
+    def test_incarnation_counter_survives(self, tmp_path):
+        # A recovered agent must never reuse an incarnation id: the
+        # RESUBMIT record is forced for exactly this reason.
+        log = DurableAgentLog.open_site("a", config(tmp_path))
+        txn = global_txn(1)
+        log.open(txn)
+        log.note_resubmission(txn)
+        log.note_resubmission(txn)
+        log = reopen(log, tmp_path)
+        assert log.entry(txn).incarnations == 3
+
+    def test_max_committed_sn_survives(self, tmp_path):
+        log = DurableAgentLog.open_site("a", config(tmp_path))
+        log.record_committed_sn(SerialNumber(5.0, "c1"))
+        log.record_committed_sn(SerialNumber(3.0, "c1"))  # not an advance
+        log = reopen(log, tmp_path)
+        assert log.max_committed_sn == SerialNumber(5.0, "c1")
+
+    def test_discard_removes_entry_after_reopen(self, tmp_path):
+        log = DurableAgentLog.open_site("a", config(tmp_path))
+        txn = global_txn(1)
+        log.open(txn)
+        log.write_prepare(txn, None, time=1.0)
+        log.discard(txn)
+        log = reopen(log, tmp_path)
+        assert not log.has_entry(txn)
+
+    def test_force_write_counters_track_kinds(self, tmp_path):
+        log = DurableAgentLog.open_site("a", config(tmp_path))
+        txn = global_txn(1)
+        log.open(txn)
+        log.write_prepare(txn, None, time=1.0)
+        log.write_commit(txn, time=2.0)
+        log.discard(txn)
+        assert log.force_writes_by_kind == {
+            "prepare": 1,
+            "commit": 1,
+            "discard": 1,
+        }
+        log.close()
+
+
+class TestCompaction:
+    def test_discard_churn_triggers_checkpoint(self, tmp_path):
+        log = DurableAgentLog.open_site(
+            "a",
+            config(tmp_path, compact_min_discards=8, segment_bytes=512),
+        )
+        for i in range(1, 30):
+            txn = global_txn(i)
+            log.open(txn)
+            log.write_prepare(txn, None, time=float(i))
+            log.discard(txn)
+        assert log.wal.checkpoints >= 1
+        # Everything discarded: the surviving WAL replays to nothing.
+        log = reopen(log, tmp_path)
+        assert log.entries() == []
+        log.close()
+
+    def test_live_entries_survive_compaction(self, tmp_path):
+        log = DurableAgentLog.open_site(
+            "a",
+            config(
+                tmp_path,
+                compact_min_discards=4,
+                compact_dead_ratio=0.5,
+                segment_bytes=512,
+            ),
+        )
+        keeper = global_txn(100)
+        log.open(keeper, coordinator="coord:c1")
+        log.write_prepare(keeper, SerialNumber(9.0, "c1"), time=9.0)
+        for i in range(1, 20):
+            txn = global_txn(i)
+            log.open(txn)
+            log.discard(txn)
+        assert log.wal.checkpoints >= 1
+        log = reopen(log, tmp_path)
+        assert [e.txn for e in log.entries()] == [keeper]
+        assert log.entry(keeper).prepare_sn == SerialNumber(9.0, "c1")
+        log.close()
+
+    def test_wal_directory_is_clean_after_close(self, tmp_path):
+        log = DurableAgentLog.open_site("a", config(tmp_path))
+        txn = global_txn(1)
+        log.open(txn)
+        directory = log.wal.directory
+        log.close()
+        assert scan_wal(directory).clean

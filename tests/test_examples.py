@@ -1,0 +1,56 @@
+"""Smoke tests: the example scripts import and run end to end."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+class TestQuickstart:
+    def test_runs_and_reports_a_commit(self, capsys):
+        module = load("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "committed: True" in out
+        assert "alice" in out and "bob" in out
+
+    def test_import_has_no_side_effects(self, capsys):
+        load("quickstart")
+        assert capsys.readouterr().out == ""
+
+
+class TestFailureStorm:
+    def test_runs_shrunk_storm(self, capsys, monkeypatch):
+        module = load("failure_storm")
+        # Shrink the sweep: one resilient and one anomaly-prone method,
+        # two seeds — enough to exercise every code path in minutes of
+        # simulated (not wall-clock) time.
+        monkeypatch.setattr(module, "METHODS", ("2cm", "naive"))
+        monkeypatch.setattr(module, "SEEDS", (1, 2))
+        module.main()
+        out = capsys.readouterr().out
+        assert "Failure storm" in out
+        assert "2cm" in out and "naive" in out
+
+    def test_run_method_returns_triple(self):
+        module = load("failure_storm")
+        injector, metrics, report = module.run_method("2cm", seed=1)
+        assert metrics.global_committed + metrics.global_aborted > 0
+        assert injector.injected >= 0
+        assert report.rigor_violations == 0

@@ -1,0 +1,269 @@
+"""WAL substrate tests: record codec, segments, recovery, rotation,
+checkpoint compaction, and the SyncPolicy fsync accounting."""
+
+import os
+import struct
+
+import pytest
+
+from repro.durability.records import (
+    CorruptRecord,
+    RecordKind,
+    TornRecord,
+    WalRecord,
+    decode_record,
+    encode_record,
+)
+from repro.durability.recovery import scan_wal, truncate_damage
+from repro.durability.segments import (
+    SEGMENT_MAGIC,
+    SegmentWriter,
+    SyncPolicy,
+    encode_segment_header,
+    list_segments,
+    segment_index,
+    segment_name,
+)
+from repro.durability.wal import WriteAheadLog
+
+
+class TestRecordCodec:
+    def test_roundtrip_every_kind(self):
+        for kind in RecordKind:
+            body = {"txn": "G1", "kind_value": int(kind), "nested": [1, 2]}
+            blob = encode_record(WalRecord(kind, body))
+            record, offset = decode_record(blob)
+            assert record.kind is kind
+            assert record.body == body
+            assert offset == len(blob)
+
+    def test_decode_at_offset_chains(self):
+        first = encode_record(WalRecord(RecordKind.OPEN, {"txn": "G1"}))
+        second = encode_record(WalRecord(RecordKind.PREPARE, {"txn": "G1"}))
+        buffer = first + second
+        record, offset = decode_record(buffer)
+        assert record.kind is RecordKind.OPEN
+        record, offset = decode_record(buffer, offset)
+        assert record.kind is RecordKind.PREPARE
+        assert offset == len(buffer)
+
+    def test_torn_frame_detected(self):
+        blob = encode_record(WalRecord(RecordKind.COMMIT, {"txn": "G1"}))
+        for cut in (1, 4, len(blob) - 1):
+            with pytest.raises(TornRecord):
+                decode_record(blob[:cut])
+
+    def test_bit_flip_detected(self):
+        blob = bytearray(encode_record(WalRecord(RecordKind.COMMIT, {"x": 1})))
+        blob[-1] ^= 0x40  # corrupt payload; CRC no longer matches
+        with pytest.raises(CorruptRecord):
+            decode_record(bytes(blob))
+
+    def test_absurd_length_rejected(self):
+        # A frame whose length field claims gigabytes must not be
+        # trusted (torn/garbage tail), even if the buffer is short.
+        frame = struct.pack("<II", 1 << 30, 0)
+        with pytest.raises((TornRecord, CorruptRecord)):
+            decode_record(frame + b"junk")
+
+    def test_describe_mentions_kind(self):
+        record = WalRecord(RecordKind.PREPARE, {"txn": "G7"})
+        assert "prepare" in record.describe()
+        assert "G7" in record.describe()
+
+
+class TestSegments:
+    def test_name_index_roundtrip(self):
+        assert segment_name(3) == "wal-00000003.seg"
+        assert segment_index(segment_name(42)) == 42
+        assert segment_index("not-a-segment.txt") is None
+
+    def test_list_segments_sorted(self, tmp_path):
+        for index in (3, 1, 2):
+            (tmp_path / segment_name(index)).write_bytes(encode_segment_header())
+        (tmp_path / "unrelated.log").write_bytes(b"x")
+        assert [i for i, _ in list_segments(str(tmp_path))] == [1, 2, 3]
+
+
+class TestRecoveryScan:
+    def fill(self, directory, n=5):
+        wal = WriteAheadLog(str(directory), SyncPolicy.simulated())
+        for i in range(n):
+            wal.append(RecordKind.OPEN, {"txn": f"G{i}"}, force=True)
+        wal.close()
+        return os.path.join(str(directory), segment_name(1))
+
+    def test_clean_scan(self, tmp_path):
+        self.fill(tmp_path)
+        report = scan_wal(str(tmp_path))
+        assert report.clean
+        assert report.total_records == 5
+        assert [r.body["txn"] for r in report.records] == [
+            f"G{i}" for i in range(5)
+        ]
+
+    def test_torn_tail_truncated(self, tmp_path):
+        path = self.fill(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)  # tear the final record
+        report = scan_wal(str(tmp_path))
+        assert not report.clean
+        assert report.total_records == 4  # the torn record is dropped
+        repaired = truncate_damage(report)
+        assert repaired == 1
+        after = scan_wal(str(tmp_path))
+        assert after.clean and after.total_records == 4
+
+    def test_crc_corruption_drops_suffix(self, tmp_path):
+        path = self.fill(tmp_path)
+        header = len(encode_segment_header())
+        blob = bytearray(open(path, "rb").read())
+        # Flip a byte inside the *second* record's payload: the first
+        # record survives, everything from the damage on is dropped.
+        _, first_end = decode_record(bytes(blob[header:]))
+        blob[header + first_end + 12] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        report = scan_wal(str(tmp_path))
+        assert not report.clean
+        assert report.total_records == 1
+        assert report.dropped_after_damage >= 1
+
+    def test_segments_after_damage_ignored(self, tmp_path):
+        wal = WriteAheadLog(
+            str(tmp_path), SyncPolicy.simulated(), segment_bytes=1
+        )
+        for i in range(3):  # segment_bytes=1 → one record per segment
+            wal.append(RecordKind.OPEN, {"txn": f"G{i}"}, force=True)
+        wal.close()
+        first = os.path.join(str(tmp_path), segment_name(1))
+        size = os.path.getsize(first)
+        with open(first, "r+b") as handle:
+            handle.truncate(size - 2)
+        report = scan_wal(str(tmp_path))
+        assert not report.clean
+        assert report.ignored_segments  # later segments must not replay
+        assert all(r.body["txn"] != "G2" for r in report.records)
+        truncate_damage(report)
+        assert scan_wal(str(tmp_path)).clean
+
+    def test_bad_header_segment_rejected(self, tmp_path):
+        path = tmp_path / segment_name(1)
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 4)
+        report = scan_wal(str(tmp_path))
+        assert not report.clean
+        assert report.total_records == 0
+        truncate_damage(report)
+        assert not path.exists()
+
+    def test_magic_constant_is_stable(self):
+        # The on-disk format promise: never change this silently.
+        assert SEGMENT_MAGIC == b"REPROWAL"
+
+
+class TestWriteAheadLog:
+    def test_reopen_replays_acknowledged_records(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(RecordKind.OPEN, {"txn": "G1"})
+        wal.append(RecordKind.PREPARE, {"txn": "G1"}, force=True)
+        wal.close()
+        reopened = WriteAheadLog(str(tmp_path))
+        kinds = [r.kind for r in reopened.recovery.records]
+        assert kinds == [RecordKind.OPEN, RecordKind.PREPARE]
+        reopened.close()
+
+    def test_rotation_at_segment_bytes(self, tmp_path):
+        wal = WriteAheadLog(
+            str(tmp_path), SyncPolicy.simulated(), segment_bytes=200
+        )
+        for i in range(20):
+            wal.append(RecordKind.OPEN, {"txn": f"G{i}", "pad": "x" * 40})
+        assert len(wal.segment_paths()) > 1
+        wal.close()
+        report = scan_wal(str(tmp_path))
+        assert report.clean and report.total_records == 20
+
+    def test_checkpoint_compacts_segments(self, tmp_path):
+        wal = WriteAheadLog(
+            str(tmp_path), SyncPolicy.simulated(), segment_bytes=200
+        )
+        for i in range(20):
+            wal.append(RecordKind.OPEN, {"txn": f"G{i}", "pad": "x" * 40})
+        assert len(wal.segment_paths()) > 1
+        wal.checkpoint({"live": ["G19"]})
+        assert len(wal.segment_paths()) == 1
+        wal.append(RecordKind.COMMAND, {"txn": "G19"})
+        wal.close()
+        report = scan_wal(str(tmp_path))
+        assert [r.kind for r in report.records] == [
+            RecordKind.CHECKPOINT,
+            RecordKind.COMMAND,
+        ]
+        assert report.records[0].body["live"] == ["G19"]
+
+    def test_scan_replays_only_checkpoint_suffix(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path), SyncPolicy.simulated())
+        wal.append(RecordKind.OPEN, {"txn": "G1"})
+        wal.checkpoint({"live": []})
+        wal.append(RecordKind.OPEN, {"txn": "G2"})
+        wal.close()
+        report = scan_wal(str(tmp_path))
+        kinds = [r.kind for r in report.records]
+        assert kinds == [RecordKind.CHECKPOINT, RecordKind.OPEN]
+        assert report.records[1].body["txn"] == "G2"
+
+    def test_closed_wal_refuses_appends(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            wal.append(RecordKind.OPEN, {"txn": "G1"})
+
+    def test_stats_shape(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append(RecordKind.OPEN, {"txn": "G1"}, force=True)
+        stats = wal.stats()
+        assert stats["records_appended"] == 1
+        assert stats["forced_appends"] == 1
+        assert stats["segments"] == 1
+        wal.close()
+
+
+class TestSyncPolicy:
+    def forced(self, tmp_path, policy, n=10):
+        wal = WriteAheadLog(str(tmp_path), policy)
+        for i in range(n):
+            wal.append(RecordKind.PREPARE, {"txn": f"G{i}"}, force=True)
+        live = wal.fsyncs
+        wal.close()
+        return live, wal.fsyncs
+
+    def test_always_fsyncs_every_force(self, tmp_path):
+        live, _ = self.forced(tmp_path, SyncPolicy.always())
+        assert live == 10
+
+    def test_batched_group_commits(self, tmp_path):
+        live, closed = self.forced(tmp_path, SyncPolicy.batched(4))
+        assert live == 2  # 10 forces → fsync at 4 and 8
+        assert closed == 3  # close() drains the pending tail
+
+    def test_simulated_never_fsyncs(self, tmp_path):
+        live, closed = self.forced(tmp_path, SyncPolicy.simulated())
+        assert live == 0 and closed == 0
+
+    def test_of_parses_names(self):
+        assert SyncPolicy.of("always").batch_size == 1
+        assert SyncPolicy.of("batched", 16).batch_size == 16
+        assert SyncPolicy.of("simulated").batch_size == 0
+        with pytest.raises(Exception):
+            SyncPolicy.of("nope")
+
+    def test_unforced_appends_survive_reopen(self, tmp_path):
+        # Python-level flush on every append: even unforced records are
+        # on disk for the in-process crash model (fsync is the physical
+        # layer the policies meter; the tests' "crash" is the process).
+        wal = WriteAheadLog(str(tmp_path), SyncPolicy.simulated())
+        wal.append(RecordKind.OPEN, {"txn": "G1"})
+        report = scan_wal(str(tmp_path))  # read-only while still open
+        assert report.total_records == 1
+        wal.close()

@@ -19,6 +19,10 @@ Commands
 ``bench [--out DIR] [--quick] [--repeat N]``
     Run the substrate perf harness; writes ``BENCH_kernel.json`` and
     ``BENCH_e2e.json`` (see docs/PERF.md).
+``chaos [--seed N] [--duration T] [--wal] [--json PATH]``
+    Run the seeded chaos nemesis (loss + duplication + delay spikes +
+    partitions + agent crashes), heal, and assert the invariant
+    battery; exit code 1 on any violation (see docs/PROTOCOL.md §7).
 ``wal {inspect,verify,stats} PATH``
     Offline tooling for the durability subsystem's WAL directories
     (see docs/DURABILITY.md).
@@ -264,6 +268,44 @@ def _cmd_bench(args) -> int:
     return bench_main(out_dir=args.out, quick=args.quick, repeats=args.repeat)
 
 
+def _cmd_chaos(args) -> int:
+    import contextlib
+    import json
+    import tempfile
+
+    from repro.sim.failures import ChaosConfig, run_chaos
+
+    with contextlib.ExitStack() as stack:
+        root = None
+        if args.wal:
+            root = stack.enter_context(tempfile.TemporaryDirectory())
+        config = ChaosConfig(
+            seed=args.seed,
+            duration=args.duration,
+            n_global=args.globals_,
+            n_local=args.locals_,
+            durability_root=root,
+        )
+        result = run_chaos(config)
+    print(result.summary())
+    if args.json:
+        payload = {
+            "seed": result.seed,
+            "ok": result.ok,
+            "committed": result.committed,
+            "aborted": result.aborted,
+            "sim_time": result.sim_time,
+            "counters": result.counters,
+            "violations": result.violations,
+            "schedule": result.schedule_description,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -311,6 +353,22 @@ def main(argv=None) -> int:
         "--repeat", type=int, default=None, help="repeats per micro-benchmark"
     )
 
+    chaos = sub.add_parser(
+        "chaos", help="run the seeded chaos nemesis + invariant battery"
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--duration", type=float, default=3000.0)
+    chaos.add_argument("--globals", dest="globals_", type=int, default=30)
+    chaos.add_argument("--locals", dest="locals_", type=int, default=6)
+    chaos.add_argument(
+        "--wal",
+        action="store_true",
+        help="use real on-disk WALs (in a temp dir) + scan them after",
+    )
+    chaos.add_argument(
+        "--json", default=None, help="write the result as JSON to this path"
+    )
+
     from repro.durability.cli import add_wal_parser
 
     add_wal_parser(sub)
@@ -327,6 +385,7 @@ def main(argv=None) -> int:
         "workload": _cmd_workload,
         "methods": _cmd_methods,
         "bench": _cmd_bench,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

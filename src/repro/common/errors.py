@@ -66,6 +66,10 @@ class RefusalReason(enum.Enum):
     #: injection / vote or result timeout), or an agent refused because
     #: a restart wiped the transaction's volatile state.
     SITE_UNREACHABLE = "site-unreachable"
+    #: The failure detector suspects the site; the coordinator refuses
+    #: new global transactions touching it instead of letting them hang
+    #: (graceful degradation — lifted when the site is heard from again).
+    SITE_QUARANTINED = "site-quarantined"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value

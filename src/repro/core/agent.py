@@ -189,6 +189,11 @@ class TwoPCAgent:
                 self._on_commit(msg)
             elif msg.type is MsgType.ROLLBACK:
                 self._on_rollback(msg)
+            elif msg.type is MsgType.PING:
+                # Failure-detector heartbeat: a live process answers, a
+                # crashed one (caught above) stays silent — the silence
+                # is the signal.
+                self._reply(msg, MsgType.PONG)
             else:
                 raise SimulationError(f"agent {self.site} got unexpected {msg}")
         except AgentCrashed:
@@ -259,6 +264,20 @@ class TwoPCAgent:
                 ),
             )
             return
+        if state.phase is not AgentPhase.ACTIVE:
+            # A late COMMAND (the coordinator gave up on this site and
+            # rolled back, or the wire reordered around a session
+            # reset): the log entry is gone, fail the command instead
+            # of executing against a finished transaction.
+            self._reply(
+                msg,
+                MsgType.COMMAND_RESULT,
+                payload=TransactionAborted(
+                    RefusalReason.REQUESTED,
+                    f"{msg.txn} already {state.phase.value} at {self.site}",
+                ),
+            )
+            return
         command: Command = msg.payload
         self.log.log_command(msg.txn, command)
         completion = state.local.execute(command)
@@ -291,6 +310,22 @@ class TwoPCAgent:
                 MsgType.REFUSE,
                 payload=f"agent {self.site} restarted; no state for {msg.txn}",
                 reason=reason,
+            )
+            return
+        if state.phase is AgentPhase.PREPARED:
+            # Duplicate PREPARE (resent around a session reset): the
+            # durable promise already stands — repeat the vote.
+            self._reply(msg, MsgType.READY)
+            return
+        if state.phase is AgentPhase.DONE:
+            # The transaction already finished here (e.g. rolled back
+            # after the coordinator gave us up); a late PREPARE gets a
+            # consistent, idempotent refusal.
+            self._reply(
+                msg,
+                MsgType.REFUSE,
+                payload=f"{msg.txn} already finished at {self.site}",
+                reason=RefusalReason.REQUESTED,
             )
             return
         self._probe("pre-prepare", msg.txn)
@@ -635,6 +670,10 @@ class TwoPCAgent:
         self._crashed = True
         self.crashes += 1
         self._epoch += 1
+        # Tell the transport the process is gone: a session layer must
+        # stop acknowledging deliveries nobody is listening to, so the
+        # senders keep retransmitting until recovery.
+        self.network.note_endpoint_down(self.address)
         old_states = self._txns
         self._txns = {}
         for state in old_states.values():
@@ -675,10 +714,16 @@ class TwoPCAgent:
 
         Returns the number of recovered (non-final) transactions.
         """
+        if not self._crashed:
+            # Recovering a live agent would wipe its volatile state and
+            # re-insert stale log entries; injectors whose scheduled
+            # recovery races an earlier heal must be a no-op here.
+            return 0
         if log is not None:
             self.log = log
         self._crashed = False
         self.restarts += 1
+        self.network.note_endpoint_up(self.address)
         self.certifier = Certifier(self.site, self.certifier.config)
         self.certifier.restore_max_committed_sn(self.log.max_committed_sn)
 

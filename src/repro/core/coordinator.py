@@ -27,7 +27,7 @@ Two extension points serve the baselines:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import (
     RefusalReason,
@@ -210,6 +210,13 @@ class Coordinator:
         #: finish delivery of every in-doubt outcome (resume_in_doubt).
         self.decision_log = decision_log
         self._pending: Dict[Tuple[TxnId, str, str], Event] = {}
+        #: Sites the failure detector currently suspects.  New global
+        #: transactions touching them are refused up front (graceful
+        #: degradation) instead of being left to hang on a dead site;
+        #: in-flight ones still run — the timeouts own those.
+        self.quarantined: Set[str] = set()
+        self.quarantine_refusals = 0
+        self.quarantine_events = 0
         self.committed = 0
         self.aborted = 0
         self.aborts_by_reason: Dict[RefusalReason, int] = {}
@@ -330,6 +337,26 @@ class Coordinator:
             self.decision_log.log_end(txn)
 
     # ------------------------------------------------------------------
+    # Quarantine (failure-detector integration)
+    # ------------------------------------------------------------------
+
+    def quarantine(self, site: str) -> None:
+        """Stop sending new subtransactions to a suspected site.
+
+        Wired to the failure detector's ``on_suspect`` callback; the
+        suspicion may be wrong (a partition looks like a crash), which
+        is why quarantine only *refuses new work* — nothing already
+        decided is touched, and :meth:`unquarantine` undoes it fully.
+        """
+        if site not in self.quarantined:
+            self.quarantined.add(site)
+            self.quarantine_events += 1
+
+    def unquarantine(self, site: str) -> None:
+        """The suspected site was heard from again; accept work for it."""
+        self.quarantined.discard(site)
+
+    # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
 
@@ -403,6 +430,18 @@ class Coordinator:
                     )
                     return outcome
             if site not in begun:
+                if site in self.quarantined:
+                    # Graceful degradation: refuse up front rather than
+                    # hang the transaction on a suspected-dead site.
+                    self.quarantine_refusals += 1
+                    yield from self._global_abort(
+                        spec,
+                        begun,
+                        outcome,
+                        RefusalReason.SITE_QUARANTINED,
+                        site,
+                    )
+                    return outcome
                 self._send(MsgType.BEGIN, spec.txn, site)
                 begun.append(site)
             wait = self._expect(spec.txn, f"agent:{site}", "result")
@@ -445,6 +484,20 @@ class Coordinator:
                     spec, begun, outcome, reason_of(exc), None
                 )
                 return outcome
+        blocked = [site for site in begun if site in self.quarantined]
+        if blocked:
+            # A participant was quarantined while the transaction was
+            # still active: abort now instead of PREPARE-ing into a
+            # suspected-dead site and blocking on the vote.
+            self.quarantine_refusals += 1
+            yield from self._global_abort(
+                spec,
+                begun,
+                outcome,
+                RefusalReason.SITE_QUARANTINED,
+                blocked[0],
+            )
+            return outcome
         if sn is None:
             sn = self.sn_generator.generate(self.site)
         outcome.sn = sn

@@ -55,7 +55,10 @@ from repro.kernel.process import Process, Sleep
 from repro.ldbs.commands import Command
 from repro.ldbs.dlu import BoundDataGuard, DLUPolicy
 from repro.ldbs.ltm import LTMConfig, LocalTransactionManager
+from repro.net.failure_detector import FailureDetector, FailureDetectorConfig
+from repro.net.faults import FaultPlan, FaultyNetwork
 from repro.net.network import LatencyModel, Network
+from repro.net.reliable import ReliableConfig, SessionLayer
 
 METHODS = (
     "2cm",
@@ -111,6 +114,15 @@ class SystemConfig:
     #: Opt-in liveness bounds for crash-injection runs (all None =
     #: wait forever, the failure-free default).
     coordinator_timeouts: Optional[CoordinatorTimeouts] = None
+    #: Opt into an unreliable wire (loss/duplication/spikes/partitions).
+    #: ``None`` keeps the paper's perfect transport — and the goldens.
+    faults: Optional[FaultPlan] = None
+    #: Opt into the reliable-channel session layer between the protocol
+    #: endpoints and the wire (sequence numbers, acks, retransmission).
+    reliable: Optional[ReliableConfig] = None
+    #: Opt into the heartbeat failure detector; suspected sites are
+    #: quarantined at every coordinator (new globals refused, not hung).
+    failure_detector: Optional[FailureDetectorConfig] = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -174,9 +186,25 @@ class MultidatabaseSystem:
         self.config = config
         self.kernel = EventKernel()
         self.history = History()
-        self.network = Network(
-            self.kernel, latency=config.latency, seed=config.seed
-        )
+        if config.faults is not None:
+            self.network: Network = FaultyNetwork(
+                self.kernel,
+                latency=config.latency,
+                seed=config.seed,
+                plan=config.faults,
+            )
+        else:
+            self.network = Network(
+                self.kernel, latency=config.latency, seed=config.seed
+            )
+        #: The endpoint-facing transport: the session layer when the
+        #: reliable channel is enabled, the raw network otherwise.
+        self.session: Optional[SessionLayer] = None
+        if config.reliable is not None:
+            self.session = SessionLayer(
+                self.kernel, self.network, config.reliable
+            )
+        self.transport = self.session if self.session is not None else self.network
         self.ltms: Dict[str, LocalTransactionManager] = {}
         self.guards: Dict[str, BoundDataGuard] = {}
         self.certifiers: Dict[str, Certifier] = {}
@@ -214,7 +242,7 @@ class MultidatabaseSystem:
             agent = TwoPCAgent(
                 site,
                 self.kernel,
-                self.network,
+                self.transport,
                 self.history,
                 ltm,
                 certifier,
@@ -271,7 +299,7 @@ class MultidatabaseSystem:
                     name=coord_site,
                     site=coord_site,
                     kernel=self.kernel,
-                    network=self.network,
+                    network=self.transport,
                     history=self.history,
                     sn_generator=self.sn_generator,
                     sn_at_begin=(config.method == "ticket"),
@@ -280,6 +308,31 @@ class MultidatabaseSystem:
                     decision_log=decision_log,
                 )
             )
+        self.failure_detector: Optional[FailureDetector] = None
+        if config.failure_detector is not None:
+
+            def _suspect(address: str) -> None:
+                site = address.split(":", 1)[-1]
+                for coordinator in self.coordinators:
+                    coordinator.quarantine(site)
+
+            def _restore(address: str) -> None:
+                site = address.split(":", 1)[-1]
+                for coordinator in self.coordinators:
+                    coordinator.unquarantine(site)
+
+            self.failure_detector = FailureDetector(
+                self.kernel,
+                self.transport,
+                "fd:main",
+                config.failure_detector,
+                on_suspect=_suspect,
+                on_restore=_restore,
+            )
+            for site in config.sites:
+                self.failure_detector.watch(f"agent:{site}")
+            self.failure_detector.start()
+
         self._next_coordinator = 0
         self._local_counter = 0
 
@@ -332,6 +385,8 @@ class MultidatabaseSystem:
         fiat, the paper's simulation stance).
         """
         agent = self.agents[site]
+        if not agent.crashed:
+            return 0  # a racing injector already healed it; no-op
         log = None
         if self.config.durability is not None:
             from repro.durability.agent_log import DurableAgentLog
@@ -341,6 +396,8 @@ class MultidatabaseSystem:
 
     def close(self) -> None:
         """Close every durable log (drains group-commit windows)."""
+        if self.failure_detector is not None:
+            self.failure_detector.stop()
         for agent in self.agents.values():
             agent.log.close()
         for coordinator in self.coordinators:

@@ -134,3 +134,72 @@ def _conflict_item(
         if first[item] or second[item]:
             return item
     return None
+
+
+# ----------------------------------------------------------------------
+# Atomic commitment (the 2PC safety property the chaos nemesis hammers)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AtomicityViolation:
+    """One global transaction with divergent per-site final outcomes."""
+
+    txn: TxnId
+    committed_sites: Tuple[str, ...]
+    aborted_sites: Tuple[str, ...]
+    #: The globally recorded decision, if any ("commit"/"abort"/None).
+    decision: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"{self.txn.label}: committed at {list(self.committed_sites)} "
+            f"but rolled back at {list(self.aborted_sites)} "
+            f"(global decision: {self.decision})"
+        )
+
+
+def check_atomic_commitment(history: History) -> List[AtomicityViolation]:
+    """All-or-nothing across sites, per global transaction.
+
+    A *unilateral* local abort is not a final outcome — the 2PC Agent
+    keeps simulating the prepared state and resubmits, so only the last
+    local commit / requested rollback at each site counts.  A violation
+    is a global transaction whose final per-site outcomes disagree
+    (committed somewhere, rolled back elsewhere), or whose recorded
+    global decision contradicts a site's final outcome.
+    """
+    finals: Dict[TxnId, Dict[str, str]] = {}
+    decisions: Dict[TxnId, str] = {}
+    for op in history.ops:
+        if op.txn.is_local:
+            continue
+        if op.kind is OpKind.LOCAL_COMMIT:
+            finals.setdefault(op.txn, {})[op.site] = "commit"
+        elif op.kind is OpKind.LOCAL_ABORT and not op.unilateral:
+            finals.setdefault(op.txn, {})[op.site] = "abort"
+        elif op.kind is OpKind.GLOBAL_COMMIT:
+            decisions[op.txn] = "commit"
+        elif op.kind is OpKind.GLOBAL_ABORT:
+            decisions[op.txn] = "abort"
+
+    violations: List[AtomicityViolation] = []
+    for txn in sorted(finals, key=lambda t: t.label):
+        by_site = finals[txn]
+        committed = tuple(sorted(s for s, o in by_site.items() if o == "commit"))
+        aborted = tuple(sorted(s for s, o in by_site.items() if o == "abort"))
+        decision = decisions.get(txn)
+        mixed = bool(committed) and bool(aborted)
+        contradicts = (decision == "commit" and aborted) or (
+            decision == "abort" and committed
+        )
+        if mixed or contradicts:
+            violations.append(
+                AtomicityViolation(
+                    txn=txn,
+                    committed_sites=committed,
+                    aborted_sites=aborted,
+                    decision=decision,
+                )
+            )
+    return violations

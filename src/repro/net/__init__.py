@@ -7,9 +7,31 @@ COMMIT for transaction ``T_k`` arriving at site ``s`` before a PREPARE
 for ``T_j`` sent earlier by a different coordinator.  That race is
 exactly what motivates the paper's prepare-certification extension
 (Sec. 5.3), so the network must be able to produce it.
+
+The fault layer breaks those assumptions on purpose
+(:class:`FaultyNetwork` executing a :class:`FaultPlan`), the session
+layer re-derives them (:class:`SessionLayer`), and the heartbeat
+:class:`FailureDetector` turns silence into an explicit suspicion
+signal the coordinators act on (site quarantine).
 """
 
+from repro.net.failure_detector import FailureDetector, FailureDetectorConfig
+from repro.net.faults import FaultPlan, FaultyNetwork, LossBurst, Partition
 from repro.net.messages import Message, MsgType
 from repro.net.network import LatencyModel, Network
+from repro.net.reliable import ReliableConfig, SessionLayer
 
-__all__ = ["LatencyModel", "Message", "MsgType", "Network"]
+__all__ = [
+    "FailureDetector",
+    "FailureDetectorConfig",
+    "FaultPlan",
+    "FaultyNetwork",
+    "LatencyModel",
+    "LossBurst",
+    "Message",
+    "MsgType",
+    "Network",
+    "Partition",
+    "ReliableConfig",
+    "SessionLayer",
+]

@@ -1,0 +1,146 @@
+"""Heartbeat failure detector: PING/PONG probing with miss counting.
+
+The paper's coordinator learns of a dead site only by timing out a
+specific protocol exchange.  This detector gives it an *asynchronous*
+signal instead: a monitor pings every watched address on a fixed
+period; ``max_misses`` consecutive unanswered probes mark the address
+**suspected** (callback fires once), and the first PONG heard afterwards
+**restores** it (callback fires once).  Like every heartbeat detector
+over a lossy wire it is only eventually accurate — a long partition
+looks exactly like a crash, which is why the coordinator responds with
+*quarantine* (refuse new work, finish old work via timeouts), never
+with anything irreversible.
+
+Heartbeats are transport-internal (``UNTRACKED`` in the session layer):
+retransmitting a heartbeat would defeat its purpose.
+
+The watched endpoints answer PING with PONG themselves (the 2PC agent
+does; see ``TwoPCAgent._on_message``) — a crashed process answers
+nothing, which is the whole signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.kernel.events import EventKernel
+from repro.net.messages import Message, MsgType
+
+
+@dataclass(frozen=True)
+class FailureDetectorConfig:
+    """Probe period, suspicion threshold, and an optional shutdown time."""
+
+    #: Time between probe rounds.
+    interval: float = 40.0
+    #: Consecutive unanswered probes before an address is suspected.
+    max_misses: int = 3
+    #: Stop probing at this simulated time (``None`` = run until
+    #: :meth:`FailureDetector.stop`).  Without one of the two the
+    #: periodic timer keeps the kernel from ever going quiescent.
+    stop_at: Optional[float] = None
+
+
+class FailureDetector:
+    """Monitors a set of addresses from one address of its own."""
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        network,  # Network or SessionLayer (duck-typed send/register)
+        address: str,
+        config: Optional[FailureDetectorConfig] = None,
+        on_suspect: Optional[Callable[[str], None]] = None,
+        on_restore: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self._kernel = kernel
+        self._network = network
+        self.address = address
+        self.config = config or FailureDetectorConfig()
+        self._on_suspect = on_suspect
+        self._on_restore = on_restore
+        self._watched: Dict[str, int] = {}  # address -> consecutive misses
+        #: Addresses that answered since the last probe round.
+        self._answered: Set[str] = set()
+        self.suspected: Set[str] = set()
+        self._timer = None
+        self._stopped = False
+        self.pings_sent = 0
+        self.pongs_heard = 0
+        #: ``(time, event, address)`` audit trail.
+        self.log: List[tuple] = []
+        network.register(address, self._on_message)
+
+    # ------------------------------------------------------------------
+
+    def watch(self, address: str) -> None:
+        self._watched.setdefault(address, 0)
+
+    def unwatch(self, address: str) -> None:
+        self._watched.pop(address, None)
+        self._answered.discard(address)
+        self.suspected.discard(address)
+
+    def start(self) -> None:
+        if self._timer is None and not self._stopped:
+            self._schedule_round()
+
+    def stop(self) -> None:
+        """Cease probing (lets the simulation drain to quiescence)."""
+        self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+
+    def _schedule_round(self) -> None:
+        stop_at = self.config.stop_at
+        if stop_at is not None and self._kernel.now >= stop_at:
+            self._timer = None
+            return
+        self._timer = self._kernel.schedule(self.config.interval, self._round)
+
+    def _round(self) -> None:
+        self._timer = None
+        if self._stopped:
+            return
+        for address in list(self._watched):
+            if address in self._answered:
+                self._watched[address] = 0
+            else:
+                self._watched[address] += 1
+                if (
+                    self._watched[address] >= self.config.max_misses
+                    and address not in self.suspected
+                ):
+                    self.suspected.add(address)
+                    self.log.append((self._kernel.now, "suspect", address))
+                    if self._on_suspect is not None:
+                        self._on_suspect(address)
+        self._answered.clear()
+        for address in self._watched:
+            ping = Message(
+                MsgType.PING, src=self.address, dst=address, txn=None
+            )
+            try:
+                self._network.send(ping)
+            except Exception:
+                # Endpoint unregistered entirely; treated as a miss.
+                continue
+            self.pings_sent += 1
+        self._schedule_round()
+
+    def _on_message(self, message: Message) -> None:
+        if message.type is not MsgType.PONG:
+            return
+        peer = message.src
+        self.pongs_heard += 1
+        self._answered.add(peer)
+        if peer in self.suspected:
+            self.suspected.discard(peer)
+            self._watched[peer] = 0
+            self.log.append((self._kernel.now, "restore", peer))
+            if self._on_restore is not None:
+                self._on_restore(peer)

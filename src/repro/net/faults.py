@@ -1,0 +1,245 @@
+"""Unreliable transport: seeded fault injection under the 2PC wire.
+
+The paper's Network assumptions (Sec. 2) — no loss, no corruption,
+per-channel FIFO — are exactly what :class:`~repro.net.network.Network`
+implements.  :class:`FaultyNetwork` deliberately breaks them, so the
+session layer (:mod:`repro.net.reliable`) can *re-derive* them and the
+chaos nemesis can hammer the whole stack:
+
+* **loss** — a seeded per-message coin drops the message on the floor;
+* **duplication** — a second copy is delivered with an independent
+  latency draw, unconstrained by the channel's FIFO clock (so the
+  duplicate may arrive out of order — receiver-side dedup must cope);
+* **delay spikes** — the message is delivered out-of-band after an
+  extra random delay, bypassing the FIFO clamp (packet reordering);
+* **partitions** — timed bidirectional cuts: while active, every
+  message crossing the cut is dropped; the cut *heals* at its end time.
+
+Everything is driven by one seeded RNG separate from the latency RNG,
+so enabling faults never perturbs the latency draws of the surviving
+messages — and disabling them (``FaultPlan()`` all-zeros, or simply
+using the base ``Network``) keeps the determinism goldens byte-
+identical.
+
+``heal_at`` turns the whole plan off at a point in simulated time: the
+chaos harness uses it to guarantee that after the nemesis window the
+system converges over a perfect wire again.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.kernel.events import EventKernel
+from repro.net.messages import Message
+from repro.net.network import LatencyModel, Network
+
+
+def _member(address: str, group: FrozenSet[str]) -> bool:
+    """Group membership by full address or by the suffix after ':'.
+
+    ``Partition(isolated=frozenset({"a"}))`` cuts off ``agent:a``
+    without the caller having to spell out address prefixes.
+    """
+    if address in group:
+        return True
+    _, _, suffix = address.rpartition(":")
+    return suffix in group
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One timed bidirectional cut: ``isolated`` vs. everyone else.
+
+    Active during ``[start, end)``; ``end`` is the heal time.  A
+    message is severed when exactly one of its endpoints lies inside
+    the isolated group — both directions of every crossing channel.
+    """
+
+    isolated: FrozenSet[str]
+    start: float
+    end: float
+
+    def severs(self, src: str, dst: str, now: float) -> bool:
+        if not (self.start <= now < self.end):
+            return False
+        return _member(src, self.isolated) != _member(dst, self.isolated)
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """A window of elevated loss (a flaky link, a congested switch)."""
+
+    start: float
+    end: float
+    loss: float
+
+    def covers(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The seeded fault schedule one :class:`FaultyNetwork` executes."""
+
+    #: Baseline per-message loss probability.
+    loss: float = 0.0
+    #: Per-message duplication probability.
+    duplication: float = 0.0
+    #: Probability that a message takes an out-of-band delay spike.
+    spike_probability: float = 0.0
+    #: Maximum extra delay of a spike (uniform in ``[0, spike_delay]``).
+    spike_delay: float = 0.0
+    #: Timed bidirectional partitions.
+    partitions: Tuple[Partition, ...] = ()
+    #: Timed loss elevations (the effective loss is the max of baseline,
+    #: channel override and every covering burst).
+    bursts: Tuple[LossBurst, ...] = ()
+    #: Per-channel loss overrides keyed by ``(src, dst)``.
+    loss_overrides: Optional[Dict[Tuple[str, str], float]] = None
+    #: All faults switch off at this simulated time (None = never).
+    heal_at: Optional[float] = None
+
+    def active(self, now: float) -> bool:
+        return self.heal_at is None or now < self.heal_at
+
+    def loss_at(self, src: str, dst: str, now: float) -> float:
+        loss = self.loss
+        if self.loss_overrides is not None:
+            loss = self.loss_overrides.get((src, dst), loss)
+        for burst in self.bursts:
+            if burst.covers(now):
+                loss = max(loss, burst.loss)
+        return loss
+
+    def severed(self, src: str, dst: str, now: float) -> bool:
+        return any(p.severs(src, dst, now) for p in self.partitions)
+
+    def describe(self) -> str:
+        """One-paragraph schedule summary (chaos CLI / CI artifacts)."""
+        lines = [
+            f"loss={self.loss} duplication={self.duplication} "
+            f"spikes=p{self.spike_probability}/+{self.spike_delay} "
+            f"heal_at={self.heal_at}"
+        ]
+        for p in self.partitions:
+            lines.append(
+                f"  partition {sorted(p.isolated)} during "
+                f"[{p.start:.1f}, {p.end:.1f})"
+            )
+        for b in self.bursts:
+            lines.append(
+                f"  loss burst p={b.loss} during [{b.start:.1f}, {b.end:.1f})"
+            )
+        return "\n".join(lines)
+
+
+class FaultyNetwork(Network):
+    """A :class:`Network` that executes a :class:`FaultPlan`.
+
+    The paper's per-channel FIFO clock still governs ordinary
+    deliveries; only duplicates and spiked messages are delivered
+    out-of-band (which is the point — the raw wire may reorder).
+    ``in_flight`` accounts for dropped messages so it still reaches 0
+    at quiescence.
+    """
+
+    def __init__(
+        self,
+        kernel: EventKernel,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        trace_limit: int = 10_000,
+        plan: Optional[FaultPlan] = None,
+        fault_seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            kernel, latency=latency, seed=seed, trace_limit=trace_limit
+        )
+        self.plan = plan or FaultPlan()
+        #: Faults draw from their own RNG so the latency stream of the
+        #: surviving messages is identical to a fault-free run.
+        self._fault_rng = random.Random(
+            seed ^ 0x5EED if fault_seed is None else fault_seed
+        )
+        self.messages_lost = 0
+        self.messages_duplicated = 0
+        self.messages_spiked = 0
+        self.partition_drops = 0
+        #: ``(time, kind, message)`` per injected fault, bounded like
+        #: the delivery trace.
+        self.fault_log: List[Tuple[float, str, Message]] = []
+
+    # ------------------------------------------------------------------
+
+    def _note_fault(self, kind: str, message: Message) -> None:
+        if len(self.fault_log) < self._trace_limit:
+            self.fault_log.append((self._kernel.now, kind, message))
+
+    @property
+    def in_flight(self) -> int:
+        dropped = self.messages_lost + self.partition_drops
+        return self.messages_sent - self.messages_delivered - dropped
+
+    def send(self, message: Message) -> float:
+        channel = (message.src, message.dst)
+        if channel in self._paused or not self.plan.active(self._kernel.now):
+            # Paused channels queue first (scenario scripting); the
+            # faults hit when the queue drains back through send().
+            return super().send(message)
+        now = self._kernel.now
+        rng = self._fault_rng
+        plan = self.plan
+        if plan.severed(message.src, message.dst, now):
+            if message.dst not in self._handlers:
+                # Same contract as the perfect transport.
+                from repro.common.errors import SimulationError
+
+                raise SimulationError(
+                    f"no endpoint registered for {message.dst!r}"
+                )
+            self.messages_sent += 1
+            self.partition_drops += 1
+            self._note_fault("partition", message)
+            return float("inf")
+        if rng.random() < plan.loss_at(message.src, message.dst, now):
+            if message.dst not in self._handlers:
+                from repro.common.errors import SimulationError
+
+                raise SimulationError(
+                    f"no endpoint registered for {message.dst!r}"
+                )
+            self.messages_sent += 1
+            self.messages_lost += 1
+            self._note_fault("loss", message)
+            return float("inf")
+        if plan.duplication > 0 and rng.random() < plan.duplication:
+            # The copy is out-of-band: independent latency draw, no
+            # FIFO clamp — it may overtake or trail arbitrarily.
+            self._out_of_band(message, extra=0.0, kind="duplicate")
+            self.messages_duplicated += 1
+        if (
+            plan.spike_probability > 0
+            and rng.random() < plan.spike_probability
+        ):
+            extra = rng.uniform(0.0, plan.spike_delay)
+            self.messages_spiked += 1
+            return self._out_of_band(message, extra=extra, kind="spike")
+        return super().send(message)
+
+    def _out_of_band(self, message: Message, extra: float, kind: str) -> float:
+        """Deliver one copy outside the channel's FIFO discipline."""
+        if message.dst not in self._handlers:
+            from repro.common.errors import SimulationError
+
+            raise SimulationError(f"no endpoint registered for {message.dst!r}")
+        now = self._kernel.now
+        delay = self._latency.sample(message.src, message.dst, self._rng) + extra
+        delivery = now + delay
+        self.messages_sent += 1
+        self._note_fault(kind, message)
+        self._record_trace(now, delivery, message)
+        self._kernel.schedule_at(delivery, lambda: self._deliver(message))
+        return delivery

@@ -7,6 +7,11 @@ REFUSE, COMMIT_ACK, ROLLBACK_ACK.
 The COMMAND/COMMAND_RESULT pair is how the coordinator "submits [global
 subtransactions], command by command, to the Participating Sites"; the
 rest is the standard two-phase-commit exchange.
+
+Three transport-level kinds exist below the paper's protocol: ACK is
+the session layer's cumulative acknowledgement (never delivered to the
+protocol endpoints), PING/PONG are the failure detector's heartbeat
+pair.  They carry no transaction.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from repro.common.errors import RefusalReason
 from repro.common.ids import SerialNumber, TxnId
@@ -33,6 +38,11 @@ class MsgType(enum.Enum):
     COMMIT_ACK = "COMMIT-ACK"
     ROLLBACK = "ROLLBACK"
     ROLLBACK_ACK = "ROLLBACK-ACK"
+    #: Session-layer cumulative acknowledgement (transport-internal).
+    ACK = "ACK"
+    #: Failure-detector heartbeat probe / reply (transport-internal).
+    PING = "PING"
+    PONG = "PONG"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
@@ -51,16 +61,23 @@ class Message:
     number "with the PREPARE messages to each participating site".
     ``reason`` explains a REFUSE.  ``seq`` is a globally unique send
     sequence used only for deterministic tie-breaking and tracing.
+    ``txn`` is ``None`` for the transport-internal kinds (ACK, PING,
+    PONG), which exist below the transaction protocol.
+
+    ``session`` is the reliable-channel envelope: ``(epoch, seq)``
+    stamped by the session layer on tracked sends, ``None`` on messages
+    from unreliable peers and on transport-internal kinds.
     """
 
     type: MsgType
     src: str
     dst: str
-    txn: TxnId
+    txn: Optional[TxnId]
     payload: Any = None
     sn: Optional[SerialNumber] = None
     reason: Optional[RefusalReason] = None
     seq: int = field(default_factory=lambda: next(_msg_seq))
+    session: Optional[Tuple[int, int]] = None
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         extra = ""

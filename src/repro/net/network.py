@@ -66,6 +66,13 @@ class Network:
         self._trace_limit = trace_limit
         #: ``(send_time, delivery_time, message)`` triples, bounded.
         self.trace: List[Tuple[float, float, Message]] = []
+        #: Messages the bounded trace could not record (metrics surface
+        #: this so a silently-truncated trace is visible).
+        self.trace_dropped = 0
+        #: Messages that could not be delivered when a paused channel
+        #: drained (e.g. the endpoint was unregistered mid-pause), as
+        #: ``(message, why)`` pairs.  Never dropped silently.
+        self.dead_letters: List[Tuple[Message, str]] = []
         #: Channels currently held back (scenario scripting); messages
         #: queue here in send order and drain on resume.
         self._paused: Dict[Tuple[str, str], List[Message]] = {}
@@ -84,6 +91,25 @@ class Network:
             raise ConfigError(f"endpoint {address!r} already registered")
         self._handlers[address] = handler
 
+    def unregister(self, address: str) -> None:
+        """Detach ``address``; idempotent.
+
+        Later sends towards it raise; messages queued on a paused
+        channel towards it dead-letter when the channel drains.
+        """
+        self._handlers.pop(address, None)
+
+    def note_endpoint_down(self, address: str) -> None:
+        """Transport hook: the process behind ``address`` died.
+
+        The perfect transport ignores it (messages are handed to the
+        handler, which drops them itself); the session layer uses it to
+        stop acknowledging deliveries nobody is listening to.
+        """
+
+    def note_endpoint_up(self, address: str) -> None:
+        """Transport hook: the process behind ``address`` recovered."""
+
     def pause_channel(self, src: str, dst: str) -> None:
         """Hold back every message sent on ``(src, dst)`` until resume.
 
@@ -97,12 +123,22 @@ class Network:
     def resume_channel(self, src: str, dst: str) -> int:
         """Release a paused channel; queued messages leave now, in order.
 
-        Returns the number of messages released.
+        Returns the number of messages released.  An undeliverable
+        message (its endpoint was unregistered while the channel was
+        paused) is routed to :attr:`dead_letters` and the drain
+        continues — one bad message never silently drops the rest of
+        the queue.
         """
         queued = self._paused.pop((src, dst), [])
+        released = 0
         for message in queued:
-            self.send(message)
-        return len(queued)
+            try:
+                self.send(message)
+            except SimulationError as exc:
+                self.dead_letters.append((message, str(exc)))
+            else:
+                released += 1
+        return released
 
     def is_paused(self, src: str, dst: str) -> bool:
         return (src, dst) in self._paused
@@ -130,10 +166,15 @@ class Network:
         # messages can never swap even at identical times.
         self._channel_clock[channel] = delivery + 1e-9
         self.messages_sent += 1
-        if len(self.trace) < self._trace_limit:
-            self.trace.append((now, delivery, message))
+        self._record_trace(now, delivery, message)
         self._kernel.schedule_at(delivery, lambda: self._deliver(message))
         return delivery
+
+    def _record_trace(self, now: float, delivery: float, message: Message) -> None:
+        if len(self.trace) < self._trace_limit:
+            self.trace.append((now, delivery, message))
+        else:
+            self.trace_dropped += 1
 
     def _deliver(self, message: Message) -> None:
         self.messages_delivered += 1

@@ -23,14 +23,19 @@ Two styles of injection:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.ids import TxnId
-from repro.core.agent import CRASH_POINTS
-from repro.core.dtm import MultidatabaseSystem
+from repro.core.agent import CRASH_POINTS, AgentPhase
+from repro.core.coordinator import CoordinatorTimeouts
+from repro.core.dtm import MultidatabaseSystem, SystemConfig
+from repro.history.invariants import check_atomic_commitment
 from repro.history.model import OpKind, Operation
+from repro.net.failure_detector import FailureDetectorConfig
+from repro.net.faults import FaultPlan, LossBurst, Partition
+from repro.net.reliable import ReliableConfig
 
 
 def abort_current_incarnation(
@@ -268,3 +273,305 @@ class RandomAgentCrashInjector:
             return True
 
         return probe
+
+
+# ----------------------------------------------------------------------
+# The chaos nemesis: one seeded schedule composing every fault source
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One seeded nemesis run: faults, workload, and the heal boundary.
+
+    The run has two phases.  During ``[0, duration)`` the nemesis is
+    active: the wire loses/duplicates/delays messages, partitions open
+    and close, and agent processes are killed at protocol crash points.
+    At ``duration`` everything heals — the fault plan's ``heal_at``
+    cuts the wire faults off, crashed agents are recovered — and the
+    system drains to quiescence over a perfect transport, after which
+    the invariant battery runs.
+    """
+
+    seed: int = 0
+    duration: float = 3_000.0
+    sites: Tuple[str, ...] = ("a", "b", "c")
+    n_global: int = 30
+    n_local: int = 6
+    #: Baseline wire faults (active until ``duration``).
+    loss: float = 0.02
+    duplication: float = 0.04
+    spike_probability: float = 0.03
+    spike_delay: float = 60.0
+    #: Timed partitions: each isolates one random site for a random
+    #: window inside the nemesis phase.
+    n_partitions: int = 2
+    partition_min: float = 150.0
+    partition_max: float = 400.0
+    #: Loss bursts layered on top of the baseline loss.
+    n_bursts: int = 1
+    burst_loss: float = 0.35
+    burst_duration: float = 250.0
+    #: Agent process kills at protocol crash points (PR 2 machinery).
+    crash_probability: float = 0.03
+    max_crashes_per_site: int = 1
+    #: Extra simulated time allowed for the post-heal drain.
+    drain: float = 30_000.0
+    #: Optional WAL root; when set the run uses real on-disk logs and
+    #: the battery includes a WAL scan.
+    durability_root: Optional[str] = None
+
+
+@dataclass
+class ChaosResult:
+    """What one nemesis run did and whether the invariants held."""
+
+    seed: int
+    schedule_description: str
+    committed: int = 0
+    aborted: int = 0
+    coordinator_deaths: int = 0
+    #: Fault/session counters for the "did the run actually exercise
+    #: loss, duplication, a partition and a crash" assertion.
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Human-readable invariant violations; empty = the run is clean.
+    violations: List[str] = field(default_factory=list)
+    sim_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"seed {self.seed}: committed={self.committed} "
+            f"aborted={self.aborted} sim_time={self.sim_time:.0f}",
+            "fault schedule:",
+            *(
+                "  " + line
+                for line in self.schedule_description.splitlines()
+            ),
+            "counters: "
+            + " ".join(f"{k}={v}" for k, v in sorted(self.counters.items())),
+        ]
+        if self.violations:
+            lines.append("VIOLATIONS:")
+            lines.extend(f"  - {v}" for v in self.violations)
+        else:
+            lines.append("invariants: all hold")
+        return "\n".join(lines)
+
+
+def build_fault_plan(config: ChaosConfig) -> FaultPlan:
+    """Derive the seeded wire-fault schedule from a :class:`ChaosConfig`."""
+    rng = random.Random(config.seed * 7919 + 17)
+    window_start = 0.1 * config.duration
+    window_end = 0.9 * config.duration
+    partitions = []
+    for _ in range(config.n_partitions):
+        site = rng.choice(config.sites)
+        length = rng.uniform(config.partition_min, config.partition_max)
+        start = rng.uniform(window_start, max(window_start, window_end - length))
+        partitions.append(
+            Partition(
+                isolated=frozenset({site}),
+                start=start,
+                end=min(start + length, config.duration),
+            )
+        )
+    bursts = []
+    for _ in range(config.n_bursts):
+        start = rng.uniform(
+            window_start, max(window_start, window_end - config.burst_duration)
+        )
+        bursts.append(
+            LossBurst(
+                start=start,
+                end=min(start + config.burst_duration, config.duration),
+                loss=config.burst_loss,
+            )
+        )
+    return FaultPlan(
+        loss=config.loss,
+        duplication=config.duplication,
+        spike_probability=config.spike_probability,
+        spike_delay=config.spike_delay,
+        partitions=tuple(sorted(partitions, key=lambda p: p.start)),
+        bursts=tuple(sorted(bursts, key=lambda b: b.start)),
+        heal_at=config.duration,
+    )
+
+
+def build_chaos_system(
+    config: ChaosConfig, plan: Optional[FaultPlan] = None
+) -> MultidatabaseSystem:
+    """Wire one system with the full fault stack enabled."""
+    durability = None
+    if config.durability_root is not None:
+        from repro.durability.config import DurabilityConfig
+
+        durability = DurabilityConfig(root=config.durability_root)
+    return MultidatabaseSystem(
+        SystemConfig(
+            sites=config.sites,
+            n_coordinators=2,
+            seed=config.seed,
+            faults=plan if plan is not None else build_fault_plan(config),
+            reliable=ReliableConfig(seed=config.seed),
+            failure_detector=FailureDetectorConfig(stop_at=config.duration),
+            # Generous budgets: a partition must look like latency to the
+            # decision delivery, not kill the coordinator process.
+            coordinator_timeouts=CoordinatorTimeouts(
+                result_timeout=500.0,
+                vote_timeout=500.0,
+                ack_timeout=120.0,
+                max_resends=400,
+            ),
+            durability=durability,
+        )
+    )
+
+
+def run_chaos(config: ChaosConfig) -> ChaosResult:
+    """One full nemesis run: chaos phase, heal, drain, invariant battery."""
+    from repro.sim.metrics import audit, collect_metrics
+    from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+    plan = build_fault_plan(config)
+    system = build_chaos_system(config, plan)
+    result = ChaosResult(seed=config.seed, schedule_description=plan.describe())
+
+    crasher = RandomAgentCrashInjector(
+        system,
+        probability=config.crash_probability,
+        max_crashes_per_site=config.max_crashes_per_site,
+        min_downtime=50.0,
+        max_downtime=400.0,
+        seed=config.seed * 31 + 5,
+    )
+
+    # Submissions land inside the first ~60% of the nemesis window so
+    # 2PC exchanges actually overlap the faults.
+    workload = WorkloadGenerator(
+        WorkloadConfig(
+            sites=config.sites,
+            n_global=config.n_global,
+            n_local=config.n_local,
+            mean_interarrival=(0.6 * config.duration) / max(config.n_global, 1),
+            seed=config.seed,
+        )
+    ).generate()
+    for site, tables in workload.initial_data.items():
+        for table, rows in tables.items():
+            system.load(site, table, rows)
+
+    outcomes = {}
+
+    def submit_global(entry) -> None:
+        completion = system.submit(entry.spec)
+
+        def done(event) -> None:
+            if event.error is not None:
+                # A coordinator process died (e.g. the resend budget ran
+                # out against a never-healing site).  Under chaos that is
+                # a *recorded* outcome, not a harness crash — the
+                # invariant battery decides whether it broke safety.
+                result.coordinator_deaths += 1
+                return
+            outcomes[entry.spec.txn] = event.value
+
+        completion.subscribe(done)
+
+    for entry in workload.globals_:
+        system.kernel.schedule(entry.at, lambda e=entry: submit_global(e))
+
+    def submit_local(entry) -> None:
+        system.submit_local(
+            entry.site,
+            entry.commands,
+            number=entry.number,
+            think_time=entry.think_time,
+        )
+
+    for entry in workload.locals_:
+        system.kernel.schedule(entry.at, lambda e=entry: submit_local(e))
+
+    # -- phase 1: nemesis ----------------------------------------------
+    system.run(until=config.duration)
+
+    # -- heal: wire faults expired (heal_at), now revive the processes --
+    if system.failure_detector is not None:
+        system.failure_detector.stop()
+    for site in config.sites:
+        if system.agent(site).crashed:
+            system.recover_agent(site)
+
+    # -- phase 2: drain to quiescence over the healed wire --------------
+    system.run(until=config.duration + config.drain, advance=False)
+    if system.kernel.pending:
+        result.violations.append(
+            f"run did not quiesce within drain budget "
+            f"({system.kernel.pending} events pending)"
+        )
+
+    # -- invariant battery ---------------------------------------------
+    result.committed = sum(1 for o in outcomes.values() if o.committed)
+    result.aborted = sum(1 for o in outcomes.values() if not o.committed)
+    result.sim_time = system.kernel.now
+
+    for violation in check_atomic_commitment(system.history):
+        result.violations.append(f"atomicity: {violation}")
+
+    for site in config.sites:
+        agent = system.agent(site)
+        orphans = [
+            str(state.txn)
+            for state in agent._txns.values()
+            if state.phase is AgentPhase.PREPARED
+        ]
+        if orphans:
+            result.violations.append(
+                f"orphaned prepared subtransactions at {site}: {orphans}"
+            )
+
+    report = audit(system)
+    if report.view_serializability.serializable is False:
+        result.violations.append(
+            f"C(H) not view serializable: {report.view_serializability.reason}"
+        )
+    if report.rigor_violations:
+        result.violations.append(
+            f"{report.rigor_violations} rigor violations in local histories"
+        )
+    if report.distortions.has_global_distortion:
+        result.violations.append("global view distortion detected")
+
+    system.close()
+    if config.durability_root is not None:
+        from repro.durability.cli import wal_directories
+        from repro.durability.recovery import scan_wal
+
+        for directory in wal_directories(config.durability_root):
+            report_wal = scan_wal(directory)
+            if not report_wal.clean:
+                result.violations.append(
+                    f"WAL not recoverable: {directory}: {report_wal.summary()}"
+                )
+
+    metrics = collect_metrics(system)
+    result.counters = {
+        "messages_lost": metrics.messages_lost,
+        "messages_duplicated": metrics.messages_duplicated,
+        "messages_spiked": metrics.messages_spiked,
+        "partition_drops": metrics.partition_drops,
+        "retransmits": metrics.retransmits,
+        "dups_dropped": metrics.dups_dropped,
+        "session_resets": metrics.session_resets,
+        "agent_crashes": metrics.agent_crashes,
+        "agent_restarts": metrics.agent_restarts,
+        "quarantine_refusals": metrics.quarantine_refusals,
+        "dead_letters": metrics.dead_letters,
+        "coordinator_deaths": result.coordinator_deaths,
+        "crash_injections": len(crasher.crash_log),
+    }
+    return result

@@ -57,6 +57,22 @@ class SystemMetrics:
     fsyncs: int = 0
     agent_crashes: int = 0
     agent_restarts: int = 0
+    # -- transport faults and the session layer (all 0 on the perfect
+    # wire, so fault-free metric snapshots are unchanged) --------------
+    messages_lost: int = 0
+    messages_duplicated: int = 0
+    messages_spiked: int = 0
+    partition_drops: int = 0
+    retransmits: int = 0
+    dups_dropped: int = 0
+    acks_sent: int = 0
+    session_resets: int = 0
+    #: Messages the bounded network trace could not record.
+    trace_dropped: int = 0
+    #: Undeliverable messages (paused-channel drains + abandoned
+    #: retransmission windows) — never silently dropped.
+    dead_letters: int = 0
+    quarantine_refusals: int = 0
     sim_time: float = 0.0
     latencies: List[float] = field(default_factory=list)
 
@@ -124,7 +140,24 @@ def collect_metrics(
         wal = getattr(agent.log, "wal", None)
         if wal is not None:
             metrics.fsyncs += wal.fsyncs
-    metrics.messages = system.network.messages_sent
+    network = system.network
+    metrics.messages = network.messages_sent
+    metrics.trace_dropped = network.trace_dropped
+    metrics.dead_letters = len(network.dead_letters)
+    # Fault-layer counters exist only on a FaultyNetwork.
+    metrics.messages_lost = getattr(network, "messages_lost", 0)
+    metrics.messages_duplicated = getattr(network, "messages_duplicated", 0)
+    metrics.messages_spiked = getattr(network, "messages_spiked", 0)
+    metrics.partition_drops = getattr(network, "partition_drops", 0)
+    session = getattr(system, "session", None)
+    if session is not None:
+        metrics.retransmits = session.retransmits
+        metrics.dups_dropped = session.dups_dropped
+        metrics.acks_sent = session.acks_sent
+        metrics.session_resets = session.session_resets
+        metrics.dead_letters += len(session.dead_letters)
+    for coordinator in system.coordinators:
+        metrics.quarantine_refusals += coordinator.quarantine_refusals
     metrics.sim_time = system.kernel.now
     if latencies is not None:
         metrics.latencies = list(latencies)

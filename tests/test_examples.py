@@ -54,3 +54,17 @@ class TestFailureStorm:
         assert metrics.global_committed + metrics.global_aborted > 0
         assert injector.injected >= 0
         assert report.rigor_violations == 0
+
+
+class TestPartitionStorm:
+    def test_storm_holds_every_invariant(self, capsys):
+        module = load("partition_storm")
+        exit_code = module.main(seed=0)
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Nemesis schedule" in out
+        assert "Every invariant held" in out
+
+    def test_import_has_no_side_effects(self, capsys):
+        load("partition_storm")
+        assert capsys.readouterr().out == ""

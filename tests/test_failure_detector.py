@@ -1,0 +1,121 @@
+"""Unit tests for the heartbeat failure detector."""
+
+from repro.kernel import EventKernel
+from repro.net.failure_detector import FailureDetector, FailureDetectorConfig
+from repro.net.messages import Message, MsgType
+from repro.net.network import LatencyModel, Network
+
+
+class Responder:
+    """A watched endpoint that answers PING with PONG while alive."""
+
+    def __init__(self, network, address):
+        self.network = network
+        self.address = address
+        self.alive = True
+        network.register(address, self.on_message)
+
+    def on_message(self, message):
+        if message.type is MsgType.PING and self.alive:
+            self.network.send(
+                Message(
+                    MsgType.PONG,
+                    src=self.address,
+                    dst=message.src,
+                    txn=None,
+                )
+            )
+
+
+def make(interval=10.0, max_misses=3, stop_at=None):
+    kernel = EventKernel()
+    net = Network(kernel, latency=LatencyModel(base=1.0))
+    suspects, restores = [], []
+    detector = FailureDetector(
+        kernel,
+        net,
+        "fd:main",
+        FailureDetectorConfig(
+            interval=interval, max_misses=max_misses, stop_at=stop_at
+        ),
+        on_suspect=suspects.append,
+        on_restore=restores.append,
+    )
+    return kernel, net, detector, suspects, restores
+
+
+class TestSuspicion:
+    def test_live_endpoint_is_never_suspected(self):
+        kernel, net, detector, suspects, _ = make(stop_at=200.0)
+        Responder(net, "agent:a")
+        detector.watch("agent:a")
+        detector.start()
+        kernel.run()
+        assert suspects == []
+        assert detector.pings_sent > 0
+        assert detector.pongs_heard > 0
+        assert kernel.pending == 0  # stop_at let the kernel drain
+
+    def test_silent_endpoint_suspected_after_max_misses(self):
+        kernel, net, detector, suspects, _ = make(
+            interval=10.0, max_misses=3, stop_at=200.0
+        )
+        responder = Responder(net, "agent:a")
+        responder.alive = False
+        detector.watch("agent:a")
+        detector.start()
+        kernel.run()
+        assert suspects == ["agent:a"]  # callback fires exactly once
+        assert detector.suspected == {"agent:a"}
+
+    def test_recovery_restores_exactly_once(self):
+        kernel, net, detector, suspects, restores = make(
+            interval=10.0, max_misses=2, stop_at=400.0
+        )
+        responder = Responder(net, "agent:a")
+        responder.alive = False
+        detector.watch("agent:a")
+        detector.start()
+        kernel.run(until=100.0, advance=True)
+        assert suspects == ["agent:a"]
+        responder.alive = True
+        kernel.run()
+        assert restores == ["agent:a"]
+        assert detector.suspected == set()
+        events = [event for _, event, _ in detector.log]
+        assert events == ["suspect", "restore"]
+
+    def test_unregistered_endpoint_counts_as_miss(self):
+        kernel, _net, detector, suspects, _ = make(
+            interval=10.0, max_misses=2, stop_at=100.0
+        )
+        detector.watch("agent:ghost")  # never registered: send() raises
+        detector.start()
+        kernel.run()
+        assert suspects == ["agent:ghost"]
+
+
+class TestLifecycle:
+    def test_stop_cancels_the_probe_timer(self):
+        kernel, net, detector, _, _ = make(interval=10.0)  # no stop_at
+        Responder(net, "agent:a")
+        detector.watch("agent:a")
+        detector.start()
+        kernel.run(until=35.0, advance=True)
+        detector.stop()
+        kernel.run()  # would never return if the timer kept rearming
+        assert kernel.pending == 0
+
+    def test_unwatch_forgets_the_address(self):
+        kernel, _net, detector, suspects, _ = make(
+            interval=10.0, max_misses=1, stop_at=50.0
+        )
+        detector.watch("agent:ghost")
+        detector.start()
+        kernel.run(until=15.0, advance=True)
+        detector.unwatch("agent:ghost")
+        kernel.run()
+        assert detector.suspected == set()
+        # The one suspect event may or may not have fired before the
+        # unwatch; either way no further probing happened for it.
+        assert suspects in ([], ["agent:ghost"])

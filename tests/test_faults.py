@@ -1,0 +1,214 @@
+"""Unit tests for the fault-injection transport (repro.net.faults)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.ids import global_txn
+from repro.kernel import EventKernel
+from repro.net.faults import FaultPlan, FaultyNetwork, LossBurst, Partition
+from repro.net.messages import Message, MsgType
+from repro.net.network import LatencyModel, Network
+
+
+def make(plan=None, seed=0, latency=None, fault_seed=None):
+    kernel = EventKernel()
+    net = FaultyNetwork(
+        kernel,
+        latency=latency or LatencyModel(base=5.0),
+        seed=seed,
+        plan=plan,
+        fault_seed=fault_seed,
+    )
+    return kernel, net
+
+
+def msg(src, dst, type_=MsgType.BEGIN):
+    return Message(type=type_, src=src, dst=dst, txn=global_txn(1))
+
+
+class TestPerfectDefault:
+    def test_empty_plan_is_the_perfect_wire(self):
+        """FaultPlan() all-zeros must not perturb anything — this is
+        what keeps the determinism goldens byte-identical."""
+        kernel_a = EventKernel()
+        plain = Network(kernel_a, latency=LatencyModel(base=2.0, jitter=9.0), seed=7)
+        kernel_b = EventKernel()
+        faulty = FaultyNetwork(
+            kernel_b, latency=LatencyModel(base=2.0, jitter=9.0), seed=7
+        )
+        got_a, got_b = [], []
+        plain.register("b", got_a.append)
+        faulty.register("b", got_b.append)
+        for _ in range(10):
+            plain.send(msg("a", "b"))
+            faulty.send(msg("a", "b"))
+        kernel_a.run()
+        kernel_b.run()
+        assert len(got_a) == len(got_b) == 10
+        # Identical latency draws: the fault RNG is separate and the
+        # zero plan never consumes from the latency stream.
+        assert [t for _, t, _ in plain.trace] == [t for _, t, _ in faulty.trace]
+        assert faulty.messages_lost == 0
+        assert faulty.messages_duplicated == 0
+        assert faulty.messages_spiked == 0
+        assert faulty.partition_drops == 0
+
+
+class TestLoss:
+    def test_total_loss_drops_everything(self):
+        kernel, net = make(plan=FaultPlan(loss=1.0))
+        got = []
+        net.register("b", got.append)
+        for _ in range(5):
+            assert net.send(msg("a", "b")) == float("inf")
+        kernel.run()
+        assert got == []
+        assert net.messages_lost == 5
+        assert net.messages_sent == 5
+        assert net.in_flight == 0  # drops are accounted for
+
+    def test_loss_is_seed_deterministic(self):
+        def run(seed):
+            kernel, net = make(plan=FaultPlan(loss=0.4), fault_seed=seed)
+            net.register("b", lambda m: None)
+            for _ in range(50):
+                net.send(msg("a", "b"))
+            kernel.run()
+            return net.messages_lost
+
+        assert run(11) == run(11)
+        assert 0 < run(11) < 50
+
+    def test_loss_to_unregistered_endpoint_still_raises(self):
+        _kernel, net = make(plan=FaultPlan(loss=1.0))
+        with pytest.raises(SimulationError):
+            net.send(msg("a", "nowhere"))
+
+    def test_loss_burst_elevates_baseline(self):
+        plan = FaultPlan(loss=0.0, bursts=(LossBurst(start=0.0, end=100.0, loss=1.0),))
+        kernel, net = make(plan=plan)
+        got = []
+        net.register("b", got.append)
+        net.send(msg("a", "b"))  # inside the burst: dropped
+        kernel.run(until=200.0, advance=True)
+        net.send(msg("a", "b"))  # after the burst: delivered
+        kernel.run()
+        assert len(got) == 1
+        assert net.messages_lost == 1
+
+    def test_per_channel_loss_override(self):
+        plan = FaultPlan(loss=0.0, loss_overrides={("a", "b"): 1.0})
+        kernel, net = make(plan=plan)
+        got_b, got_c = [], []
+        net.register("b", got_b.append)
+        net.register("c", got_c.append)
+        net.send(msg("a", "b"))
+        net.send(msg("a", "c"))
+        kernel.run()
+        assert got_b == []
+        assert len(got_c) == 1
+
+
+class TestPartitions:
+    def test_partition_severs_both_directions_then_heals(self):
+        plan = FaultPlan(
+            partitions=(Partition(isolated=frozenset({"b"}), start=0.0, end=50.0),)
+        )
+        kernel, net = make(plan=plan)
+        got = []
+        net.register("agent:b", got.append)
+        net.register("coord:c1", got.append)
+        # Suffix matching: "agent:b" is inside the isolated group {"b"}.
+        assert net.send(msg("coord:c1", "agent:b")) == float("inf")
+        assert net.send(msg("agent:b", "coord:c1")) == float("inf")
+        assert net.partition_drops == 2
+        kernel.run(until=60.0, advance=True)
+        net.send(msg("coord:c1", "agent:b"))  # healed
+        kernel.run()
+        assert len(got) == 1
+
+    def test_messages_inside_the_island_survive(self):
+        plan = FaultPlan(
+            partitions=(Partition(isolated=frozenset({"b", "c"}), start=0.0, end=50.0),)
+        )
+        kernel, net = make(plan=plan)
+        got = []
+        net.register("agent:c", got.append)
+        net.send(msg("agent:b", "agent:c"))  # both isolated: not severed
+        kernel.run()
+        assert len(got) == 1
+        assert net.partition_drops == 0
+
+
+class TestDuplicationAndSpikes:
+    def test_duplication_delivers_two_copies(self):
+        kernel, net = make(plan=FaultPlan(duplication=1.0))
+        got = []
+        net.register("b", got.append)
+        net.send(msg("a", "b"))
+        kernel.run()
+        assert len(got) == 2
+        assert net.messages_duplicated == 1
+        assert net.in_flight == 0
+
+    def test_duplicates_bypass_fifo(self):
+        """The out-of-band copy takes an independent latency draw, so
+        with jitter it can overtake later FIFO traffic."""
+        kernel, net = make(
+            plan=FaultPlan(duplication=1.0),
+            latency=LatencyModel(base=1.0, jitter=30.0),
+            seed=3,
+        )
+        got = []
+        net.register("b", lambda m: got.append(m.seq))
+        sent = [msg("a", "b") for _ in range(10)]
+        for m in sent:
+            net.send(m)
+        kernel.run()
+        assert len(got) == 20
+        # Every original seq appears exactly twice.
+        assert sorted(got) == sorted([m.seq for m in sent] * 2)
+
+    def test_spike_delays_but_delivers(self):
+        kernel, net = make(
+            plan=FaultPlan(spike_probability=1.0, spike_delay=100.0)
+        )
+        got = []
+        net.register("b", got.append)
+        net.send(msg("a", "b"))
+        kernel.run()
+        assert len(got) == 1
+        assert net.messages_spiked == 1
+
+
+class TestHealAt:
+    def test_heal_at_disables_every_fault(self):
+        plan = FaultPlan(loss=1.0, duplication=1.0, heal_at=10.0)
+        kernel, net = make(plan=plan)
+        got = []
+        net.register("b", got.append)
+        net.send(msg("a", "b"))  # t=0: lost
+        kernel.run(until=20.0, advance=True)
+        net.send(msg("a", "b"))  # t=20 >= heal_at: perfect wire
+        kernel.run()
+        assert len(got) == 1
+        assert net.messages_lost == 1
+        assert net.messages_duplicated == 0
+
+
+class TestFaultLog:
+    def test_fault_log_records_injections(self):
+        kernel, net = make(plan=FaultPlan(loss=1.0))
+        net.register("b", lambda m: None)
+        net.send(msg("a", "b"))
+        assert [(kind) for _, kind, _ in net.fault_log] == ["loss"]
+
+    def test_describe_mentions_schedule(self):
+        plan = FaultPlan(
+            loss=0.1,
+            partitions=(Partition(isolated=frozenset({"b"}), start=1.0, end=2.0),),
+            bursts=(LossBurst(start=3.0, end=4.0, loss=0.5),),
+        )
+        text = plan.describe()
+        assert "partition" in text
+        assert "burst" in text

@@ -210,3 +210,180 @@ class TestPauseResume:
         net.resume_channel("coordJ", "s")
         kernel.run()
         assert got == ["coordK", "coordJ"]
+
+
+class TestDeadLetters:
+    def test_resume_drain_survives_unregistered_endpoint(self):
+        """One undeliverable message must not abort the drain."""
+        _kernel, net = make()
+        net.register("b", lambda m: None)
+        net.pause_channel("a", "b")
+        queued = [msg("a", "b") for _ in range(3)]
+        for m in queued:
+            net.send(m)
+        net.unregister("b")
+        released = net.resume_channel("a", "b")
+        assert released == 0
+        # The drain finished: every queued message is accounted for.
+        assert [m for m, _why in net.dead_letters] == queued
+        assert all("b" in why for _m, why in net.dead_letters)
+        assert not net.is_paused("a", "b")
+
+    def test_unregister_is_idempotent(self):
+        _kernel, net = make()
+        net.register("b", lambda m: None)
+        net.unregister("b")
+        net.unregister("b")
+        with pytest.raises(SimulationError):
+            net.send(msg("a", "b"))
+
+    def test_resume_into_replaced_endpoint(self):
+        """A successor registered mid-pause receives the queued backlog."""
+        kernel, net = make()
+        first, second = [], []
+        net.register("b", first.append)
+        net.pause_channel("a", "b")
+        net.send(msg("a", "b"))
+        net.register("b", second.append, replace=True)
+        assert net.resume_channel("a", "b") == 1
+        kernel.run()
+        assert first == []
+        assert len(second) == 1
+        assert net.dead_letters == []
+
+
+class TestTraceDropped:
+    def test_trace_dropped_counts_unrecorded_messages(self):
+        _kernel, net = make(trace_limit=3)
+        net.register("b", lambda m: None)
+        for _ in range(10):
+            net.send(msg("a", "b"))
+        assert len(net.trace) == 3
+        assert net.trace_dropped == 7
+
+    def test_trace_dropped_zero_under_limit(self):
+        _kernel, net = make()
+        net.register("b", lambda m: None)
+        net.send(msg("a", "b"))
+        assert net.trace_dropped == 0
+
+
+class TestPauseCrashInterleavings:
+    """pause/resume interleaved with agent crash/recover and takeover."""
+
+    def _system(self):
+        from repro.core.coordinator import CoordinatorTimeouts
+        from repro.core.dtm import MultidatabaseSystem, SystemConfig
+
+        system = MultidatabaseSystem(
+            SystemConfig(
+                sites=("a", "b"),
+                coordinator_timeouts=CoordinatorTimeouts(
+                    result_timeout=60.0,
+                    vote_timeout=60.0,
+                    ack_timeout=60.0,
+                ),
+            )
+        )
+        system.load("a", "t", {1: 10})
+        system.load("b", "t", {1: 10})
+        return system
+
+    def _spec(self, number=1):
+        from repro.common.ids import global_txn as gtxn
+        from repro.core.coordinator import GlobalTransactionSpec
+        from repro.ldbs.commands import AddValue, UpdateItem
+
+        return GlobalTransactionSpec(
+            txn=gtxn(number),
+            steps=(
+                ("a", UpdateItem("t", 1, AddValue(1))),
+                ("b", UpdateItem("t", 1, AddValue(1))),
+            ),
+        )
+
+    def test_crash_and_recover_while_channel_paused(self):
+        """The endpoint behind a paused channel dies and restarts; the
+        drained backlog (BEGIN, COMMAND and the abort's ROLLBACKs)
+        reaches the recovered incarnation, which answers idempotently
+        so the stuck coordinator finally completes."""
+        system = self._system()
+        system.network.pause_channel("coord:c1", "agent:b")
+        done = system.submit(self._spec())
+        system.run(until=300.0, advance=False)
+        # The command to b timed out, but the ROLLBACK towards b is
+        # queued on the paused channel too: the abort cannot finish.
+        assert not done.done
+        system.crash_agent("b")
+        system.recover_agent("b")
+        released = system.network.resume_channel("coord:c1", "agent:b")
+        assert released >= 3  # BEGIN + COMMAND + at least one ROLLBACK
+        system.run(until=2000.0, advance=False)
+        outcome = done.value
+        assert not outcome.committed
+        assert system.kernel.pending == 0
+        assert system.network.dead_letters == []
+        # The recovered agent holds no *live* residue of the aborted
+        # txn: the drained backlog ran it to a terminal state (or was
+        # dropped entirely while the agent was down).
+        from repro.core.agent import AgentPhase
+
+        assert system.agent("b").phase_of(outcome.txn) in (None, AgentPhase.DONE)
+
+    def test_crash_while_paused_recover_after_resume(self):
+        """Resume drains into a *crashed* endpoint: deliveries are
+        dropped by the dead process (the handler is still registered,
+        so nothing dead-letters), and the coordinator's resends reach
+        the agent only once it recovers."""
+        system = self._system()
+        system.network.pause_channel("coord:c1", "agent:b")
+        done = system.submit(self._spec(2))
+        system.run(until=300.0, advance=False)
+        assert not done.done
+        system.crash_agent("b")
+        system.network.resume_channel("coord:c1", "agent:b")
+        system.run(until=500.0, advance=False)
+        assert not done.done  # drained into a dead process; still stuck
+        recovered = system.recover_agent("b")
+        assert recovered == 0  # nothing ever reached b's durable log
+        system.run(until=2000.0, advance=False)
+        assert not done.value.committed
+        assert system.kernel.pending == 0
+        assert system.network.dead_letters == []
+
+    def test_takeover_replaces_endpoint_behind_paused_channel(self):
+        """register(replace=True) mid-pause: the backlog drains to the
+        successor coordinator's handler, not the dead predecessor's."""
+        from repro.core.coordinator import Coordinator
+
+        system = self._system()
+        # Hold back agent a's replies to the coordinator.
+        system.network.pause_channel("agent:a", "coord:c1")
+        done = system.submit(self._spec(3))
+        system.run(until=300.0, advance=False)
+        # a's result and its rollback-acks are all stuck in the queue.
+        assert not done.done
+        seen = []
+        successor = Coordinator(
+            name="c1",
+            site="c1",
+            kernel=system.kernel,
+            network=system.network,
+            history=system.history,
+            sn_generator=system.sn_generator,
+            takeover=True,
+        )
+        original_handler = successor._on_message
+
+        def spying_handler(message):
+            seen.append(message.type)
+            original_handler(message)
+
+        system.network.register("coord:c1", spying_handler, replace=True)
+        released = system.network.resume_channel("agent:a", "coord:c1")
+        assert released >= 1
+        system.run(until=600.0, advance=False)
+        # The backlog landed at the successor without error or loss.
+        assert seen
+        assert system.network.dead_letters == []
+        assert successor.committed == 0

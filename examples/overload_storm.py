@@ -1,0 +1,71 @@
+"""An overload storm: offered load far above capacity, shed cleanly.
+
+The paper assumes arrival rates the certifiers can absorb.  This
+example pushes 16x the comfortable load through the system twice —
+once unprotected, once with the overload layer on — and shows what
+protection buys.  Unprotected, every arrival is accepted: prepared
+entries pile up behind head-of-line commit certifications (commit
+certification answers in SN order), basic prepare certification starts
+refusing candidates against the stale entries, and resubmissions of
+the refused work feed the backlog that caused them.  Protected,
+admission control refuses the excess at BEGIN (``OVERLOADED``),
+deadlines cut off work that can no longer finish in time, exponential
+backoff with seeded jitter decorrelates the retriers, and per-site
+circuit breakers stop routing work to sites that cannot finish any.
+
+Either way the run must *shed cleanly*: every admitted global reaches
+a terminal state, no prepared subtransaction is left orphaned, atomic
+commitment and view serializability hold, and the certifier tables
+drain to empty.  Overload protection is a liveness optimisation,
+never a correctness crutch.
+
+Run:  python examples/overload_storm.py [seed]
+"""
+
+import sys
+
+from repro.sim.overload import OverloadDrillConfig, run_overload
+
+LOAD = 16.0
+
+
+def main(seed: int = 0) -> int:
+    results = {}
+    for shed in (False, True):
+        label = "protected" if shed else "unprotected"
+        print(f"=== 16x storm, {label} ===")
+        result = run_overload(
+            OverloadDrillConfig(seed=seed, load=LOAD, shed=shed)
+        )
+        print(result.summary())
+        print()
+        results[shed] = result
+
+    off, on = results[False], results[True]
+    print(
+        f"Unprotected: {off.committed}/{off.submitted} committed, "
+        f"goodput {off.goodput:.5f} committed/time-unit."
+    )
+    print(
+        f"Protected:   {on.committed}/{on.submitted} committed "
+        f"({on.counters['shed']} shed at BEGIN, "
+        f"{on.counters['deadline_aborts'] + on.counters['deadline_refusals']}"
+        f" deadline-expired), goodput {on.goodput:.5f}."
+    )
+    print()
+    if off.ok and on.ok:
+        print(
+            "Both runs shed cleanly: atomic commitment, no orphaned "
+            "prepared subtransactions, C(H) view serializable, "
+            "certifier tables empty."
+        )
+        return 0
+    print("INVARIANT VIOLATIONS:")
+    for result in (off, on):
+        for violation in result.violations:
+            print(f"  - {violation}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 0))

@@ -23,6 +23,11 @@ Commands
     Run the seeded chaos nemesis (loss + duplication + delay spikes +
     partitions + agent crashes), heal, and assert the invariant
     battery; exit code 1 on any violation (see docs/PROTOCOL.md §7).
+``overload [--seed N] [--load X] [--no-shed] [--json PATH]``
+    Run the seeded overload drill (offered load far above capacity,
+    admission control + deadlines + backoff + breakers defending) and
+    assert the invariant battery; exit code 1 on any violation (see
+    docs/PROTOCOL.md §8).
 ``wal {inspect,verify,stats} PATH``
     Offline tooling for the durability subsystem's WAL directories
     (see docs/DURABILITY.md).
@@ -306,6 +311,41 @@ def _cmd_chaos(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_overload(args) -> int:
+    import json
+
+    from repro.sim.overload import OverloadDrillConfig, run_overload
+
+    config = OverloadDrillConfig(
+        seed=args.seed,
+        load=args.load,
+        n_global=args.globals_,
+        n_local=args.locals_,
+        shed=not args.no_shed,
+    )
+    result = run_overload(config)
+    print(result.summary())
+    if args.json:
+        payload = {
+            "seed": result.seed,
+            "ok": result.ok,
+            "load": result.load,
+            "shed": result.shed,
+            "submitted": result.submitted,
+            "committed": result.committed,
+            "aborted": result.aborted,
+            "sim_time": result.sim_time,
+            "goodput": result.goodput,
+            "counters": result.counters,
+            "violations": result.violations,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -369,6 +409,24 @@ def main(argv=None) -> int:
         "--json", default=None, help="write the result as JSON to this path"
     )
 
+    overload = sub.add_parser(
+        "overload", help="run the seeded overload drill + invariant battery"
+    )
+    overload.add_argument("--seed", type=int, default=0)
+    overload.add_argument(
+        "--load", type=float, default=16.0, help="offered-load multiplier"
+    )
+    overload.add_argument("--globals", dest="globals_", type=int, default=120)
+    overload.add_argument("--locals", dest="locals_", type=int, default=12)
+    overload.add_argument(
+        "--no-shed",
+        action="store_true",
+        help="run the same storm without the overload layer (comparison)",
+    )
+    overload.add_argument(
+        "--json", default=None, help="write the result as JSON to this path"
+    )
+
     from repro.durability.cli import add_wal_parser
 
     add_wal_parser(sub)
@@ -386,6 +444,7 @@ def main(argv=None) -> int:
         "methods": _cmd_methods,
         "bench": _cmd_bench,
         "chaos": _cmd_chaos,
+        "overload": _cmd_overload,
     }
     return handlers[args.command](args)
 

@@ -70,6 +70,20 @@ class RefusalReason(enum.Enum):
     #: new global transactions touching it instead of letting them hang
     #: (graceful degradation — lifted when the site is heard from again).
     SITE_QUARANTINED = "site-quarantined"
+    #: Admission control shed the transaction at BEGIN: the coordinator's
+    #: in-flight-globals budget was full (overload survival — refuse
+    #: early instead of queueing unboundedly).
+    OVERLOADED = "overloaded"
+    #: The transaction's deadline passed before it could be prepared or
+    #: committed; expired work is aborted, never prepared.
+    DEADLINE_EXPIRED = "deadline-expired"
+    #: A prepared subtransaction exhausted its resubmission budget and
+    #: the agent escalated (GIVEUP) to a coordinator-driven global abort.
+    RESUBMIT_BUDGET = "resubmit-budget"
+    #: The per-site circuit breaker is open: the site's recent error
+    #: rate crossed the threshold and new work is refused until a
+    #: half-open probe succeeds.
+    SITE_BREAKER_OPEN = "site-breaker-open"
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value

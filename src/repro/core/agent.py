@@ -32,7 +32,8 @@ states of the paper's Sec. 2.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+import random
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import (
@@ -53,6 +54,8 @@ from repro.ldbs.dlu import BoundDataGuard
 from repro.ldbs.ltm import LocalTransactionManager, LocalTxn, TxnState
 from repro.net.messages import Message, MsgType
 from repro.net.network import Network
+from repro.overload.backoff import ResubmitBackoff
+from repro.overload.config import OverloadConfig
 
 
 @dataclass(frozen=True)
@@ -114,6 +117,19 @@ class _AgentTxn:
     resubmissions: int = 0
     alive_timer: Optional[Timer] = None
     retry_timer: Optional[Timer] = None
+    #: Absolute deadline carried on BEGIN/COMMAND/PREPARE (overload
+    #: layer); expired work is aborted, never prepared.
+    deadline: Optional[float] = None
+    #: When the subtransaction entered the prepared state (starvation
+    #: guard: long-prepared entries retry certification more eagerly).
+    prepared_at: float = 0.0
+    #: Consecutive failed resubmission attempts (backoff input).
+    resubmit_failures: int = 0
+    #: The GIVEUP escalation was sent (at most once per subtransaction).
+    giveup_sent: bool = False
+    #: An eager commit-certification retry is already queued; further
+    #: interval-table changes must not queue another (coalescing).
+    retry_armed: bool = False
 
 
 class TwoPCAgent:
@@ -130,6 +146,8 @@ class TwoPCAgent:
         dlu_guard: Optional[BoundDataGuard] = None,
         config: Optional[AgentConfig] = None,
         log: Optional[AgentLog] = None,
+        overload: Optional[OverloadConfig] = None,
+        overload_seed: int = 0,
     ) -> None:
         self.site = site
         self.address = f"agent:{site}"
@@ -141,6 +159,13 @@ class TwoPCAgent:
         self.dlu_guard = dlu_guard
         self.config = config or AgentConfig()
         self.log = log if log is not None else AgentLog(site)
+        self._overload = overload
+        #: Adaptive resubmission backoff (None → the paper's fixed pause).
+        self._backoff: Optional[ResubmitBackoff] = (
+            ResubmitBackoff(overload, random.Random(overload_seed))
+            if overload is not None
+            else None
+        )
         self._txns: Dict[TxnId, _AgentTxn] = {}
         #: Crash injection hook: ``probe(point, txn) -> bool``; returning
         #: True kills the agent at that protocol point (see crash()).
@@ -154,6 +179,9 @@ class TwoPCAgent:
         self.on_ready_observers: List[Callable[[TxnId, str], None]] = []
         self.on_local_commit_observers: List[Callable[[TxnId, str], None]] = []
         self.on_finalized_observers: List[Callable[[TxnId, str], None]] = []
+        #: Fired on every failed resubmission attempt — the circuit
+        #: breakers treat a site that cannot finish a replay as failing.
+        self.on_resubmit_failure_observers: List[Callable[[TxnId], None]] = []
         # Counters for the benchmarks.
         self.refusals: Dict[RefusalReason, int] = {}
         #: Largest serial number this site has seen (on any PREPARE or
@@ -165,6 +193,8 @@ class TwoPCAgent:
         self.commits_done = 0
         self.rollbacks_done = 0
         self.resubmissions = 0
+        self.resubmit_failures = 0
+        self.giveups_sent = 0
         self.alive_checks = 0
         self.restarts = 0
         self.crashes = 0
@@ -246,6 +276,7 @@ class TwoPCAgent:
             coordinator=msg.src,
             local=local,
             last_activity=self.kernel.now,
+            deadline=msg.deadline,
         )
         self.log.open(msg.txn, coordinator=msg.src)
 
@@ -277,6 +308,25 @@ class TwoPCAgent:
                     f"{msg.txn} already {state.phase.value} at {self.site}",
                 ),
             )
+            return
+        if msg.deadline is not None:
+            state.deadline = msg.deadline
+        if state.deadline is not None and self.kernel.now >= state.deadline:
+            # Expired work is refused, never executed: under overload
+            # the cheapest transaction is the one you stop working on.
+            reason = RefusalReason.DEADLINE_EXPIRED
+            if state.local.state is TxnState.ACTIVE:
+                state.local.abort(reason)
+            self.refusals[reason] = self.refusals.get(reason, 0) + 1
+            self._reply(
+                msg,
+                MsgType.COMMAND_RESULT,
+                payload=TransactionAborted(
+                    reason,
+                    f"{msg.txn} past deadline {state.deadline:g} at {self.site}",
+                ),
+            )
+            self._finalize(state)
             return
         command: Command = msg.payload
         self.log.log_command(msg.txn, command)
@@ -329,6 +379,21 @@ class TwoPCAgent:
             )
             return
         self._probe("pre-prepare", msg.txn)
+        if msg.deadline is not None:
+            state.deadline = msg.deadline
+        if state.deadline is not None and self.kernel.now >= state.deadline:
+            # Never enter the prepared state for work that is already
+            # too late: a prepared entry blocks the certifier's table
+            # until the coordinator decides, and this one can only be
+            # aborted anyway.
+            self._note_sn(msg.sn)
+            self._abort_and_refuse(
+                state,
+                msg,
+                RefusalReason.DEADLINE_EXPIRED,
+                f"{msg.txn} past deadline {state.deadline:g} at {self.site}",
+            )
+            return
         state.sn = msg.sn
         self._note_sn(msg.sn)
         candidate = AliveInterval(state.last_activity, self.kernel.now)
@@ -362,6 +427,7 @@ class TwoPCAgent:
             )
         self.history.record_prepare(self.kernel.now, msg.txn, self.site, msg.sn)
         state.phase = AgentPhase.PREPARED
+        state.prepared_at = self.kernel.now
         # Prepare record is on disk, READY not yet sent: a crash here
         # leaves the coordinator to time the vote out and abort, while
         # the recovered agent re-enters prepared and later obeys the
@@ -472,7 +538,12 @@ class TwoPCAgent:
             except TransactionAborted:
                 # This incarnation died too (injected abort, deadlock
                 # timeout...).  The LTM already rolled it back; retry.
-                yield Sleep(self.config.resubmit_retry_delay)
+                state.resubmit_failures += 1
+                self.resubmit_failures += 1
+                for observer in self.on_resubmit_failure_observers:
+                    observer(state.txn)
+                self._maybe_giveup(state)
+                yield Sleep(self._resubmit_delay(state))
                 continue
             if state.phase is not AgentPhase.PREPARED:
                 # A ROLLBACK arrived while the last command was running.
@@ -493,10 +564,50 @@ class TwoPCAgent:
                     self.ltm.access_set_of(incarnation),
                     tables=self.ltm.scanned_tables_of(incarnation),
                 )
-            if state.commit_pending:
+            state.resubmit_failures = 0
+            if state.commit_pending and not state.retry_armed:
+                state.retry_armed = True
                 self.kernel.call_soon(lambda: self._guarded_try_commit(state))
             return
         state.resubmitting = False
+
+    def _resubmit_delay(self, state: _AgentTxn) -> float:
+        """Pause before the next resubmission attempt."""
+        if self._backoff is not None:
+            return self._backoff.delay(state.resubmit_failures)
+        return self.config.resubmit_retry_delay
+
+    def _maybe_giveup(self, state: _AgentTxn) -> None:
+        """Escalate an exhausted resubmission budget to the coordinator.
+
+        GIVEUP is strictly advisory — a READY vote cannot be revoked, so
+        the agent keeps its prepared state and keeps resubmitting.  The
+        coordinator honours the hint only while the global decision is
+        still open (it turns into a global abort with
+        ``RESUBMIT_BUDGET``); after COMMIT the hint is ignored and the
+        resubmission loop must eventually succeed (TW assumption).  Once
+        ``commit_pending`` is set the decision is already COMMIT, so the
+        hint would be pure noise and is suppressed.
+        """
+        if self._overload is None or state.giveup_sent:
+            return
+        if state.commit_pending:
+            return
+        if state.resubmit_failures <= self._overload.resubmit_budget:
+            return
+        state.giveup_sent = True
+        self.giveups_sent += 1
+        self.network.send(
+            Message(
+                type=MsgType.GIVEUP,
+                src=self.address,
+                dst=state.coordinator,
+                txn=state.txn,
+                payload=f"resubmit budget exhausted at {self.site} "
+                f"after {state.resubmit_failures} failures",
+                sn=self.max_seen_sn,
+            )
+        )
 
     # ------------------------------------------------------------------
     # COMMIT: commit certification (Appendix C)
@@ -522,6 +633,7 @@ class TwoPCAgent:
     def _guarded_try_commit(self, state: _AgentTxn) -> None:
         """_try_commit for timer/call_soon contexts: a crash probe firing
         here must not unwind into the kernel."""
+        state.retry_armed = False
         try:
             self._try_commit(state)
         except AgentCrashed:
@@ -538,6 +650,17 @@ class TwoPCAgent:
                     self.kernel,
                     self.config.commit_retry_interval,
                     lambda: self._guarded_try_commit(state),
+                )
+            if self._overload is not None:
+                # Starvation guard: the longer this entry has sat
+                # prepared, the shorter its retry interval — an aged
+                # commit certification gets first crack at every newly
+                # freed slot instead of losing the race forever.
+                age = max(0.0, self.kernel.now - state.prepared_at)
+                state.retry_timer.interval = max(
+                    self._overload.min_commit_retry,
+                    self.config.commit_retry_interval
+                    / (1.0 + age / self._overload.commit_retry_halflife),
                 )
             state.retry_timer.restart()
             return
@@ -643,9 +766,17 @@ class TwoPCAgent:
             observer(state.txn, self.site)
         if was_in_table and self.config.eager_commit_retry:
             # The alive interval table shrank: commits blocked on the
-            # commit certification may pass now.
+            # commit certification may pass now.  Wakeups coalesce: at
+            # most one eager retry per subtransaction is ever queued, so
+            # a burst of finalizations cannot build a thundering herd of
+            # redundant certify_commit calls against the same entry.
             for other in list(self._txns.values()):
-                if other.commit_pending and other.phase is AgentPhase.PREPARED:
+                if (
+                    other.commit_pending
+                    and other.phase is AgentPhase.PREPARED
+                    and not other.retry_armed
+                ):
+                    other.retry_armed = True
                     self.kernel.call_soon(
                         lambda candidate=other: self._guarded_try_commit(candidate)
                     )
@@ -763,6 +894,7 @@ class TwoPCAgent:
             recovered += 1
             if entry.prepared:
                 state.phase = AgentPhase.PREPARED
+                state.prepared_at = self.kernel.now
                 self.certifier.insert(
                     entry.txn,
                     entry.prepare_sn,
@@ -775,6 +907,7 @@ class TwoPCAgent:
                 )
                 state.alive_timer.start()
                 if state.commit_pending:
+                    state.retry_armed = True
                     self.kernel.call_soon(
                         lambda s=state: self._guarded_try_commit(s)
                     )

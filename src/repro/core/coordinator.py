@@ -46,6 +46,21 @@ from repro.kernel.process import Process, Sleep
 from repro.ldbs.commands import Command
 from repro.net.messages import Message, MsgType
 from repro.net.network import Network
+from repro.overload.admission import AdmissionController
+from repro.overload.breaker import BreakerRegistry
+from repro.overload.config import OverloadConfig
+
+#: Abort reasons that indicate the *site* failed the transaction (and
+#: should charge its circuit breaker), as opposed to self-inflicted
+#: coordinator decisions or ordinary certification contention.
+_BREAKER_FAILURE_REASONS = frozenset(
+    {
+        RefusalReason.SITE_UNREACHABLE,
+        RefusalReason.NOT_ALIVE,
+        RefusalReason.UNILATERAL,
+        RefusalReason.RESUBMIT_BUDGET,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -62,6 +77,10 @@ class GlobalTransactionSpec:
     txn: TxnId
     steps: Tuple[Tuple[str, Command], ...]
     think_time: float = 0.0
+    #: Absolute simulated time after which the outcome no longer matters
+    #: to the submitter.  ``None`` defers to the overload layer's
+    #: ``default_deadline`` (or no deadline at all when that is off).
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.txn.is_local:
@@ -194,6 +213,9 @@ class Coordinator:
         timeouts: Optional[CoordinatorTimeouts] = None,
         decision_log: Optional["DurableDecisionLog"] = None,
         takeover: bool = False,
+        overload: Optional[OverloadConfig] = None,
+        admission: Optional[AdmissionController] = None,
+        breakers: Optional[BreakerRegistry] = None,
     ) -> None:
         self.name = name
         self.site = site
@@ -217,6 +239,20 @@ class Coordinator:
         self.quarantined: Set[str] = set()
         self.quarantine_refusals = 0
         self.quarantine_events = 0
+        #: Overload layer (all ``None`` when the layer is off, which
+        #: keeps every new code path dormant).
+        self.overload = overload
+        self.admission = admission
+        self.breakers = breakers
+        #: Transactions currently being driven by this coordinator;
+        #: GIVEUP escalations for anything else are stale and ignored.
+        self._active: Set[TxnId] = set()
+        #: Sites that escalated GIVEUP per active transaction.
+        self._giveups: Dict[TxnId, Set[str]] = {}
+        self.overload_refusals = 0
+        self.deadline_aborts = 0
+        self.breaker_refusals = 0
+        self.giveup_aborts = 0
         self.committed = 0
         self.aborted = 0
         self.aborts_by_reason: Dict[RefusalReason, int] = {}
@@ -242,6 +278,17 @@ class Coordinator:
     }
 
     def _on_message(self, msg: Message) -> None:
+        if msg.type is MsgType.GIVEUP:
+            # Advisory escalation: an agent's resubmission budget ran
+            # out.  Honoured only while the global decision is still
+            # open — checked at the decision gate in _run_admitted.
+            if msg.sn is not None:
+                self.sn_generator.witness(self.site, msg.sn)
+            if msg.txn in self._active:
+                self._giveups.setdefault(msg.txn, set()).add(
+                    msg.src.split(":", 1)[-1]
+                )
+            return
         kind = self._KIND_OF.get(msg.type)
         if kind is None:
             raise SimulationError(f"coordinator {self.name} got unexpected {msg}")
@@ -398,6 +445,42 @@ class Coordinator:
         outcome = GlobalOutcome(
             txn=spec.txn, committed=False, started_at=self.kernel.now
         )
+        if self.admission is not None and not self.admission.try_admit():
+            # Shed at the front door: no BEGIN was sent anywhere, so
+            # there is nothing to roll back and nothing in the history.
+            self.overload_refusals += 1
+            outcome.reason = RefusalReason.OVERLOADED
+            outcome.finished_at = self.kernel.now
+            self.aborted += 1
+            self.aborts_by_reason[RefusalReason.OVERLOADED] = (
+                self.aborts_by_reason.get(RefusalReason.OVERLOADED, 0) + 1
+            )
+            return outcome
+        deadline = spec.deadline
+        if (
+            deadline is None
+            and self.overload is not None
+            and self.overload.default_deadline is not None
+        ):
+            deadline = self.kernel.now + self.overload.default_deadline
+        self._active.add(spec.txn)
+        try:
+            return (
+                yield from self._run_admitted(spec, program, outcome, deadline)
+            )
+        finally:
+            self._active.discard(spec.txn)
+            self._giveups.pop(spec.txn, None)
+            if self.admission is not None:
+                self.admission.release()
+
+    def _run_admitted(
+        self,
+        spec: GlobalTransactionSpec,
+        program,
+        outcome: GlobalOutcome,
+        deadline: Optional[float],
+    ):
         sn: Optional[SerialNumber] = None
         if self.sn_at_begin:
             sn = self.sn_generator.generate(self.site)
@@ -442,10 +525,26 @@ class Coordinator:
                         site,
                     )
                     return outcome
-                self._send(MsgType.BEGIN, spec.txn, site)
+                if self.breakers is not None and not self.breakers.allow(
+                    site, self.kernel.now
+                ):
+                    # The site's breaker is open: its recent error rate
+                    # says new work would very likely die there too.
+                    self.breaker_refusals += 1
+                    yield from self._global_abort(
+                        spec,
+                        begun,
+                        outcome,
+                        RefusalReason.SITE_BREAKER_OPEN,
+                        site,
+                    )
+                    return outcome
+                self._send(MsgType.BEGIN, spec.txn, site, deadline=deadline)
                 begun.append(site)
             wait = self._expect(spec.txn, f"agent:{site}", "result")
-            self._send(MsgType.COMMAND, spec.txn, site, payload=command)
+            self._send(
+                MsgType.COMMAND, spec.txn, site, payload=command, deadline=deadline
+            )
             reply = yield self._race(wait, self.timeouts.result_timeout)
             if reply is None:
                 # The site went silent mid-command (crash injection):
@@ -498,6 +597,14 @@ class Coordinator:
                 blocked[0],
             )
             return outcome
+        if deadline is not None and self.kernel.now >= deadline:
+            # Vote gate: the submitter stopped caring; aborting is
+            # strictly cheaper than PREPARE-ing work nobody wants.
+            self.deadline_aborts += 1
+            yield from self._global_abort(
+                spec, begun, outcome, RefusalReason.DEADLINE_EXPIRED, None
+            )
+            return outcome
         if sn is None:
             sn = self.sn_generator.generate(self.site)
         outcome.sn = sn
@@ -506,7 +613,7 @@ class Coordinator:
         votes: List[Tuple[str, Event]] = []
         for site in begun:
             votes.append((site, self._expect(spec.txn, f"agent:{site}", "vote")))
-            self._send(MsgType.PREPARE, spec.txn, site, sn=sn)
+            self._send(MsgType.PREPARE, spec.txn, site, sn=sn, deadline=deadline)
         ready_sites: List[str] = []
         silent_sites: List[str] = []
         for site, wait in votes:
@@ -538,6 +645,30 @@ class Coordinator:
                 record=True,
             )
             return outcome
+        if deadline is not None and self.kernel.now >= deadline:
+            # The deadline expired while the votes were in flight: all
+            # participants are prepared, none has committed — rolling
+            # back is still safe, and committing would be useless.
+            self.deadline_aborts += 1
+            yield from self._global_abort(
+                spec, begun, outcome, RefusalReason.DEADLINE_EXPIRED, None
+            )
+            return outcome
+        giveups = self._giveups.get(spec.txn)
+        if giveups:
+            # A participant exhausted its resubmission budget while the
+            # decision was still open: honour the escalation.  (After
+            # this point the commit is logged and GIVEUPs are ignored —
+            # the agent keeps resubmitting until COMMIT lands.)
+            self.giveup_aborts += 1
+            yield from self._global_abort(
+                spec,
+                begun,
+                outcome,
+                RefusalReason.RESUBMIT_BUDGET,
+                min(giveups),
+            )
+            return outcome
 
         # -- decision: global commit -------------------------------------
         self._log_decision(spec.txn, True, sn, begun)
@@ -554,6 +685,9 @@ class Coordinator:
         outcome.committed = True
         outcome.finished_at = self.kernel.now
         self.committed += 1
+        if self.breakers is not None:
+            for site in begun:
+                self.breakers.record_success(site, self.kernel.now)
         if self.scheduler is not None:
             self.scheduler.on_end(spec.txn, committed=True)
         return outcome
@@ -593,6 +727,12 @@ class Coordinator:
         self.aborts_by_reason[outcome.reason] = (
             self.aborts_by_reason.get(outcome.reason, 0) + 1
         )
+        if (
+            self.breakers is not None
+            and outcome.reason in _BREAKER_FAILURE_REASONS
+        ):
+            for site in outcome.refusing_sites:
+                self.breakers.record_failure(site, self.kernel.now)
         if self.scheduler is not None:
             self.scheduler.on_end(spec.txn, committed=False)
 

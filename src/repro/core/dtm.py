@@ -32,6 +32,7 @@ The ``method`` string selects the transaction-management method:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -59,6 +60,9 @@ from repro.net.failure_detector import FailureDetector, FailureDetectorConfig
 from repro.net.faults import FaultPlan, FaultyNetwork
 from repro.net.network import LatencyModel, Network
 from repro.net.reliable import ReliableConfig, SessionLayer
+from repro.overload.admission import AdmissionController
+from repro.overload.breaker import BreakerRegistry
+from repro.overload.config import OverloadConfig
 
 METHODS = (
     "2cm",
@@ -123,6 +127,11 @@ class SystemConfig:
     #: Opt into the heartbeat failure detector; suspected sites are
     #: quarantined at every coordinator (new globals refused, not hung).
     failure_detector: Optional[FailureDetectorConfig] = None
+    #: Opt into the overload-survival layer: admission control with load
+    #: shedding, deadline propagation, adaptive resubmission backoff
+    #: with GIVEUP escalation, and per-site circuit breakers.  ``None``
+    #: keeps the paper's unprotected behaviour — and the goldens.
+    overload: Optional[OverloadConfig] = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -205,6 +214,23 @@ class MultidatabaseSystem:
                 self.kernel, self.network, config.reliable
             )
         self.transport = self.session if self.session is not None else self.network
+        #: Shared per-site circuit breakers (overload layer); every
+        #: coordinator and feedback source uses this one registry.
+        self.breakers: Optional[BreakerRegistry] = None
+        if config.overload is not None and config.overload.breaker is not None:
+            self.breakers = BreakerRegistry(config.overload.breaker)
+            if self.session is not None:
+
+                def _dead_letter_feedback(message, _why: str) -> None:
+                    # A channel whose retry budget died towards a site's
+                    # agent is breaker food; coordinator-bound replies
+                    # say nothing about a *site* being sick.
+                    if message.dst.startswith("agent:"):
+                        self.breakers.record_failure(
+                            message.dst.split(":", 1)[-1], self.kernel.now
+                        )
+
+                self.session.on_dead_letter = _dead_letter_feedback
         self.ltms: Dict[str, LocalTransactionManager] = {}
         self.guards: Dict[str, BoundDataGuard] = {}
         self.certifiers: Dict[str, Certifier] = {}
@@ -249,7 +275,15 @@ class MultidatabaseSystem:
                 dlu_guard=guard,
                 config=config.agent_overrides.get(site, config.agent),
                 log=agent_log,
+                overload=config.overload,
+                overload_seed=config.seed ^ zlib.crc32(site.encode()),
             )
+            if self.breakers is not None:
+                agent.on_resubmit_failure_observers.append(
+                    lambda _txn, s=site: self.breakers.record_failure(
+                        s, self.kernel.now
+                    )
+                )
             self.guards[site] = guard
             self.ltms[site] = ltm
             self.certifiers[site] = certifier
@@ -294,6 +328,12 @@ class MultidatabaseSystem:
                 decision_log = DurableDecisionLog.open_name(
                     coord_site, config.durability
                 )
+            admission = None
+            if config.overload is not None:
+                admission = AdmissionController(
+                    config.overload,
+                    seed=config.seed ^ zlib.crc32(coord_site.encode()) ^ 0xAD51,
+                )
             self.coordinators.append(
                 Coordinator(
                     name=coord_site,
@@ -306,6 +346,9 @@ class MultidatabaseSystem:
                     scheduler=scheduler,
                     timeouts=config.coordinator_timeouts,
                     decision_log=decision_log,
+                    overload=config.overload,
+                    admission=admission,
+                    breakers=self.breakers,
                 )
             )
         self.failure_detector: Optional[FailureDetector] = None

@@ -40,6 +40,12 @@ class FailureDetectorConfig:
     #: :meth:`FailureDetector.stop`).  Without one of the two the
     #: periodic timer keeps the kernel from ever going quiescent.
     stop_at: Optional[float] = None
+    #: Consecutive PONGs a *suspected* address must answer before the
+    #: suspicion is lifted (hysteresis).  1 = restore on the first PONG,
+    #: the original behaviour; higher values keep a flapping site
+    #: quarantined instead of bouncing it in and out on every lucky
+    #: heartbeat.
+    restore_pongs: int = 1
 
 
 class FailureDetector:
@@ -63,6 +69,9 @@ class FailureDetector:
         self._watched: Dict[str, int] = {}  # address -> consecutive misses
         #: Addresses that answered since the last probe round.
         self._answered: Set[str] = set()
+        #: Consecutive PONGs heard from each *suspected* address (the
+        #: restore-side hysteresis counter; reset on every missed round).
+        self._pong_streak: Dict[str, int] = {}
         self.suspected: Set[str] = set()
         self._timer = None
         self._stopped = False
@@ -81,6 +90,7 @@ class FailureDetector:
         self._watched.pop(address, None)
         self._answered.discard(address)
         self.suspected.discard(address)
+        self._pong_streak.pop(address, None)
 
     def start(self) -> None:
         if self._timer is None and not self._stopped:
@@ -111,6 +121,9 @@ class FailureDetector:
                 self._watched[address] = 0
             else:
                 self._watched[address] += 1
+                # Any missed round breaks the restore streak: the site
+                # must answer ``restore_pongs`` in a row from scratch.
+                self._pong_streak.pop(address, None)
                 if (
                     self._watched[address] >= self.config.max_misses
                     and address not in self.suspected
@@ -139,6 +152,13 @@ class FailureDetector:
         self.pongs_heard += 1
         self._answered.add(peer)
         if peer in self.suspected:
+            streak = self._pong_streak.get(peer, 0) + 1
+            if streak < self.config.restore_pongs:
+                # Not convinced yet: a flapping site has to prove
+                # itself over several consecutive rounds.
+                self._pong_streak[peer] = streak
+                return
+            self._pong_streak.pop(peer, None)
             self.suspected.discard(peer)
             self._watched[peer] = 0
             self.log.append((self._kernel.now, "restore", peer))

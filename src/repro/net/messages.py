@@ -38,6 +38,11 @@ class MsgType(enum.Enum):
     COMMIT_ACK = "COMMIT-ACK"
     ROLLBACK = "ROLLBACK"
     ROLLBACK_ACK = "ROLLBACK-ACK"
+    #: Participant → Coordinator escalation: the agent's resubmission
+    #: budget for a prepared subtransaction is exhausted.  Advisory —
+    #: the coordinator honours it only while the global decision is
+    #: still open (a READY vote cannot be revoked unilaterally).
+    GIVEUP = "GIVEUP"
     #: Session-layer cumulative acknowledgement (transport-internal).
     ACK = "ACK"
     #: Failure-detector heartbeat probe / reply (transport-internal).
@@ -67,6 +72,12 @@ class Message:
     ``session`` is the reliable-channel envelope: ``(epoch, seq)``
     stamped by the session layer on tracked sends, ``None`` on messages
     from unreliable peers and on transport-internal kinds.
+
+    ``deadline`` is the absolute simulated time after which the
+    transaction's outcome no longer matters to its submitter.  It rides
+    on BEGIN/COMMAND/PREPARE when the overload layer is on, so agents
+    can abort expired work instead of preparing it; ``None`` (the
+    default, and always when the overload layer is off) means no bound.
     """
 
     type: MsgType
@@ -78,6 +89,7 @@ class Message:
     reason: Optional[RefusalReason] = None
     seq: int = field(default_factory=lambda: next(_msg_seq))
     session: Optional[Tuple[int, int]] = None
+    deadline: Optional[float] = None
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         extra = ""

@@ -54,6 +54,7 @@ class Network:
         latency: Optional[LatencyModel] = None,
         seed: int = 0,
         trace_limit: int = 10_000,
+        dead_letter_limit: int = 1_000,
     ) -> None:
         self._kernel = kernel
         self._latency = latency or LatencyModel()
@@ -71,8 +72,13 @@ class Network:
         self.trace_dropped = 0
         #: Messages that could not be delivered when a paused channel
         #: drained (e.g. the endpoint was unregistered mid-pause), as
-        #: ``(message, why)`` pairs.  Never dropped silently.
+        #: ``(message, why)`` pairs.  Bounded: a long outage must not
+        #: hold every undeliverable message alive forever, so the oldest
+        #: entries are evicted past ``dead_letter_limit`` and counted in
+        #: :attr:`dead_letters_dropped` — the *loss* is never silent.
         self.dead_letters: List[Tuple[Message, str]] = []
+        self._dead_letter_limit = dead_letter_limit
+        self.dead_letters_dropped = 0
         #: Channels currently held back (scenario scripting); messages
         #: queue here in send order and drain on resume.
         self._paused: Dict[Tuple[str, str], List[Message]] = {}
@@ -135,10 +141,18 @@ class Network:
             try:
                 self.send(message)
             except SimulationError as exc:
-                self.dead_letters.append((message, str(exc)))
+                self._dead_letter(message, str(exc))
             else:
                 released += 1
         return released
+
+    def _dead_letter(self, message: Message, why: str) -> None:
+        """Record an undeliverable message, evicting the oldest past the
+        bound (kept a plain list: tests compare it to ``[]``)."""
+        self.dead_letters.append((message, why))
+        while len(self.dead_letters) > self._dead_letter_limit:
+            del self.dead_letters[0]
+            self.dead_letters_dropped += 1
 
     def is_paused(self, src: str, dst: str) -> bool:
         return (src, dst) in self._paused

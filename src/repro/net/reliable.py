@@ -65,6 +65,9 @@ class ReliableConfig:
     max_retries: int = 8
     #: Seed for the jitter RNG (independent of latency and fault RNGs).
     seed: int = 0
+    #: Bound on the ``dead_letters`` list; oldest entries are evicted
+    #: past it and counted in ``dead_letters_dropped``.
+    dead_letter_limit: int = 1_000
 
 
 class _SendState:
@@ -120,8 +123,14 @@ class SessionLayer:
         self.out_of_order_buffered = 0
         self.session_resets = 0
         self.dropped_to_down = 0
-        #: ``(message, why)`` pairs the sender gave up on.
+        #: ``(message, why)`` pairs the sender gave up on.  Bounded like
+        #: the network's list (see :meth:`_dead_letter`).
         self.dead_letters: List[Tuple[Message, str]] = []
+        self.dead_letters_dropped = 0
+        #: Optional observer fired once per dead-lettered message — the
+        #: overload layer's circuit breakers feed on it (a channel whose
+        #: retry budget keeps dying is a failing site).
+        self.on_dead_letter: Optional[Callable[[Message, str], None]] = None
 
     # ------------------------------------------------------------------
     # Network-compatible surface.
@@ -195,7 +204,7 @@ class SessionLayer:
             except SimulationError as exc:
                 # Endpoint unregistered since the original send: the
                 # window can never drain, give up on it now.
-                self.dead_letters.append((message, str(exc)))
+                self._dead_letter(message, str(exc))
                 state.unacked.pop(message.session[1], None)
                 continue
             self.retransmits += 1
@@ -213,8 +222,8 @@ class SessionLayer:
         protocol's timeouts handle their loss.
         """
         for message in state.unacked.values():
-            self.dead_letters.append(
-                (message, f"retry budget exhausted towards {channel[1]!r}")
+            self._dead_letter(
+                message, f"retry budget exhausted towards {channel[1]!r}"
             )
         state.unacked.clear()
         state.epoch += 1
@@ -222,6 +231,15 @@ class SessionLayer:
         state.retries = 0
         state.rto = self.config.rto
         self.session_resets += 1
+
+    def _dead_letter(self, message: Message, why: str) -> None:
+        """Record an abandoned message (bounded list) and notify."""
+        self.dead_letters.append((message, why))
+        while len(self.dead_letters) > self.config.dead_letter_limit:
+            del self.dead_letters[0]
+            self.dead_letters_dropped += 1
+        if self.on_dead_letter is not None:
+            self.on_dead_letter(message, why)
 
     def _on_ack(self, message: Message) -> None:
         epoch, cumulative = message.payload

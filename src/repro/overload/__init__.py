@@ -1,0 +1,45 @@
+"""Overload survival: admission control, deadlines, backoff, breakers.
+
+The paper's 2PCA method keeps prepared subtransactions alive
+indefinitely by resubmitting after unilateral aborts; nothing in the
+coordinator/DTM path bounds in-flight work.  Under heavy traffic that
+turns into livelock: resubmission storms and commit-certification
+retries starve old globals while new traffic piles in.  This package
+adds the flow-control layer the ROADMAP's "graceful degradation" goal
+demands, in four pieces:
+
+* :class:`~repro.overload.admission.AdmissionController` — a bounded
+  in-flight-globals budget per coordinator with a seeded shedding ramp
+  (refuse at BEGIN, never queue unboundedly);
+* deadline propagation — an optional per-transaction deadline carried
+  in the BEGIN/COMMAND/PREPARE envelopes and enforced at the
+  coordinator's vote gate and at the agents (expired work is aborted,
+  never prepared, so it cannot wedge the certifier's interval table);
+* :class:`~repro.overload.backoff.ResubmitBackoff` — capped exponential
+  backoff with seeded jitter for the agent's resubmission loop, plus a
+  per-subtransaction budget that escalates (GIVEUP) to a
+  coordinator-driven global abort;
+* :class:`~repro.overload.breaker.CircuitBreaker` — error-rate-driven
+  closed/open/half-open breakers per site, fed by refusals,
+  resubmission failures and session-layer dead letters, complementing
+  the heartbeat quarantine with a probe-based recovery path.
+
+Everything is opt-in behind ``SystemConfig(overload=OverloadConfig())``;
+with it off (the default) the system's behaviour — and the determinism
+goldens — are byte-identical.
+"""
+
+from repro.overload.admission import AdmissionController
+from repro.overload.backoff import ResubmitBackoff
+from repro.overload.breaker import BreakerRegistry, BreakerState, CircuitBreaker
+from repro.overload.config import BreakerConfig, OverloadConfig
+
+__all__ = [
+    "AdmissionController",
+    "BreakerConfig",
+    "BreakerRegistry",
+    "BreakerState",
+    "CircuitBreaker",
+    "OverloadConfig",
+    "ResubmitBackoff",
+]

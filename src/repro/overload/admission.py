@@ -1,0 +1,58 @@
+"""Bounded in-flight-globals budget with a seeded shedding ramp.
+
+One controller per coordinator: :meth:`try_admit` is called when a
+global transaction is submitted, :meth:`release` when it reaches a
+terminal state.  Admission is O(1) and never queues — an overloaded
+coordinator says no *now* (``RefusalReason.OVERLOADED``) instead of
+growing an unbounded backlog that starves everything behind it.
+
+Below the hard cap an optional probabilistic ramp sheds an increasing
+fraction of arrivals as the budget fills (``shed_start_fraction``),
+which spreads refusals over the arrival stream instead of slamming
+every submitter into the same wall at once.  The coin is seeded, so
+two runs with the same seed shed the same transactions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.overload.config import OverloadConfig
+
+
+class AdmissionController:
+    """Load shedding at the coordinator's front door."""
+
+    def __init__(self, config: OverloadConfig, seed: int = 0) -> None:
+        self.config = config
+        self._rng = random.Random(seed)
+        self.inflight = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def try_admit(self) -> bool:
+        """Claim one in-flight slot, or refuse (never blocks)."""
+        cap = self.config.max_inflight_globals
+        if self.inflight >= cap:
+            self.shed += 1
+            return False
+        ramp_start = self.config.shed_start_fraction * cap
+        if self.config.shed_start_fraction < 1.0 and self.inflight >= ramp_start:
+            # Probability ramps linearly from ~0 at the ramp start to 1
+            # at the hard cap; the +1 keeps it strictly below 1 until
+            # the cap itself refuses deterministically.
+            shed_probability = (self.inflight - ramp_start + 1) / (
+                cap - ramp_start + 1
+            )
+            if self._rng.random() < shed_probability:
+                self.shed += 1
+                return False
+        self.inflight += 1
+        self.admitted += 1
+        return True
+
+    def release(self) -> None:
+        """Return one slot (the transaction reached a terminal state)."""
+        if self.inflight <= 0:
+            raise RuntimeError("admission release without a matching admit")
+        self.inflight -= 1

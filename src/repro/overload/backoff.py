@@ -1,0 +1,35 @@
+"""Capped exponential backoff with seeded jitter for resubmissions.
+
+The paper's agent retries a failed resubmission after a *fixed* pause,
+which under contention synchronises every struggling subtransaction
+into periodic retry storms.  The replacement is the standard recipe:
+exponential growth per consecutive failure, a cap, and seeded uniform
+jitter to decorrelate the retriers.  Seeded, so a run's whole retry
+schedule is reproducible from the system seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.overload.config import OverloadConfig
+
+
+class ResubmitBackoff:
+    """Stateless delay policy: ``delay(attempt)`` for attempt = 1, 2, ..."""
+
+    def __init__(self, config: OverloadConfig, rng: random.Random) -> None:
+        self.config = config
+        self._rng = rng
+
+    def delay(self, attempt: int) -> float:
+        """Pause before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            attempt = 1
+        base = self.config.resubmit_backoff_base * (
+            self.config.resubmit_backoff_factor ** (attempt - 1)
+        )
+        delay = min(base, self.config.resubmit_backoff_max)
+        if self.config.resubmit_backoff_jitter > 0:
+            delay += self._rng.uniform(0.0, self.config.resubmit_backoff_jitter)
+        return delay

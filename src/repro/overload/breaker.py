@@ -1,0 +1,154 @@
+"""Per-site circuit breakers: closed → open → half-open → closed.
+
+The heartbeat failure detector quarantines a site that stops answering
+PINGs entirely; the breaker complements it by watching the *error rate*
+of work actually sent there — refused votes, resubmission failures,
+session-layer dead letters — which catches a site that is up enough to
+answer heartbeats but too sick (or too contended) to finish anything.
+
+The state machine is the classic one:
+
+* **CLOSED** — outcomes stream into a bounded sliding window; when the
+  failure fraction over at least ``min_volume`` outcomes reaches
+  ``failure_threshold``, the breaker opens;
+* **OPEN** — every :meth:`allow` refuses (the coordinator turns that
+  into an up-front ``SITE_BREAKER_OPEN`` abort) until ``open_duration``
+  has passed; the transition out is evaluated lazily on the next
+  ``allow`` call, so the breaker needs no timer of its own;
+* **HALF_OPEN** — up to ``half_open_probes`` trial transactions pass;
+  the first success closes the breaker (window cleared — the site gets
+  a clean slate), the first failure re-opens it for another
+  ``open_duration``.
+
+All timing uses the caller-supplied ``now`` (simulated time), so the
+breaker is deterministic and trivially unit-testable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+from repro.overload.config import BreakerConfig
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One site's breaker; see the module docstring for the protocol."""
+
+    def __init__(self, site: str, config: BreakerConfig) -> None:
+        self.site = site
+        self.config = config
+        self.state = BreakerState.CLOSED
+        #: Most recent outcomes, newest last (True = success).
+        self._window: List[bool] = []
+        self._opened_at = 0.0
+        self._probes_left = 0
+        self.opens = 0
+        self.refusals = 0
+        #: ``(time, transition)`` audit trail.
+        self.log: List[tuple] = []
+
+    def _record(self, now: float, transition: str) -> None:
+        self.log.append((now, transition))
+
+    def _open(self, now: float) -> None:
+        self.state = BreakerState.OPEN
+        self._opened_at = now
+        self.opens += 1
+        self._record(now, "open")
+
+    def _close(self, now: float) -> None:
+        self.state = BreakerState.CLOSED
+        self._window.clear()
+        self._record(now, "close")
+
+    def allow(self, now: float) -> bool:
+        """May new work be routed to this site right now?"""
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at >= self.config.open_duration:
+                self.state = BreakerState.HALF_OPEN
+                self._probes_left = self.config.half_open_probes
+                self._record(now, "half-open")
+            else:
+                self.refusals += 1
+                return False
+        if self.state is BreakerState.HALF_OPEN:
+            if self._probes_left > 0:
+                self._probes_left -= 1
+                return True
+            self.refusals += 1
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            # One healthy probe is the recovery signal.
+            self._close(now)
+            return
+        self._note_outcome(now, True)
+
+    def record_failure(self, now: float) -> None:
+        if self.state is BreakerState.HALF_OPEN:
+            self._open(now)
+            return
+        if self.state is BreakerState.OPEN:
+            # Stragglers from before the trip change nothing.
+            return
+        self._note_outcome(now, False)
+
+    def _note_outcome(self, now: float, ok: bool) -> None:
+        window = self._window
+        window.append(ok)
+        if len(window) > self.config.window:
+            del window[0]
+        if len(window) < self.config.min_volume:
+            return
+        failures = window.count(False)
+        if failures / len(window) >= self.config.failure_threshold:
+            self._open(now)
+
+
+class BreakerRegistry:
+    """The per-site breakers one system shares across its coordinators.
+
+    Shared on purpose: a site's sickness is a property of the site, not
+    of whichever coordinator happened to observe it, so every feedback
+    source (coordinator outcomes, agent resubmission failures, session
+    dead letters) lands in the same breaker.
+    """
+
+    def __init__(self, config: BreakerConfig) -> None:
+        self.config = config
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, site: str) -> CircuitBreaker:
+        breaker = self._breakers.get(site)
+        if breaker is None:
+            breaker = self._breakers[site] = CircuitBreaker(site, self.config)
+        return breaker
+
+    def allow(self, site: str, now: float) -> bool:
+        return self.breaker(site).allow(now)
+
+    def record_success(self, site: str, now: float) -> None:
+        self.breaker(site).record_success(now)
+
+    def record_failure(self, site: str, now: float) -> None:
+        self.breaker(site).record_failure(now)
+
+    def state_of(self, site: str) -> BreakerState:
+        return self.breaker(site).state
+
+    @property
+    def opens(self) -> int:
+        return sum(b.opens for b in self._breakers.values())
+
+    @property
+    def refusals(self) -> int:
+        return sum(b.refusals for b in self._breakers.values())

@@ -1,0 +1,105 @@
+"""Tuning knobs for the overload-survival layer (all opt-in)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Per-site circuit breaker: error-rate window and recovery probing."""
+
+    #: Sliding window of the most recent outcomes per site.
+    window: int = 20
+    #: Outcomes observed before the error rate is trusted at all.
+    min_volume: int = 5
+    #: Failure fraction at which the breaker opens.
+    failure_threshold: float = 0.5
+    #: How long an open breaker refuses everything before letting
+    #: half-open probes through.
+    open_duration: float = 300.0
+    #: Trial transactions admitted in the half-open state; one success
+    #: closes the breaker, one failure re-opens it.
+    half_open_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigError("breaker window must be >= 1")
+        if self.min_volume < 1:
+            raise ConfigError("min_volume must be >= 1")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ConfigError("failure_threshold must be in (0, 1]")
+        if self.open_duration <= 0:
+            raise ConfigError("open_duration must be positive")
+        if self.half_open_probes < 1:
+            raise ConfigError("half_open_probes must be >= 1")
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """One switch for the whole flow-control layer.
+
+    Present on :class:`~repro.core.dtm.SystemConfig` as ``overload``;
+    ``None`` (the default) disables every mechanism and keeps the
+    determinism goldens byte-identical.
+    """
+
+    #: Hard cap on concurrently running global transactions *per
+    #: coordinator*; the transaction is refused at BEGIN with
+    #: :attr:`RefusalReason.OVERLOADED` once it is reached.
+    max_inflight_globals: int = 16
+    #: Occupancy fraction at which seeded probabilistic shedding starts
+    #: ramping (1.0 = hard cap only, no early shedding).  Early shedding
+    #: decorrelates refusal bursts: instead of every submitter hitting
+    #: the same hard wall, an increasing coin-flip fraction is turned
+    #: away as the budget fills.
+    shed_start_fraction: float = 1.0
+    #: Default per-transaction deadline (relative to submission) stamped
+    #: on specs that carry none; ``None`` = no deadline unless the spec
+    #: sets one.
+    default_deadline: Optional[float] = None
+    #: Resubmission backoff: first retry delay, multiplicative growth,
+    #: cap, and the seeded uniform jitter added to every delay.
+    resubmit_backoff_base: float = 10.0
+    resubmit_backoff_factor: float = 2.0
+    resubmit_backoff_max: float = 160.0
+    resubmit_backoff_jitter: float = 5.0
+    #: Failed resubmission attempts after which the agent escalates a
+    #: still-undecided transaction to the coordinator (GIVEUP).  The
+    #: agent keeps its prepared state either way — a READY vote is a
+    #: binding promise — so the escalation is advisory and safe.
+    resubmit_budget: int = 6
+    #: Starvation guard: a long-prepared transaction's commit
+    #: certification retry interval decays towards this floor ...
+    min_commit_retry: float = 5.0
+    #: ... halving (roughly) every ``commit_retry_halflife`` of time
+    #: spent prepared, so old globals retry more and more eagerly and
+    #: eventually win over the incoming storm.
+    commit_retry_halflife: float = 500.0
+    #: Per-site circuit breakers (``None`` disables just the breakers).
+    breaker: Optional[BreakerConfig] = field(default_factory=BreakerConfig)
+
+    def __post_init__(self) -> None:
+        if self.max_inflight_globals < 1:
+            raise ConfigError("max_inflight_globals must be >= 1")
+        if not 0.0 < self.shed_start_fraction <= 1.0:
+            raise ConfigError("shed_start_fraction must be in (0, 1]")
+        if self.default_deadline is not None and self.default_deadline <= 0:
+            raise ConfigError("default_deadline must be positive")
+        if self.resubmit_backoff_base <= 0:
+            raise ConfigError("resubmit_backoff_base must be positive")
+        if self.resubmit_backoff_factor < 1.0:
+            raise ConfigError("resubmit_backoff_factor must be >= 1")
+        if self.resubmit_backoff_max < self.resubmit_backoff_base:
+            raise ConfigError("resubmit_backoff_max must be >= the base")
+        if self.resubmit_backoff_jitter < 0:
+            raise ConfigError("resubmit_backoff_jitter must be >= 0")
+        if self.resubmit_budget < 1:
+            raise ConfigError("resubmit_budget must be >= 1")
+        if self.min_commit_retry <= 0:
+            raise ConfigError("min_commit_retry must be positive")
+        if self.commit_retry_halflife <= 0:
+            raise ConfigError("commit_retry_halflife must be positive")

@@ -72,7 +72,27 @@ class SystemMetrics:
     #: Undeliverable messages (paused-channel drains + abandoned
     #: retransmission windows) — never silently dropped.
     dead_letters: int = 0
+    #: Dead letters evicted from the bounded lists (the loss is counted,
+    #: never silent).
+    dead_letters_dropped: int = 0
     quarantine_refusals: int = 0
+    # -- overload layer (all 0 with OverloadConfig off) ----------------
+    #: Globals the admission controllers accepted.
+    overload_admitted: int = 0
+    #: Globals refused at BEGIN by admission control (load shedding).
+    overload_shed: int = 0
+    #: Globals aborted at a coordinator deadline gate.
+    deadline_aborts: int = 0
+    #: Globals refused because a site's circuit breaker was open.
+    breaker_refusals: int = 0
+    #: Circuit-breaker CLOSED/HALF_OPEN → OPEN transitions.
+    breaker_opens: int = 0
+    #: Failed resubmission attempts across all agents.
+    resubmit_failures: int = 0
+    #: GIVEUP escalations the agents sent.
+    giveups_sent: int = 0
+    #: Globals the coordinators aborted on a GIVEUP hint.
+    giveup_aborts: int = 0
     sim_time: float = 0.0
     latencies: List[float] = field(default_factory=list)
 
@@ -110,6 +130,12 @@ def collect_metrics(
             metrics.aborts_by_reason[key] = (
                 metrics.aborts_by_reason.get(key, 0) + count
             )
+        metrics.deadline_aborts += coordinator.deadline_aborts
+        metrics.breaker_refusals += coordinator.breaker_refusals
+        metrics.giveup_aborts += coordinator.giveup_aborts
+        if coordinator.admission is not None:
+            metrics.overload_admitted += coordinator.admission.admitted
+            metrics.overload_shed += coordinator.admission.shed
     for site in system.config.sites:
         agent = system.agent(site)
         ltm = system.ltm(site)
@@ -121,6 +147,8 @@ def collect_metrics(
                 metrics.refusals_by_reason.get(key, 0) + count
             )
         metrics.resubmissions += agent.resubmissions
+        metrics.resubmit_failures += agent.resubmit_failures
+        metrics.giveups_sent += agent.giveups_sent
         metrics.alive_checks += agent.alive_checks
         metrics.unilateral_aborts += ltm.unilateral_aborts
         metrics.local_commits += ltm.commits
@@ -144,6 +172,7 @@ def collect_metrics(
     metrics.messages = network.messages_sent
     metrics.trace_dropped = network.trace_dropped
     metrics.dead_letters = len(network.dead_letters)
+    metrics.dead_letters_dropped = network.dead_letters_dropped
     # Fault-layer counters exist only on a FaultyNetwork.
     metrics.messages_lost = getattr(network, "messages_lost", 0)
     metrics.messages_duplicated = getattr(network, "messages_duplicated", 0)
@@ -156,6 +185,10 @@ def collect_metrics(
         metrics.acks_sent = session.acks_sent
         metrics.session_resets = session.session_resets
         metrics.dead_letters += len(session.dead_letters)
+        metrics.dead_letters_dropped += session.dead_letters_dropped
+    breakers = getattr(system, "breakers", None)
+    if breakers is not None:
+        metrics.breaker_opens = breakers.opens
     for coordinator in system.coordinators:
         metrics.quarantine_refusals += coordinator.quarantine_refusals
     metrics.sim_time = system.kernel.now

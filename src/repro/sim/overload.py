@@ -1,0 +1,258 @@
+"""The overload drill: offered load far above capacity, survived.
+
+The chaos nemesis (:mod:`repro.sim.failures`) attacks the *wire*; this
+drill attacks the *queue*.  A seeded workload is submitted at a
+multiple of the system's comfortable arrival rate while a seeded
+unilateral-abort injector keeps resubmission pressure on the certifier
+tables.  With the overload layer off the system has no defence: every
+arrival is accepted, prepared entries pile up behind head-of-line
+commit certifications, and the backlog feeds on itself.  With
+:class:`~repro.overload.config.OverloadConfig` on, admission control
+sheds the excess at BEGIN, deadlines cut off work that can no longer
+finish in time, backoff decorrelates the retriers — and the run drains
+to quiescence with every admitted global in a terminal state.
+
+The invariant battery is the point: overload protection must shed
+*cleanly*.  No orphaned PREPARED subtransactions, atomic commitment
+and view serializability intact, certifier tables empty at the end.
+Same seed ⇒ same run, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.errors import RefusalReason
+from repro.core.agent import AgentPhase
+from repro.core.dtm import MultidatabaseSystem, SystemConfig
+from repro.history.invariants import check_atomic_commitment
+from repro.overload.config import OverloadConfig
+from repro.sim.failures import RandomFailureInjector
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+@dataclass(frozen=True)
+class OverloadDrillConfig:
+    """One seeded overload run: the storm and the defences."""
+
+    seed: int = 0
+    sites: Tuple[str, ...] = ("a", "b", "c")
+    n_global: int = 120
+    n_local: int = 12
+    #: Offered-load multiplier: arrivals come ``load`` times faster than
+    #: the comfortable baseline (``base_interarrival``).
+    load: float = 16.0
+    base_interarrival: float = 80.0
+    #: Unilateral-abort probability per prepared subtransaction — keeps
+    #: the resubmission machinery (and its backoff) in play.  High on
+    #: purpose: a stuck low-SN prepared entry is what turns high
+    #: concurrency into a death spiral (commit certification is in SN
+    #: order, and new prepares fail basic certification against stale
+    #: intervals), which is the failure mode shedding defends against.
+    failure_probability: float = 0.25
+    #: Contention shape: few keys, hot set, update-heavy — conflicts
+    #: scale superlinearly with concurrency.
+    keys_per_site: int = 16
+    hot_keys: int = 4
+    hot_access_fraction: float = 0.4
+    update_fraction: float = 0.7
+    #: Overload layer on (admission + deadlines + backoff + breakers)?
+    #: ``False`` runs the same storm unprotected, for comparison.
+    shed: bool = True
+    #: Admission budget per coordinator when the layer is on.
+    max_inflight: int = 10
+    #: Deadline stamped on every admitted global when the layer is on.
+    default_deadline: float = 3_000.0
+    #: Safety bound on simulated time; a run still busy here has wedged.
+    run_limit: float = 500_000.0
+
+
+@dataclass
+class OverloadResult:
+    """What one drill run did and whether it shed cleanly."""
+
+    seed: int
+    load: float
+    shed: bool
+    submitted: int = 0
+    committed: int = 0
+    aborted: int = 0
+    sim_time: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Human-readable invariant violations; empty = the run is clean.
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def goodput(self) -> float:
+        """Committed globals per simulated time unit."""
+        return self.committed / self.sim_time if self.sim_time else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"seed {self.seed}: load={self.load:g}x shed={self.shed} "
+            f"submitted={self.submitted} committed={self.committed} "
+            f"aborted={self.aborted} sim_time={self.sim_time:.0f} "
+            f"goodput={self.goodput:.5f}",
+            "counters: "
+            + " ".join(f"{k}={v}" for k, v in sorted(self.counters.items())),
+        ]
+        if self.violations:
+            lines.append("VIOLATIONS:")
+            lines.extend(f"  - {v}" for v in self.violations)
+        else:
+            lines.append("invariants: all hold")
+        return "\n".join(lines)
+
+
+def overload_config_for(config: OverloadDrillConfig) -> OverloadConfig:
+    """The overload layer the drill enables when ``shed`` is on."""
+    return OverloadConfig(
+        max_inflight_globals=config.max_inflight,
+        default_deadline=config.default_deadline,
+    )
+
+
+def build_overload_system(config: OverloadDrillConfig) -> MultidatabaseSystem:
+    """Wire one system for the drill (perfect wire, storm at the door)."""
+    return MultidatabaseSystem(
+        SystemConfig(
+            sites=config.sites,
+            n_coordinators=2,
+            seed=config.seed,
+            overload=overload_config_for(config) if config.shed else None,
+        )
+    )
+
+
+def run_overload(config: OverloadDrillConfig) -> OverloadResult:
+    """One full drill: storm, drain, invariant battery."""
+    from repro.sim.metrics import audit, collect_metrics
+
+    system = build_overload_system(config)
+    result = OverloadResult(seed=config.seed, load=config.load, shed=config.shed)
+
+    injector = RandomFailureInjector(
+        system,
+        probability=config.failure_probability,
+        seed=config.seed * 13 + 7,
+    )
+
+    workload = WorkloadGenerator(
+        WorkloadConfig(
+            sites=config.sites,
+            n_global=config.n_global,
+            n_local=config.n_local,
+            mean_interarrival=config.base_interarrival / max(config.load, 1e-9),
+            keys_per_site=config.keys_per_site,
+            hot_keys=config.hot_keys,
+            hot_access_fraction=config.hot_access_fraction,
+            update_fraction=config.update_fraction,
+            seed=config.seed,
+        )
+    ).generate()
+    for site, tables in workload.initial_data.items():
+        for table, rows in tables.items():
+            system.load(site, table, rows)
+
+    outcomes = {}
+
+    def submit_global(entry) -> None:
+        completion = system.submit(entry.spec)
+
+        def done(event) -> None:
+            if event.error is not None:
+                result.violations.append(
+                    f"coordinator process for {entry.spec.txn} died: "
+                    f"{event.error!r}"
+                )
+                return
+            outcomes[entry.spec.txn] = event.value
+
+        completion.subscribe(done)
+
+    for entry in workload.globals_:
+        system.kernel.schedule(entry.at, lambda e=entry: submit_global(e))
+    for entry in workload.locals_:
+        system.kernel.schedule(
+            entry.at,
+            lambda e=entry: system.submit_local(
+                e.site, e.commands, number=e.number, think_time=e.think_time
+            ),
+        )
+
+    # -- the storm, driven to quiescence (or the safety bound) ----------
+    system.run(until=config.run_limit, advance=False)
+    if system.kernel.pending:
+        result.violations.append(
+            f"run did not quiesce within {config.run_limit:g} time units "
+            f"({system.kernel.pending} events pending)"
+        )
+
+    # -- invariant battery ---------------------------------------------
+    result.submitted = len(workload.globals_)
+    result.committed = sum(1 for o in outcomes.values() if o.committed)
+    result.aborted = sum(1 for o in outcomes.values() if not o.committed)
+    result.sim_time = system.kernel.now
+
+    if len(outcomes) != len(workload.globals_):
+        missing = len(workload.globals_) - len(outcomes)
+        result.violations.append(
+            f"{missing} submitted globals never reached a terminal state"
+        )
+
+    for violation in check_atomic_commitment(system.history):
+        result.violations.append(f"atomicity: {violation}")
+
+    for site in config.sites:
+        agent = system.agent(site)
+        orphans = [
+            str(state.txn)
+            for state in agent._txns.values()
+            if state.phase is AgentPhase.PREPARED
+        ]
+        if orphans:
+            result.violations.append(
+                f"orphaned prepared subtransactions at {site}: {orphans}"
+            )
+        if agent.certifier.table_size() != 0:
+            result.violations.append(
+                f"certifier table at {site} not empty: "
+                f"{agent.certifier.table_size()} entries"
+            )
+
+    report = audit(system)
+    if report.view_serializability.serializable is False:
+        result.violations.append(
+            f"C(H) not view serializable: {report.view_serializability.reason}"
+        )
+    if report.rigor_violations:
+        result.violations.append(
+            f"{report.rigor_violations} rigor violations in local histories"
+        )
+    if report.distortions.has_global_distortion:
+        result.violations.append("global view distortion detected")
+
+    system.close()
+    metrics = collect_metrics(system)
+    result.counters = {
+        "admitted": metrics.overload_admitted,
+        "shed": metrics.overload_shed,
+        "deadline_aborts": metrics.deadline_aborts,
+        "deadline_refusals": metrics.refusals_by_reason.get(
+            str(RefusalReason.DEADLINE_EXPIRED), 0
+        ),
+        "breaker_refusals": metrics.breaker_refusals,
+        "breaker_opens": metrics.breaker_opens,
+        "giveups_sent": metrics.giveups_sent,
+        "giveup_aborts": metrics.giveup_aborts,
+        "resubmissions": metrics.resubmissions,
+        "resubmit_failures": metrics.resubmit_failures,
+        "injected_aborts": injector.injected,
+        "dead_letters": metrics.dead_letters,
+    }
+    return result

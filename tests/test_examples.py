@@ -68,3 +68,18 @@ class TestPartitionStorm:
     def test_import_has_no_side_effects(self, capsys):
         load("partition_storm")
         assert capsys.readouterr().out == ""
+
+
+class TestOverloadStorm:
+    def test_storm_sheds_cleanly(self, capsys):
+        module = load("overload_storm")
+        exit_code = module.main(seed=1)
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "16x storm, unprotected" in out
+        assert "16x storm, protected" in out
+        assert "Both runs shed cleanly" in out
+
+    def test_import_has_no_side_effects(self, capsys):
+        load("overload_storm")
+        assert capsys.readouterr().out == ""

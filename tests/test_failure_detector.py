@@ -27,7 +27,7 @@ class Responder:
             )
 
 
-def make(interval=10.0, max_misses=3, stop_at=None):
+def make(interval=10.0, max_misses=3, stop_at=None, restore_pongs=1):
     kernel = EventKernel()
     net = Network(kernel, latency=LatencyModel(base=1.0))
     suspects, restores = [], []
@@ -36,7 +36,10 @@ def make(interval=10.0, max_misses=3, stop_at=None):
         net,
         "fd:main",
         FailureDetectorConfig(
-            interval=interval, max_misses=max_misses, stop_at=stop_at
+            interval=interval,
+            max_misses=max_misses,
+            stop_at=stop_at,
+            restore_pongs=restore_pongs,
         ),
         on_suspect=suspects.append,
         on_restore=restores.append,
@@ -84,6 +87,53 @@ class TestSuspicion:
         assert detector.suspected == set()
         events = [event for _, event, _ in detector.log]
         assert events == ["suspect", "restore"]
+
+    def test_flapping_site_stays_suspected_until_streak(self):
+        # Hysteresis: with restore_pongs=3, a site that answers every
+        # other probe round never accumulates the streak, so the
+        # suspicion holds until the site is *consistently* healthy.
+        kernel, net, detector, suspects, restores = make(
+            interval=10.0, max_misses=2, stop_at=150.0, restore_pongs=3
+        )
+        responder = Responder(net, "agent:a")
+        responder.alive = False
+        detector.watch("agent:a")
+        detector.start()
+
+        def set_alive(at, alive):
+            kernel.schedule_at(at, lambda: setattr(responder, "alive", alive))
+
+        # Dead through t=35 (suspected at the second missed round), then
+        # flapping: up for one probe round, down for the next, twice.
+        set_alive(35.0, True)
+        set_alive(45.0, False)
+        set_alive(55.0, True)
+        set_alive(65.0, False)
+        # Finally healthy for good from t=85.
+        set_alive(85.0, True)
+        kernel.run()
+        assert suspects == ["agent:a"]
+        # The single flap-round PONGs never lifted the suspicion; only
+        # three consecutive answered rounds did — well after t=85.
+        assert restores == ["agent:a"]
+        events = [(event, time) for time, event, _ in detector.log]
+        assert [e for e, _ in events] == ["suspect", "restore"]
+        restore_time = dict((e, t) for e, t in events)["restore"]
+        assert restore_time > 100.0
+        assert detector.suspected == set()
+
+    def test_single_pong_restores_without_hysteresis(self):
+        # restore_pongs=1 keeps the original behaviour: first PONG lifts.
+        kernel, net, detector, _suspects, restores = make(
+            interval=10.0, max_misses=2, stop_at=100.0, restore_pongs=1
+        )
+        responder = Responder(net, "agent:a")
+        responder.alive = False
+        detector.watch("agent:a")
+        detector.start()
+        kernel.schedule_at(35.0, lambda: setattr(responder, "alive", True))
+        kernel.run()
+        assert restores == ["agent:a"]
 
     def test_unregistered_endpoint_counts_as_miss(self):
         kernel, _net, detector, suspects, _ = make(

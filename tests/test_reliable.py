@@ -2,7 +2,7 @@
 
 from repro.common.ids import global_txn
 from repro.kernel import EventKernel
-from repro.net.faults import FaultPlan, FaultyNetwork
+from repro.net.faults import FaultPlan, FaultyNetwork, Partition
 from repro.net.messages import Message, MsgType
 from repro.net.network import LatencyModel, Network
 from repro.net.reliable import ReliableConfig, SessionLayer
@@ -119,6 +119,68 @@ class TestGiveUp:
         kernel.run()
         assert got == [99]
         assert kernel.pending == 0
+
+    def test_sustained_partition_dead_letters_then_resyncs_exactly_once(self):
+        # The full overload-survival story on one channel: a partition
+        # outlives the retry budget (dead letters + epoch bump, with the
+        # on_dead_letter observer notified), and after the heal a fresh
+        # batch flows through the resynchronised session exactly once.
+        plan = FaultPlan(
+            partitions=(
+                Partition(isolated=frozenset({"b"}), start=0.0, end=300.0),
+            )
+        )
+        kernel, net, session = make(
+            plan=plan,
+            config=ReliableConfig(
+                rto=10.0, backoff=1.0, max_retries=2, jitter=0.0
+            ),
+        )
+        got = []
+        observed = []
+        wire(session, lambda m: got.append(m.payload))
+        session.on_dead_letter = lambda m, why: observed.append(m.payload)
+        for i in range(4):
+            session.send(msg("a", "b", i))
+        kernel.run(until=250.0, advance=True)
+        # Every message of the first batch was abandoned, not silently
+        # lost: dead-lettered, observer notified, epoch bumped.
+        assert [m.payload for m, _ in session.dead_letters] == [0, 1, 2, 3]
+        assert observed == [0, 1, 2, 3]
+        assert session.session_resets >= 1
+        assert got == []
+        assert net.partition_drops > 0
+        # Post-heal: the next batch arrives exactly once, in order.
+        kernel.run(until=320.0, advance=True)
+        for i in range(10, 14):
+            session.send(msg("a", "b", i))
+        kernel.run()
+        assert got == [10, 11, 12, 13]
+        assert net.trace_dropped == 0  # the trace saw every message
+        assert kernel.pending == 0
+
+    def test_session_dead_letters_are_bounded(self):
+        kernel, _net, session = make(
+            plan=FaultPlan(loss=1.0),
+            config=ReliableConfig(
+                rto=5.0,
+                backoff=1.0,
+                max_retries=1,
+                jitter=0.0,
+                dead_letter_limit=2,
+            ),
+        )
+        observed = []
+        wire(session, lambda m: None)
+        session.on_dead_letter = lambda m, why: observed.append(m.payload)
+        for i in range(5):
+            session.send(msg("a", "b", i))
+        kernel.run(until=500.0, advance=True)
+        # All five were abandoned and every abandonment was observed,
+        # but only the newest two are retained.
+        assert observed == [0, 1, 2, 3, 4]
+        assert [m.payload for m, _ in session.dead_letters] == [3, 4]
+        assert session.dead_letters_dropped == 3
 
     def test_stale_epoch_messages_are_dropped(self):
         """A straggler from the pre-reset epoch must not be delivered

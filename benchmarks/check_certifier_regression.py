@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""CI gate: fail on a >30% certifier ops/s regression.
+
+Usage::
+
+    python benchmarks/check_certifier_regression.py COMMITTED.json FRESH.json
+
+Both files are ``BENCH_kernel.json`` artifacts (``repro-bench/v1``).
+The committed file carries the numbers recorded with the PR; the fresh
+file comes from ``python -m repro bench`` on the CI runner.  Raw ops/s
+are not comparable across machines, so every comparison is calibrated
+by the ratio of the ``kernel_schedule_fire`` row (a pure-substrate
+benchmark present in both files): a fresh certifier row only fails the
+gate when it is more than ``REPRO_BENCH_TOLERANCE`` (default 0.30)
+below the committed rate scaled to the runner's speed.
+
+Machine-independent invariants are checked uncalibrated: the indexed
+engine must stay >= 5x the naive scan at the 10k-entry table, on any
+hardware.
+"""
+
+import json
+import os
+import sys
+
+CALIBRATION_ROW = "kernel_schedule_fire"
+DEFAULT_TOLERANCE = 0.30
+
+
+def _rows(doc):
+    return {row["name"]: row for row in doc.get("results", [])}
+
+
+def _rate(row):
+    return float(row.get("ops_per_s") or 0.0)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE))
+    with open(argv[1]) as handle:
+        committed = _rows(json.load(handle))
+    with open(argv[2]) as handle:
+        fresh = _rows(json.load(handle))
+
+    failures = []
+
+    calibration = 1.0
+    base_committed = committed.get(CALIBRATION_ROW)
+    base_fresh = fresh.get(CALIBRATION_ROW)
+    if base_committed and base_fresh and _rate(base_committed) > 0:
+        calibration = _rate(base_fresh) / _rate(base_committed)
+        print(
+            f"calibration ({CALIBRATION_ROW}): runner is "
+            f"{calibration:.2f}x the committed machine"
+        )
+    else:
+        print(f"warning: no {CALIBRATION_ROW} row in both files; uncalibrated")
+
+    checked = 0
+    for name, committed_row in sorted(committed.items()):
+        if not name.startswith("certify_"):
+            continue
+        fresh_row = fresh.get(name)
+        if fresh_row is None:
+            failures.append(f"{name}: missing from the fresh artifact")
+            continue
+        expected = _rate(committed_row) * calibration
+        actual = _rate(fresh_row)
+        floor = (1.0 - tolerance) * expected
+        verdict = "ok" if actual >= floor else "REGRESSION"
+        print(
+            f"  {name:<32} committed={_rate(committed_row):>12,.0f}/s "
+            f"expected>={floor:>12,.0f}/s fresh={actual:>12,.0f}/s  {verdict}"
+        )
+        if actual < floor:
+            failures.append(
+                f"{name}: {actual:,.0f} op/s is more than "
+                f"{tolerance:.0%} below the calibrated {expected:,.0f} op/s"
+            )
+        checked += 1
+    if checked == 0:
+        failures.append("no certify_* rows in the committed artifact")
+
+    # Machine-independent: the indexed engine's whole point.
+    naive = fresh.get("certify_prepare_naive_10000")
+    indexed = fresh.get("certify_prepare_indexed_10000")
+    if naive and indexed:
+        ratio = _rate(indexed) / _rate(naive) if _rate(naive) else 0.0
+        print(f"  indexed/naive prepare @10k: {ratio:.1f}x (need >= 5x)")
+        if ratio < 5.0:
+            failures.append(
+                f"indexed certify_prepare is only {ratio:.1f}x naive at 10k"
+            )
+    else:
+        failures.append("fresh artifact lacks the 10k certify_prepare rows")
+
+    if failures:
+        print("\ncertifier benchmark gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\ncertifier benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,106 @@
+"""Certifier benchmark: naive linear scan vs indexed engine (E20).
+
+Measures ``certify_prepare`` and ``certify_commit`` ops/s at 100 /
+1 000 / 10 000-entry alive interval tables under both certification
+engines, plus a windowed soak proving the indexed engine's epoch GC
+keeps the table and the lazy index bounded under sustained load.
+Publishes the table like every other experiment and merges the series
+into ``BENCH_kernel.json`` at the repo root (the same artifact
+``python -m repro bench`` writes), under the ``certifier_series`` key.
+"""
+
+import json
+import os
+
+from repro.sim.perf import CERTIFIER_TABLE_SIZES, certifier_series, run_certifier_soak
+
+from bench_utils import publish, run_experiment
+
+HEADERS = [
+    "engine",
+    "table",
+    "prepare-ops/s",
+    "commit-ops/s",
+    "prepare-x",
+    "commit-x",
+]
+
+SOAK_TXNS = 20_000
+BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_kernel.json",
+)
+
+
+def _merge_into_artifact(series, soak):
+    """Fold the fresh series into the committed BENCH_kernel.json."""
+    doc = {}
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH) as handle:
+            doc = json.load(handle)
+    doc["certifier_series"] = series
+    doc["certifier_soak"] = dict(soak, n_txns=SOAK_TXNS)
+    with open(BENCH_PATH, "w") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+
+
+def _sweep():
+    series = certifier_series(sizes=CERTIFIER_TABLE_SIZES, repeats=2)
+    soak = run_certifier_soak(SOAK_TXNS)
+    _merge_into_artifact(series, soak)
+    by_key = {(r["engine"], r["table_size"]): r for r in series}
+    rows = []
+    for size in CERTIFIER_TABLE_SIZES:
+        naive = by_key[("naive", size)]
+        for engine in ("naive", "indexed"):
+            r = by_key[(engine, size)]
+            rows.append(
+                [
+                    engine,
+                    size,
+                    f"{r['prepare_ops_per_s']:,.0f}",
+                    f"{r['commit_ops_per_s']:,.0f}",
+                    f"{r['prepare_ops_per_s'] / naive['prepare_ops_per_s']:.1f}x",
+                    f"{r['commit_ops_per_s'] / naive['commit_ops_per_s']:.1f}x",
+                ]
+            )
+    return rows, (by_key, soak)
+
+
+def test_bench_certifier(benchmark):
+    rows, (by_key, soak) = run_experiment(benchmark, _sweep)
+    publish(
+        "E20_certifier",
+        "E20: certification ops/s, naive scan vs indexed engine",
+        HEADERS,
+        rows,
+    )
+    # The tentpole acceptance bar: the indexed engine answers prepare
+    # certification at least 5x faster than the naive scan on a
+    # 10k-entry table (measured ~3 orders of magnitude in practice).
+    naive = by_key[("naive", 10_000)]
+    indexed = by_key[("indexed", 10_000)]
+    assert indexed["prepare_ops_per_s"] >= 5 * naive["prepare_ops_per_s"], (
+        indexed["prepare_ops_per_s"],
+        naive["prepare_ops_per_s"],
+    )
+    assert indexed["commit_ops_per_s"] >= 5 * naive["commit_ops_per_s"], (
+        indexed["commit_ops_per_s"],
+        naive["commit_ops_per_s"],
+    )
+    # Indexed certification must not fall off a cliff with table size:
+    # 100 -> 10k entries may cost at most a small constant factor.
+    assert (
+        indexed["prepare_ops_per_s"]
+        >= by_key[("indexed", 100)]["prepare_ops_per_s"] / 4
+    )
+    # The soak's epoch GC keeps everything bounded.
+    assert soak["refused"] == 0
+    assert soak["admitted"] == SOAK_TXNS
+    assert soak["max_table_size"] <= soak["window"] + 1
+    assert soak["gc_compactions"] > 0
+    assert soak["gc_reclaimed"] > 0
+    # The lazy heaps never exceed the compaction threshold by more than
+    # one pre-sweep burst: 4 heaps x (stale factor x live + slack).
+    assert soak["max_index_depth"] <= 16 * (soak["window"] + 1) + 4 * 64

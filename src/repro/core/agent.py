@@ -71,6 +71,19 @@ class AgentConfig:
     #: Re-run pending commit certifications as soon as the alive
     #: interval table changes (in addition to the paper's retry timer).
     eager_commit_retry: bool = True
+    #: Certify PREPAREs arriving in the same kernel step as one batch
+    #: (one certifier index pass for the whole group, see
+    #: :class:`~repro.core.certifier.PrepareBatch`).  Off by default:
+    #: deferring the READY/REFUSE replies by one kernel microstep
+    #: changes event timing, so the determinism goldens only cover the
+    #: sequential path.
+    batch_prepares: bool = False
+    #: Forget DONE transaction entries once the coordinator has sealed
+    #: the global END record (all acks in).  Off by default: with GC a
+    #: very late COMMAND/PREPARE straggler is answered from the
+    #: no-state path (SITE_UNREACHABLE) instead of the DONE path
+    #: (REQUESTED), which feeds differently into circuit breakers.
+    gc_done_txns: bool = False
 
 
 #: Protocol points at which a crash probe can kill the agent, in
@@ -167,6 +180,9 @@ class TwoPCAgent:
             else None
         )
         self._txns: Dict[TxnId, _AgentTxn] = {}
+        #: PREPAREs queued within one kernel step (batch_prepares only).
+        self._prepare_queue: List[Message] = []
+        self._prepare_flush_armed = False
         #: Crash injection hook: ``probe(point, txn) -> bool``; returning
         #: True kills the agent at that protocol point (see crash()).
         self.crash_probe: Optional[Callable[[str, TxnId], bool]] = None
@@ -198,6 +214,9 @@ class TwoPCAgent:
         self.alive_checks = 0
         self.restarts = 0
         self.crashes = 0
+        self.prepare_batches = 0
+        #: DONE entries dropped on the coordinator's END watermark.
+        self.done_forgotten = 0
         network.register(self.address, self._on_message)
         ltm.on_unilateral_abort(self._on_uan)
 
@@ -349,6 +368,36 @@ class TwoPCAgent:
     # ------------------------------------------------------------------
 
     def _on_prepare(self, msg: Message) -> None:
+        if self.config.batch_prepares:
+            # Coalesce every PREPARE delivered in this kernel step into
+            # one certification batch; the flush runs before time moves,
+            # so the candidate intervals are the same either way.
+            self._prepare_queue.append(msg)
+            if not self._prepare_flush_armed:
+                self._prepare_flush_armed = True
+                self.kernel.call_soon(self._flush_prepare_batch)
+            return
+        self._handle_prepare(msg)
+
+    def _flush_prepare_batch(self) -> None:
+        self._prepare_flush_armed = False
+        queue, self._prepare_queue = self._prepare_queue, []
+        if self._crashed or not queue:
+            return
+        self._refresh_intervals()
+        batch = self.certifier.begin_prepare_batch()
+        self.prepare_batches += 1
+        for msg in queue:
+            if self._crashed:
+                # A probe killed the agent mid-batch; the survivors are
+                # dropped like any message to a dead process.
+                return
+            try:
+                self._handle_prepare(msg, batch=batch)
+            except AgentCrashed:
+                pass
+
+    def _handle_prepare(self, msg: Message, batch=None) -> None:
         state = self._txns.get(msg.txn)
         if state is None:
             # Restart wiped an un-prepared entry; refuse so the
@@ -401,12 +450,16 @@ class TwoPCAgent:
         # now and extend the intervals of the live ones — otherwise "too
         # long a time between alive time checks" would cause unnecessary
         # aborts (paper Sec. 6) and the failure-free zero-abort property
-        # would not hold.
-        self._refresh_intervals()
+        # would not hold.  (A batch does this once for the whole group.)
+        if batch is None:
+            self._refresh_intervals()
         access_set = frozenset(self.ltm.access_set_of(state.local.subtxn))
-        decision = self.certifier.certify_prepare(
-            msg.txn, msg.sn, candidate, access_set=access_set
-        )
+        if batch is not None:
+            decision = batch.certify(msg.txn, msg.sn, candidate, access_set=access_set)
+        else:
+            decision = self.certifier.certify_prepare(
+                msg.txn, msg.sn, candidate, access_set=access_set
+            )
         if not decision.ok:
             self._abort_and_refuse(state, msg, decision.reason, decision.detail)
             return
@@ -417,7 +470,10 @@ class TwoPCAgent:
         if not alive:
             self._abort_and_refuse(state, msg, RefusalReason.NOT_ALIVE, "")
             return
-        self.certifier.insert(msg.txn, msg.sn, candidate, access_set=access_set)
+        if batch is not None:
+            batch.admit(msg.txn, msg.sn, candidate, access_set=access_set)
+        else:
+            self.certifier.insert(msg.txn, msg.sn, candidate, access_set=access_set)
         self.log.write_prepare(msg.txn, msg.sn, self.kernel.now)
         if self.dlu_guard is not None:
             self.dlu_guard.bind(
@@ -781,6 +837,24 @@ class TwoPCAgent:
                         lambda candidate=other: self._guarded_try_commit(candidate)
                     )
 
+    def note_global_end(self, txn: TxnId) -> None:
+        """GC watermark: the coordinator sealed the global END record.
+
+        All acks for ``txn`` are in, so no further message about it can
+        require this agent's per-transaction state.  With
+        ``gc_done_txns`` the DONE entry is dropped (bounding ``_txns``
+        under sustained load); without it this is a no-op, preserving
+        the default refusal behaviour for late stragglers.  Entries not
+        yet DONE are never dropped — a crash-recovered agent may still
+        be driving a resumed commit when the watermark arrives.
+        """
+        if not self.config.gc_done_txns:
+            return
+        state = self._txns.get(txn)
+        if state is not None and state.phase is AgentPhase.DONE:
+            del self._txns[txn]
+            self.done_forgotten += 1
+
     # ------------------------------------------------------------------
     # Agent restart recovery
     # ------------------------------------------------------------------
@@ -801,6 +875,7 @@ class TwoPCAgent:
         self._crashed = True
         self.crashes += 1
         self._epoch += 1
+        self._prepare_queue = []
         # Tell the transport the process is gone: a session layer must
         # stop acknowledging deliveries nobody is listening to, so the
         # senders keep retransmitting until recovery.

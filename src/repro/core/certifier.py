@@ -17,16 +17,44 @@ aborts, messages and timer manipulation the Appendix pseudo-code
 interleaves with them.  All checks are individually switchable so the
 baselines (naive resubmission, no-extension, no-commit-certification)
 are the same code with features off.
+
+Two certification **engines** implement the same decisions:
+
+* ``naive`` — the literal Appendix linear scan, O(table) per check.
+  It is the differential-testing oracle and the default.
+* ``indexed`` — sorted-endpoint + SN indexes (lazy heaps) answering
+  the same queries in O(log n) amortized, with epoch-based GC keeping
+  the index bounded under sustained load.  Decision-for-decision
+  equivalent to ``naive`` (same ``ok``, same ``reason``, same
+  counters); only the *witness* named in ``CertDecision.detail`` may
+  differ, because a refusal can have several witnesses and the index
+  surfaces an extremal one while the scan surfaces the first in
+  insertion order.
+
+Why an endpoint index suffices for the intersection rule: a candidate
+``[s, e]`` fails to intersect *every* interval of some entry iff
+
+* the entry's **maximum end** is ``< s`` (the entry died before the
+  candidate was born), or
+* the entry's **minimum start** is ``> e`` (the entry was born after
+  the candidate died), or
+* the candidate falls entirely inside a **gap** between two of the
+  entry's archived intervals (requires ``max_intervals > 1``).
+
+The first two are answered by one peek at a min-end heap and a
+max-start heap; the third by a linear pass over only the (few) entries
+that actually hold archived intervals.
 """
 
 from __future__ import annotations
 
 import enum
+import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import RefusalReason, SimulationError
+from repro.common.errors import ConfigError, RefusalReason, SimulationError
 from repro.common.ids import SerialNumber, TxnId
 from repro.core.intervals import AliveInterval
 
@@ -38,6 +66,10 @@ class CommitOrderPolicy(enum.Enum):
     SERIAL_NUMBER = "sn"
     #: The rejected alternative: order of entering the prepared state.
     PREPARE_ORDER = "prepare-order"
+
+
+#: Valid values of :attr:`CertifierConfig.engine`.
+CERTIFIER_ENGINES = ("naive", "indexed")
 
 
 @dataclass(frozen=True)
@@ -66,6 +98,14 @@ class CertifierConfig:
     #: why the paper's rule is conflict-blind (Conflict Detection Basis
     #: covers "neither directly nor indirectly conflicting").
     conflict_aware_basic: bool = False
+    #: Certification engine: ``naive`` (the Appendix linear scan, the
+    #: differential oracle) or ``indexed`` (lazy endpoint/SN heaps).
+    engine: str = "naive"
+    #: Indexed engine only: an epoch GC sweep compacts a lazy heap once
+    #: it holds more than ``max(gc_min_entries, gc_stale_factor * live)``
+    #: records, bounding index memory under sustained load.
+    gc_min_entries: int = 64
+    gc_stale_factor: float = 4.0
 
     @staticmethod
     def naive() -> "CertifierConfig":
@@ -101,7 +141,30 @@ class PreparedEntry:
     def intersects(self, candidate: AliveInterval) -> bool:
         """Conflict-freeness holds if the candidate shares an instant
         with *any* known alive interval of this entry."""
-        return any(candidate.intersects(known) for known in self.all_intervals())
+        if candidate.intersects(self.interval):
+            return True
+        for known in self.archive:
+            if candidate.intersects(known):
+                return True
+        return False
+
+
+def _max_end(entry: PreparedEntry) -> float:
+    """Latest end over all of the entry's remembered intervals."""
+    end = entry.interval.end
+    for known in entry.archive:
+        if known.end > end:
+            end = known.end
+    return end
+
+
+def _min_start(entry: PreparedEntry) -> float:
+    """Earliest start over all of the entry's remembered intervals."""
+    start = entry.interval.start
+    for known in entry.archive:
+        if known.start < start:
+            start = known.start
+    return start
 
 
 @dataclass(frozen=True)
@@ -116,13 +179,207 @@ class CertDecision:
         return self.ok
 
 
+class _CertIndex:
+    """Lazy endpoint/SN indexes over the alive interval table.
+
+    Four heaps keyed on values derived from the *current* table entry:
+
+    * ``_ends``   — min-heap of ``(max interval end, txn)``;
+    * ``_starts`` — max-heap of ``(-min interval start, txn)``;
+    * ``_sns``    — min-heap of ``(sn, txn)`` for SN-bearing entries;
+    * ``_seqs``   — min-heap of ``(prepare_seq, txn)``.
+
+    Mutations never delete from the heaps; they push the entry's new
+    key.  A heap record is *valid* iff its transaction is still in the
+    table and its key equals the value re-derived from the live entry.
+    Queries pop invalid records off the top; because every live entry's
+    current key is always present, the first valid top is the true
+    extremum — a stale record can only hide behind it, never shadow it.
+    This holds even when keys move backwards (interval restarts), which
+    matters because certification times are not assumed monotonic.
+
+    ``_gapped`` tracks the entries that hold archived intervals: only
+    those can refuse a candidate that sits between the global bounds
+    (in a gap between two incarnations), so only those need a scan.
+
+    Epoch GC (:meth:`compact`) rebuilds the heaps from the live table
+    once stale records dominate.  It discards exactly the records the
+    validity check would have skipped, so it cannot change any answer.
+    """
+
+    __slots__ = (
+        "_ends",
+        "_starts",
+        "_sns",
+        "_seqs",
+        "_gapped",
+        "_gc_min",
+        "_gc_factor",
+        "compactions",
+        "reclaimed",
+    )
+
+    def __init__(self, gc_min_entries: int, gc_stale_factor: float) -> None:
+        self._ends: List[Tuple[float, TxnId]] = []
+        self._starts: List[Tuple[float, TxnId]] = []
+        self._sns: List[Tuple[SerialNumber, TxnId]] = []
+        self._seqs: List[Tuple[int, TxnId]] = []
+        self._gapped: Dict[TxnId, PreparedEntry] = {}
+        self._gc_min = gc_min_entries
+        self._gc_factor = gc_stale_factor
+        self.compactions = 0
+        self.reclaimed = 0
+
+    # -- maintenance ---------------------------------------------------
+
+    def on_insert(self, entry: PreparedEntry) -> None:
+        heapq.heappush(self._ends, (_max_end(entry), entry.txn))
+        heapq.heappush(self._starts, (-_min_start(entry), entry.txn))
+        if entry.sn is not None:
+            heapq.heappush(self._sns, (entry.sn, entry.txn))
+        heapq.heappush(self._seqs, (entry.prepare_seq, entry.txn))
+        if entry.archive:
+            self._gapped[entry.txn] = entry
+
+    def on_interval_change(self, entry: PreparedEntry) -> None:
+        heapq.heappush(self._ends, (_max_end(entry), entry.txn))
+        heapq.heappush(self._starts, (-_min_start(entry), entry.txn))
+        if entry.archive:
+            self._gapped[entry.txn] = entry
+
+    def on_remove(self, txn: TxnId) -> None:
+        # Heap records die lazily; only the gap set is exact.
+        self._gapped.pop(txn, None)
+
+    def depth(self) -> int:
+        return len(self._ends) + len(self._starts) + len(self._sns) + len(self._seqs)
+
+    def maybe_compact(self, table: Dict[TxnId, PreparedEntry]) -> None:
+        limit = max(self._gc_min, int(self._gc_factor * max(1, len(table))))
+        if (
+            len(self._ends) > limit
+            or len(self._starts) > limit
+            or len(self._sns) > limit
+            or len(self._seqs) > limit
+        ):
+            self.compact(table)
+
+    def compact(self, table: Dict[TxnId, PreparedEntry]) -> None:
+        """Epoch GC: rebuild every heap from the live table."""
+        before = self.depth()
+        entries = list(table.values())
+        self._ends = [(_max_end(e), e.txn) for e in entries]
+        self._starts = [(-_min_start(e), e.txn) for e in entries]
+        self._sns = [(e.sn, e.txn) for e in entries if e.sn is not None]
+        self._seqs = [(e.prepare_seq, e.txn) for e in entries]
+        heapq.heapify(self._ends)
+        heapq.heapify(self._starts)
+        heapq.heapify(self._sns)
+        heapq.heapify(self._seqs)
+        self._gapped = {e.txn: e for e in entries if e.archive}
+        self.compactions += 1
+        self.reclaimed += before - self.depth()
+
+    # -- queries -------------------------------------------------------
+
+    def min_end_entry(
+        self, table: Dict[TxnId, PreparedEntry]
+    ) -> Optional[PreparedEntry]:
+        """The live entry with the earliest maximum interval end."""
+        heap = self._ends
+        while heap:
+            end, txn = heap[0]
+            entry = table.get(txn)
+            if entry is not None and _max_end(entry) == end:
+                return entry
+            heapq.heappop(heap)
+        return None
+
+    def max_start_entry(
+        self, table: Dict[TxnId, PreparedEntry]
+    ) -> Optional[PreparedEntry]:
+        """The live entry with the latest minimum interval start."""
+        heap = self._starts
+        while heap:
+            neg_start, txn = heap[0]
+            entry = table.get(txn)
+            if entry is not None and _min_start(entry) == -neg_start:
+                return entry
+            heapq.heappop(heap)
+        return None
+
+    def gapped_entries(self) -> List[PreparedEntry]:
+        return list(self._gapped.values())
+
+    def miss_witness(
+        self, table: Dict[TxnId, PreparedEntry], candidate: AliveInterval
+    ) -> Optional[PreparedEntry]:
+        """A live entry none of whose intervals intersect ``candidate``,
+        or None if the candidate intersects every entry."""
+        entry = self.min_end_entry(table)
+        if entry is not None and _max_end(entry) < candidate.start:
+            return entry
+        entry = self.max_start_entry(table)
+        if entry is not None and _min_start(entry) > candidate.end:
+            return entry
+        for entry in self._gapped.values():
+            if not entry.intersects(candidate):
+                return entry
+        return None
+
+    def _min_excluding(
+        self,
+        heap: List[tuple],
+        table: Dict[TxnId, PreparedEntry],
+        key_of: Callable[[PreparedEntry], object],
+        pivot: TxnId,
+    ) -> Optional[PreparedEntry]:
+        """The valid heap minimum whose transaction is not ``pivot``."""
+        pivot_record = None
+        result = None
+        while heap:
+            key, txn = heap[0]
+            entry = table.get(txn)
+            if entry is None or key_of(entry) != key:
+                heapq.heappop(heap)
+                continue
+            if txn == pivot:
+                pivot_record = heapq.heappop(heap)
+                continue
+            result = entry
+            break
+        if pivot_record is not None:
+            heapq.heappush(heap, pivot_record)
+        return result
+
+    def min_sn_other(
+        self, table: Dict[TxnId, PreparedEntry], pivot: TxnId
+    ) -> Optional[PreparedEntry]:
+        return self._min_excluding(self._sns, table, lambda e: e.sn, pivot)
+
+    def min_seq_other(
+        self, table: Dict[TxnId, PreparedEntry], pivot: TxnId
+    ) -> Optional[PreparedEntry]:
+        return self._min_excluding(self._seqs, table, lambda e: e.prepare_seq, pivot)
+
+
 class Certifier:
     """Per-site certification state and decisions."""
 
     def __init__(self, site: str, config: Optional[CertifierConfig] = None) -> None:
         self.site = site
         self.config = config or CertifierConfig()
+        if self.config.engine not in CERTIFIER_ENGINES:
+            raise ConfigError(
+                f"unknown certifier engine {self.config.engine!r}; "
+                f"expected one of {CERTIFIER_ENGINES}"
+            )
         self._table: Dict[TxnId, PreparedEntry] = {}
+        self._index: Optional[_CertIndex] = (
+            _CertIndex(self.config.gc_min_entries, self.config.gc_stale_factor)
+            if self.config.engine == "indexed"
+            else None
+        )
         self._max_committed_sn: Optional[SerialNumber] = None
         self._prepare_seq = itertools.count()
         self._max_committed_prepare_seq = -1
@@ -156,7 +413,13 @@ class Certifier:
         self.prepare_checks += 1
         if txn in self._table:
             raise SimulationError(f"{txn} is already in the prepared state at {self.site}")
+        refusal = self._check_extension(sn)
+        if refusal is not None:
+            return refusal
+        return self._check_basic(candidate, access_set)
 
+    def _check_extension(self, sn: Optional[SerialNumber]) -> Optional[CertDecision]:
+        """The extension: refuse a PREPARE below a committed SN."""
         if self.config.prepare_extension and sn is not None:
             if self._max_committed_sn is not None and sn < self._max_committed_sn:
                 self.prepare_refusals_extension += 1
@@ -168,29 +431,47 @@ class Certifier:
                         f"{self._max_committed_sn}"
                     ),
                 )
+        return None
 
-        if self.config.basic_prepare:
-            for entry in self._table.values():
-                if entry.intersects(candidate):
-                    continue
-                if self.config.conflict_aware_basic and not (
-                    access_set & entry.access_set
-                ):
-                    # The unsound shortcut: "their access sets are
-                    # disjoint, so they cannot conflict" — blind to
-                    # indirect conflicts through local transactions.
-                    continue
-                self.prepare_refusals_intersection += 1
-                return CertDecision(
-                    ok=False,
-                    reason=RefusalReason.ALIVE_INTERSECTION,
-                    detail=(
-                        f"candidate {candidate} does not intersect any "
-                        f"known alive interval of {entry.txn.label} "
-                        f"(latest {entry.interval})"
-                    ),
-                )
+    def _check_basic(
+        self, candidate: AliveInterval, access_set: frozenset
+    ) -> CertDecision:
+        """The alive time intersection rule over the whole table."""
+        if not self.config.basic_prepare:
+            return CertDecision(ok=True)
+        if self._index is not None and not self.config.conflict_aware_basic:
+            # The conflict-aware ablation needs per-entry access sets on
+            # every miss, so it stays on the linear scan below.
+            witness = self._index.miss_witness(self._table, candidate)
+            if witness is not None:
+                return self._refuse_intersection(witness, candidate)
+            return CertDecision(ok=True)
+        for entry in self._table.values():
+            if entry.intersects(candidate):
+                continue
+            if self.config.conflict_aware_basic and not (
+                access_set & entry.access_set
+            ):
+                # The unsound shortcut: "their access sets are
+                # disjoint, so they cannot conflict" — blind to
+                # indirect conflicts through local transactions.
+                continue
+            return self._refuse_intersection(entry, candidate)
         return CertDecision(ok=True)
+
+    def _refuse_intersection(
+        self, entry: PreparedEntry, candidate: AliveInterval
+    ) -> CertDecision:
+        self.prepare_refusals_intersection += 1
+        return CertDecision(
+            ok=False,
+            reason=RefusalReason.ALIVE_INTERSECTION,
+            detail=(
+                f"candidate {candidate} does not intersect any "
+                f"known alive interval of {entry.txn.label} "
+                f"(latest {entry.interval})"
+            ),
+        )
 
     def insert(
         self,
@@ -210,7 +491,19 @@ class Certifier:
             access_set=access_set,
         )
         self._table[txn] = entry
+        if self._index is not None:
+            self._index.on_insert(entry)
+            self._index.maybe_compact(self._table)
         return entry
+
+    def begin_prepare_batch(self) -> "PrepareBatch":
+        """Start certifying a group of PREPAREs with one index pass.
+
+        See :class:`PrepareBatch`.  Under the naive engine (or the
+        conflict-aware ablation) the batch transparently degrades to
+        per-call :meth:`certify_prepare`, so it is always safe to use.
+        """
+        return PrepareBatch(self)
 
     # ------------------------------------------------------------------
     # Alive interval maintenance (Appendix A)
@@ -220,6 +513,9 @@ class Certifier:
         """A successful alive check: move the interval's end to ``now``."""
         entry = self._entry(txn)
         entry.interval = entry.interval.extended_to(now)
+        if self._index is not None:
+            self._index.on_interval_change(entry)
+            self._index.maybe_compact(self._table)
 
     def restart_interval(self, txn: TxnId, now: float) -> None:
         """Resubmission complete: "a new interval is always initiated
@@ -235,6 +531,9 @@ class Certifier:
             keep = self.config.max_intervals - 1
             entry.archive = entry.archive[-keep:]
         entry.interval = AliveInterval.instant(now)
+        if self._index is not None:
+            self._index.on_interval_change(entry)
+            self._index.maybe_compact(self._table)
 
     # ------------------------------------------------------------------
     # Commit certification (Appendix C)
@@ -252,8 +551,10 @@ class Certifier:
         entry = self._entry(txn)
         if not self.config.commit_certification:
             return CertDecision(ok=True)
+        if self._index is not None:
+            return self._certify_commit_indexed(entry)
         for other in self._table.values():
-            if other.txn == txn:
+            if other is entry:
                 continue
             if self.config.commit_order is CommitOrderPolicy.SERIAL_NUMBER:
                 if entry.sn is None or other.sn is None:
@@ -273,6 +574,31 @@ class Certifier:
                         ok=False,
                         detail=f"{other.txn.label} prepared earlier",
                     )
+        return CertDecision(ok=True)
+
+    def _certify_commit_indexed(self, entry: PreparedEntry) -> CertDecision:
+        """Commit certification via one peek at the SN/seq heap."""
+        assert self._index is not None
+        if self.config.commit_order is CommitOrderPolicy.SERIAL_NUMBER:
+            if entry.sn is None:
+                return CertDecision(ok=True)
+            other = self._index.min_sn_other(self._table, entry.txn)
+            if other is not None and other.sn is not None and other.sn < entry.sn:
+                self.commit_delays += 1
+                return CertDecision(
+                    ok=False,
+                    detail=(
+                        f"{other.txn.label} holds smaller {other.sn} < {entry.sn}"
+                    ),
+                )
+        else:
+            other = self._index.min_seq_other(self._table, entry.txn)
+            if other is not None and other.prepare_seq < entry.prepare_seq:
+                self.commit_delays += 1
+                return CertDecision(
+                    ok=False,
+                    detail=f"{other.txn.label} prepared earlier",
+                )
         return CertDecision(ok=True)
 
     def restore_max_committed_sn(self, sn: Optional[SerialNumber]) -> None:
@@ -296,7 +622,39 @@ class Certifier:
 
     def remove(self, txn: TxnId) -> None:
         """Drop ``txn`` from the table (local commit done or rollback)."""
-        self._table.pop(txn, None)
+        entry = self._table.pop(txn, None)
+        if entry is not None and self._index is not None:
+            self._index.on_remove(txn)
+            self._index.maybe_compact(self._table)
+
+    # ------------------------------------------------------------------
+    # Index introspection / garbage collection
+    # ------------------------------------------------------------------
+
+    def collect_garbage(self) -> int:
+        """Force an epoch GC sweep; returns reclaimed index records.
+
+        A no-op (returns 0) under the naive engine, which keeps no
+        index.  Safe at any point: compaction only drops records the
+        lazy validity check would have skipped anyway.
+        """
+        if self._index is None:
+            return 0
+        before = self._index.reclaimed
+        self._index.compact(self._table)
+        return self._index.reclaimed - before
+
+    def index_depth(self) -> int:
+        """Total records currently held across the lazy heaps (0 = naive)."""
+        return self._index.depth() if self._index is not None else 0
+
+    @property
+    def gc_compactions(self) -> int:
+        return self._index.compactions if self._index is not None else 0
+
+    @property
+    def gc_reclaimed(self) -> int:
+        return self._index.reclaimed if self._index is not None else 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -326,3 +684,90 @@ class Certifier:
 
     def table_size(self) -> int:
         return len(self._table)
+
+
+class PrepareBatch:
+    """Certify a group of commuting PREPAREs with one index pass.
+
+    The batch snapshots the table's extremal entries (min end, max
+    start, gapped entries) once, then answers each member's basic check
+    in O(1) against the snapshot plus the *running bounds* of members
+    already admitted: a candidate intersects every admitted
+    single-interval entry iff its start is ≤ the minimum admitted end
+    and its end is ≥ the maximum admitted start.  Admitting a member
+    (:meth:`admit`) inserts it into the table and folds its endpoints
+    into the running bounds, so later members are checked against it
+    without touching the index again.
+
+    Decision-equivalent to calling :meth:`Certifier.certify_prepare`
+    then :meth:`Certifier.insert` sequentially for each member (same
+    ``ok``/``reason``/counters; the refusal witness may differ).  Under
+    the naive engine — or when the conflict-aware ablation or a
+    disabled basic check makes the snapshot useless — every call
+    degrades to the sequential path.
+    """
+
+    def __init__(self, certifier: Certifier) -> None:
+        self._certifier = certifier
+        self._snapshot = False
+        self._min_end: Optional[Tuple[float, PreparedEntry]] = None
+        self._max_start: Optional[Tuple[float, PreparedEntry]] = None
+        self._gapped: List[PreparedEntry] = []
+        index = certifier._index
+        config = certifier.config
+        if (
+            index is not None
+            and config.basic_prepare
+            and not config.conflict_aware_basic
+        ):
+            self._snapshot = True
+            low = index.min_end_entry(certifier._table)
+            if low is not None:
+                self._min_end = (_max_end(low), low)
+            high = index.max_start_entry(certifier._table)
+            if high is not None:
+                self._max_start = (_min_start(high), high)
+            self._gapped = index.gapped_entries()
+
+    def certify(
+        self,
+        txn: TxnId,
+        sn: Optional[SerialNumber],
+        candidate: AliveInterval,
+        access_set: frozenset = frozenset(),
+    ) -> CertDecision:
+        certifier = self._certifier
+        if not self._snapshot:
+            return certifier.certify_prepare(txn, sn, candidate, access_set=access_set)
+        certifier.prepare_checks += 1
+        if txn in certifier._table:
+            raise SimulationError(
+                f"{txn} is already in the prepared state at {certifier.site}"
+            )
+        refusal = certifier._check_extension(sn)
+        if refusal is not None:
+            return refusal
+        if self._min_end is not None and self._min_end[0] < candidate.start:
+            return certifier._refuse_intersection(self._min_end[1], candidate)
+        if self._max_start is not None and self._max_start[0] > candidate.end:
+            return certifier._refuse_intersection(self._max_start[1], candidate)
+        for entry in self._gapped:
+            if not entry.intersects(candidate):
+                return certifier._refuse_intersection(entry, candidate)
+        return CertDecision(ok=True)
+
+    def admit(
+        self,
+        txn: TxnId,
+        sn: Optional[SerialNumber],
+        interval: AliveInterval,
+        access_set: frozenset = frozenset(),
+    ) -> PreparedEntry:
+        """Insert an accepted member and fold it into the running bounds."""
+        entry = self._certifier.insert(txn, sn, interval, access_set=access_set)
+        if self._snapshot:
+            if self._min_end is None or interval.end < self._min_end[0]:
+                self._min_end = (interval.end, entry)
+            if self._max_start is None or interval.start > self._max_start[0]:
+                self._max_start = (interval.start, entry)
+        return entry

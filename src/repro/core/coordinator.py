@@ -27,7 +27,7 @@ Two extension points serve the baselines:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.errors import (
     RefusalReason,
@@ -263,6 +263,10 @@ class Coordinator:
         #: "recorded, in a stable storage, the decision").  Counted so
         #: the force-write I/O accounting covers both ends of 2PC.
         self.decisions_logged = 0
+        #: Fired when the global END record is sealed (every ack is in):
+        #: the GC watermark — no site can still need state for the
+        #: transaction, so agents may forget it.
+        self.on_end_observers: List[Callable[[TxnId], None]] = []
         network.register(self.address, self._on_message, replace=takeover)
 
     # ------------------------------------------------------------------
@@ -382,6 +386,8 @@ class Coordinator:
     def _log_end(self, txn: TxnId) -> None:
         if self.decision_log is not None:
             self.decision_log.log_end(txn)
+        for observer in self.on_end_observers:
+            observer(txn)
 
     # ------------------------------------------------------------------
     # Quarantine (failure-detector integration)

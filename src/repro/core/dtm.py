@@ -111,6 +111,12 @@ class SystemConfig:
     #: paper's "several of them might be stored" optimization; 1 = the
     #: paper's easiest implementation).
     max_intervals: int = 1
+    #: Certification engine at every site: ``naive`` (the Appendix
+    #: linear scan, the differential oracle and golden default) or
+    #: ``indexed`` (endpoint/SN heaps with epoch GC, O(log n)/check).
+    #: Both produce identical decisions; ``indexed`` is also
+    #: event-for-event identical because certification is synchronous.
+    certifier_engine: str = "naive"
     #: Opt into real on-disk WALs for the Agent logs and the
     #: coordinators' decision logs (None = in-memory simulation, the
     #: deterministic-golden default).
@@ -142,6 +148,11 @@ class SystemConfig:
             raise ConfigError("duplicate site names")
         if self.n_coordinators < 1:
             raise ConfigError("need at least one coordinator")
+        if self.certifier_engine not in ("naive", "indexed"):
+            raise ConfigError(
+                f"unknown certifier engine {self.certifier_engine!r}; "
+                "pick 'naive' or 'indexed'"
+            )
         for overrides in (self.ltm_overrides, self.agent_overrides):
             unknown = set(overrides) - set(self.sites)
             if unknown:
@@ -239,6 +250,7 @@ class MultidatabaseSystem:
         cert_config = replace(
             certifier_config_for(config.method),
             max_intervals=config.max_intervals,
+            engine=config.certifier_engine,
         )
         static_denied = (
             frozenset(config.cgm_gu_tables)
@@ -351,6 +363,16 @@ class MultidatabaseSystem:
                     breakers=self.breakers,
                 )
             )
+        # GC watermark plumbing: a sealed global END record means every
+        # ack is in, so agents may forget the transaction (only acted on
+        # when AgentConfig.gc_done_txns is set).
+        def _note_global_end(txn: TxnId) -> None:
+            for agent in self.agents.values():
+                agent.note_global_end(txn)
+
+        for coordinator in self.coordinators:
+            coordinator.on_end_observers.append(_note_global_end)
+
         self.failure_detector: Optional[FailureDetector] = None
         if config.failure_detector is not None:
 

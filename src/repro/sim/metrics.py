@@ -45,6 +45,17 @@ class SystemMetrics:
     alive_checks: int = 0
     prepare_checks: int = 0
     commit_delays: int = 0
+    # -- indexed certification engine (all 0 under the naive engine) ---
+    #: Records currently held across the certifiers' lazy index heaps.
+    cert_index_depth: int = 0
+    #: Epoch GC sweeps (index compactions) across all certifiers.
+    cert_gc_compactions: int = 0
+    #: Stale index records reclaimed by epoch GC.
+    cert_gc_reclaimed: int = 0
+    #: PREPARE groups certified as one batch (AgentConfig.batch_prepares).
+    prepare_batches: int = 0
+    #: DONE agent entries dropped on the END watermark (gc_done_txns).
+    done_txns_forgotten: int = 0
     dlu_denials: int = 0
     dlu_blocks: int = 0
     messages: int = 0
@@ -157,6 +168,11 @@ def collect_metrics(
         metrics.lock_timeouts += ltm.locks.timeouts
         metrics.prepare_checks += certifier.prepare_checks
         metrics.commit_delays += certifier.commit_delays
+        metrics.cert_index_depth += certifier.index_depth()
+        metrics.cert_gc_compactions += certifier.gc_compactions
+        metrics.cert_gc_reclaimed += certifier.gc_reclaimed
+        metrics.prepare_batches += agent.prepare_batches
+        metrics.done_txns_forgotten += agent.done_forgotten
         metrics.dlu_denials += guard.denials
         metrics.dlu_blocks += guard.blocks
         metrics.force_writes += agent.log.force_writes

@@ -300,6 +300,192 @@ def _bench_full_2pc_round_trip() -> bool:
     return done.value.committed
 
 
+# ----------------------------------------------------------------------
+# Certifier micro-benchmarks (naive vs indexed engines)
+# ----------------------------------------------------------------------
+
+#: Table sizes of the certifier ops/s trajectory (ISSUE 6).
+CERTIFIER_TABLE_SIZES = (100, 1_000, 10_000)
+#: Probes per measurement, scaled down as the table grows so the naive
+#: O(table) scan stays affordable; ops/s normalizes the comparison.
+_CERTIFIER_CHECKS = {100: 5_000, 1_000: 500, 10_000: 100}
+
+
+def _certifier_checks_for(size: int) -> int:
+    return _CERTIFIER_CHECKS.get(size, max(50, 500_000 // size))
+
+
+def _build_certifier(engine: str, table_size: int):
+    from repro.common.ids import SerialNumber, global_txn
+    from repro.core.certifier import Certifier, CertifierConfig
+    from repro.core.intervals import AliveInterval
+
+    certifier = Certifier("bench", CertifierConfig(engine=engine))
+    for i in range(table_size):
+        certifier.insert(
+            global_txn(i + 1),
+            SerialNumber(float(i + 1), "c1", i),
+            AliveInterval(0.0, 1e9),
+        )
+    return certifier
+
+
+def _make_certify_prepare_bench(
+    engine: str, table_size: int, checks: int
+) -> Callable[[], int]:
+    """Probe a populated table with intersecting candidates.
+
+    ``certify_prepare`` never mutates the table, so the certifier is
+    built once and only the probes are measured.
+    """
+    state: Dict[str, object] = {}
+
+    def bench() -> int:
+        from repro.common.ids import SerialNumber, global_txn
+        from repro.core.intervals import AliveInterval
+
+        certifier = state.get("certifier")
+        if certifier is None:
+            certifier = state["certifier"] = _build_certifier(engine, table_size)
+        candidate = AliveInterval(1.0, 2.0)  # intersects every entry
+        probe_sn = SerialNumber(float(table_size + 1), "c1", 0)
+        base = table_size + 1
+        ok = 0
+        for i in range(checks):
+            decision = certifier.certify_prepare(
+                global_txn(base + i), probe_sn, candidate
+            )
+            ok += decision.ok
+        return ok
+
+    return bench
+
+
+def _make_certify_commit_bench(
+    engine: str, table_size: int, checks: int
+) -> Callable[[], int]:
+    """Commit-certify the minimum-SN pivot: the naive scan must visit
+    every other entry before it can say yes."""
+    state: Dict[str, object] = {}
+
+    def bench() -> int:
+        from repro.common.ids import global_txn
+
+        certifier = state.get("certifier")
+        if certifier is None:
+            certifier = state["certifier"] = _build_certifier(engine, table_size)
+        pivot = global_txn(1)
+        ok = 0
+        for _ in range(checks):
+            ok += certifier.certify_commit(pivot).ok
+        return ok
+
+    return bench
+
+
+def certifier_series(
+    sizes=CERTIFIER_TABLE_SIZES, repeats: int = 3
+) -> List[Dict[str, object]]:
+    """The certifier ops/s trajectory: naive vs indexed at each size."""
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        checks = _certifier_checks_for(size)
+        for engine in ("naive", "indexed"):
+            prepare = _measure(
+                f"certify_prepare_{engine}_{size}",
+                _make_certify_prepare_bench(engine, size, checks),
+                checks,
+                repeats,
+            )
+            commit = _measure(
+                f"certify_commit_{engine}_{size}",
+                _make_certify_commit_bench(engine, size, checks),
+                checks,
+                repeats,
+            )
+            rows.append(
+                {
+                    "engine": engine,
+                    "table_size": size,
+                    "checks": checks,
+                    "repeats": repeats,
+                    "prepare_ops_per_s": prepare.ops_per_s,
+                    "prepare_best_wall_s": prepare.best_wall_s,
+                    "commit_ops_per_s": commit.ops_per_s,
+                    "commit_best_wall_s": commit.best_wall_s,
+                }
+            )
+    return rows
+
+
+def run_certifier_soak(
+    n_txns: int, window: int = 512, engine: str = "indexed"
+) -> Dict[str, object]:
+    """Windowed certifier soak: ``n_txns`` transactions streamed through
+    one certifier with ``window`` entries in flight.
+
+    Every transaction is prepare-certified and inserted; a handful of
+    the oldest live intervals are extended each step (alive-check
+    churn) and an occasional entry is restarted (resubmission churn,
+    exercising the archive with ``max_intervals=2``); once the window
+    is full the oldest entry is commit-certified, committed and
+    removed.  Returns the decision counts plus the high-water marks
+    proving the table — and under the indexed engine the lazy index —
+    stayed bounded (the epoch GC acceptance criterion).
+    """
+    from collections import deque
+
+    from repro.common.ids import SerialNumber, global_txn
+    from repro.core.certifier import Certifier, CertifierConfig
+    from repro.core.intervals import AliveInterval
+
+    certifier = Certifier(
+        "soak", CertifierConfig(engine=engine, max_intervals=2)
+    )
+    live: deque = deque()
+    admitted = refused = committed = 0
+    max_table = max_depth = 0
+    for i in range(n_txns):
+        now = float(i + 1)
+        txn = global_txn(i + 1)
+        sn = SerialNumber(now, "c1", 0)
+        candidate = AliveInterval(0.0, now)
+        if certifier.certify_prepare(txn, sn, candidate).ok:
+            certifier.insert(txn, sn, candidate)
+            live.append(txn)
+            admitted += 1
+        else:
+            refused += 1
+        for j in range(min(4, len(live))):
+            certifier.extend_interval(live[j], now)
+        if i % 97 == 0 and live:
+            certifier.restart_interval(live[-1], now)
+        if len(live) > window:
+            oldest = live.popleft()
+            if certifier.certify_commit(oldest).ok:
+                certifier.record_local_commit(oldest)
+                committed += 1
+            certifier.remove(oldest)
+        if certifier.table_size() > max_table:
+            max_table = certifier.table_size()
+        depth = certifier.index_depth()
+        if depth > max_depth:
+            max_depth = depth
+    while live:
+        certifier.remove(live.popleft())
+    return {
+        "window": window,
+        "admitted": admitted,
+        "refused": refused,
+        "committed": committed,
+        "max_table_size": max_table,
+        "max_index_depth": max_depth,
+        "final_index_depth": certifier.index_depth(),
+        "gc_compactions": certifier.gc_compactions,
+        "gc_reclaimed": certifier.gc_reclaimed,
+    }
+
+
 _KERNEL_BENCHES = [
     ("kernel_schedule_fire", _bench_kernel_schedule_fire, 10_000),
     ("kernel_pending_poll", _bench_kernel_pending_poll, 100_000),
@@ -312,6 +498,27 @@ _KERNEL_BENCHES = [
     ("viewser_check", _bench_viewser_check, 1),
     ("full_2pc_round_trip", _bench_full_2pc_round_trip, 1),
 ]
+
+# The certifier ops/s trajectory rides in the kernel suite so it lands
+# in BENCH_kernel.json on every `python -m repro bench` run.
+for _engine in ("naive", "indexed"):
+    for _size in CERTIFIER_TABLE_SIZES:
+        _checks = _certifier_checks_for(_size)
+        _KERNEL_BENCHES.append(
+            (
+                f"certify_prepare_{_engine}_{_size}",
+                _make_certify_prepare_bench(_engine, _size, _checks),
+                _checks,
+            )
+        )
+    _KERNEL_BENCHES.append(
+        (
+            f"certify_commit_{_engine}_10000",
+            _make_certify_commit_bench(_engine, 10_000, 100),
+            100,
+        )
+    )
+del _engine, _size, _checks
 
 
 # ----------------------------------------------------------------------
@@ -358,7 +565,9 @@ def run_kernel_suite(repeats: int = 5) -> List[BenchResult]:
     ]
 
 
-def run_e2e_suite(repeats: int = 3) -> List[Dict[str, object]]:
+def run_e2e_suite(
+    repeats: int = 3, soak_txns: int = 100_000
+) -> List[Dict[str, object]]:
     rows: List[Dict[str, object]] = []
     for name, method, n_global, seed in _E2E_BENCHES:
         _run_workload(method, n_global, seed)  # warm-up
@@ -390,6 +599,25 @@ def run_e2e_suite(repeats: int = 3) -> List[Dict[str, object]]:
             row["seed_txns_per_s"] = base_rate
             row["speedup_vs_seed"] = row["txns_per_s"] / base_rate
         rows.append(row)
+    if soak_txns:
+        # The certifier soak runs once (it is a bound check, not a
+        # timing race): the table and index must stay bounded.
+        start = time.perf_counter()
+        stats = run_certifier_soak(soak_txns)
+        wall = time.perf_counter() - start
+        rows.append(
+            {
+                "name": f"certifier_soak_{soak_txns // 1000}k",
+                "engine": "indexed",
+                "n_txns": soak_txns,
+                "repeats": 1,
+                "best_wall_s": wall,
+                "mean_wall_s": wall,
+                "ops_per_s": soak_txns / wall if wall else 0.0,
+                "txns_per_s": soak_txns / wall if wall else 0.0,
+                **stats,
+            }
+        )
     return rows
 
 
@@ -406,6 +634,7 @@ def write_artifacts(
     """
     if quick:
         repeats, e2e_repeats = 2, 1
+    soak_txns = 10_000 if quick else 100_000
     os.makedirs(out_dir, exist_ok=True)
     written: Dict[str, str] = {}
 
@@ -424,7 +653,7 @@ def write_artifacts(
         handle.write("\n")
     written["kernel"] = path
 
-    e2e_rows = run_e2e_suite(repeats=e2e_repeats)
+    e2e_rows = run_e2e_suite(repeats=e2e_repeats, soak_txns=soak_txns)
     e2e_doc = {
         "schema": SCHEMA,
         "kind": "e2e",

@@ -43,11 +43,22 @@ def run_seeded_workload(
     method: str = "2cm",
     failures: float = 0.0,
     retry_aborted: int = 1,
+    **config_overrides,
 ) -> SimulationResult:
-    """One fully seeded end-to-end run (the determinism workhorse)."""
+    """One fully seeded end-to-end run (the determinism workhorse).
+
+    Extra keyword arguments land on :class:`SystemConfig` — used by the
+    equivalence tests (e.g. ``certifier_engine="indexed"``).
+    """
     sites = ("a", "b", "c")
     system = MultidatabaseSystem(
-        SystemConfig(sites=sites, n_coordinators=2, method=method, seed=seed)
+        SystemConfig(
+            sites=sites,
+            n_coordinators=2,
+            method=method,
+            seed=seed,
+            **config_overrides,
+        )
     )
     if failures > 0:
         from repro.sim.failures import RandomFailureInjector

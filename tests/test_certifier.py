@@ -16,9 +16,15 @@ def sn(value, site="c1"):
     return SerialNumber(float(value), site, 0)
 
 
+@pytest.fixture(params=["naive", "indexed"])
+def engine(request):
+    """Every decision test runs under both certification engines."""
+    return request.param
+
+
 @pytest.fixture
-def certifier():
-    return Certifier("a")
+def certifier(engine):
+    return Certifier("a", CertifierConfig(engine=engine))
 
 
 class TestBasicPrepare:
@@ -54,8 +60,10 @@ class TestBasicPrepare:
         )
         assert not decision.ok  # misses T1's interval
 
-    def test_disabled_basic_accepts_disjoint(self):
-        certifier = Certifier("a", CertifierConfig(basic_prepare=False))
+    def test_disabled_basic_accepts_disjoint(self, engine):
+        certifier = Certifier(
+            "a", CertifierConfig(basic_prepare=False, engine=engine)
+        )
         certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
         decision = certifier.certify_prepare(
             global_txn(2), sn(2), AliveInterval(11, 20)
@@ -100,8 +108,10 @@ class TestPrepareExtension:
         )
         assert not decision.ok
 
-    def test_disabled_extension_accepts_out_of_order(self):
-        certifier = Certifier("a", CertifierConfig(prepare_extension=False))
+    def test_disabled_extension_accepts_out_of_order(self, engine):
+        certifier = Certifier(
+            "a", CertifierConfig(prepare_extension=False, engine=engine)
+        )
         certifier.insert(global_txn(8), sn(50), AliveInterval(0, 10))
         certifier.record_local_commit(global_txn(8))
         certifier.remove(global_txn(8))
@@ -139,8 +149,10 @@ class TestCommitCertification:
         certifier.remove(global_txn(1))
         assert certifier.certify_commit(global_txn(2)).ok
 
-    def test_disabled_commit_cert_always_passes(self):
-        certifier = Certifier("a", CertifierConfig(commit_certification=False))
+    def test_disabled_commit_cert_always_passes(self, engine):
+        certifier = Certifier(
+            "a", CertifierConfig(commit_certification=False, engine=engine)
+        )
         certifier.insert(global_txn(1), sn(10), AliveInterval(0, 10))
         certifier.insert(global_txn(2), sn(20), AliveInterval(0, 10))
         assert certifier.certify_commit(global_txn(2)).ok
@@ -153,24 +165,25 @@ class TestCommitCertification:
 class TestPrepareOrderPolicy:
     """The rejected alternative: commit in prepared order."""
 
-    def make(self):
+    def make(self, engine):
         return Certifier(
             "a",
             CertifierConfig(
                 prepare_extension=False,
                 commit_order=CommitOrderPolicy.PREPARE_ORDER,
+                engine=engine,
             ),
         )
 
-    def test_earlier_prepared_commits_first(self):
-        certifier = self.make()
+    def test_earlier_prepared_commits_first(self, engine):
+        certifier = self.make(engine)
         certifier.insert(global_txn(1), None, AliveInterval(0, 10))
         certifier.insert(global_txn(2), None, AliveInterval(0, 10))
         assert certifier.certify_commit(global_txn(1)).ok
         assert not certifier.certify_commit(global_txn(2)).ok
 
-    def test_order_independent_of_sn(self):
-        certifier = self.make()
+    def test_order_independent_of_sn(self, engine):
+        certifier = self.make(engine)
         certifier.insert(global_txn(1), sn(99), AliveInterval(0, 10))
         certifier.insert(global_txn(2), sn(1), AliveInterval(0, 10))
         # T1 prepared first: it goes first despite the bigger SN.
@@ -211,11 +224,13 @@ class TestMultipleIntervals:
     """The paper's optional optimization: remember several alive
     intervals per prepared subtransaction."""
 
-    def make(self, max_intervals):
-        return Certifier("a", CertifierConfig(max_intervals=max_intervals))
+    def make(self, max_intervals, engine):
+        return Certifier(
+            "a", CertifierConfig(max_intervals=max_intervals, engine=engine)
+        )
 
-    def test_single_interval_forgets_history(self):
-        certifier = self.make(1)
+    def test_single_interval_forgets_history(self, engine):
+        certifier = self.make(1, engine)
         certifier.insert(global_txn(1), sn(1), AliveInterval(0, 50))
         certifier.restart_interval(global_txn(1), 80.0)
         # Candidate overlapping only the OLD incarnation's aliveness:
@@ -224,8 +239,8 @@ class TestMultipleIntervals:
         )
         assert not decision.ok  # unnecessary refusal
 
-    def test_archived_interval_avoids_unnecessary_refusal(self):
-        certifier = self.make(3)
+    def test_archived_interval_avoids_unnecessary_refusal(self, engine):
+        certifier = self.make(3, engine)
         certifier.insert(global_txn(1), sn(1), AliveInterval(0, 50))
         certifier.restart_interval(global_txn(1), 80.0)
         decision = certifier.certify_prepare(
@@ -233,8 +248,8 @@ class TestMultipleIntervals:
         )
         assert decision.ok  # the archive remembers [0, 50]
 
-    def test_archive_bounded(self):
-        certifier = self.make(2)  # 1 archived + 1 current
+    def test_archive_bounded(self, engine):
+        certifier = self.make(2, engine)  # 1 archived + 1 current
         certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
         certifier.restart_interval(global_txn(1), 20.0)
         certifier.restart_interval(global_txn(1), 40.0)
@@ -243,8 +258,8 @@ class TestMultipleIntervals:
         # The oldest interval [0, 10] was evicted.
         assert AliveInterval(0, 10) not in entry_intervals
 
-    def test_current_interval_still_extended(self):
-        certifier = self.make(3)
+    def test_current_interval_still_extended(self, engine):
+        certifier = self.make(3, engine)
         certifier.insert(global_txn(1), sn(1), AliveInterval(0, 10))
         certifier.restart_interval(global_txn(1), 30.0)
         certifier.extend_interval(global_txn(1), 45.0)

@@ -431,6 +431,10 @@ def main(argv=None) -> int:
 
     add_wal_parser(sub)
 
+    from repro.rt.cli import add_rt_parsers
+
+    add_rt_parsers(sub)
+
     args = parser.parse_args(argv)
     if getattr(args, "run", None) is not None:
         return args.run(args)

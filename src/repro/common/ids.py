@@ -57,6 +57,13 @@ class TxnId:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Rebuild through __init__ so the cached hash is recomputed in
+        # the *unpickling* process: str hashes are salted per process,
+        # so a hash cached before a pickle boundary (journal replay,
+        # wire transfer) would poison set/dict lookups after it.
+        return (self.__class__, (self.number, self.is_local, self.site))
+
     @property
     def label(self) -> str:
         """Paper-style label: ``T1`` for global, ``L4`` for local."""
@@ -100,6 +107,11 @@ class SubtxnId:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        # See TxnId.__reduce__: never let a cached hash cross a pickle
+        # boundary.
+        return (self.__class__, (self.txn, self.site, self.incarnation))
 
     @property
     def label(self) -> str:
@@ -153,6 +165,11 @@ class DataItemId:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        # See TxnId.__reduce__: never let a cached hash cross a pickle
+        # boundary.
+        return (self.__class__, (self.table, self.key))
 
     @property
     def label(self) -> str:

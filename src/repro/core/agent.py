@@ -140,6 +140,10 @@ class _AgentTxn:
     resubmit_failures: int = 0
     #: The GIVEUP escalation was sent (at most once per subtransaction).
     giveup_sent: bool = False
+    #: Rebuilt from the WAL by recover(): a duplicate BEGIN for this
+    #: entry is an at-least-once redelivery whose ack died with the
+    #: previous process, not a protocol violation.
+    recovered: bool = False
     #: An eager commit-certification retry is already queued; further
     #: interval-table changes must not queue another (coalescing).
     retry_armed: bool = False
@@ -215,6 +219,8 @@ class TwoPCAgent:
         self.restarts = 0
         self.crashes = 0
         self.prepare_batches = 0
+        #: Duplicate BEGINs dropped for WAL-recovered entries.
+        self.begin_redeliveries = 0
         #: DONE entries dropped on the coordinator's END watermark.
         self.done_forgotten = 0
         network.register(self.address, self._on_message)
@@ -287,7 +293,14 @@ class TwoPCAgent:
     # ------------------------------------------------------------------
 
     def _on_begin(self, msg: Message) -> None:
-        if msg.txn in self._txns:
+        existing = self._txns.get(msg.txn)
+        if existing is not None:
+            if existing.recovered:
+                # The pre-crash ack died with the process; the sender
+                # redelivered. The WAL already reopened this entry —
+                # drop the duplicate so the sender's window drains.
+                self.begin_redeliveries += 1
+                return
             raise SimulationError(f"duplicate BEGIN for {msg.txn} at {self.site}")
         local = self.ltm.begin(SubtxnId(msg.txn, self.site, 0))
         self._txns[msg.txn] = _AgentTxn(
@@ -964,6 +977,7 @@ class TwoPCAgent:
                 commit_pending=entry.committed,
                 commit_record_written=entry.committed,
                 sn=entry.prepare_sn,
+                recovered=True,
             )
             self._txns[entry.txn] = state
             recovered += 1

@@ -153,6 +153,56 @@ class SessionLayer:
     def note_endpoint_up(self, address: str) -> None:
         self._down.discard(address)
 
+    def reset_peer(self, address: str) -> int:
+        """The process behind ``address`` restarted: resynchronise.
+
+        A restarted process lost its receiver-side reassembly cursors,
+        so retransmissions stamped with the old ``(epoch, seq)`` would
+        park in its fresh reorder buffer forever (the new incarnation
+        expects ``(0, 0)``).  Bump the send epoch towards ``address``
+        and re-stamp + retransmit the whole unacked window under the
+        new epoch, in order — the receiver resynchronises on the higher
+        epoch and sees every pending message exactly once.  Receive
+        state *from* ``address`` is forgotten too: the dead
+        incarnation's stream never continues, and its successor opens
+        with a fresh epoch of its own.
+
+        Returns the number of send channels reset.  Callers (the
+        runtime's :class:`repro.rt.host.ProtocolHost`) must invoke this
+        once per detected restart — e.g. keyed on a boot-id change —
+        so the epoch bumps exactly once per incarnation.
+        """
+        reset = 0
+        for channel, state in self._send_states.items():
+            if channel[1] != address:
+                continue
+            reset += 1
+            state.epoch += 1
+            pending = list(state.unacked.values())
+            state.unacked.clear()
+            state.next_seq = 0
+            state.retries = 0
+            state.rto = self.config.rto
+            if state.timer is not None:
+                state.timer.cancel()
+                state.timer = None
+            for message in pending:
+                message.session = (state.epoch, state.next_seq)
+                state.next_seq += 1
+                state.unacked[message.session[1]] = message
+                try:
+                    self._network.send(message)
+                except SimulationError as exc:
+                    self._dead_letter(message, str(exc))
+                    state.unacked.pop(message.session[1], None)
+                    continue
+                self.retransmits += 1
+            self.session_resets += 1
+            self._arm_timer(channel, state)
+        for channel in [c for c in self._recv_states if c[0] == address]:
+            del self._recv_states[channel]
+        return reset
+
     def send(self, message: Message) -> float:
         if message.type in UNTRACKED:
             # Heartbeats and acks take the raw wire: losing them is

@@ -1,0 +1,356 @@
+"""Cluster launcher/supervisor: 1 coordinator + N agents as subprocesses.
+
+``python -m repro serve cluster`` spawns each role as its own OS
+process (``python -m repro serve coordinator|agent``) listening on an
+ephemeral port (``--listen 127.0.0.1:0``), blocks on each child's JSON
+readiness line (no sleep-polling, no port collisions), distributes the
+full route table to every child over a control frame, writes
+``cluster.json`` into the data root for clients, and then supervises:
+a child that dies unexpectedly — say, SIGKILLed mid-prepare — is
+respawned *on the same port* (routes held by its peers stay valid) and
+WAL/journal recovery happens automatically in the new process, because
+recovery is driven purely by what the data root contains.
+
+Stdout protocol (``--json``): one ``{"event": "ready", "role":
+"cluster", ...}`` line once the cluster is serving, then one
+``exited`` + ``restarted`` line pair per supervised respawn. The storm
+client's ``--launch`` mode consumes these.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import sys
+from typing import Dict, List, Optional
+
+from repro.rt.codec import FRAME_CONTROL, encode_frame
+from repro.rt.node import (
+    agent_address,
+    agent_control,
+    coordinator_address,
+    coordinator_control,
+)
+from repro.rt.tuning import BankConfig, RtTuning
+
+READY_TIMEOUT = 30.0
+STOP_TIMEOUT = 5.0
+
+
+async def send_control_frame(host: str, port: int, body: dict) -> None:
+    """One-shot control frame over a raw TCP connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(encode_frame(FRAME_CONTROL, dict(body)))
+        await writer.drain()
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+
+class _Child:
+    """One supervised subprocess and its last known coordinates."""
+
+    def __init__(self, role: str, name: str) -> None:
+        self.role = role  # "coordinator" | "agent"
+        self.name = name  # coordinator name or site
+        self.proc: Optional[asyncio.subprocess.Process] = None
+        self.host: Optional[str] = None
+        self.port: int = 0
+        self.pid: int = 0
+        self.drain_task: Optional[asyncio.Task] = None
+
+    @property
+    def process_name(self) -> str:
+        prefix = "coord" if self.role == "coordinator" else "agent"
+        return f"{prefix}-{self.name}"
+
+    @property
+    def control_address(self) -> str:
+        if self.role == "coordinator":
+            return coordinator_control(self.name)
+        return agent_control(self.name)
+
+    @property
+    def addresses(self) -> List[str]:
+        if self.role == "coordinator":
+            return [coordinator_address(self.name), self.control_address]
+        return [agent_address(self.name), self.control_address]
+
+
+class ClusterSupervisor:
+    """Spawn, introduce, and keep alive one coordinator + N agents."""
+
+    def __init__(
+        self,
+        data_root: str,
+        *,
+        coordinator: str = "c1",
+        bank: Optional[BankConfig] = None,
+        tuning: Optional[RtTuning] = None,
+        json_mode: bool = False,
+    ) -> None:
+        self.data_root = data_root
+        self.bank = bank if bank is not None else BankConfig()
+        self.tuning = tuning if tuning is not None else RtTuning()
+        self.json_mode = json_mode
+        self.children: List[_Child] = [_Child("coordinator", coordinator)]
+        self.children.extend(_Child("agent", site) for site in self.bank.sites)
+        self.stop = asyncio.Event()
+        self.shutting_down = False
+        self.restarts = 0
+        self._supervisors: List[asyncio.Task] = []
+
+    # -- reporting ------------------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        if self.json_mode:
+            print(json.dumps(event, sort_keys=True), flush=True)
+        else:
+            detail = ", ".join(
+                f"{k}={v}" for k, v in event.items() if k != "event"
+            )
+            print(f"[cluster] {event['event']}: {detail}", flush=True)
+
+    # -- child lifecycle ------------------------------------------------------
+
+    def _child_argv(self, child: _Child, port: int) -> List[str]:
+        argv = [sys.executable, "-m", "repro", "serve"]
+        if child.role == "agent":
+            argv += [
+                "agent",
+                "--site",
+                child.name,
+                "--bank-sites",
+                ",".join(self.bank.sites),
+                "--accounts",
+                str(self.bank.accounts_per_branch),
+                "--tellers",
+                str(self.bank.tellers_per_branch),
+                "--balance",
+                str(self.bank.initial_account_balance),
+            ]
+        else:
+            argv += ["coordinator", "--name", child.name]
+        argv += [
+            "--data-root",
+            self.data_root,
+            "--listen",
+            f"127.0.0.1:{port}",
+            "--json",
+            "--tuning-json",
+            json.dumps(self.tuning.to_dict(), sort_keys=True),
+        ]
+        return argv
+
+    async def _start_child(self, child: _Child, port: int = 0) -> dict:
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        child.proc = await asyncio.create_subprocess_exec(
+            *self._child_argv(child, port),
+            stdout=asyncio.subprocess.PIPE,
+            env=env,
+        )
+        try:
+            line = await asyncio.wait_for(
+                child.proc.stdout.readline(), READY_TIMEOUT
+            )
+        except asyncio.TimeoutError:
+            child.proc.kill()
+            raise RuntimeError(f"{child.process_name} never became ready")
+        if not line:
+            raise RuntimeError(
+                f"{child.process_name} exited before its ready line "
+                f"(rc={child.proc.returncode})"
+            )
+        status = json.loads(line)
+        child.host = status["host"]
+        child.port = int(status["port"])
+        child.pid = int(status["pid"])
+        child.drain_task = asyncio.ensure_future(self._drain_stdout(child))
+        return status
+
+    async def _drain_stdout(self, child: _Child) -> None:
+        # children stay quiet after their ready line, but anything they
+        # do print must not fill the pipe and block them.
+        proc = child.proc
+        with contextlib.suppress(Exception):
+            while True:
+                line = await proc.stdout.readline()
+                if not line:
+                    return
+                print(
+                    f"[{child.process_name}] {line.decode().rstrip()}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+    def _peers(self) -> List[dict]:
+        return [
+            {
+                "name": child.process_name,
+                "host": child.host,
+                "port": child.port,
+                "addresses": child.addresses,
+            }
+            for child in self.children
+        ]
+
+    async def _send_routes(self, child: _Child) -> None:
+        await send_control_frame(
+            child.host,
+            child.port,
+            {
+                "dst": child.control_address,
+                "op": "routes",
+                "peers": self._peers(),
+            },
+        )
+
+    def _write_cluster_json(self) -> str:
+        coordinator = self.children[0]
+        info = {
+            "coordinator": {
+                "name": coordinator.name,
+                "host": coordinator.host,
+                "port": coordinator.port,
+                "pid": coordinator.pid,
+            },
+            "agents": [
+                {
+                    "site": child.name,
+                    "host": child.host,
+                    "port": child.port,
+                    "pid": child.pid,
+                }
+                for child in self.children[1:]
+            ],
+            "bank": self.bank.to_dict(),
+            "tuning": self.tuning.to_dict(),
+            "data_root": self.data_root,
+        }
+        path = os.path.join(self.data_root, "cluster.json")
+        with open(path, "w") as fh:
+            json.dump(info, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    # -- supervision ----------------------------------------------------------
+
+    async def _supervise(self, child: _Child) -> None:
+        while not self.shutting_down:
+            returncode = await child.proc.wait()
+            if child.drain_task is not None:
+                child.drain_task.cancel()
+            if self.shutting_down:
+                return
+            self._emit(
+                {
+                    "event": "exited",
+                    "role": child.role,
+                    "name": child.name,
+                    "returncode": returncode,
+                }
+            )
+            # Respawn on the SAME port: every peer's routes to this
+            # child stay valid, and the new process recovers from the
+            # WAL + journal it finds in the data root.
+            await self._start_child(child, port=child.port)
+            await self._send_routes(child)
+            self._write_cluster_json()
+            self.restarts += 1
+            self._emit(
+                {
+                    "event": "restarted",
+                    "role": child.role,
+                    "name": child.name,
+                    "pid": child.pid,
+                    "port": child.port,
+                }
+            )
+
+    # -- entrypoint -----------------------------------------------------------
+
+    async def run(self) -> int:
+        os.makedirs(self.data_root, exist_ok=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, self.stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        for child in self.children:
+            await self._start_child(child)
+        for child in self.children:
+            await self._send_routes(child)
+        path = self._write_cluster_json()
+        self._emit(
+            {
+                "event": "ready",
+                "role": "cluster",
+                "cluster_json": path,
+                "coordinator": f"{self.children[0].host}:{self.children[0].port}",
+                "agents": {
+                    child.name: f"{child.host}:{child.port}"
+                    for child in self.children[1:]
+                },
+                "pid": os.getpid(),
+            }
+        )
+        self._supervisors = [
+            asyncio.ensure_future(self._supervise(child))
+            for child in self.children
+        ]
+        await self.stop.wait()
+        return await self._shutdown()
+
+    async def _shutdown(self) -> int:
+        self.shutting_down = True
+        for task in self._supervisors:
+            task.cancel()
+        await asyncio.gather(*self._supervisors, return_exceptions=True)
+        for child in self.children:
+            if child.proc is not None and child.proc.returncode is None:
+                with contextlib.suppress(ProcessLookupError):
+                    child.proc.terminate()
+        for child in self.children:
+            if child.proc is None:
+                continue
+            try:
+                await asyncio.wait_for(child.proc.wait(), STOP_TIMEOUT)
+            except asyncio.TimeoutError:
+                with contextlib.suppress(ProcessLookupError):
+                    child.proc.kill()
+                await child.proc.wait()
+            if child.drain_task is not None:
+                child.drain_task.cancel()
+        self._emit({"event": "stopped", "restarts": self.restarts})
+        return 0
+
+
+def run_serve_cluster(args) -> int:
+    sites = tuple(
+        s for s in (args.bank_sites or "").split(",") if s
+    ) or BankConfig().sites
+    bank = BankConfig(
+        sites=sites,
+        accounts_per_branch=args.accounts,
+        tellers_per_branch=args.tellers,
+        initial_account_balance=args.balance,
+    )
+    tuning = RtTuning()
+    if getattr(args, "tuning_json", None):
+        tuning = RtTuning.from_dict(json.loads(args.tuning_json))
+    supervisor = ClusterSupervisor(
+        args.data_root,
+        coordinator=args.name,
+        bank=bank,
+        tuning=tuning,
+        json_mode=args.json,
+    )
+    return asyncio.run(supervisor.run())

@@ -1,0 +1,98 @@
+"""``ProtocolHost``: one process's protocol substrate.
+
+Bundles the pieces every runtime process needs — a
+:class:`~repro.rt.kernel.RealtimeKernel`, a
+:class:`~repro.rt.wire.TcpTransport`, and (by default) the existing
+:class:`~repro.net.reliable.SessionLayer` stacked on top so the
+``(epoch, seq)`` session contract is literally what travels on the
+wire. The protocol objects (``TwoPCAgent``, ``Coordinator``) are
+constructed against ``host.kernel`` and ``host.transport`` and run
+unmodified.
+
+Restart detection: every connection opens with a HELLO frame carrying
+the sender's boot id. When a peer's boot id *changes* (not on first
+contact, not on a plain reconnect), the host calls
+``SessionLayer.reset_peer`` for each of that peer's protocol
+addresses — exactly once per restart, however many connections carry
+the new id — so the restarted process's empty reassembly cursors and
+our outstanding send windows resynchronise instead of wedging.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.net.reliable import ReliableConfig, SessionLayer
+from repro.rt.kernel import RealtimeKernel
+from repro.rt.wire import TcpTransport
+
+
+class ProtocolHost:
+    """Kernel + transport (+ session layer) for one runtime process."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        reliable: Optional[ReliableConfig] = None,
+        kernel: Optional[RealtimeKernel] = None,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        boot_id: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.kernel = kernel if kernel is not None else RealtimeKernel(loop)
+        self.wire = TcpTransport(name, self.kernel, boot_id=boot_id)
+        self.session: Optional[SessionLayer] = (
+            SessionLayer(self.kernel, self.wire, reliable)
+            if reliable is not None
+            else None
+        )
+        #: What the protocol objects are built against: the session
+        #: layer when reliability is on, the raw wire otherwise.
+        self.transport = self.session if self.session is not None else self.wire
+        self._peer_boots: Dict[str, str] = {}
+        self._peer_addresses: Dict[str, Tuple[str, ...]] = {}
+        #: Session resets triggered by boot-id changes (observability;
+        #: the satellite regression test pins this to exactly one per
+        #: restart).
+        self.peer_resets = 0
+        self.wire.on_hello = self._on_hello
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind the listener; returns the bound ``(host, port)``."""
+        return await self.wire.start(host, port)
+
+    @property
+    def bound(self) -> Optional[Tuple[str, int]]:
+        return self.wire.bound
+
+    def add_peer(
+        self, name: str, host: str, port: int, addresses: Sequence[str] = ()
+    ) -> None:
+        """Route ``addresses`` (protocol endpoints) to a peer process."""
+        for address in addresses:
+            self.wire.add_route(address, host, port)
+        if addresses:
+            known = self._peer_addresses.get(name, ())
+            merged = dict.fromkeys(known + tuple(addresses))
+            self._peer_addresses[name] = tuple(merged)
+
+    def _on_hello(self, name: str, boot: str, _body: dict) -> None:
+        previous = self._peer_boots.get(name)
+        self._peer_boots[name] = boot
+        if previous is None or previous == boot:
+            # first contact or a plain reconnect of the same
+            # incarnation: session state is still coherent.
+            return
+        self.peer_resets += 1
+        if self.session is not None:
+            for address in self._peer_addresses.get(name, ()):
+                # hop onto the kernel so resets serialise with protocol
+                # callbacks instead of racing them mid-handler.
+                self.kernel.call_soon(
+                    lambda a=address: self.session.reset_peer(a)
+                )
+
+    async def close(self) -> None:
+        await self.wire.close()

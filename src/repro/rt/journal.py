@@ -1,0 +1,164 @@
+"""Durable per-process history journals and their post-hoc merge.
+
+Each runtime process subscribes a :class:`HistoryJournal` to its local
+:class:`~repro.history.model.History`: every recorded operation is
+appended to an on-disk journal with a write+flush per op, the same
+durability stance as the WAL's ``SegmentWriter`` — a SIGKILL never
+loses an operation that the protocol acted on, because history
+observers fire synchronously inside ``record_*`` (before any reply
+leaves the process).
+
+The journal serves two masters:
+
+- **Recovery**: an agent's committed store is rebuilt by replaying its
+  own journal (buffer WRITEs per subtransaction, apply at
+  LOCAL_COMMIT) — see :func:`committed_state`.
+- **Verification**: the storm client merges every process's journal
+  into a :class:`MergedHistory` and runs
+  ``check_atomic_commitment`` over it.  Only *per-site* operation
+  order matters to that checker, and each site's operations live
+  entirely in that site's own journal (global decisions carry no
+  site), so concatenation preserves everything the checker needs even
+  though wall-clocks across processes are not comparable.
+
+Record layout per op (little-endian), the WAL codec's shape::
+
+    u32 length | u32 crc32(blob) | blob = pickle(Operation)
+
+A torn tail (truncated or CRC-damaged final record, the SIGKILL
+signature) is silently dropped — never bridged.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.common.ids import DataItemId, SubtxnId
+from repro.history.model import History, Operation, OpKind
+
+_RECORD = struct.Struct("<II")
+
+
+class HistoryJournal:
+    """Append-only, flush-per-op journal of one process's history."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # append mode: a restarted process continues its own journal.
+        self._file = open(path, "ab")
+        self.appended = 0
+
+    def attach(self, history: History) -> None:
+        history.subscribe(self.append)
+
+    def append(self, op: Operation) -> None:
+        blob = pickle.dumps(op, protocol=pickle.HIGHEST_PROTOCOL)
+        self._file.write(_RECORD.pack(len(blob), zlib.crc32(blob)) + blob)
+        # flush to the OS: survives SIGKILL of this process (fsync is
+        # only needed to survive the *machine*, which the kill tests
+        # don't exercise).
+        self._file.flush()
+        self.appended += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+def read_journal(path: str) -> List[Operation]:
+    """Read every intact operation; stop at the first torn record."""
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        return []
+    ops: List[Operation] = []
+    offset = 0
+    while offset + _RECORD.size <= len(data):
+        length, crc = _RECORD.unpack_from(data, offset)
+        start = offset + _RECORD.size
+        end = start + length
+        if end > len(data):
+            break  # torn tail
+        blob = data[start:end]
+        if zlib.crc32(blob) != crc:
+            break  # damaged tail; never bridge past damage
+        ops.append(pickle.loads(blob))
+        offset = end
+    return ops
+
+
+class MergedHistory:
+    """A ``History``-shaped read-only view over merged journal ops.
+
+    Exposes exactly what the invariant checkers consume: ``ops``,
+    ``sites()``, ``txns()``, ``globally_committed()``.
+    """
+
+    def __init__(self, ops: Sequence[Operation]) -> None:
+        self._ops: Tuple[Operation, ...] = tuple(ops)
+
+    @property
+    def ops(self) -> Tuple[Operation, ...]:
+        return self._ops
+
+    def sites(self) -> List[str]:
+        seen = dict.fromkeys(
+            op.site for op in self._ops if op.site is not None
+        )
+        return list(seen)
+
+    def txns(self):
+        return dict.fromkeys(op.txn for op in self._ops if op.txn is not None)
+
+    def globally_committed(self):
+        return [op.txn for op in self._ops if op.kind is OpKind.GLOBAL_COMMIT]
+
+
+def merge_journals(paths: Iterable[str]) -> MergedHistory:
+    """Concatenate journals (sorted by path for determinism)."""
+    ops: List[Operation] = []
+    for path in sorted(paths):
+        ops.extend(read_journal(path))
+    return MergedHistory(ops)
+
+
+def committed_state(
+    ops: Iterable[Operation],
+) -> Tuple[Dict[DataItemId, object], Set[SubtxnId]]:
+    """Replay one site's journal into its committed store image.
+
+    WRITE operations buffer per subtransaction and apply atomically at
+    that subtransaction's LOCAL_COMMIT; aborted or still-pending
+    subtransactions leave no trace.  A ``None`` value is a delete.
+    Returns ``(item -> value, committed subtxn ids)``.
+    """
+    pending: Dict[SubtxnId, List[Tuple[DataItemId, object]]] = {}
+    state: Dict[DataItemId, object] = {}
+    committed: Set[SubtxnId] = set()
+    for op in ops:
+        if op.subtxn is None:
+            continue
+        if op.kind is OpKind.WRITE:
+            pending.setdefault(op.subtxn, []).append((op.item, op.value))
+        elif op.kind is OpKind.LOCAL_COMMIT:
+            committed.add(op.subtxn)
+            for item, value in pending.pop(op.subtxn, ()):
+                if value is None:
+                    state.pop(item, None)
+                else:
+                    state[item] = value
+        elif op.kind is OpKind.LOCAL_ABORT:
+            pending.pop(op.subtxn, None)
+    return state, committed
+
+
+def journal_path(root: str, name: str) -> str:
+    return os.path.join(root, f"journal-{name}.log")

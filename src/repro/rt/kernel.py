@@ -1,0 +1,96 @@
+"""``RealtimeKernel``: the deterministic event kernel, pumped by asyncio.
+
+The protocol objects in ``core/`` only ever touch the kernel through
+``schedule`` / ``schedule_at`` / ``call_soon`` / ``now`` (directly or
+via ``Timer`` / ``Event`` / ``Process``). This subclass keeps the
+entire deterministic machinery — the heap, the tombstone accounting,
+carrier-based timer restarts — and merely changes *when* the heap is
+drained: instead of ``run()`` fast-forwarding simulated time, an
+asyncio ``call_later`` wakes up when the earliest live entry comes due
+on the wall clock and drains everything that is ripe.
+
+Time base: **1 simulated time unit = 1 wall-clock second**, measured
+from this kernel's construction on the loop's monotonic clock. ``now``
+therefore lags the wall clock between pumps but never runs ahead of
+it, and never goes backwards — which is exactly the contract the
+``History`` append path and the SN site clocks rely on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Optional
+
+from repro.kernel.events import EventHandle, EventKernel
+
+
+class RealtimeKernel(EventKernel):
+    """An :class:`EventKernel` whose heap is drained on the wall clock."""
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        super().__init__()
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._t0 = self._loop.time()
+        self._wake: Optional[asyncio.TimerHandle] = None
+        self._wake_time: Optional[float] = None
+        self._pumping = False
+        #: Total pump passes (observability only).
+        self.pumps = 0
+
+    @property
+    def wall(self) -> float:
+        """Seconds elapsed since this kernel was created."""
+        return self._loop.time() - self._t0
+
+    # -- scheduling: keep the deterministic bookkeeping, then (re)arm ---------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        handle = super().schedule(delay, callback)
+        self._arm()
+        return handle
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        handle = super().schedule_at(time, callback)
+        self._arm()
+        return handle
+
+    def _schedule_preallocated(
+        self, time: float, seq: int, callback: Callable[[], None]
+    ) -> EventHandle:
+        handle = super()._schedule_preallocated(time, seq, callback)
+        self._arm()
+        return handle
+
+    # -- the pump -------------------------------------------------------------
+
+    def _arm(self) -> None:
+        """(Re)aim the single asyncio wakeup at the earliest live entry."""
+        if self._pumping:
+            return  # the pump re-arms itself when it finishes
+        nxt = self._next_live_time()
+        if nxt is None:
+            return
+        if self._wake is not None:
+            if self._wake_time is not None and self._wake_time <= nxt:
+                return  # already waking early enough
+            self._wake.cancel()
+        self._wake_time = nxt
+        self._wake = self._loop.call_later(max(0.0, nxt - self.wall), self._pump)
+
+    def _pump(self) -> None:
+        self._wake = None
+        self._wake_time = None
+        self.pumps += 1
+        self._pumping = True
+        try:
+            # advance=True fast-forwards ``now`` to the wall clock once
+            # the heap is drained of ripe entries, so idle periods do
+            # not freeze simulated time behind real time.
+            self.run(until=self.wall, advance=True)
+        finally:
+            self._pumping = False
+            self._arm()
+
+    def pump_now(self) -> None:
+        """Drain everything ripe right now (tests and shutdown paths)."""
+        self._pump()

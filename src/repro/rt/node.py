@@ -1,0 +1,502 @@
+"""Runtime processes: one 2PC Agent or one Coordinator per OS process.
+
+``python -m repro serve agent --site branch1`` /
+``python -m repro serve coordinator --name c1`` build the *unmodified*
+protocol objects from ``core/`` against a
+:class:`~repro.rt.host.ProtocolHost` (realtime kernel + TCP transport
++ session layer) and the durability subsystem's WAL as the real
+recovery log:
+
+- an agent opens ``DurableAgentLog`` under its data root, replays its
+  history journal into the committed store image, pre-seeds the LTM
+  with each logged subtransaction's terminal state, and enters via
+  ``agent.crash()`` + ``agent.recover(log)`` — the same code path the
+  simulator's crash matrix exercises — once the launcher delivers the
+  route table;
+- a coordinator opens ``DurableDecisionLog`` and calls
+  ``resume_in_doubt()`` when its routes arrive, re-driving logged
+  decisions whose acks are missing.
+
+Readiness handshake: after the listener is bound (port 0 welcome) the
+process prints exactly one status line on stdout — a JSON object under
+``--json``, a human banner otherwise — carrying the bound address.
+Launchers block on that line instead of sleep-polling.
+
+Control plane (``FRAME_CONTROL`` frames addressed ``ctl:...``):
+``routes`` installs the peer table (and triggers recovery /
+``resume_in_doubt``), ``submit`` runs one global transaction and
+replies with its outcome, ``arm-kill`` installs a crash probe that
+SIGKILLs the process at an exact protocol point, ``stats`` reports
+counters and store sums, ``quit`` shuts down cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+from typing import List
+
+from repro.common.ids import SubtxnId
+from repro.core.agent import CRASH_POINTS, TwoPCAgent
+from repro.core.certifier import Certifier, CertifierConfig
+from repro.core.coordinator import Coordinator
+from repro.core.serial import SiteClock, make_sn_generator
+from repro.durability.agent_log import DurableAgentLog
+from repro.durability.decision_log import DurableDecisionLog
+from repro.history.model import History
+from repro.ldbs.dlu import BoundDataGuard, DLUPolicy
+from repro.ldbs.ltm import LocalTransactionManager, TxnState
+from repro.rt.host import ProtocolHost
+from repro.rt.journal import (
+    HistoryJournal,
+    committed_state,
+    journal_path,
+    read_journal,
+)
+from repro.rt.tuning import BankConfig, RtTuning
+
+#: ``--at`` aliases for the agent's protocol crash points.
+KILL_POINT_ALIASES = {
+    "prepared": "post-prepare",
+    "ready": "post-ready",
+    "committed": "post-commit-record",
+}
+
+
+def agent_address(site: str) -> str:
+    return f"agent:{site}"
+
+
+def agent_control(site: str) -> str:
+    return f"ctl:agent:{site}"
+
+
+def coordinator_address(name: str) -> str:
+    return f"coord:{name}"
+
+
+def coordinator_control(name: str) -> str:
+    return f"ctl:coord:{name}"
+
+
+def resolve_kill_point(at: str) -> str:
+    point = KILL_POINT_ALIASES.get(at, at)
+    if point not in CRASH_POINTS:
+        choices = sorted(set(CRASH_POINTS) | set(KILL_POINT_ALIASES))
+        raise ValueError(f"unknown kill point {at!r} (choose from {choices})")
+    return point
+
+
+def _parse_listen(listen: str):
+    host, _, port = listen.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+class _NodeBase:
+    """Shared lifecycle: host, journal, status line, control replies."""
+
+    role = "node"
+
+    def __init__(self, name: str, data_root: str, tuning: RtTuning) -> None:
+        self.name = name
+        self.data_root = data_root
+        self.tuning = tuning
+        self.host = ProtocolHost(name, reliable=tuning.reliable_config())
+        self.kernel = self.host.kernel
+        self.history = History()
+        self.journal_file = journal_path(data_root, name)
+        self.prior_ops = read_journal(self.journal_file)
+        self.journal = HistoryJournal(self.journal_file)
+        self.journal.attach(self.history)
+        self.stop = asyncio.Event()
+        self.routes_installed = False
+
+    async def start(self, listen: str, json_mode: bool) -> None:
+        host, port = _parse_listen(listen)
+        bound = await self.host.start(host, port)
+        self.announce(bound, json_mode)
+
+    def status(self, bound) -> dict:
+        return {
+            "event": "ready",
+            "role": self.role,
+            "name": self.name,
+            "host": bound[0],
+            "port": bound[1],
+            "pid": os.getpid(),
+            "boot": self.host.wire.boot_id,
+            "data_root": self.data_root,
+        }
+
+    def announce(self, bound, json_mode: bool) -> None:
+        status = self.status(bound)
+        if json_mode:
+            print(json.dumps(status, sort_keys=True), flush=True)
+        else:
+            extra = ", ".join(
+                f"{k}={v}"
+                for k, v in status.items()
+                if k not in ("event", "role", "name", "host", "port")
+            )
+            print(
+                f"serving {self.role} {self.name} on "
+                f"{bound[0]}:{bound[1]} ({extra})",
+                flush=True,
+            )
+
+    def install_routes(self, peers: List[dict]) -> None:
+        for peer in peers:
+            if peer.get("name") == self.name:
+                continue
+            self.host.add_peer(
+                peer["name"],
+                peer["host"],
+                int(peer["port"]),
+                tuple(peer.get("addresses", ())),
+            )
+        self.routes_installed = True
+
+    def reply_to(self, body: dict, response: dict) -> None:
+        reply = body.get("reply")
+        if not reply:
+            return
+        self.host.wire.add_route(reply["address"], reply["host"], reply["port"])
+        response = dict(response)
+        response.setdefault("from", self.name)
+        self.host.wire.send_control(reply["address"], response)
+
+    def request_stop(self) -> None:
+        self.stop.set()
+
+    async def close(self) -> None:
+        await self.host.close()
+        self.journal.close()
+
+
+class AgentNode(_NodeBase):
+    """One branch site: LTM + certifier + 2PC Agent, WAL-recovered."""
+
+    role = "agent"
+
+    def __init__(
+        self, site: str, data_root: str, tuning: RtTuning, bank: BankConfig
+    ) -> None:
+        super().__init__(f"agent-{site}", data_root, tuning)
+        self.site = site
+        self.bank = bank
+        kernel = self.kernel
+        self.guard = BoundDataGuard(
+            kernel, policy=DLUPolicy.ABORT, wait_timeout=tuning.lock_timeout
+        )
+        self.ltm = LocalTransactionManager(
+            site,
+            kernel,
+            self.history,
+            config=tuning.ltm_config(),
+            dlu_guard=self.guard,
+        )
+        # The in-memory store died with the previous incarnation:
+        # deterministic initial tables + the journal's committed image.
+        for table, rows in bank.initial_tables(site).items():
+            self.ltm.store.load(table, dict(rows))
+        replayed, committed_subs = committed_state(self.prior_ops)
+        for item, value in replayed.items():
+            if value is not None:
+                self.ltm.store.load(item.table, {item.key: value})
+        self.certifier = Certifier(site, CertifierConfig())
+        self.log = DurableAgentLog.open_site(
+            site, tuning.durability_config(data_root)
+        )
+        self.wal_entries_at_boot = len(list(self.log.entries()))
+        # Pre-seed the LTM with each logged subtransaction's terminal
+        # state, so ``agent.recover()`` finds the handles it expects: a
+        # locally-committed incarnation is COMMITTED (recovery re-acks
+        # it), anything else died with the process (unilateral abort,
+        # recovery resubmits it — the paper's re-execution).
+        for entry in self.log.entries():
+            sub = SubtxnId(entry.txn, site, entry.incarnations - 1)
+            self.ltm.begin(sub)
+            if sub in committed_subs:
+                self.ltm._txns[sub].state = TxnState.COMMITTED
+            else:
+                self.ltm.unilaterally_abort(sub)
+        self.agent = TwoPCAgent(
+            site,
+            kernel,
+            self.host.transport,
+            self.history,
+            self.ltm,
+            self.certifier,
+            dlu_guard=self.guard,
+            config=tuning.agent_config(),
+        )
+        # Hold inbound protocol traffic (unacked, so peers keep
+        # retransmitting) until routes arrive and recovery replays the
+        # WAL; ``crash()`` + ``recover()`` is the simulator's own
+        # restart path and re-enters PREPARED state, re-acks, resubmits.
+        self.agent.crash()
+        self.recovered_at_boot = 0
+        self._recovery_done = False
+        self.kills_armed = 0
+        self.host.wire.register_control(agent_control(site), self._on_control)
+
+    def status(self, bound) -> dict:
+        status = super().status(bound)
+        status["site"] = self.site
+        status["recovery"] = self.wal_entries_at_boot > 0
+        status["wal_entries"] = self.wal_entries_at_boot
+        return status
+
+    def _on_control(self, body: dict) -> None:
+        op = body.get("op")
+        if op == "routes":
+            self.install_routes(body.get("peers", ()))
+            if not self._recovery_done:
+                self._recovery_done = True
+                self.recovered_at_boot = self.agent.recover(self.log)
+            self.reply_to(body, {"op": "routes-ok"})
+        elif op == "arm-kill":
+            point = resolve_kill_point(body.get("at", "prepared"))
+            self._arm_kill(point, int(body.get("after", 1)))
+            self.reply_to(body, {"op": "armed", "point": point})
+        elif op == "stats":
+            self.reply_to(body, {"op": "stats", "stats": self.stats()})
+        elif op == "quit":
+            self.request_stop()
+
+    def _arm_kill(self, point: str, after: int) -> None:
+        """SIGKILL this process at the ``after``-th hit of ``point``.
+
+        A genuine SIGKILL at the exact protocol point: the WAL and the
+        journal flush on every append, so everything the protocol acted
+        on before this instant is on disk — and nothing after it.
+        """
+        self.kills_armed += 1
+        remaining = {"n": max(1, after)}
+
+        def probe(hit_point: str, _txn) -> bool:
+            if hit_point != point:
+                return False
+            remaining["n"] -= 1
+            if remaining["n"] > 0:
+                return False
+            os.kill(os.getpid(), signal.SIGKILL)
+            return True  # unreachable
+
+        self.agent.crash_probe = probe
+
+    def stats(self) -> dict:
+        session = self.host.session
+        return {
+            "role": "agent",
+            "site": self.site,
+            "pid": os.getpid(),
+            "boot": self.host.wire.boot_id,
+            "wal_entries_at_boot": self.wal_entries_at_boot,
+            "recovered_at_boot": self.recovered_at_boot,
+            "restarts": self.agent.restarts,
+            "tables": {
+                table: sum(self.ltm.store.snapshot(table).values())
+                for table in ("accounts", "tellers", "branch")
+            },
+            "ltm": {
+                "commits": self.ltm.commits,
+                "aborts": self.ltm.aborts,
+                "unilateral_aborts": self.ltm.unilateral_aborts,
+            },
+            "session": {
+                "retransmits": session.retransmits,
+                "session_resets": session.session_resets,
+                "dups_dropped": session.dups_dropped,
+                "dead_letters": len(session.dead_letters),
+            },
+            "peer_resets": self.host.peer_resets,
+            "journal_ops": self.journal.appended,
+        }
+
+    async def close(self) -> None:
+        await super().close()
+        self.log.close()
+
+
+class CoordinatorNode(_NodeBase):
+    """One Coordinating Site, decision-logged and resumable."""
+
+    role = "coordinator"
+
+    def __init__(self, name: str, data_root: str, tuning: RtTuning) -> None:
+        super().__init__(f"coord-{name}", data_root, tuning)
+        self.coord_name = name
+        clock = SiteClock(name)
+        self.sn_generator = make_sn_generator(
+            "clock", self.kernel, {name: clock}
+        )
+        self.decision_log = DurableDecisionLog.open_name(
+            name, tuning.durability_config(data_root)
+        )
+        self.in_doubt_at_boot = len(self.decision_log.in_doubt())
+        self.coordinator = Coordinator(
+            name=name,
+            site=name,
+            kernel=self.kernel,
+            network=self.host.transport,
+            history=self.history,
+            sn_generator=self.sn_generator,
+            timeouts=tuning.coordinator_timeouts(),
+            decision_log=self.decision_log,
+        )
+        self.resumed_at_boot = 0
+        self._pending_submits: List[dict] = []
+        self.submitted = 0
+        self.host.wire.register_control(
+            coordinator_control(name), self._on_control
+        )
+
+    def status(self, bound) -> dict:
+        status = super().status(bound)
+        status["coordinator"] = self.coord_name
+        status["in_doubt"] = self.in_doubt_at_boot
+        return status
+
+    def _on_control(self, body: dict) -> None:
+        op = body.get("op")
+        if op == "routes":
+            self.install_routes(body.get("peers", ()))
+            # Now that agents are reachable, re-drive logged decisions
+            # whose acks never landed.
+            self.resumed_at_boot += self.coordinator.resume_in_doubt()
+            pending, self._pending_submits = self._pending_submits, []
+            for queued in pending:
+                self._submit(queued)
+            self.reply_to(body, {"op": "routes-ok"})
+        elif op == "submit":
+            if not self.routes_installed:
+                # Raced ahead of the launcher's route table: hold it.
+                self._pending_submits.append(body)
+            else:
+                self._submit(body)
+        elif op == "stats":
+            self.reply_to(body, {"op": "stats", "stats": self.stats()})
+        elif op == "quit":
+            self.request_stop()
+
+    def _submit(self, body: dict) -> None:
+        spec = body["spec"]
+        self.submitted += 1
+
+        def finished(event) -> None:
+            if event.error is not None:
+                self.reply_to(
+                    body,
+                    {
+                        "op": "outcome",
+                        "txn": spec.txn.number,
+                        "committed": False,
+                        "reason": f"error: {event.error}",
+                    },
+                )
+                return
+            outcome = event.value
+            self.reply_to(
+                body,
+                {
+                    "op": "outcome",
+                    "txn": spec.txn.number,
+                    "committed": outcome.committed,
+                    "reason": (
+                        str(outcome.reason)
+                        if outcome.reason is not None
+                        else None
+                    ),
+                    "sn": str(outcome.sn) if outcome.sn is not None else None,
+                    "latency": outcome.latency,
+                },
+            )
+
+        try:
+            self.coordinator.submit(spec).subscribe(finished)
+        except Exception as exc:
+            self.reply_to(
+                body,
+                {
+                    "op": "outcome",
+                    "txn": spec.txn.number,
+                    "committed": False,
+                    "reason": f"submit failed: {exc}",
+                },
+            )
+
+    def stats(self) -> dict:
+        session = self.host.session
+        return {
+            "role": "coordinator",
+            "name": self.coord_name,
+            "pid": os.getpid(),
+            "boot": self.host.wire.boot_id,
+            "submitted": self.submitted,
+            "in_doubt_at_boot": self.in_doubt_at_boot,
+            "resumed_at_boot": self.resumed_at_boot,
+            "decisions": len(self.decision_log.decisions()),
+            "session": {
+                "retransmits": session.retransmits,
+                "session_resets": session.session_resets,
+                "dups_dropped": session.dups_dropped,
+                "dead_letters": len(session.dead_letters),
+            },
+            "peer_resets": self.host.peer_resets,
+            "journal_ops": self.journal.appended,
+        }
+
+    async def close(self) -> None:
+        await super().close()
+        self.decision_log.close()
+
+
+async def _run_node(factory, listen: str, json_mode: bool) -> int:
+    # built inside the running loop: the RealtimeKernel and the
+    # transport bind to the loop that drives them.
+    node: _NodeBase = factory()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, node.request_stop)
+        except NotImplementedError:  # pragma: no cover - non-POSIX
+            pass
+    await node.start(listen, json_mode)
+    await node.stop.wait()
+    await node.close()
+    return 0
+
+
+def _tuning_from_args(args) -> RtTuning:
+    if getattr(args, "tuning_json", None):
+        return RtTuning.from_dict(json.loads(args.tuning_json))
+    return RtTuning()
+
+
+def _bank_from_args(args) -> BankConfig:
+    sites = tuple(
+        s for s in (args.bank_sites or "").split(",") if s
+    ) or BankConfig().sites
+    return BankConfig(
+        sites=sites,
+        accounts_per_branch=args.accounts,
+        tellers_per_branch=args.tellers,
+        initial_account_balance=args.balance,
+    )
+
+
+def run_serve_agent(args) -> int:
+    factory = lambda: AgentNode(  # noqa: E731
+        args.site, args.data_root, _tuning_from_args(args), _bank_from_args(args)
+    )
+    return asyncio.run(_run_node(factory, args.listen, args.json))
+
+
+def run_serve_coordinator(args) -> int:
+    factory = lambda: CoordinatorNode(  # noqa: E731
+        args.name, args.data_root, _tuning_from_args(args)
+    )
+    return asyncio.run(_run_node(factory, args.listen, args.json))

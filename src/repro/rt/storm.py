@@ -1,0 +1,483 @@
+"""``python -m repro storm``: drive a live cluster, kill, recover, verify.
+
+The storm client reads ``cluster.json`` (or ``--launch``\\ es a cluster
+itself), generates the deterministic debit-credit workload against the
+same bank shape and seed the agents loaded, and submits it to the live
+coordinator over control frames with a bounded in-flight window,
+measuring wall-clock commit latency client-side.
+
+``--kill-agent N --at prepared`` arms a crash probe inside agent ``N``
+that SIGKILLs the process at the exact ``post-prepare`` protocol point
+(after the forced prepare record, before the READY vote leaves). The
+cluster supervisor respawns the process on the same port; the new
+incarnation replays its WAL + journal, re-enters the prepared state,
+and resumes in-doubt subtransactions to the coordinator's logged
+decision.
+
+Afterwards the client runs the invariant battery:
+
+- the merged per-process history journals must pass
+  ``check_atomic_commitment`` (no site commits what another aborted);
+- per site, ``sum(branch) == sum(tellers)``;
+- federation-wide, ``sum(accounts)`` must equal the initial balance
+  plus exactly the deltas of transactions reported committed — the
+  end-to-end exactly-once test across the kill;
+- a killed agent must actually have restarted from a non-empty WAL.
+
+Results (throughput, p50/p99 commit latency, counters) merge into
+``BENCH_rt.json`` under the run label (``healthy`` / ``kill_recover``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import glob
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.history.invariants import check_atomic_commitment
+from repro.rt.host import ProtocolHost
+from repro.rt.journal import merge_journals
+from repro.rt.node import agent_control, coordinator_control, resolve_kill_point
+from repro.rt.tuning import BankConfig
+from repro.sim.metrics import percentile
+from repro.workload.debitcredit import DebitCreditConfig, DebitCreditGenerator
+
+CLIENT_CONTROL = "ctl:storm"
+LAUNCH_TIMEOUT = 60.0
+
+
+class StormClient:
+    def __init__(self, args) -> None:
+        self.args = args
+        self.data_root = args.data_root
+        self.cluster_proc: Optional[asyncio.subprocess.Process] = None
+        self.cluster_restarts = 0
+        self._cluster_drain: Optional[asyncio.Task] = None
+        self.host: Optional[ProtocolHost] = None
+        self.reply: Dict[str, object] = {}
+        self.outcomes: Dict[int, dict] = {}
+        self.outcome_events: Dict[int, asyncio.Event] = {}
+        self.stats_waiters: Dict[str, asyncio.Future] = {}
+        self.ack_waiters: Dict[str, asyncio.Future] = {}
+        self.missing: List[int] = []
+        self.failures: List[str] = []
+
+    # -- cluster attachment ---------------------------------------------------
+
+    async def _launch_cluster(self) -> None:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "cluster",
+            "--data-root",
+            self.data_root,
+            "--json",
+        ]
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        self.cluster_proc = await asyncio.create_subprocess_exec(
+            *argv, stdout=asyncio.subprocess.PIPE, env=env
+        )
+        while True:
+            line = await asyncio.wait_for(
+                self.cluster_proc.stdout.readline(), LAUNCH_TIMEOUT
+            )
+            if not line:
+                raise RuntimeError("cluster exited before becoming ready")
+            event = json.loads(line)
+            if event.get("event") == "ready" and event.get("role") == "cluster":
+                break
+        self._cluster_drain = asyncio.ensure_future(self._watch_cluster())
+
+    async def _watch_cluster(self) -> None:
+        with contextlib.suppress(Exception):
+            while True:
+                line = await self.cluster_proc.stdout.readline()
+                if not line:
+                    return
+                event = json.loads(line)
+                if event.get("event") == "restarted":
+                    self.cluster_restarts += 1
+
+    async def _stop_cluster(self) -> None:
+        if self.cluster_proc is None:
+            return
+        if self._cluster_drain is not None:
+            self._cluster_drain.cancel()
+        if self.cluster_proc.returncode is None:
+            with contextlib.suppress(ProcessLookupError):
+                self.cluster_proc.terminate()
+            try:
+                await asyncio.wait_for(self.cluster_proc.wait(), 10.0)
+            except asyncio.TimeoutError:
+                with contextlib.suppress(ProcessLookupError):
+                    self.cluster_proc.kill()
+                await self.cluster_proc.wait()
+
+    # -- control plane --------------------------------------------------------
+
+    def _on_control(self, body: dict) -> None:
+        op = body.get("op")
+        if op == "outcome":
+            number = body["txn"]
+            self.outcomes[number] = body
+            event = self.outcome_events.get(number)
+            if event is not None:
+                event.set()
+        elif op == "stats":
+            waiter = self.stats_waiters.pop(body.get("from", ""), None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(body["stats"])
+        elif op in ("armed", "routes-ok"):
+            waiter = self.ack_waiters.pop(op, None)
+            if waiter is not None and not waiter.done():
+                waiter.set_result(body)
+
+    async def _attach(self, info: dict) -> None:
+        self.host = ProtocolHost("storm")
+        await self.host.start("127.0.0.1", 0)
+        bound = self.host.bound
+        self.reply = {
+            "address": CLIENT_CONTROL,
+            "host": bound[0],
+            "port": bound[1],
+        }
+        self.host.wire.register_control(CLIENT_CONTROL, self._on_control)
+        coordinator = info["coordinator"]
+        self.ctl_coord = coordinator_control(coordinator["name"])
+        self.host.wire.add_route(
+            self.ctl_coord, coordinator["host"], coordinator["port"]
+        )
+        for agent in info["agents"]:
+            self.host.wire.add_route(
+                agent_control(agent["site"]), agent["host"], agent["port"]
+            )
+
+    async def _await_ack(self, op: str, timeout: float = 10.0) -> dict:
+        waiter = asyncio.get_running_loop().create_future()
+        self.ack_waiters[op] = waiter
+        return await asyncio.wait_for(waiter, timeout)
+
+    async def _fetch_stats(self, name: str, address: str) -> Optional[dict]:
+        waiter = asyncio.get_running_loop().create_future()
+        self.stats_waiters[name] = waiter
+        try:
+            self.host.wire.send_control(
+                address, {"op": "stats", "reply": self.reply}
+            )
+            return await asyncio.wait_for(waiter, 10.0)
+        except (asyncio.TimeoutError, Exception):
+            self.stats_waiters.pop(name, None)
+            return None
+
+    # -- the run --------------------------------------------------------------
+
+    async def run(self) -> int:
+        args = self.args
+        if args.launch:
+            await self._launch_cluster()
+        cluster_json = os.path.join(self.data_root, "cluster.json")
+        with open(cluster_json) as fh:
+            info = json.load(fh)
+        bank = BankConfig.from_dict(info["bank"])
+        await self._attach(info)
+
+        killed_site = None
+        if args.kill_agent:
+            index = args.kill_agent - 1
+            if not 0 <= index < len(bank.sites):
+                raise SystemExit(
+                    f"--kill-agent {args.kill_agent} out of range "
+                    f"(1..{len(bank.sites)})"
+                )
+            killed_site = bank.sites[index]
+            point = resolve_kill_point(args.at)
+            self.host.wire.send_control(
+                agent_control(killed_site),
+                {
+                    "op": "arm-kill",
+                    "at": point,
+                    "after": args.kill_after,
+                    "reply": self.reply,
+                },
+            )
+            armed = await self._await_ack("armed")
+            print(
+                f"storm: armed SIGKILL in agent {killed_site} at "
+                f"{armed['point']} (hit #{args.kill_after})",
+                flush=True,
+            )
+
+        workload = DebitCreditConfig(
+            sites=tuple(bank.sites),
+            n_transactions=args.txns,
+            accounts_per_branch=bank.accounts_per_branch,
+            tellers_per_branch=bank.tellers_per_branch,
+            remote_fraction=args.remote_fraction,
+            initial_account_balance=bank.initial_account_balance,
+            seed=args.seed,
+        )
+        generated = DebitCreditGenerator(workload).generate()
+        scheduled = generated.schedule.globals_
+
+        loop = asyncio.get_running_loop()
+        window = asyncio.Semaphore(args.inflight)
+        latencies: List[float] = []
+        started = loop.time()
+
+        async def submit_one(item) -> None:
+            async with window:
+                number = item.spec.txn.number
+                event = asyncio.Event()
+                self.outcome_events[number] = event
+                t0 = loop.time()
+                self.host.wire.send_control(
+                    self.ctl_coord,
+                    {"op": "submit", "spec": item.spec, "reply": self.reply},
+                )
+                try:
+                    await asyncio.wait_for(event.wait(), args.txn_timeout)
+                except asyncio.TimeoutError:
+                    self.missing.append(number)
+                    return
+                outcome = self.outcomes[number]
+                outcome["wall_latency"] = loop.time() - t0
+                if outcome["committed"]:
+                    latencies.append(outcome["wall_latency"])
+
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*(submit_one(item) for item in scheduled)),
+                args.timeout,
+            )
+        except asyncio.TimeoutError:
+            self.failures.append(
+                f"overall deadline ({args.timeout}s) hit with "
+                f"{len(self.outcomes)}/{len(scheduled)} outcomes"
+            )
+        duration = loop.time() - started
+
+        # settle: let COMMIT-ACK / ROLLBACK retransmissions drain so
+        # the store images below are final.
+        await asyncio.sleep(args.settle)
+
+        committed = sorted(
+            number for number, out in self.outcomes.items() if out["committed"]
+        )
+        aborted = sorted(
+            number
+            for number, out in self.outcomes.items()
+            if not out["committed"]
+        )
+        report = await self._verify(
+            info, bank, generated, committed, killed_site
+        )
+        report.update(
+            {
+                "label": args.label
+                or ("kill_recover" if killed_site else "healthy"),
+                "txns": len(scheduled),
+                "committed": len(committed),
+                "aborted": len(aborted),
+                "missing": len(self.missing),
+                "duration_s": round(duration, 3),
+                "throughput_committed_per_s": round(
+                    len(committed) / duration, 3
+                )
+                if duration > 0
+                else 0.0,
+                "latency_p50_s": round(percentile(latencies, 0.50), 4),
+                "latency_p99_s": round(percentile(latencies, 0.99), 4),
+                "kill": {
+                    "site": killed_site,
+                    "at": args.at if killed_site else None,
+                    "cluster_restarts": self.cluster_restarts,
+                },
+                "failures": self.failures,
+            }
+        )
+        self._record_bench(report)
+        self._print_report(report)
+
+        if args.quit_cluster and not args.launch:
+            for agent in info["agents"]:
+                with contextlib.suppress(Exception):
+                    self.host.wire.send_control(
+                        agent_control(agent["site"]), {"op": "quit"}
+                    )
+            with contextlib.suppress(Exception):
+                self.host.wire.send_control(self.ctl_coord, {"op": "quit"})
+            await asyncio.sleep(0.2)
+
+        await self.host.close()
+        if args.launch:
+            await self._stop_cluster()
+        return 1 if self.failures else 0
+
+    # -- verification ---------------------------------------------------------
+
+    async def _verify(
+        self, info, bank, generated, committed, killed_site
+    ) -> dict:
+        # (1) atomic commitment over the merged per-process journals.
+        journals = sorted(
+            glob.glob(os.path.join(self.data_root, "journal-*.log"))
+        )
+        merged = merge_journals(journals)
+        violations = check_atomic_commitment(merged)
+        if violations:
+            self.failures.extend(
+                f"atomic commitment: {violation}" for violation in violations
+            )
+        if self.missing:
+            self.failures.append(
+                f"{len(self.missing)} transactions never reported an outcome: "
+                f"{self.missing[:10]}"
+            )
+
+        # (2)+(3) bank invariants from the live stores.
+        stats: Dict[str, Optional[dict]] = {}
+        for agent in info["agents"]:
+            site = agent["site"]
+            stats[site] = await self._fetch_stats(
+                f"agent-{site}", agent_control(site)
+            )
+        coord_stats = await self._fetch_stats(
+            f"coord-{info['coordinator']['name']}",
+            coordinator_control(info["coordinator"]["name"]),
+        )
+
+        total_accounts = 0
+        total_branch = 0
+        for site, site_stats in stats.items():
+            if site_stats is None:
+                self.failures.append(f"agent {site} unreachable for stats")
+                continue
+            tables = site_stats["tables"]
+            total_accounts += tables["accounts"]
+            total_branch += tables["branch"]
+            if tables["branch"] != tables["tellers"]:
+                self.failures.append(
+                    f"site {site}: branch={tables['branch']} != "
+                    f"tellers={tables['tellers']}"
+                )
+        committed_delta = sum(
+            generated.deltas[txn][2]
+            for txn in generated.deltas
+            if txn.number in set(committed)
+        )
+        initial_total = (
+            len(bank.sites)
+            * bank.accounts_per_branch
+            * bank.initial_account_balance
+        )
+        if None not in stats.values():
+            if total_accounts != initial_total + committed_delta:
+                self.failures.append(
+                    f"accounts total {total_accounts} != initial "
+                    f"{initial_total} + committed deltas {committed_delta}"
+                )
+            if total_branch != committed_delta:
+                self.failures.append(
+                    f"branch total {total_branch} != committed deltas "
+                    f"{committed_delta}"
+                )
+
+        # (4) the killed agent really died and really recovered.
+        kill_stats = stats.get(killed_site) if killed_site else None
+        if killed_site:
+            if kill_stats is None:
+                self.failures.append(
+                    f"killed agent {killed_site} never came back"
+                )
+            elif kill_stats["wal_entries_at_boot"] < 1:
+                self.failures.append(
+                    f"killed agent {killed_site} restarted with an empty WAL "
+                    "(the kill never hit the prepared window)"
+                )
+
+        return {
+            "invariants": {
+                "atomic_commitment_violations": len(violations),
+                "journals_merged": len(journals),
+                "merged_ops": len(merged.ops),
+                "bank_checked": None not in stats.values(),
+            },
+            "agents": stats,
+            "coordinator": coord_stats,
+        }
+
+    # -- reporting ------------------------------------------------------------
+
+    def _record_bench(self, report: dict) -> None:
+        path = self.args.bench_out
+        bench = {"schema": 1, "runs": {}}
+        if os.path.exists(path):
+            with contextlib.suppress(Exception):
+                with open(path) as fh:
+                    bench = json.load(fh)
+        bench.setdefault("runs", {})
+        bench["runs"][report["label"]] = {
+            "txns": report["txns"],
+            "committed": report["committed"],
+            "aborted": report["aborted"],
+            "missing": report["missing"],
+            "duration_s": report["duration_s"],
+            "throughput_committed_per_s": report["throughput_committed_per_s"],
+            "latency_p50_s": report["latency_p50_s"],
+            "latency_p99_s": report["latency_p99_s"],
+            "kill": report["kill"],
+            "violations": report["invariants"]["atomic_commitment_violations"],
+            "ok": not report["failures"],
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        }
+        with open(path, "w") as fh:
+            json.dump(bench, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def _print_report(self, report: dict) -> None:
+        if self.args.json_report:
+            print(json.dumps(report, sort_keys=True, default=str), flush=True)
+            return
+        print(
+            f"storm[{report['label']}]: {report['committed']}/{report['txns']} "
+            f"committed, {report['aborted']} aborted, "
+            f"{report['missing']} missing in {report['duration_s']}s "
+            f"({report['throughput_committed_per_s']} commits/s, "
+            f"p50 {report['latency_p50_s']}s, p99 {report['latency_p99_s']}s)",
+            flush=True,
+        )
+        inv = report["invariants"]
+        print(
+            f"storm: merged {inv['journals_merged']} journals "
+            f"({inv['merged_ops']} ops) -> "
+            f"{inv['atomic_commitment_violations']} atomic-commitment "
+            f"violations; bank checked: {inv['bank_checked']}",
+            flush=True,
+        )
+        if report["kill"]["site"]:
+            print(
+                f"storm: killed {report['kill']['site']} at "
+                f"{report['kill']['at']}; cluster restarts observed: "
+                f"{report['kill']['cluster_restarts']}",
+                flush=True,
+            )
+        for failure in report["failures"]:
+            print(f"storm: FAIL {failure}", flush=True)
+        if not report["failures"]:
+            print("storm: all invariants hold", flush=True)
+
+
+def run_storm(args) -> int:
+    async def _main() -> int:
+        return await StormClient(args).run()
+
+    return asyncio.run(_main())

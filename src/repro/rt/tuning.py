@@ -1,0 +1,131 @@
+"""Wall-clock-scale tuning for the runtime processes.
+
+The simulator's defaults are calibrated in abstract time units where a
+local DML operation costs 1.0; under the
+:class:`~repro.rt.kernel.RealtimeKernel` one unit is one *second*, so
+every default must be rescaled or an alive check would fire once a
+minute and a session retransmit once every fifteen seconds. One
+``RtTuning`` instance derives every protocol config from a handful of
+wall-clock knobs, so all processes of a cluster agree by construction
+(the launcher serialises it into ``cluster.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.core.agent import AgentConfig
+from repro.core.coordinator import CoordinatorTimeouts
+from repro.durability.config import DurabilityConfig
+from repro.ldbs.ltm import LTMConfig
+from repro.net.reliable import ReliableConfig
+
+
+@dataclass(frozen=True)
+class RtTuning:
+    """Seconds-scale protocol timeouts for a live cluster."""
+
+    #: Simulated cost of one DML operation (seconds).
+    op_duration: float = 0.002
+    lock_timeout: float = 5.0
+    #: Agent timers (paper's Appendix A/C timeouts).
+    alive_check_interval: float = 0.5
+    commit_retry_interval: float = 0.25
+    resubmit_retry_delay: float = 0.2
+    #: Coordinator liveness bounds — mandatory in a real deployment
+    #: (a SIGKILLed agent answers nothing until it is restarted).
+    result_timeout: float = 10.0
+    vote_timeout: float = 4.0
+    ack_timeout: float = 1.0
+    max_resends: int = 200
+    #: Session layer: keep retransmitting across a kill/restart window
+    #: rather than dead-lettering mid-recovery.
+    rto: float = 0.3
+    rto_backoff: float = 2.0
+    max_rto: float = 3.0
+    jitter: float = 0.05
+    max_retries: int = 60
+    #: WAL sync policy; "batched" is SIGKILL-safe (flush on append),
+    #: "always" additionally survives machine crashes.
+    sync: str = "batched"
+
+    def ltm_config(self) -> LTMConfig:
+        return LTMConfig(
+            op_duration=self.op_duration, lock_timeout=self.lock_timeout
+        )
+
+    def agent_config(self) -> AgentConfig:
+        return AgentConfig(
+            alive_check_interval=self.alive_check_interval,
+            commit_retry_interval=self.commit_retry_interval,
+            resubmit_retry_delay=self.resubmit_retry_delay,
+        )
+
+    def coordinator_timeouts(self) -> CoordinatorTimeouts:
+        return CoordinatorTimeouts(
+            result_timeout=self.result_timeout,
+            vote_timeout=self.vote_timeout,
+            ack_timeout=self.ack_timeout,
+            max_resends=self.max_resends,
+        )
+
+    def reliable_config(self) -> ReliableConfig:
+        return ReliableConfig(
+            rto=self.rto,
+            backoff=self.rto_backoff,
+            max_rto=self.max_rto,
+            jitter=self.jitter,
+            max_retries=self.max_retries,
+        )
+
+    def durability_config(self, root: str) -> DurabilityConfig:
+        return DurabilityConfig(root=root, sync=self.sync)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RtTuning":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass(frozen=True)
+class BankConfig:
+    """The debit-credit bank shape every process must agree on.
+
+    Agents rebuild their initial tables from this (deterministically,
+    no data shipping); the storm client generates transactions against
+    the same shape with the same seed.
+    """
+
+    sites: tuple = ("branch1", "branch2", "branch3")
+    accounts_per_branch: int = 100
+    tellers_per_branch: int = 10
+    initial_account_balance: int = 1_000
+
+    def initial_tables(self, site: str) -> dict:
+        """The tables one branch site starts with."""
+        if site not in self.sites:
+            raise ValueError(f"unknown bank site {site!r}")
+        return {
+            "accounts": {
+                i: self.initial_account_balance
+                for i in range(self.accounts_per_branch)
+            },
+            "tellers": {i: 0 for i in range(self.tellers_per_branch)},
+            "branch": {"balance": 0},
+        }
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["sites"] = list(self.sites)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BankConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        if "sites" in kwargs:
+            kwargs["sites"] = tuple(kwargs["sites"])
+        return cls(**kwargs)

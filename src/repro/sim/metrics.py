@@ -14,6 +14,7 @@ correctness battery over the recorded history:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -119,6 +120,25 @@ class SystemMetrics:
     @property
     def throughput(self) -> float:
         return self.global_committed / self.sim_time if self.sim_time else 0.0
+
+    def latency_percentile(self, fraction: float) -> float:
+        return percentile(self.latencies, fraction)
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values``; ``fraction`` in [0, 1].
+
+    The empirical quantile benchmark reports want (p50/p99 of observed
+    commit latencies): always an actually-observed value, no
+    interpolation, 0.0 for an empty sample.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction {fraction} outside [0, 1]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[min(len(ordered), rank) - 1]
 
 
 def collect_metrics(

@@ -175,3 +175,35 @@ class TestRestartConcurrency:
         assert slow.value.committed
         assert fast.value.committed
         assert audit(system).ok
+
+
+class TestRedeliveredBegin:
+    def test_redelivered_begin_after_recovery_is_dropped(self):
+        """At-least-once redelivery: a BEGIN whose ack died with the
+        process must be idempotent against the WAL-recovered entry,
+        not a duplicate-BEGIN protocol violation (which livelocks the
+        sender's retransmit window in the real runtime)."""
+        import pytest
+
+        from repro.common.errors import SimulationError
+        from repro.net.messages import Message, MsgType
+
+        system = build()
+        agent = system.agent("a")
+        begin = Message(
+            MsgType.BEGIN, src="coord:c1", dst=agent.address, txn=global_txn(7)
+        )
+        agent._on_message(begin)
+        assert global_txn(7) in agent._txns
+        agent.crash()
+        agent.recover()
+        agent._on_message(begin)  # redelivered: dropped, no error
+        assert agent.begin_redeliveries == 1
+
+        # A duplicate for a live, non-recovered entry is still a bug.
+        fresh = Message(
+            MsgType.BEGIN, src="coord:c1", dst=agent.address, txn=global_txn(8)
+        )
+        agent._on_message(fresh)
+        with pytest.raises(SimulationError):
+            agent._on_begin(fresh)

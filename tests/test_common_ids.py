@@ -104,3 +104,63 @@ class TestDataItemId:
     def test_qualified_item(self):
         item = DataItemId("t", "X")
         assert qualified_item("a", item) == ("a", item)
+
+
+class TestPickleBoundary:
+    """Ids cache their hash; the cache must never cross a pickle boundary.
+
+    ``hash(str)`` (and ``hash(None)`` before 3.12) is salted per
+    process, so an id pickled by one process and unpickled by another —
+    a WAL replay or a wire transfer — would otherwise carry the dead
+    process's hash and silently fail set/dict lookups against fresh
+    ids.  That exact failure made a recovered agent treat its
+    locally-committed subtransactions as aborted and re-apply them.
+    """
+
+    def test_unpickled_under_foreign_hash_seed_matches_fresh(self, tmp_path):
+        import os
+        import pickle
+        import subprocess
+        import sys
+        import textwrap
+
+        blob_path = tmp_path / "ids.pickle"
+        script = textwrap.dedent(
+            """
+            import pickle, sys
+            sys.path.insert(0, sys.argv[1])
+            from repro.common.ids import (
+                DataItemId, SubtxnId, global_txn, local_txn,
+            )
+            ids = [
+                global_txn(2),
+                local_txn(3, "branch1"),
+                SubtxnId(global_txn(2), "branch1", 0),
+                DataItemId("accounts", 17),
+            ]
+            with open(sys.argv[2], "wb") as fh:
+                pickle.dump(ids, fh)
+            """
+        )
+        repo_src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        # Two foreign seeds: at least one differs from this process's.
+        for seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            subprocess.run(
+                [sys.executable, "-c", script, repo_src, str(blob_path)],
+                check=True,
+                env=env,
+            )
+            restored = pickle.loads(blob_path.read_bytes())
+            fresh = [
+                global_txn(2),
+                local_txn(3, "branch1"),
+                SubtxnId(global_txn(2), "branch1", 0),
+                DataItemId("accounts", 17),
+            ]
+            assert restored == fresh
+            for got, want in zip(restored, fresh):
+                assert hash(got) == hash(want)
+                assert got in {want}  # membership exercises the hash

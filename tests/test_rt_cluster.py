@@ -1,0 +1,162 @@
+"""End-to-end runtime tests: real processes, real sockets, real kills.
+
+These drive the actual ``python -m repro`` entrypoints as subprocesses:
+the port-0 readiness handshake (bind ephemeral, announce the bound
+address as one JSON line — no sleep-polling, no port collisions), a
+healthy storm run against a launched cluster, and the acceptance
+scenario — SIGKILL an agent mid-prepare, let the supervisor respawn
+it, and require the full invariant battery to hold.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _repro(*argv):
+    return [sys.executable, "-m", "repro", *argv]
+
+
+class TestPortZeroReadiness:
+    """Satellite: ephemeral binding + readiness handshake."""
+
+    @pytest.mark.parametrize(
+        "role_argv, role, name",
+        [
+            (("coordinator", "--name", "c9"), "coordinator", "coord-c9"),
+            (("agent", "--site", "branch1"), "agent", "agent-branch1"),
+        ],
+    )
+    def test_ready_line_announces_bound_ephemeral_port(
+        self, tmp_path, role_argv, role, name
+    ):
+        proc = subprocess.Popen(
+            _repro(
+                "serve",
+                *role_argv,
+                "--listen",
+                "127.0.0.1:0",
+                "--json",
+                "--data-root",
+                str(tmp_path),
+            ),
+            stdout=subprocess.PIPE,
+            env=_env(),
+        )
+        try:
+            # The readiness contract: exactly one JSON status line, only
+            # after the listener is bound. A blocking readline IS the
+            # synchronisation — no polling loop needed.
+            line = proc.stdout.readline()
+            status = json.loads(line)
+            assert status["event"] == "ready"
+            assert status["role"] == role
+            assert status["name"] == name
+            assert status["host"] == "127.0.0.1"
+            assert status["port"] != 0  # port 0 resolved to a real port
+            assert status["pid"] == proc.pid
+            assert status["boot"]
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=10)
+
+    def test_two_nodes_never_collide_on_ports(self, tmp_path):
+        procs = [
+            subprocess.Popen(
+                _repro(
+                    "serve",
+                    "coordinator",
+                    "--name",
+                    f"c{i}",
+                    "--listen",
+                    "127.0.0.1:0",
+                    "--json",
+                    "--data-root",
+                    str(tmp_path),
+                ),
+                stdout=subprocess.PIPE,
+                env=_env(),
+            )
+            for i in range(2)
+        ]
+        try:
+            ports = [json.loads(p.stdout.readline())["port"] for p in procs]
+            assert ports[0] != ports[1]
+        finally:
+            for p in procs:
+                p.send_signal(signal.SIGTERM)
+            for p in procs:
+                p.wait(timeout=10)
+
+
+def _run_storm(tmp_path, *extra):
+    bench = tmp_path / "BENCH_rt.json"
+    proc = subprocess.run(
+        _repro(
+            "storm",
+            "--launch",
+            "--data-root",
+            str(tmp_path / "cluster"),
+            "--bench-out",
+            str(bench),
+            *extra,
+        ),
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    return proc, bench
+
+
+class TestStormEndToEnd:
+    def test_healthy_run_commits_everything(self, tmp_path):
+        proc, bench = _run_storm(tmp_path, "--txns", "8", "--settle", "0.5")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "all invariants hold" in proc.stdout
+        run = json.loads(bench.read_text())["runs"]["healthy"]
+        assert run["ok"] is True
+        assert run["txns"] == 8
+        assert run["committed"] + run["aborted"] == 8
+        assert run["missing"] == 0
+        assert run["violations"] == 0
+        assert run["throughput_committed_per_s"] > 0
+        assert run["latency_p99_s"] >= run["latency_p50_s"] > 0
+
+    def test_kill_at_prepared_recovers_atomically(self, tmp_path):
+        """The acceptance scenario: SIGKILL mid-prepare, WAL recovery,
+        zero invariant violations over the merged journals."""
+        proc, bench = _run_storm(
+            tmp_path,
+            "--txns",
+            "14",
+            "--kill-agent",
+            "1",
+            "--at",
+            "prepared",
+            "--settle",
+            "1.0",
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "all invariants hold" in proc.stdout
+        run = json.loads(bench.read_text())["runs"]["kill_recover"]
+        assert run["ok"] is True
+        assert run["violations"] == 0
+        assert run["missing"] == 0
+        assert run["kill"]["site"]  # a real site was killed
+        assert run["kill"]["cluster_restarts"] >= 1
+        # the journals survived the SIGKILL and carried the proof
+        journals = list((tmp_path / "cluster").glob("journal-*.log"))
+        assert len(journals) == 4  # 3 agents + 1 coordinator

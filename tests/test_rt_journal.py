@@ -1,0 +1,238 @@
+"""History journals: durability, torn tails, replay, merged checking.
+
+The journal is both halves of the runtime's proof obligation: an
+agent's committed store is rebuilt by replaying its own journal, and
+the storm client merges every process's journal into a
+``History``-shaped view for ``check_atomic_commitment``. These tests
+pin the record format (torn/damaged tails dropped, never bridged),
+the replay semantics (WRITEs buffer until LOCAL_COMMIT; ``None``
+deletes), and that the merged view feeds the checker faithfully for
+both clean and violated histories.
+"""
+
+import struct
+
+from repro.common.ids import DataItemId, SubtxnId, global_txn
+from repro.history.invariants import check_atomic_commitment
+from repro.history.model import History
+from repro.rt.journal import (
+    HistoryJournal,
+    MergedHistory,
+    committed_state,
+    journal_path,
+    merge_journals,
+    read_journal,
+)
+
+_RECORD = struct.Struct("<II")
+
+
+def test_append_read_round_trip(tmp_path):
+    path = journal_path(str(tmp_path), "agent-b1")
+    journal = HistoryJournal(path)
+    history = History()
+    journal.attach(history)
+
+    txn = global_txn(1)
+    sub = SubtxnId(txn, "b1", 0)
+    item = DataItemId("accounts", 7)
+    history.record_write(0.1, sub, "b1", item, value=250)
+    history.record_prepare(0.2, txn, "b1", sn=None)
+    history.record_local_commit(0.3, sub, "b1")
+    history.record_global_commit(0.4, txn)
+    journal.close()
+
+    ops = read_journal(path)
+    assert journal.appended == 4
+    assert [op.kind.value for op in ops] == ["W", "P", "Cl", "C"]
+    assert ops[0].item == item and ops[0].value == 250
+
+
+def test_reopen_appends_to_existing_journal(tmp_path):
+    path = journal_path(str(tmp_path), "agent-b1")
+    txn = global_txn(1)
+    sub = SubtxnId(txn, "b1", 0)
+    first = HistoryJournal(path)
+    h1 = History()
+    first.attach(h1)
+    h1.record_write(0.1, sub, "b1", DataItemId("t", 1), value=1)
+    first.close()
+
+    # The restarted incarnation continues its own journal.
+    second = HistoryJournal(path)
+    h2 = History()
+    second.attach(h2)
+    h2.record_local_commit(0.2, sub, "b1")
+    second.close()
+
+    kinds = [op.kind.value for op in read_journal(path)]
+    assert kinds == ["W", "Cl"]
+
+
+def test_torn_tail_is_dropped_not_bridged(tmp_path):
+    path = journal_path(str(tmp_path), "x")
+    journal = HistoryJournal(path)
+    history = History()
+    journal.attach(history)
+    txn = global_txn(2)
+    sub = SubtxnId(txn, "s", 0)
+    history.record_write(0.1, sub, "s", DataItemId("t", 1), value=10)
+    history.record_write(0.2, sub, "s", DataItemId("t", 2), value=20)
+    journal.close()
+
+    whole = open(path, "rb").read()
+    # SIGKILL signature: the final record half-written.
+    open(path, "wb").write(whole[:-3])
+    ops = read_journal(path)
+    assert len(ops) == 1 and ops[0].value == 10
+
+
+def test_damaged_middle_record_stops_replay(tmp_path):
+    path = journal_path(str(tmp_path), "x")
+    journal = HistoryJournal(path)
+    history = History()
+    journal.attach(history)
+    txn = global_txn(2)
+    sub = SubtxnId(txn, "s", 0)
+    for i in range(3):
+        history.record_write(0.1 * (i + 1), sub, "s", DataItemId("t", i), value=i)
+    journal.close()
+
+    data = bytearray(open(path, "rb").read())
+    length, _crc = _RECORD.unpack_from(data, 0)
+    # flip a byte inside the *second* record's payload
+    second_payload = _RECORD.size + length + _RECORD.size
+    data[second_payload] ^= 0xFF
+    open(path, "wb").write(bytes(data))
+    ops = read_journal(path)
+    assert len(ops) == 1  # never bridge past damage
+
+
+def test_missing_journal_reads_empty(tmp_path):
+    assert read_journal(str(tmp_path / "nope.log")) == []
+
+
+def test_committed_state_replay_semantics():
+    history = History()
+    txn1, txn2, txn3 = global_txn(1), global_txn(2), global_txn(3)
+    s1 = SubtxnId(txn1, "s", 0)
+    s2 = SubtxnId(txn2, "s", 0)
+    s3 = SubtxnId(txn3, "s", 0)
+    a, b = DataItemId("t", "a"), DataItemId("t", "b")
+
+    history.record_write(0.1, s1, "s", a, value=1)
+    history.record_write(0.2, s1, "s", b, value=2)
+    history.record_local_commit(0.3, s1, "s")
+    # aborted subtxn leaves no trace
+    history.record_write(0.4, s2, "s", a, value=99)
+    history.record_local_abort(0.5, s2, "s", unilateral=True)
+    # committed delete removes the item
+    history.record_write(0.6, s3, "s", b, value=None)
+    history.record_local_commit(0.7, s3, "s")
+
+    state, committed = committed_state(history.ops)
+    assert state == {a: 1}
+    assert committed == {s1, s3}
+
+
+def test_committed_state_ignores_pending_writes():
+    history = History()
+    sub = SubtxnId(global_txn(9), "s", 0)
+    history.record_write(0.1, sub, "s", DataItemId("t", 1), value=123)
+    state, committed = committed_state(history.ops)
+    assert state == {} and committed == set()
+
+
+def _site_journal(tmp_path, name, record):
+    path = journal_path(str(tmp_path), name)
+    journal = HistoryJournal(path)
+    history = History()
+    journal.attach(history)
+    record(history)
+    journal.close()
+    return path
+
+
+def test_merged_history_clean_run_passes_checker(tmp_path):
+    txn = global_txn(5)
+    sub1 = SubtxnId(txn, "b1", 0)
+    sub2 = SubtxnId(txn, "b2", 0)
+
+    def at_b1(h):
+        h.record_write(0.1, sub1, "b1", DataItemId("t", 1), value=1)
+        h.record_prepare(0.2, txn, "b1", sn=None)
+        h.record_local_commit(0.3, sub1, "b1")
+
+    def at_b2(h):
+        h.record_write(0.1, sub2, "b2", DataItemId("t", 2), value=2)
+        h.record_prepare(0.2, txn, "b2", sn=None)
+        h.record_local_commit(0.3, sub2, "b2")
+
+    def at_coord(h):
+        h.record_global_commit(0.4, txn)
+
+    paths = [
+        _site_journal(tmp_path, "agent-b1", at_b1),
+        _site_journal(tmp_path, "agent-b2", at_b2),
+        _site_journal(tmp_path, "coord-c1", at_coord),
+    ]
+    merged = merge_journals(paths)
+    assert sorted(merged.sites()) == ["b1", "b2"]
+    assert merged.globally_committed() == [txn]
+    assert check_atomic_commitment(merged) == []
+
+
+def test_merged_history_detects_split_outcome(tmp_path):
+    txn = global_txn(6)
+    sub1 = SubtxnId(txn, "b1", 0)
+    sub2 = SubtxnId(txn, "b2", 0)
+
+    def at_b1(h):
+        h.record_local_commit(0.1, sub1, "b1")
+
+    def at_b2(h):
+        # a *requested* (non-unilateral) rollback: a final outcome
+        h.record_local_abort(0.1, sub2, "b2", unilateral=False)
+
+    merged = merge_journals(
+        [
+            _site_journal(tmp_path, "agent-b1", at_b1),
+            _site_journal(tmp_path, "agent-b2", at_b2),
+        ]
+    )
+    violations = check_atomic_commitment(merged)
+    assert len(violations) == 1
+    assert violations[0].txn == txn
+    assert violations[0].committed_sites == ("b1",)
+    assert violations[0].aborted_sites == ("b2",)
+
+
+def test_merged_history_unilateral_abort_is_not_final(tmp_path):
+    txn = global_txn(7)
+    sub1 = SubtxnId(txn, "b1", 0)
+    sub2 = SubtxnId(txn, "b2", 0)
+
+    def at_b1(h):
+        h.record_local_commit(0.1, sub1, "b1")
+
+    def at_b2(h):
+        # crash-induced unilateral abort followed by the resubmitted
+        # incarnation committing: atomicity holds.
+        h.record_local_abort(0.1, sub2, "b2", unilateral=True)
+        h.record_local_commit(0.2, SubtxnId(txn, "b2", 1), "b2")
+
+    merged = merge_journals(
+        [
+            _site_journal(tmp_path, "agent-b1", at_b1),
+            _site_journal(tmp_path, "agent-b2", at_b2),
+        ]
+    )
+    assert check_atomic_commitment(merged) == []
+
+
+def test_merged_history_shim_surfaces():
+    merged = MergedHistory(())
+    assert merged.ops == ()
+    assert merged.sites() == []
+    assert merged.txns() == {}
+    assert merged.globally_committed() == []

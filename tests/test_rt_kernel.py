@@ -1,0 +1,139 @@
+"""RealtimeKernel: the deterministic heap, drained on the wall clock.
+
+The runtime's core trick is that ``Agent``/``Coordinator`` run
+unmodified on an :class:`EventKernel` subclass whose heap is pumped by
+asyncio ``call_later`` wakeups instead of ``run()`` fast-forwarding.
+These tests pin the contract the protocol objects rely on: callbacks
+fire in (time, seq) order, ``now`` is monotonic and never ahead of the
+wall clock, ``Timer`` restart semantics survive, and cancellations
+leave tombstones, not firings.
+"""
+
+import asyncio
+
+from repro.kernel.events import Timer
+from repro.rt.kernel import RealtimeKernel
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_ripe_callbacks_fire_in_schedule_order():
+    async def scenario():
+        kernel = RealtimeKernel()
+        fired = []
+        kernel.schedule(0.02, lambda: fired.append("b"))
+        kernel.schedule(0.01, lambda: fired.append("a"))
+        kernel.schedule(0.02, lambda: fired.append("c"))
+        await asyncio.sleep(0.08)
+        return fired
+
+    assert _run(scenario()) == ["a", "b", "c"]
+
+
+def test_call_soon_runs_without_manual_pumping():
+    async def scenario():
+        kernel = RealtimeKernel()
+        fired = []
+        kernel.call_soon(lambda: fired.append(1))
+        await asyncio.sleep(0.03)
+        return fired
+
+    assert _run(scenario()) == [1]
+
+
+def test_cancelled_handle_never_fires():
+    async def scenario():
+        kernel = RealtimeKernel()
+        fired = []
+        handle = kernel.schedule(0.01, lambda: fired.append("cancelled"))
+        kernel.schedule(0.02, lambda: fired.append("kept"))
+        handle.cancel()
+        await asyncio.sleep(0.06)
+        return fired
+
+    assert _run(scenario()) == ["kept"]
+
+
+def test_timer_restart_supersedes_earlier_deadline():
+    async def scenario():
+        kernel = RealtimeKernel()
+        fired = []
+        timer = Timer(kernel, 0.04, lambda: fired.append(kernel.now))
+        timer.start()
+        # Restart from inside a pump (the way the agents do it), pushing
+        # the deadline from ~0.04 out to ~0.06.
+        kernel.schedule(0.02, timer.restart)
+        await asyncio.sleep(0.05)
+        mid = list(fired)
+        await asyncio.sleep(0.05)
+        return mid, fired
+
+    mid, fired = _run(scenario())
+    assert mid == []  # the restarted deadline, not the original, governs
+    assert len(fired) == 1
+    assert fired[0] >= 0.055
+
+
+def test_now_monotonic_and_behind_wall():
+    async def scenario():
+        kernel = RealtimeKernel()
+        samples = []
+
+        def sample():
+            samples.append((kernel.now, kernel.wall))
+
+        for i in range(4):
+            kernel.schedule(0.01 * (i + 1), sample)
+        await asyncio.sleep(0.09)
+        return samples
+
+    samples = _run(scenario())
+    assert len(samples) == 4
+    nows = [now for now, _ in samples]
+    assert nows == sorted(nows)
+    for now, wall in samples:
+        assert now <= wall + 1e-9
+
+
+def test_idle_kernel_advances_now_on_next_pump():
+    async def scenario():
+        kernel = RealtimeKernel()
+        kernel.schedule(0.01, lambda: None)
+        await asyncio.sleep(0.05)
+        # Heap went idle at wall ~0.01; the next pump's ``advance=True``
+        # must fast-forward ``now`` back up to the wall clock, so idle
+        # periods do not freeze simulated time behind real time.
+        kernel.schedule(0.001, lambda: None)
+        await asyncio.sleep(0.04)
+        return kernel
+
+    kernel = _run(scenario())
+    assert kernel.now >= 0.05
+    assert kernel.pumps >= 2
+
+
+def test_rearm_picks_earlier_deadline():
+    async def scenario():
+        kernel = RealtimeKernel()
+        fired = []
+        kernel.schedule(0.08, lambda: fired.append("late"))
+        kernel.schedule(0.01, lambda: fired.append("early"))
+        await asyncio.sleep(0.04)
+        return list(fired)
+
+    # The second schedule must re-aim the single wakeup earlier; if the
+    # 0.08s wakeup were kept, nothing would have fired by 0.04s.
+    assert _run(scenario()) == ["early"]
+
+
+def test_pump_now_drains_ripe_entries_synchronously():
+    async def scenario():
+        kernel = RealtimeKernel()
+        fired = []
+        kernel.call_soon(lambda: fired.append(1))
+        kernel.pump_now()
+        return list(fired)
+
+    assert _run(scenario()) == [1]

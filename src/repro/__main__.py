@@ -31,6 +31,15 @@ Commands
 ``wal {inspect,verify,stats} PATH``
     Offline tooling for the durability subsystem's WAL directories
     (see docs/DURABILITY.md).
+``serve {agent,coordinator,cluster}`` / ``storm``
+    The real deployment over asyncio TCP and its workload driver
+    (see docs/DEPLOY.md).
+``chaos-rt [--seed N]``
+    The *real-cluster* chaos drill: storm traffic through a wire-level
+    fault proxy while the coordinator (or an agent) is SIGKILLed at an
+    exact protocol point and one agent's disk injects an fsync
+    failure; heal, drain, then the merged-journal invariant battery
+    (see docs/DEPLOY.md).
 ``methods``
     List the method presets.
 """

@@ -68,6 +68,14 @@ class AgentConfig:
     commit_retry_interval: float = 20.0
     #: Pause between resubmission attempts that themselves failed.
     resubmit_retry_delay: float = 10.0
+    #: Send an INQUIRE to the coordinator when a prepared
+    #: subtransaction has seen no decision for this long (and repeat at
+    #: the same interval).  Resolves the classic 2PC blocking window: a
+    #: coordinator killed *before* forcing its DECISION record leaves
+    #: the participant prepared forever, holding locks that stall every
+    #: later transaction on the same rows.  ``0`` disables the inquiry
+    #: (the default — simulator runs keep their exact golden timing).
+    decision_inquiry_after: float = 0.0
     #: Re-run pending commit certifications as soon as the alive
     #: interval table changes (in addition to the paper's retry timer).
     eager_commit_retry: bool = True
@@ -138,6 +146,13 @@ class _AgentTxn:
     prepared_at: float = 0.0
     #: Consecutive failed resubmission attempts (backoff input).
     resubmit_failures: int = 0
+    #: When the last decision INQUIRE was sent (throttle).
+    last_inquiry_at: float = 0.0
+    #: Orphan detector for the *active* window (armed at BEGIN when
+    #: inquiries are enabled): a coordinator that dies before sending
+    #: PREPARE leaves this entry active forever, its in-place writes
+    #: and locks stalling every later transaction on the same rows.
+    orphan_timer: Optional[Timer] = None
     #: The GIVEUP escalation was sent (at most once per subtransaction).
     giveup_sent: bool = False
     #: Rebuilt from the WAL by recover(): a duplicate BEGIN for this
@@ -215,6 +230,7 @@ class TwoPCAgent:
         self.resubmissions = 0
         self.resubmit_failures = 0
         self.giveups_sent = 0
+        self.inquiries_sent = 0
         self.alive_checks = 0
         self.restarts = 0
         self.crashes = 0
@@ -303,14 +319,16 @@ class TwoPCAgent:
                 return
             raise SimulationError(f"duplicate BEGIN for {msg.txn} at {self.site}")
         local = self.ltm.begin(SubtxnId(msg.txn, self.site, 0))
-        self._txns[msg.txn] = _AgentTxn(
+        state = _AgentTxn(
             txn=msg.txn,
             coordinator=msg.src,
             local=local,
             last_activity=self.kernel.now,
             deadline=msg.deadline,
         )
+        self._txns[msg.txn] = state
         self.log.open(msg.txn, coordinator=msg.src)
+        self._arm_orphan_timer(state)
 
     def _on_command(self, msg: Message) -> None:
         state = self._txns.get(msg.txn)
@@ -554,8 +572,77 @@ class TwoPCAgent:
         elif not state.resubmitting:
             # No failure: update the end of the alive time interval.
             self.certifier.extend_interval(state.txn, self.kernel.now)
+        self._maybe_inquire(state)
         if state.alive_timer is not None:
             state.alive_timer.restart()
+
+    def _maybe_inquire(self, state: _AgentTxn) -> None:
+        """Ask the coordinator for an overdue decision (presumed abort).
+
+        Only prepared entries *without* a known decision inquire —
+        ``commit_pending`` means COMMIT already arrived, so the local
+        commit is this agent's own job.  The reply is either the logged
+        decision (re-driven idempotently) or ROLLBACK when the
+        coordinator has never heard of the transaction: the decision
+        record is forced before any COMMIT is sent, so an unknown
+        transaction can never have committed anywhere.
+        """
+        after = self.config.decision_inquiry_after
+        if after <= 0 or state.commit_pending:
+            return
+        now = self.kernel.now
+        if now - state.prepared_at < after or now - state.last_inquiry_at < after:
+            return
+        self._send_inquiry(state)
+
+    def _arm_orphan_timer(self, state: _AgentTxn) -> None:
+        if self.config.decision_inquiry_after <= 0:
+            return
+        state.orphan_timer = Timer(
+            self.kernel,
+            self.config.alive_check_interval,
+            lambda: self._orphan_check(state),
+        )
+        state.orphan_timer.start()
+
+    def _orphan_check(self, state: _AgentTxn) -> None:
+        """Inquire for *active* entries whose coordinator went silent.
+
+        The prepared window is covered by the alive-check timer (see
+        :meth:`_maybe_inquire`); this timer covers the window before it
+        — BEGIN received, commands possibly executed, no PREPARE yet.
+        A coordinator killed in that window never speaks again, so the
+        entry would otherwise stay active forever with its in-place
+        writes visible to the bank invariants and its locks blocking
+        every later transaction.  Once the entry leaves the active
+        phase the timer retires (prepared entries have their own).
+        """
+        if state.phase is not AgentPhase.ACTIVE:
+            state.orphan_timer = None
+            return
+        after = self.config.decision_inquiry_after
+        now = self.kernel.now
+        if (
+            now - state.last_activity >= after
+            and now - state.last_inquiry_at >= after
+        ):
+            self._send_inquiry(state)
+        if state.orphan_timer is not None:
+            state.orphan_timer.restart()
+
+    def _send_inquiry(self, state: _AgentTxn) -> None:
+        state.last_inquiry_at = self.kernel.now
+        self.inquiries_sent += 1
+        self.network.send(
+            Message(
+                type=MsgType.INQUIRE,
+                src=self.address,
+                dst=state.coordinator,
+                txn=state.txn,
+                payload=f"decision overdue at {self.site}",
+                sn=self.max_seen_sn,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Resubmission
@@ -827,6 +914,9 @@ class TwoPCAgent:
             state.alive_timer.cancel()
         if state.retry_timer is not None:
             state.retry_timer.cancel()
+        if state.orphan_timer is not None:
+            state.orphan_timer.cancel()
+            state.orphan_timer = None
         self.certifier.remove(state.txn)
         if self.dlu_guard is not None:
             self.dlu_guard.unbind(state.txn)
@@ -1000,9 +1090,13 @@ class TwoPCAgent:
                     self.kernel.call_soon(
                         lambda s=state: self._guarded_try_commit(s)
                     )
-            # Active-state entries stay ACTIVE with a dead incarnation:
-            # their next COMMAND or PREPARE fails and the coordinator
-            # rolls them back.
+            else:
+                # Active-state entries stay ACTIVE with a dead
+                # incarnation: their next COMMAND or PREPARE fails and
+                # the coordinator rolls them back.  If the coordinator
+                # died too, that message never comes — the orphan timer
+                # inquires and the presumed-abort reply clears the entry.
+                self._arm_orphan_timer(state)
         return recovered
 
     def simulate_restart(self) -> int:
@@ -1034,6 +1128,16 @@ class TwoPCAgent:
 
     def prepared_txns(self) -> List[TxnId]:
         return self.certifier.prepared_txns()
+
+    def open_txn_count(self) -> int:
+        """Entries not yet DONE (active or prepared, decided or not).
+
+        Zero means quiescence: no undecided in-place writes, no held
+        locks — the store totals are exactly the committed image.
+        """
+        return sum(
+            1 for s in self._txns.values() if s.phase is not AgentPhase.DONE
+        )
 
     def resubmissions_of(self, txn: TxnId) -> int:
         state = self._txns.get(txn)

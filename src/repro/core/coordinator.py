@@ -197,6 +197,21 @@ class CoordinatorTimeouts:
     max_resends: int = 25
 
 
+#: Coordinator-side protocol points a kill probe can target.  They
+#: bracket the DECISION record exactly the way the agent's CRASH_POINTS
+#: bracket the prepare record:
+#:
+#: * ``sn_drawn`` — the commit-path SN exists, nothing is logged yet
+#:   (a crash here loses the transaction; agents unilaterally abort);
+#: * ``decision_logged`` — the DECISION is forced to stable storage and
+#:   the global commit is journaled, but **no COMMIT has been sent**
+#:   (the in-doubt window ``resume_in_doubt`` must re-drive);
+#: * ``mid_broadcast`` — some participants got their COMMIT, some did
+#:   not (fires only when there are >= 2 participants, after the first
+#:   half of the broadcast).
+COORDINATOR_KILL_POINTS = ("sn_drawn", "decision_logged", "mid_broadcast")
+
+
 class Coordinator:
     """One Coordinating Site's transaction manager half."""
 
@@ -259,6 +274,8 @@ class Coordinator:
         self.vote_timeouts = 0
         self.result_timeouts = 0
         self.resends = 0
+        self.inquiries = 0
+        self.inquiries_presumed_abort = 0
         #: Durable decision records written (the paper: the Coordinator
         #: "recorded, in a stable storage, the decision").  Counted so
         #: the force-write I/O accounting covers both ends of 2PC.
@@ -267,6 +284,11 @@ class Coordinator:
         #: the GC watermark — no site can still need state for the
         #: transaction, so agents may forget it.
         self.on_end_observers: List[Callable[[TxnId], None]] = []
+        #: Crash-injection hook mirroring ``TwoPCAgent.crash_probe``:
+        #: called with ``(point, txn)`` at each COORDINATOR_KILL_POINTS
+        #: hit.  The runtime installs a probe that SIGKILLs the process
+        #: there; ``None`` (the default) keeps every golden untouched.
+        self.kill_probe: Optional[Callable[[str, TxnId], None]] = None
         network.register(self.address, self._on_message, replace=takeover)
 
     # ------------------------------------------------------------------
@@ -293,6 +315,11 @@ class Coordinator:
                     msg.src.split(":", 1)[-1]
                 )
             return
+        if msg.type is MsgType.INQUIRE:
+            if msg.sn is not None:
+                self.sn_generator.witness(self.site, msg.sn)
+            self._on_inquire(msg)
+            return
         kind = self._KIND_OF.get(msg.type)
         if kind is None:
             raise SimulationError(f"coordinator {self.name} got unexpected {msg}")
@@ -302,6 +329,46 @@ class Coordinator:
             # for the clock and counter generators.
             self.sn_generator.witness(self.site, msg.sn)
         self._expect(msg.txn, msg.src, kind).succeed(msg)
+
+    def _on_inquire(self, msg: Message) -> None:
+        """Answer a participant's overdue-decision inquiry.
+
+        Three cases, in order of precedence:
+
+        * The transaction is still actively being driven — stay silent;
+          the run (or resume) loop delivers the decision itself, and a
+          concurrent reply here could race it.
+        * A decision is logged — resend it to the inquiring site.  The
+          resend is fire-and-forget: if a resume loop is awaiting the
+          ack it consumes it; an extra ack after END lands on a fresh
+          pending event and is harmless (both decision handlers on the
+          agent are idempotent).
+        * Nothing is known — reply ROLLBACK (*presumed abort*).  The
+          DECISION record is forced before the first COMMIT message
+          leaves this coordinator, so a transaction absent from both
+          the active set and the decision log can never have committed
+          at any site; aborting the orphaned prepared subtransaction is
+          the only safe answer, and it releases the locks the orphan
+          was holding against every later transaction.
+        """
+        self.inquiries += 1
+        site = msg.src.split(":", 1)[-1]
+        if msg.txn in self._active:
+            return
+        decision = (
+            self.decision_log.decision(msg.txn)
+            if self.decision_log is not None
+            else None
+        )
+        if decision is not None:
+            self._send(
+                MsgType.COMMIT if decision.committed else MsgType.ROLLBACK,
+                msg.txn,
+                site,
+            )
+            return
+        self.inquiries_presumed_abort += 1
+        self._send(MsgType.ROLLBACK, msg.txn, site)
 
     def _expect(self, txn: TxnId, agent_address: str, kind: str) -> Event:
         key = (txn, agent_address, kind)
@@ -614,6 +681,8 @@ class Coordinator:
         if sn is None:
             sn = self.sn_generator.generate(self.site)
         outcome.sn = sn
+        if self.kill_probe is not None:
+            self.kill_probe("sn_drawn", spec.txn)
 
         # -- 2PC voting phase -------------------------------------------
         votes: List[Tuple[str, Event]] = []
@@ -679,10 +748,19 @@ class Coordinator:
         # -- decision: global commit -------------------------------------
         self._log_decision(spec.txn, True, sn, begun)
         self.history.record_global_commit(self.kernel.now, spec.txn)
+        if self.kill_probe is not None:
+            self.kill_probe("decision_logged", spec.txn)
         acks: List[Tuple[str, Event]] = []
-        for site in begun:
+        half = (len(begun) + 1) // 2
+        for index, site in enumerate(begun):
             acks.append((site, self._expect(spec.txn, f"agent:{site}", "commit-ack")))
             self._send(MsgType.COMMIT, spec.txn, site)
+            if (
+                self.kill_probe is not None
+                and len(begun) >= 2
+                and index + 1 == half
+            ):
+                self.kill_probe("mid_broadcast", spec.txn)
         for site, wait in acks:
             yield from self._await_ack(
                 spec.txn, site, "commit-ack", MsgType.COMMIT, wait

@@ -59,6 +59,7 @@ class DurableAgentLog(AgentLog):
             agent_wal_directory(config.root, site),
             sync_policy=SyncPolicy.of(config.sync, config.batch_size),
             segment_bytes=config.segment_bytes,
+            disk_faults=config.disk_faults,
         )
         log = cls(site, wal)
         log._compact_min = config.compact_min_discards

@@ -4,6 +4,62 @@ can carry one optional field instead of six."""
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DiskFaultConfig:
+    """Declarative disk-fault injection for a WAL directory.
+
+    Consumed by :class:`~repro.durability.segments.FaultingFileOps`,
+    which the WAL builds when this config rides on
+    :attr:`DurabilityConfig.disk_faults`.  Two kinds of fault:
+
+    * deterministic one-shots (``fail_fsync_at`` / ``torn_append_at``,
+      1-based call indices, 0 = never) for drills that must hit an
+      exact record, and
+    * seeded steady-state rates (``fsync_eio_rate`` /
+      ``short_write_rate``) for fuzzing.
+
+    Every fault is destructive on purpose: a short write leaves a
+    genuine torn tail for the recovery scanner, an fsync raises a real
+    ``EIO``-carrying :class:`~repro.durability.segments.DiskFault`.
+    With ``once`` (the default) a fired one-shot drops a marker file in
+    the WAL directory so the *next* incarnation of the process — which
+    is handed the same config by its supervisor — does not crash-loop
+    on the same injected fault forever.
+    """
+
+    seed: int = 0
+    #: Fail the Nth physical fsync of the process with EIO (0 = never).
+    fail_fsync_at: int = 0
+    #: Tear the Nth record append: write a prefix, then fail (0 = never).
+    torn_append_at: int = 0
+    #: Steady-state probability of an injected fsync EIO per fsync.
+    fsync_eio_rate: float = 0.0
+    #: Steady-state probability of a short write per record append.
+    short_write_rate: float = 0.0
+    #: One-shot faults fire at most once per WAL directory (marker file).
+    once: bool = True
+
+    @property
+    def armed(self) -> bool:
+        return bool(
+            self.fail_fsync_at
+            or self.torn_append_at
+            or self.fsync_eio_rate
+            or self.short_write_rate
+        )
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiskFaultConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclass(frozen=True)
@@ -26,3 +82,6 @@ class DurabilityConfig:
     compact_min_discards: int = 64
     #: ...and discarded entries outnumber live ones by this factor.
     compact_dead_ratio: float = 1.0
+    #: Optional disk-fault injection (chaos drills); ``None`` = a
+    #: faithful disk.
+    disk_faults: Optional[DiskFaultConfig] = None

@@ -60,6 +60,7 @@ class DurableDecisionLog:
             coordinator_wal_directory(config.root, name),
             sync_policy=SyncPolicy.of(config.sync, config.batch_size),
             segment_bytes=config.segment_bytes,
+            disk_faults=config.disk_faults,
         )
         log = cls(name, wal)
         log._compact_min = config.compact_min_discards

@@ -26,10 +26,12 @@ expensive call real systems batch:
 
 from __future__ import annotations
 
+import errno
 import os
+import random
 import struct
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.durability.records import CorruptRecord, WalError, encode_record
 
@@ -125,17 +127,146 @@ class SyncPolicy:
         raise WalError(f"unknown sync policy {name!r}")
 
 
+class DiskFault(OSError):
+    """An injected disk failure (fsync EIO, short write, torn tail).
+
+    Subclasses ``OSError`` because that is exactly what the real
+    syscall would raise; carries ``errno.EIO`` so callers that branch
+    on errno behave as they would against failing hardware.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(errno.EIO, message)
+
+
+class FileOps:
+    """The file syscalls a :class:`SegmentWriter` performs.
+
+    Pluggable so chaos drills can interpose
+    :class:`FaultingFileOps`; the default is a transparent passthrough.
+    One instance is shared by every writer of a WAL (counters and
+    one-shot fault indices span segment rotations).
+    """
+
+    def write(self, file, data: bytes) -> None:
+        file.write(data)
+        file.flush()
+
+    def fsync(self, file) -> None:
+        os.fsync(file.fileno())
+
+    def stats(self) -> Dict[str, int]:
+        return {}
+
+
+class FaultingFileOps(FileOps):
+    """Seeded fault injection over :class:`FileOps`.
+
+    Built from a
+    :class:`~repro.durability.config.DiskFaultConfig`: deterministic
+    one-shot faults by call index plus seeded steady-state rates.  A
+    short/torn write persists a *prefix* of the record (write + flush)
+    before raising, so the damage is a genuine torn tail on disk — the
+    recovery scanner must truncate it, not this code.
+
+    ``marker_path`` (when set) implements fire-at-most-once across
+    process incarnations: the marker file is created the instant a
+    one-shot fault fires, and a fresh instance that finds it disables
+    its one-shot faults (rates stay live).
+    """
+
+    def __init__(self, config, marker_path: Optional[str] = None) -> None:
+        self.config = config
+        self.marker_path = marker_path
+        self._rng = random.Random(config.seed ^ 0xD15C)
+        self.writes = 0
+        self.fsyncs = 0
+        self.torn_writes = 0
+        self.fsync_failures = 0
+        self._one_shots_armed = not (
+            config.once
+            and marker_path is not None
+            and os.path.exists(marker_path)
+        )
+
+    @property
+    def fired(self) -> bool:
+        """Did a one-shot fault fire — now or in a past incarnation?"""
+        if self.torn_writes or self.fsync_failures:
+            return True
+        return self.marker_path is not None and os.path.exists(self.marker_path)
+
+    def _mark_fired(self) -> None:
+        if self.config.once and self.marker_path is not None:
+            with open(self.marker_path, "w") as fh:
+                fh.write("fired\n")
+
+    def write(self, file, data: bytes) -> None:
+        self.writes += 1
+        tear = (
+            self._one_shots_armed
+            and self.config.torn_append_at
+            and self.writes == self.config.torn_append_at
+        )
+        if not tear and self.config.short_write_rate:
+            tear = self._rng.random() < self.config.short_write_rate
+        if tear:
+            keep = max(1, len(data) // 2)
+            file.write(data[:keep])
+            file.flush()
+            self.torn_writes += 1
+            self._mark_fired()
+            raise DiskFault(
+                f"injected short write ({keep}/{len(data)} bytes) on "
+                f"append #{self.writes}"
+            )
+        file.write(data)
+        file.flush()
+
+    def fsync(self, file) -> None:
+        self.fsyncs += 1
+        fail = (
+            self._one_shots_armed
+            and self.config.fail_fsync_at
+            and self.fsyncs == self.config.fail_fsync_at
+        )
+        if not fail and self.config.fsync_eio_rate:
+            fail = self._rng.random() < self.config.fsync_eio_rate
+        if fail:
+            self.fsync_failures += 1
+            self._mark_fired()
+            raise DiskFault(f"injected fsync EIO on fsync #{self.fsyncs}")
+        os.fsync(file.fileno())
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "writes": self.writes,
+            "fsyncs": self.fsyncs,
+            "torn_writes": self.torn_writes,
+            "fsync_failures": self.fsync_failures,
+            "fired": self.fired,
+        }
+
+
 class SegmentWriter:
     """Appends framed records to one segment file.
 
     The writer always ``flush()``-es the Python buffer after an append
     (process-crash durability); ``maybe_sync``/``sync`` handle the
-    fsync side per :class:`SyncPolicy`.
+    fsync side per :class:`SyncPolicy`.  All physical writes/fsyncs go
+    through ``file_ops`` so fault injection can interpose.
     """
 
-    def __init__(self, path: str, policy: SyncPolicy, fresh: bool) -> None:
+    def __init__(
+        self,
+        path: str,
+        policy: SyncPolicy,
+        fresh: bool,
+        file_ops: Optional[FileOps] = None,
+    ) -> None:
         self.path = path
         self.policy = policy
+        self.file_ops = file_ops if file_ops is not None else FileOps()
         self._pending_forces = 0
         self.fsyncs = 0
         self.appends = 0
@@ -149,8 +280,14 @@ class SegmentWriter:
             self.size = self._file.tell()
 
     def append(self, blob: bytes) -> None:
-        self._file.write(blob)
-        self._file.flush()
+        try:
+            self.file_ops.write(self._file, blob)
+        except OSError:
+            # A short write may have persisted a prefix: account for
+            # what we know reached the file object, then re-raise —
+            # the owner fail-stops and recovery truncates the tear.
+            self.size = self._file.tell()
+            raise
         self.size += len(blob)
         self.appends += 1
 
@@ -169,7 +306,7 @@ class SegmentWriter:
             self._pending_forces = 0
             return False
         self._file.flush()
-        os.fsync(self._file.fileno())
+        self.file_ops.fsync(self._file)
         self.fsyncs += 1
         self._pending_forces = 0
         return True

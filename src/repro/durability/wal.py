@@ -21,12 +21,19 @@ from typing import Any, Dict, List, Optional
 from repro.durability.records import RecordKind, WalRecord, encode_record
 from repro.durability.recovery import RecoveryReport, scan_wal, truncate_damage
 from repro.durability.segments import (
+    FaultingFileOps,
+    FileOps,
     SegmentWriter,
     SyncPolicy,
     list_segments,
     segment_name,
     write_segment,
 )
+
+#: Dropped next to the segments once a one-shot injected fault fires,
+#: so the same DiskFaultConfig handed to a respawned process does not
+#: re-fire forever (see FaultingFileOps).
+DISK_FAULT_MARKER = "disk-fault-fired"
 
 
 class WriteAheadLog:
@@ -37,11 +44,19 @@ class WriteAheadLog:
         directory: str,
         sync_policy: Optional[SyncPolicy] = None,
         segment_bytes: int = 256 * 1024,
+        disk_faults=None,
     ) -> None:
         self.directory = directory
         self.sync_policy = sync_policy or SyncPolicy.batched()
         self.segment_bytes = segment_bytes
         os.makedirs(directory, exist_ok=True)
+        if disk_faults is not None and disk_faults.armed:
+            self.file_ops: FileOps = FaultingFileOps(
+                disk_faults,
+                marker_path=os.path.join(directory, DISK_FAULT_MARKER),
+            )
+        else:
+            self.file_ops = FileOps()
 
         #: What open() found on disk (records already cut to the last
         #: checkpoint suffix; damage already physically truncated).
@@ -52,13 +67,16 @@ class WriteAheadLog:
         if segments:
             last_index, last_path = segments[-1]
             self._segment_index = last_index
-            self._writer = SegmentWriter(last_path, self.sync_policy, fresh=False)
+            self._writer = SegmentWriter(
+                last_path, self.sync_policy, fresh=False, file_ops=self.file_ops
+            )
         else:
             self._segment_index = 1
             self._writer = SegmentWriter(
                 os.path.join(directory, segment_name(1)),
                 self.sync_policy,
                 fresh=True,
+                file_ops=self.file_ops,
             )
         self.records_appended = 0
         self.forced_appends = 0
@@ -94,6 +112,7 @@ class WriteAheadLog:
             os.path.join(self.directory, segment_name(self._segment_index)),
             self.sync_policy,
             fresh=True,
+            file_ops=self.file_ops,
         )
 
     def _retire_writer(self) -> None:
@@ -121,7 +140,9 @@ class WriteAheadLog:
         write_segment(path, [WalRecord(RecordKind.CHECKPOINT, state)])
         for old in old_segments:
             os.remove(old)
-        self._writer = SegmentWriter(path, self.sync_policy, fresh=False)
+        self._writer = SegmentWriter(
+            path, self.sync_policy, fresh=False, file_ops=self.file_ops
+        )
         self.checkpoints += 1
         self.records_appended += 1
 
@@ -138,8 +159,16 @@ class WriteAheadLog:
     def segment_paths(self) -> List[str]:
         return [path for _index, path in list_segments(self.directory)]
 
+    @property
+    def disk_fault_fired(self) -> bool:
+        """Did an injected one-shot disk fault fire here — in this
+        incarnation or (via the marker file) a previous one?"""
+        if isinstance(self.file_ops, FaultingFileOps) and self.file_ops.fired:
+            return True
+        return os.path.exists(os.path.join(self.directory, DISK_FAULT_MARKER))
+
     def stats(self) -> Dict[str, Any]:
-        return {
+        stats = {
             "directory": self.directory,
             "segments": len(self.segment_paths()),
             "records_appended": self.records_appended,
@@ -148,6 +177,10 @@ class WriteAheadLog:
             "checkpoints": self.checkpoints,
             "sync_policy": self.sync_policy.name,
         }
+        disk_faults = self.file_ops.stats()
+        if disk_faults:
+            stats["disk_faults"] = disk_faults
+        return stats
 
     @property
     def closed(self) -> bool:

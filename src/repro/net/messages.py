@@ -43,6 +43,13 @@ class MsgType(enum.Enum):
     #: the coordinator honours it only while the global decision is
     #: still open (a READY vote cannot be revoked unilaterally).
     GIVEUP = "GIVEUP"
+    #: Participant → Coordinator status inquiry: a prepared
+    #: subtransaction's decision is overdue (coordinator may have
+    #: crashed before deciding).  The coordinator answers with the
+    #: logged decision, or ROLLBACK when it has none — presumed abort
+    #: is safe because a DECISION record is always forced before the
+    #: first COMMIT leaves the coordinator.
+    INQUIRE = "INQUIRE"
     #: Session-layer cumulative acknowledgement (transport-internal).
     ACK = "ACK"
     #: Failure-detector heartbeat probe / reply (transport-internal).

@@ -80,6 +80,18 @@ def add_rt_parsers(subparsers) -> None:
         "cluster", help="launch + supervise 1 coordinator + N agents"
     )
     cluster.add_argument("--name", default="c1", help="coordinator name")
+    cluster.add_argument(
+        "--nemesis",
+        action="store_true",
+        help="route all peer links through a fault-injection proxy "
+        "(control socket advertised in cluster.json)",
+    )
+    cluster.add_argument(
+        "--max-restarts",
+        type=int,
+        default=10,
+        help="crash-loop guard: give up on a child after this many respawns",
+    )
     _add_common_node_args(cluster)
     _add_bank_args(cluster)
     cluster.set_defaults(run=_run_cluster)
@@ -111,10 +123,17 @@ def add_rt_parsers(subparsers) -> None:
         help="SIGKILL the N-th agent (1-based) mid-run",
     )
     storm.add_argument(
+        "--kill-coordinator",
+        action="store_true",
+        help="SIGKILL the coordinator mid-run (--at sn_drawn, "
+        "decision_logged, or mid_broadcast)",
+    )
+    storm.add_argument(
         "--at",
         default="prepared",
-        help="protocol point for the kill (prepared, ready, committed, "
-        "or any agent CRASH_POINT)",
+        help="protocol point for the kill (agents: prepared, ready, "
+        "committed, or any CRASH_POINT; coordinator: sn_drawn, "
+        "decision_logged, mid_broadcast)",
     )
     storm.add_argument(
         "--kill-after",
@@ -148,6 +167,44 @@ def add_rt_parsers(subparsers) -> None:
     )
     storm.set_defaults(run=_run_storm)
 
+    chaos = subparsers.add_parser(
+        "chaos-rt",
+        help="composed drill: storm traffic x nemesis faults x process "
+        "kills x disk faults -> heal -> invariant battery",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="drives the fault plan, the workload, AND the kill mode "
+        "(seed %% 4: coord@sn_drawn, coord@decision_logged, "
+        "coord@mid_broadcast, agent@prepared)",
+    )
+    chaos.add_argument("--txns", type=int, default=60)
+    chaos.add_argument("--data-root", default="chaos-rt-data")
+    chaos.add_argument("--remote-fraction", type=float, default=0.4)
+    chaos.add_argument("--inflight", type=int, default=8)
+    chaos.add_argument(
+        "--plan-duration",
+        type=float,
+        default=10.0,
+        help="nemesis plan horizon (every fault starts inside it)",
+    )
+    chaos.add_argument("--txn-timeout", type=float, default=20.0)
+    chaos.add_argument(
+        "--timeout", type=float, default=150.0, help="overall run deadline"
+    )
+    chaos.add_argument(
+        "--settle",
+        type=float,
+        default=8.0,
+        help="post-heal drain before verification (covers lock-timeout "
+        "aborts of orphaned subtransactions)",
+    )
+    chaos.add_argument("--bench-out", default="BENCH_rt.json")
+    chaos.add_argument("--json-report", action="store_true")
+    chaos.set_defaults(run=_run_chaos)
+
 
 def _run_agent(args) -> int:
     from repro.rt.node import run_serve_agent
@@ -171,3 +228,9 @@ def _run_storm(args) -> int:
     from repro.rt.storm import run_storm
 
     return run_storm(args)
+
+
+def _run_chaos(args) -> int:
+    from repro.rt.chaos import run_chaos
+
+    return run_chaos(args)

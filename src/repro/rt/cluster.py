@@ -13,8 +13,21 @@ recovery is driven purely by what the data root contains.
 
 Stdout protocol (``--json``): one ``{"event": "ready", "role":
 "cluster", ...}`` line once the cluster is serving, then one
-``exited`` + ``restarted`` line pair per supervised respawn. The storm
-client's ``--launch`` mode consumes these.
+``exited`` + ``restarted`` line pair per supervised respawn (plus
+``respawn-failed`` / ``gave-up`` when the crash-loop guard trips). The
+storm client's ``--launch`` mode consumes these.
+
+``--nemesis`` inserts a :class:`~repro.rt.nemesis.NemesisProxy` relay
+between every ordered peer pair: the route table each child receives
+points at the relays, so every protocol byte between cluster processes
+is fault-injectable live over the nemesis control socket (advertised
+in ``cluster.json`` under ``"nemesis"``). Supervisor↔child control
+frames stay direct — supervision survives partitions.
+
+Crash-loop guard: a child that keeps dying right after becoming ready
+is respawned with exponential backoff, and after ``max_restarts``
+respawns the supervisor gives up on it (``gave-up`` event, recorded in
+``cluster.json``) instead of burning CPU forever.
 """
 
 from __future__ import annotations
@@ -25,9 +38,12 @@ import json
 import os
 import signal
 import sys
+import time
+from collections import deque
 from typing import Dict, List, Optional
 
 from repro.rt.codec import FRAME_CONTROL, encode_frame
+from repro.rt.nemesis import NemesisProxy, link_key
 from repro.rt.node import (
     agent_address,
     agent_control,
@@ -38,6 +54,11 @@ from repro.rt.tuning import BankConfig, RtTuning
 
 READY_TIMEOUT = 30.0
 STOP_TIMEOUT = 5.0
+#: A child that died sooner than this after becoming ready is "hot
+#: failing": its next respawn is delayed with exponential backoff.
+MIN_UPTIME = 2.0
+BACKOFF_BASE = 0.5
+BACKOFF_MAX = 10.0
 
 
 async def send_control_frame(host: str, port: int, body: dict) -> None:
@@ -63,6 +84,16 @@ class _Child:
         self.port: int = 0
         self.pid: int = 0
         self.drain_task: Optional[asyncio.Task] = None
+        self.stderr_task: Optional[asyncio.Task] = None
+        #: Last stderr lines, kept for readiness/give-up diagnostics.
+        self.stderr_tail: deque = deque(maxlen=40)
+        self.restarts = 0
+        self.backoff = 0.0
+        self.started_at = 0.0
+        self.gave_up = False
+
+    def stderr_excerpt(self) -> str:
+        return "".join(self.stderr_tail)[-2000:]
 
     @property
     def process_name(self) -> str:
@@ -93,6 +124,8 @@ class ClusterSupervisor:
         bank: Optional[BankConfig] = None,
         tuning: Optional[RtTuning] = None,
         json_mode: bool = False,
+        nemesis: bool = False,
+        max_restarts: int = 10,
     ) -> None:
         self.data_root = data_root
         self.bank = bank if bank is not None else BankConfig()
@@ -103,6 +136,8 @@ class ClusterSupervisor:
         self.stop = asyncio.Event()
         self.shutting_down = False
         self.restarts = 0
+        self.max_restarts = max_restarts
+        self.nemesis: Optional[NemesisProxy] = NemesisProxy() if nemesis else None
         self._supervisors: List[asyncio.Task] = []
 
     # -- reporting ------------------------------------------------------------
@@ -151,29 +186,61 @@ class ClusterSupervisor:
         env = dict(os.environ)
         src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
         env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        child.stderr_tail.clear()
+        child.started_at = time.monotonic()
         child.proc = await asyncio.create_subprocess_exec(
             *self._child_argv(child, port),
             stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.PIPE,
             env=env,
         )
+        child.stderr_task = asyncio.ensure_future(self._drain_stderr(child))
         try:
             line = await asyncio.wait_for(
                 child.proc.stdout.readline(), READY_TIMEOUT
             )
         except asyncio.TimeoutError:
-            child.proc.kill()
-            raise RuntimeError(f"{child.process_name} never became ready")
+            await self._reap(child)
+            raise RuntimeError(
+                f"{child.process_name} never became ready within "
+                f"{READY_TIMEOUT}s{self._stderr_suffix(child)}"
+            )
         if not line:
+            # Dead before the readiness line: reap it and say *why*
+            # (its stderr), instead of leaving a zombie and a mystery.
+            await self._reap(child)
             raise RuntimeError(
                 f"{child.process_name} exited before its ready line "
-                f"(rc={child.proc.returncode})"
+                f"(rc={child.proc.returncode}){self._stderr_suffix(child)}"
             )
-        status = json.loads(line)
+        try:
+            status = json.loads(line)
+        except ValueError:
+            await self._reap(child)
+            raise RuntimeError(
+                f"{child.process_name} printed a non-JSON ready line "
+                f"{line!r}{self._stderr_suffix(child)}"
+            )
         child.host = status["host"]
         child.port = int(status["port"])
         child.pid = int(status["pid"])
         child.drain_task = asyncio.ensure_future(self._drain_stdout(child))
         return status
+
+    async def _reap(self, child: _Child) -> None:
+        """Kill + wait a half-started child and collect its stderr."""
+        if child.proc.returncode is None:
+            with contextlib.suppress(ProcessLookupError):
+                child.proc.kill()
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(child.proc.wait(), STOP_TIMEOUT)
+        if child.stderr_task is not None:
+            with contextlib.suppress(asyncio.TimeoutError, Exception):
+                await asyncio.wait_for(child.stderr_task, 1.0)
+
+    def _stderr_suffix(self, child: _Child) -> str:
+        excerpt = child.stderr_excerpt().strip()
+        return f"; stderr: {excerpt}" if excerpt else ""
 
     async def _drain_stdout(self, child: _Child) -> None:
         # children stay quiet after their ready line, but anything they
@@ -190,16 +257,51 @@ class ClusterSupervisor:
                     flush=True,
                 )
 
-    def _peers(self) -> List[dict]:
-        return [
-            {
-                "name": child.process_name,
-                "host": child.host,
-                "port": child.port,
-                "addresses": child.addresses,
-            }
-            for child in self.children
-        ]
+    async def _drain_stderr(self, child: _Child) -> None:
+        proc = child.proc
+        with contextlib.suppress(Exception):
+            while True:
+                line = await proc.stderr.readline()
+                if not line:
+                    return
+                child.stderr_tail.append(line.decode(errors="replace"))
+                print(
+                    f"[{child.process_name}!] {line.decode(errors='replace').rstrip()}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+    def _cancel_drains(self, child: _Child) -> None:
+        for task in (child.drain_task, child.stderr_task):
+            if task is not None:
+                task.cancel()
+
+    def _peers_for(self, viewer: _Child) -> List[dict]:
+        """The route table ``viewer`` receives.
+
+        Under the nemesis every *other* peer's coordinates are the
+        viewer→peer relay, so each ordered pair crosses its own
+        fault-injectable hop (a partition of (a, b) blocks both
+        directions without touching anyone else's links).
+        """
+        peers = []
+        for child in self.children:
+            host, port = child.host, child.port
+            if self.nemesis is not None and child is not viewer:
+                link = self.nemesis.links.get(
+                    link_key(viewer.process_name, child.process_name)
+                )
+                if link is not None and link.listen is not None:
+                    host, port = link.listen
+            peers.append(
+                {
+                    "name": child.process_name,
+                    "host": host,
+                    "port": port,
+                    "addresses": child.addresses,
+                }
+            )
+        return peers
 
     async def _send_routes(self, child: _Child) -> None:
         await send_control_frame(
@@ -208,7 +310,7 @@ class ClusterSupervisor:
             {
                 "dst": child.control_address,
                 "op": "routes",
-                "peers": self._peers(),
+                "peers": self._peers_for(child),
             },
         )
 
@@ -220,6 +322,8 @@ class ClusterSupervisor:
                 "host": coordinator.host,
                 "port": coordinator.port,
                 "pid": coordinator.pid,
+                "restarts": coordinator.restarts,
+                "gave_up": coordinator.gave_up,
             },
             "agents": [
                 {
@@ -227,13 +331,18 @@ class ClusterSupervisor:
                     "host": child.host,
                     "port": child.port,
                     "pid": child.pid,
+                    "restarts": child.restarts,
+                    "gave_up": child.gave_up,
                 }
                 for child in self.children[1:]
             ],
             "bank": self.bank.to_dict(),
             "tuning": self.tuning.to_dict(),
             "data_root": self.data_root,
+            "max_restarts": self.max_restarts,
         }
+        if self.nemesis is not None:
+            info["nemesis"] = self.nemesis.describe()
         path = os.path.join(self.data_root, "cluster.json")
         with open(path, "w") as fh:
             json.dump(info, fh, indent=2, sort_keys=True)
@@ -245,23 +354,78 @@ class ClusterSupervisor:
     async def _supervise(self, child: _Child) -> None:
         while not self.shutting_down:
             returncode = await child.proc.wait()
-            if child.drain_task is not None:
-                child.drain_task.cancel()
+            self._cancel_drains(child)
             if self.shutting_down:
                 return
+            uptime = time.monotonic() - child.started_at
             self._emit(
                 {
                     "event": "exited",
                     "role": child.role,
                     "name": child.name,
                     "returncode": returncode,
+                    "uptime_s": round(uptime, 3),
                 }
             )
+            # Crash-loop guard: a bounded respawn budget, and
+            # exponential backoff between attempts while the child
+            # keeps dying young (a genuinely broken child otherwise
+            # hot-loops the supervisor).
+            if child.restarts >= self.max_restarts:
+                child.gave_up = True
+                self._emit(
+                    {
+                        "event": "gave-up",
+                        "role": child.role,
+                        "name": child.name,
+                        "restarts": child.restarts,
+                        "stderr": child.stderr_excerpt().strip(),
+                    }
+                )
+                self._write_cluster_json()
+                return
+            if uptime < MIN_UPTIME:
+                child.backoff = min(
+                    max(child.backoff * 2.0, BACKOFF_BASE), BACKOFF_MAX
+                )
+                await asyncio.sleep(child.backoff)
+            else:
+                child.backoff = 0.0
             # Respawn on the SAME port: every peer's routes to this
             # child stay valid, and the new process recovers from the
             # WAL + journal it finds in the data root.
-            await self._start_child(child, port=child.port)
-            await self._send_routes(child)
+            child.restarts += 1
+            try:
+                await self._start_child(child, port=child.port)
+            except Exception as exc:
+                # The respawn itself failed (died before readiness).
+                # Loop: proc.wait() returns at once, backoff grows,
+                # and the budget above still bounds the retries.
+                self._emit(
+                    {
+                        "event": "respawn-failed",
+                        "role": child.role,
+                        "name": child.name,
+                        "restarts": child.restarts,
+                        "error": str(exc),
+                    }
+                )
+                continue
+            try:
+                await self._send_routes(child)
+            except OSError as exc:
+                # Died between readiness and the route push: the next
+                # proc.wait() wakes immediately and we respawn again.
+                self._emit(
+                    {
+                        "event": "respawn-failed",
+                        "role": child.role,
+                        "name": child.name,
+                        "restarts": child.restarts,
+                        "error": f"route push failed: {exc}",
+                    }
+                )
+                continue
             self._write_cluster_json()
             self.restarts += 1
             self._emit(
@@ -271,6 +435,7 @@ class ClusterSupervisor:
                     "name": child.name,
                     "pid": child.pid,
                     "port": child.port,
+                    "restarts": child.restarts,
                 }
             )
 
@@ -284,24 +449,47 @@ class ClusterSupervisor:
                 loop.add_signal_handler(sig, self.stop.set)
             except NotImplementedError:  # pragma: no cover - non-POSIX
                 pass
-        for child in self.children:
-            await self._start_child(child)
-        for child in self.children:
-            await self._send_routes(child)
+        try:
+            for child in self.children:
+                await self._start_child(child)
+            if self.nemesis is not None:
+                # One relay per ordered pair, built after the children so
+                # the upstreams are the real (stable, respawn-surviving)
+                # child ports.
+                await self.nemesis.start_control()
+                for viewer in self.children:
+                    for peer in self.children:
+                        if viewer is peer:
+                            continue
+                        await self.nemesis.add_link(
+                            viewer.process_name,
+                            peer.process_name,
+                            peer.host,
+                            peer.port,
+                        )
+            for child in self.children:
+                await self._send_routes(child)
+        except Exception:
+            # A boot failure must not orphan the children that DID
+            # start: tear them down before surfacing the error.
+            await self._shutdown()
+            raise
         path = self._write_cluster_json()
-        self._emit(
-            {
-                "event": "ready",
-                "role": "cluster",
-                "cluster_json": path,
-                "coordinator": f"{self.children[0].host}:{self.children[0].port}",
-                "agents": {
-                    child.name: f"{child.host}:{child.port}"
-                    for child in self.children[1:]
-                },
-                "pid": os.getpid(),
-            }
-        )
+        ready = {
+            "event": "ready",
+            "role": "cluster",
+            "cluster_json": path,
+            "coordinator": f"{self.children[0].host}:{self.children[0].port}",
+            "agents": {
+                child.name: f"{child.host}:{child.port}"
+                for child in self.children[1:]
+            },
+            "pid": os.getpid(),
+        }
+        if self.nemesis is not None:
+            control = self.nemesis.control_bound
+            ready["nemesis"] = f"{control[0]}:{control[1]}"
+        self._emit(ready)
         self._supervisors = [
             asyncio.ensure_future(self._supervise(child))
             for child in self.children
@@ -327,8 +515,9 @@ class ClusterSupervisor:
                 with contextlib.suppress(ProcessLookupError):
                     child.proc.kill()
                 await child.proc.wait()
-            if child.drain_task is not None:
-                child.drain_task.cancel()
+            self._cancel_drains(child)
+        if self.nemesis is not None:
+            await self.nemesis.close()
         self._emit({"event": "stopped", "restarts": self.restarts})
         return 0
 
@@ -352,5 +541,7 @@ def run_serve_cluster(args) -> int:
         bank=bank,
         tuning=tuning,
         json_mode=args.json,
+        nemesis=getattr(args, "nemesis", False),
+        max_restarts=getattr(args, "max_restarts", 10),
     )
     return asyncio.run(supervisor.run())

@@ -39,10 +39,16 @@ class ProtocolHost:
         kernel: Optional[RealtimeKernel] = None,
         loop: Optional[asyncio.AbstractEventLoop] = None,
         boot_id: Optional[str] = None,
+        outbox_limit: Optional[int] = None,
     ) -> None:
         self.name = name
         self.kernel = kernel if kernel is not None else RealtimeKernel(loop)
-        self.wire = TcpTransport(name, self.kernel, boot_id=boot_id)
+        if outbox_limit is not None:
+            self.wire = TcpTransport(
+                name, self.kernel, boot_id=boot_id, outbox_limit=outbox_limit
+            )
+        else:
+            self.wire = TcpTransport(name, self.kernel, boot_id=boot_id)
         self.session: Optional[SessionLayer] = (
             SessionLayer(self.kernel, self.wire, reliable)
             if reliable is not None

@@ -1,0 +1,552 @@
+"""Toxiproxy-style wire nemesis for the real cluster.
+
+A :class:`NemesisProxy` owns one TCP relay *per ordered peer pair*:
+the cluster supervisor (``serve cluster --nemesis``) points every
+child's route for peer Y at the X→Y relay instead of Y's real socket,
+so every protocol byte between cluster processes crosses a hop this
+module controls.  From a seeded plan — or live over a JSON-lines
+control socket — each link can suffer:
+
+* ``latency`` — per-chunk delay spikes;
+* ``throttle`` — bandwidth capped at N KiB/s;
+* ``reset`` — every live connection of the pair aborted (RST-like),
+  which is how a frame gets cut in half on the receiver;
+* ``blackhole`` — bytes silently discarded while the connection stays
+  up (the half-open illusion: the sender's writes succeed, the
+  receiver sees nothing); on heal the poisoned connections are aborted
+  so both ends resync on a fresh stream instead of resuming mid-frame;
+* ``partition`` — a timed bidirectional cut: both directions
+  blackholed, live connections aborted, and *new* connections refused
+  until the heal time.
+
+Every applied fault lands in ``fault_log`` (timestamped), which drills
+persist as evidence.  The supervisor's own control frames to children
+go direct, not through the relays — supervision survives partitions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+_READ_CHUNK = 65536
+
+
+class _Conn:
+    """One proxied connection: the client and upstream halves."""
+
+    __slots__ = ("client_writer", "upstream_writer")
+
+    def __init__(self, client_writer, upstream_writer) -> None:
+        self.client_writer = client_writer
+        self.upstream_writer = upstream_writer
+
+    def abort(self) -> None:
+        """Hard-kill both halves (no FIN handshake, no flush)."""
+        for writer in (self.client_writer, self.upstream_writer):
+            if writer is None:
+                continue
+            with contextlib.suppress(Exception):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+
+
+class _Link:
+    """One directional relay (``src`` dials ``dst`` through it)."""
+
+    def __init__(self, key: str, src: str, dst: str, upstream) -> None:
+        self.key = key
+        self.src = src
+        self.dst = dst
+        self.upstream = upstream  # (host, port) of dst's real socket
+        self.listen: Optional[Tuple[str, int]] = None
+        self.server: Optional[asyncio.AbstractServer] = None
+        self.conns: set = set()
+        # fault state: value + expiry deadline on the event-loop clock
+        self.delay = 0.0
+        self.delay_until = 0.0
+        self.rate = 0.0  # bytes/sec, 0 = unlimited
+        self.rate_until = 0.0
+        self.black_until = 0.0
+        self.refuse_until = 0.0
+        # counters
+        self.bytes_forwarded = 0
+        self.bytes_dropped = 0
+        self.conns_opened = 0
+        self.conns_refused = 0
+        self.conns_reset = 0
+
+    def blackholed(self, now: float) -> bool:
+        return now < self.black_until
+
+    def refusing(self, now: float) -> bool:
+        return now < self.refuse_until
+
+    def active_delay(self, now: float) -> float:
+        return self.delay if now < self.delay_until else 0.0
+
+    def active_rate(self, now: float) -> float:
+        return self.rate if now < self.rate_until else 0.0
+
+    def abort_conns(self) -> int:
+        conns, self.conns = list(self.conns), set()
+        for conn in conns:
+            conn.abort()
+        self.conns_reset += len(conns)
+        return len(conns)
+
+    def clear_faults(self) -> None:
+        self.delay_until = 0.0
+        self.rate_until = 0.0
+        self.black_until = 0.0
+        self.refuse_until = 0.0
+
+    def stats(self) -> dict:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "bytes_forwarded": self.bytes_forwarded,
+            "bytes_dropped": self.bytes_dropped,
+            "conns_opened": self.conns_opened,
+            "conns_refused": self.conns_refused,
+            "conns_reset": self.conns_reset,
+            "live_conns": len(self.conns),
+        }
+
+
+def link_key(src: str, dst: str) -> str:
+    return f"{src}->{dst}"
+
+
+class NemesisProxy:
+    """All the relays of one cluster plus the live control socket."""
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self.links: Dict[str, _Link] = {}
+        self.control_bound: Optional[Tuple[str, int]] = None
+        self._control_server: Optional[asyncio.AbstractServer] = None
+        self._heal_handles: List[asyncio.TimerHandle] = []
+        self.fault_log: List[dict] = []
+        self.faults_applied = 0
+        self._closed = False
+
+    # -- topology -------------------------------------------------------------
+
+    async def add_link(
+        self, src: str, dst: str, upstream_host: str, upstream_port: int
+    ) -> Tuple[str, int]:
+        """Start the ``src``→``dst`` relay; returns its listen address."""
+        key = link_key(src, dst)
+        link = _Link(key, src, dst, (upstream_host, int(upstream_port)))
+        link.server = await asyncio.start_server(
+            lambda r, w, _link=link: self._on_client(_link, r, w),
+            host=self.host,
+            port=0,
+        )
+        sockname = link.server.sockets[0].getsockname()
+        link.listen = (sockname[0], sockname[1])
+        self.links[key] = link
+        return link.listen
+
+    async def start_control(self) -> Tuple[str, int]:
+        """Bind the JSON-lines control socket (one request per line)."""
+        self._control_server = await asyncio.start_server(
+            self._on_control_client, host=self.host, port=0
+        )
+        sockname = self._control_server.sockets[0].getsockname()
+        self.control_bound = (sockname[0], sockname[1])
+        return self.control_bound
+
+    # -- data path ------------------------------------------------------------
+
+    async def _on_client(self, link: _Link, reader, writer) -> None:
+        now = asyncio.get_running_loop().time()
+        if self._closed or link.refusing(now):
+            link.conns_refused += 1
+            with contextlib.suppress(Exception):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+            return
+        try:
+            up_reader, up_writer = await asyncio.open_connection(*link.upstream)
+        except OSError:
+            with contextlib.suppress(Exception):
+                writer.close()
+            return
+        conn = _Conn(writer, up_writer)
+        link.conns.add(conn)
+        link.conns_opened += 1
+        try:
+            await asyncio.gather(
+                self._pump(link, reader, up_writer),
+                self._pump(link, up_reader, writer),
+            )
+        finally:
+            link.conns.discard(conn)
+            conn.abort()
+
+    async def _pump(self, link: _Link, reader, writer) -> None:
+        loop = asyncio.get_running_loop()
+        with contextlib.suppress(OSError, asyncio.CancelledError):
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                now = loop.time()
+                if link.blackholed(now):
+                    # keep reading (the sender must not block — that is
+                    # the half-open illusion) but deliver nothing.
+                    link.bytes_dropped += len(data)
+                    continue
+                delay = link.active_delay(now)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                rate = link.active_rate(now)
+                if rate > 0:
+                    await asyncio.sleep(len(data) / rate)
+                writer.write(data)
+                await writer.drain()
+                link.bytes_forwarded += len(data)
+
+    # -- control plane --------------------------------------------------------
+
+    async def _on_control_client(self, reader, writer) -> None:
+        with contextlib.suppress(OSError, asyncio.CancelledError):
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    body = json.loads(line)
+                    response = self.apply(body)
+                except Exception as exc:  # malformed op: report, keep serving
+                    response = {"ok": False, "error": str(exc)}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        with contextlib.suppress(Exception):
+            writer.close()
+
+    def _select(self, body: dict) -> List[_Link]:
+        """The links an op targets: an exact key, or a pair (both ways)."""
+        if "link" in body:
+            key = body["link"]
+            if key not in self.links:
+                raise KeyError(f"unknown link {key!r}")
+            return [self.links[key]]
+        a, b = body.get("a"), body.get("b")
+        if not a or not b:
+            raise ValueError("op needs 'a' and 'b' (or 'link')")
+        selected = [
+            link
+            for link in self.links.values()
+            if (link.src == a and link.dst == b)
+            or (link.src == b and link.dst == a)
+        ]
+        if not selected:
+            raise KeyError(f"no links between {a!r} and {b!r}")
+        return selected
+
+    def _schedule_heal_abort(self, links: List[_Link], duration: float) -> None:
+        """A healed blackhole must not resume a stream mid-frame: the
+        discarded bytes are gone for good, so abort the poisoned
+        connections at heal time and let both ends reconnect clean."""
+        loop = asyncio.get_running_loop()
+
+        def heal_abort() -> None:
+            now = loop.time()
+            for link in links:
+                if not link.blackholed(now):
+                    link.abort_conns()
+
+        self._heal_handles.append(loop.call_later(duration, heal_abort))
+
+    def apply(self, body: dict) -> dict:
+        """Apply one fault op; returns its JSON-able acknowledgement."""
+        op = body.get("op")
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        if op == "stats":
+            response = {"ok": True, "stats": self.stats()}
+            if body.get("log"):
+                response["fault_log"] = list(self.fault_log)
+            return response
+        if op == "heal":
+            aborted = 0
+            for link in self.links.values():
+                if link.blackholed(now):
+                    aborted += link.abort_conns()
+                link.clear_faults()
+            self._log(body, now)
+            return {"ok": True, "op": "heal", "aborted_conns": aborted}
+
+        duration = float(body.get("duration", 1.0))
+        if op == "partition":
+            links = self._select(body)
+            aborted = 0
+            for link in links:
+                link.black_until = now + duration
+                link.refuse_until = now + duration
+                aborted += link.abort_conns()
+            self._log(body, now)
+            return {
+                "ok": True,
+                "op": op,
+                "links": [l.key for l in links],
+                "aborted_conns": aborted,
+                "heal_in": duration,
+            }
+        if op == "blackhole":
+            links = self._select(body)
+            for link in links:
+                link.black_until = now + duration
+            self._schedule_heal_abort(links, duration)
+            self._log(body, now)
+            return {
+                "ok": True,
+                "op": op,
+                "links": [l.key for l in links],
+                "heal_in": duration,
+            }
+        if op == "reset":
+            links = self._select(body)
+            aborted = sum(link.abort_conns() for link in links)
+            self._log(body, now)
+            return {
+                "ok": True,
+                "op": op,
+                "links": [l.key for l in links],
+                "aborted_conns": aborted,
+            }
+        if op == "latency":
+            links = self._select(body)
+            delay = float(body.get("delay", 0.1))
+            for link in links:
+                link.delay = delay
+                link.delay_until = now + duration
+            self._log(body, now)
+            return {
+                "ok": True,
+                "op": op,
+                "links": [l.key for l in links],
+                "delay": delay,
+                "heal_in": duration,
+            }
+        if op == "throttle":
+            links = self._select(body)
+            rate = float(body.get("rate_kbps", 64.0)) * 1024.0
+            for link in links:
+                link.rate = rate
+                link.rate_until = now + duration
+            self._log(body, now)
+            return {
+                "ok": True,
+                "op": op,
+                "links": [l.key for l in links],
+                "rate_bytes_s": rate,
+                "heal_in": duration,
+            }
+        raise ValueError(f"unknown nemesis op {op!r}")
+
+    def _log(self, body: dict, now: float) -> None:
+        self.faults_applied += 1
+        entry = dict(body)
+        entry["t"] = round(now, 4)
+        self.fault_log.append(entry)
+
+    def stats(self) -> dict:
+        return {
+            "links": {key: link.stats() for key, link in self.links.items()},
+            "faults_applied": self.faults_applied,
+            "bytes_forwarded": sum(
+                l.bytes_forwarded for l in self.links.values()
+            ),
+            "bytes_dropped": sum(l.bytes_dropped for l in self.links.values()),
+            "conns_reset": sum(l.conns_reset for l in self.links.values()),
+            "conns_refused": sum(
+                l.conns_refused for l in self.links.values()
+            ),
+        }
+
+    def describe(self) -> dict:
+        """The cluster.json section clients read."""
+        return {
+            "control": {
+                "host": self.control_bound[0] if self.control_bound else None,
+                "port": self.control_bound[1] if self.control_bound else None,
+            },
+            "links": {
+                key: {
+                    "listen": list(link.listen),
+                    "upstream": list(link.upstream),
+                }
+                for key, link in self.links.items()
+            },
+        }
+
+    async def close(self) -> None:
+        self._closed = True
+        for handle in self._heal_handles:
+            handle.cancel()
+        servers = [l.server for l in self.links.values() if l.server]
+        if self._control_server is not None:
+            servers.append(self._control_server)
+        for server in servers:
+            server.close()
+        for server in servers:
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        for link in self.links.values():
+            link.abort_conns()
+
+
+class NemesisControlClient:
+    """JSON-lines client for the proxy's control socket."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+        self._reader = None
+        self._writer = None
+
+    async def connect(self) -> "NemesisControlClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def request(self, body: dict, timeout: float = 10.0) -> dict:
+        if self._writer is None:
+            await self.connect()
+        self._writer.write(json.dumps(body).encode() + b"\n")
+        await self._writer.drain()
+        line = await asyncio.wait_for(self._reader.readline(), timeout)
+        if not line:
+            raise ConnectionError("nemesis control socket closed")
+        return json.loads(line)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            with contextlib.suppress(Exception):
+                await self._writer.wait_closed()
+            self._reader = self._writer = None
+
+
+@dataclass(frozen=True)
+class NemesisPlanConfig:
+    """Shape of a seeded fault plan (how many of each, over how long)."""
+
+    seed: int = 0
+    #: Plan horizon: every fault starts inside [0, duration).
+    duration: float = 10.0
+    partitions: int = 1
+    latency_spikes: int = 1
+    throttles: int = 1
+    resets: int = 1
+    blackholes: int = 1
+    min_fault_s: float = 0.8
+    max_fault_s: float = 2.5
+
+
+def generate_plan(
+    config: NemesisPlanConfig, coordinator: str, agents: List[str]
+) -> List[Tuple[float, dict]]:
+    """Seeded fault schedule: ``[(at_seconds, control_op), ...]``.
+
+    The first partition always cuts the coordinator from one agent —
+    agent↔agent links carry no 2PC traffic, so a plan whose only
+    partition fell there would prove nothing.  Everything else picks
+    pairs uniformly.
+    """
+    rng = random.Random(config.seed ^ 0x4E4D)
+    peers = [coordinator] + list(agents)
+
+    def window() -> float:
+        return rng.uniform(0.05, config.duration * 0.6)
+
+    def fault_len() -> float:
+        return rng.uniform(config.min_fault_s, config.max_fault_s)
+
+    def pair() -> Tuple[str, str]:
+        return tuple(rng.sample(peers, 2))
+
+    events: List[Tuple[float, dict]] = []
+    for index in range(config.partitions):
+        if index == 0 and agents:
+            a, b = coordinator, rng.choice(list(agents))
+        else:
+            a, b = pair()
+        events.append(
+            (
+                window(),
+                {"op": "partition", "a": a, "b": b, "duration": fault_len()},
+            )
+        )
+    for _ in range(config.latency_spikes):
+        a, b = pair()
+        events.append(
+            (
+                window(),
+                {
+                    "op": "latency",
+                    "a": a,
+                    "b": b,
+                    "delay": rng.uniform(0.02, 0.15),
+                    "duration": fault_len(),
+                },
+            )
+        )
+    for _ in range(config.throttles):
+        a, b = pair()
+        events.append(
+            (
+                window(),
+                {
+                    "op": "throttle",
+                    "a": a,
+                    "b": b,
+                    "rate_kbps": rng.choice([32, 64, 128]),
+                    "duration": fault_len(),
+                },
+            )
+        )
+    for _ in range(config.resets):
+        a, b = pair()
+        events.append((window(), {"op": "reset", "a": a, "b": b}))
+    for _ in range(config.blackholes):
+        a, b = pair()
+        events.append(
+            (
+                window(),
+                {"op": "blackhole", "a": a, "b": b, "duration": fault_len()},
+            )
+        )
+    events.sort(key=lambda item: item[0])
+    return events
+
+
+async def execute_plan(
+    client: NemesisControlClient,
+    plan: List[Tuple[float, dict]],
+    on_event=None,
+) -> List[dict]:
+    """Fire a plan's ops at their offsets; returns the acknowledgements."""
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    acks: List[dict] = []
+    for at, op in plan:
+        delay = t0 + at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        ack = await client.request(op)
+        acks.append(ack)
+        if on_event is not None:
+            on_event(at, op, ack)
+    return acks

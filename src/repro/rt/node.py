@@ -36,15 +36,17 @@ import asyncio
 import json
 import os
 import signal
+import sys
 from typing import List
 
 from repro.common.ids import SubtxnId
 from repro.core.agent import CRASH_POINTS, TwoPCAgent
 from repro.core.certifier import Certifier, CertifierConfig
-from repro.core.coordinator import Coordinator
+from repro.core.coordinator import COORDINATOR_KILL_POINTS, Coordinator
 from repro.core.serial import SiteClock, make_sn_generator
 from repro.durability.agent_log import DurableAgentLog
 from repro.durability.decision_log import DurableDecisionLog
+from repro.durability.segments import DiskFault
 from repro.history.model import History
 from repro.ldbs.dlu import BoundDataGuard, DLUPolicy
 from repro.ldbs.ltm import LocalTransactionManager, TxnState
@@ -63,6 +65,11 @@ KILL_POINT_ALIASES = {
     "ready": "post-ready",
     "committed": "post-commit-record",
 }
+
+#: Exit code of a process that fail-stopped on an injected (or real)
+#: disk fault — distinguishable from a SIGKILL (-9) in supervisor
+#: ``exited`` events, so drills can attribute respawns per fault class.
+EXIT_DISK_FAULT = 3
 
 
 def agent_address(site: str) -> str:
@@ -89,6 +96,26 @@ def resolve_kill_point(at: str) -> str:
     return point
 
 
+def resolve_coordinator_kill_point(at: str) -> str:
+    if at not in COORDINATOR_KILL_POINTS:
+        raise ValueError(
+            f"unknown coordinator kill point {at!r} "
+            f"(choose from {sorted(COORDINATOR_KILL_POINTS)})"
+        )
+    return at
+
+
+def fail_stop_on_disk_fault(exc: BaseException) -> None:
+    """A process that cannot persist must stop participating *now*.
+
+    ``os._exit`` (not ``sys.exit``): nothing here is recoverable, no
+    finalizer should run against a disk we just watched fail, and the
+    supervisor's respawn + WAL recovery scanner own what happens next.
+    """
+    print(f"rt: fatal disk fault, failing stop: {exc}", file=sys.stderr, flush=True)
+    os._exit(EXIT_DISK_FAULT)
+
+
 def _parse_listen(listen: str):
     host, _, port = listen.rpartition(":")
     return host or "127.0.0.1", int(port)
@@ -103,8 +130,19 @@ class _NodeBase:
         self.name = name
         self.data_root = data_root
         self.tuning = tuning
-        self.host = ProtocolHost(name, reliable=tuning.reliable_config())
+        self.host = ProtocolHost(
+            name,
+            reliable=tuning.reliable_config(),
+            outbox_limit=tuning.outbox_limit,
+        )
         self.kernel = self.host.kernel
+        # A WAL append that fails inside a message handler (injected or
+        # real EIO) must fail-stop the process, not be swallowed as a
+        # protocol error: a 2PC participant that cannot log must not
+        # keep voting.  Timer-driven appends funnel through the loop's
+        # exception handler (installed in _run_node).
+        self.host.wire.fatal_error_types = (DiskFault,)
+        self.host.wire.on_fatal = fail_stop_on_disk_fault
         self.history = History()
         self.journal_file = journal_path(data_root, name)
         self.prior_ops = read_journal(self.journal_file)
@@ -207,7 +245,7 @@ class AgentNode(_NodeBase):
                 self.ltm.store.load(item.table, {item.key: value})
         self.certifier = Certifier(site, CertifierConfig())
         self.log = DurableAgentLog.open_site(
-            site, tuning.durability_config(data_root)
+            site, tuning.durability_config(data_root, owner=site)
         )
         self.wal_entries_at_boot = len(list(self.log.entries()))
         # Pre-seed the LTM with each logged subtransaction's terminal
@@ -297,6 +335,12 @@ class AgentNode(_NodeBase):
             "wal_entries_at_boot": self.wal_entries_at_boot,
             "recovered_at_boot": self.recovered_at_boot,
             "restarts": self.agent.restarts,
+            "inquiries_sent": self.agent.inquiries_sent,
+            # Entries not yet DONE: while any remain, in-place writes of
+            # undecided subtransactions are visible in ``tables`` and the
+            # bank invariants are not yet meaningful (verifiers poll this
+            # down to zero before checking totals).
+            "open_txns": self.agent.open_txn_count(),
             "tables": {
                 table: sum(self.ltm.store.snapshot(table).values())
                 for table in ("accounts", "tellers", "branch")
@@ -314,6 +358,13 @@ class AgentNode(_NodeBase):
             },
             "peer_resets": self.host.peer_resets,
             "journal_ops": self.journal.appended,
+            "wire": self.host.wire.stats(),
+            "wal": {
+                "recovery_clean": self.log.wal.recovery.clean,
+                "damaged_segment": self.log.wal.recovery.damaged_segment,
+                "repaired_files": self.log.wal.repaired_files,
+                "disk_fault_fired": self.log.wal.disk_fault_fired,
+            },
         }
 
     async def close(self) -> None:
@@ -334,7 +385,7 @@ class CoordinatorNode(_NodeBase):
             "clock", self.kernel, {name: clock}
         )
         self.decision_log = DurableDecisionLog.open_name(
-            name, tuning.durability_config(data_root)
+            name, tuning.durability_config(data_root, owner=name)
         )
         self.in_doubt_at_boot = len(self.decision_log.in_doubt())
         self.coordinator = Coordinator(
@@ -350,6 +401,7 @@ class CoordinatorNode(_NodeBase):
         self.resumed_at_boot = 0
         self._pending_submits: List[dict] = []
         self.submitted = 0
+        self.kills_armed = 0
         self.host.wire.register_control(
             coordinator_control(name), self._on_control
         )
@@ -371,6 +423,12 @@ class CoordinatorNode(_NodeBase):
             for queued in pending:
                 self._submit(queued)
             self.reply_to(body, {"op": "routes-ok"})
+        elif op == "arm-kill":
+            point = resolve_coordinator_kill_point(
+                body.get("at", "decision_logged")
+            )
+            self._arm_kill(point, int(body.get("after", 1)))
+            self.reply_to(body, {"op": "armed", "point": point})
         elif op == "submit":
             if not self.routes_installed:
                 # Raced ahead of the launcher's route table: hold it.
@@ -381,6 +439,32 @@ class CoordinatorNode(_NodeBase):
             self.reply_to(body, {"op": "stats", "stats": self.stats()})
         elif op == "quit":
             self.request_stop()
+
+    def _arm_kill(self, point: str, after: int) -> None:
+        """SIGKILL this coordinator at the ``after``-th hit of ``point``.
+
+        The three COORDINATOR_KILL_POINTS bracket the DECISION record:
+        ``sn_drawn`` dies with nothing logged, ``decision_logged`` dies
+        with the decision forced but **zero** COMMITs sent (the widest
+        in-doubt window), ``mid_broadcast`` dies with the broadcast
+        half-delivered.  In every case the respawned incarnation must
+        replay ``DurableDecisionLog`` and ``resume_in_doubt()`` must
+        finish delivery — that is exactly what the chaos drill asserts.
+        """
+        self.kills_armed += 1
+        remaining = {"n": max(1, after)}
+
+        def probe(hit_point: str, _txn) -> None:
+            if hit_point != point:
+                return
+            # mid_broadcast only ever fires on >= 2 participants, so a
+            # countdown hit here is always a genuine half-sent state.
+            remaining["n"] -= 1
+            if remaining["n"] > 0:
+                return
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        self.coordinator.kill_probe = probe
 
     def _submit(self, body: dict) -> None:
         spec = body["spec"]
@@ -439,6 +523,9 @@ class CoordinatorNode(_NodeBase):
             "in_doubt_at_boot": self.in_doubt_at_boot,
             "resumed_at_boot": self.resumed_at_boot,
             "decisions": len(self.decision_log.decisions()),
+            "inquiries": self.coordinator.inquiries,
+            "inquiries_presumed_abort": self.coordinator.inquiries_presumed_abort,
+            "kills_armed": self.kills_armed,
             "session": {
                 "retransmits": session.retransmits,
                 "session_resets": session.session_resets,
@@ -447,6 +534,13 @@ class CoordinatorNode(_NodeBase):
             },
             "peer_resets": self.host.peer_resets,
             "journal_ops": self.journal.appended,
+            "wire": self.host.wire.stats(),
+            "wal": {
+                "recovery_clean": self.decision_log.wal.recovery.clean,
+                "damaged_segment": self.decision_log.wal.recovery.damaged_segment,
+                "repaired_files": self.decision_log.wal.repaired_files,
+                "disk_fault_fired": self.decision_log.wal.disk_fault_fired,
+            },
         }
 
     async def close(self) -> None:
@@ -459,6 +553,16 @@ async def _run_node(factory, listen: str, json_mode: bool) -> int:
     # transport bind to the loop that drives them.
     node: _NodeBase = factory()
     loop = asyncio.get_running_loop()
+
+    # WAL appends driven by kernel timers (commit retries, alive
+    # checks) raise outside any message handler; they surface here.
+    def on_loop_exception(loop_, context) -> None:
+        exc = context.get("exception")
+        if isinstance(exc, DiskFault):
+            fail_stop_on_disk_fault(exc)
+        loop_.default_exception_handler(context)
+
+    loop.set_exception_handler(on_loop_exception)
     for sig in (signal.SIGINT, signal.SIGTERM):
         try:
             loop.add_signal_handler(sig, node.request_stop)

@@ -14,6 +14,16 @@ incarnation replays its WAL + journal, re-enters the prepared state,
 and resumes in-doubt subtransactions to the coordinator's logged
 decision.
 
+``--kill-coordinator --at sn_drawn|decision_logged|mid_broadcast``
+does the same to the Coordinating Site, bracketing its DECISION
+record: before it exists, right after it is forced (zero COMMITs
+sent), and halfway through the commit broadcast.  Outcome replies for
+in-flight transactions die with the process — they are *not*
+resubmitted (that would risk double-apply); instead verification
+derives the committed set from the merged journals, where
+GLOBAL_COMMIT is flushed before any COMMIT leaves, and checks that
+everything the client *did* see committed is in that set.
+
 Afterwards the client runs the invariant battery:
 
 - the merged per-process history journals must pass
@@ -37,12 +47,18 @@ import json
 import os
 import sys
 import time
+from collections import deque
 from typing import Dict, List, Optional
 
 from repro.history.invariants import check_atomic_commitment
 from repro.rt.host import ProtocolHost
 from repro.rt.journal import merge_journals
-from repro.rt.node import agent_control, coordinator_control, resolve_kill_point
+from repro.rt.node import (
+    agent_control,
+    coordinator_control,
+    resolve_coordinator_kill_point,
+    resolve_kill_point,
+)
 from repro.rt.tuning import BankConfig
 from repro.sim.metrics import percentile
 from repro.workload.debitcredit import DebitCreditConfig, DebitCreditGenerator
@@ -58,6 +74,12 @@ class StormClient:
         self.cluster_proc: Optional[asyncio.subprocess.Process] = None
         self.cluster_restarts = 0
         self._cluster_drain: Optional[asyncio.Task] = None
+        self._cluster_stderr_task: Optional[asyncio.Task] = None
+        self._cluster_stderr: deque = deque(maxlen=40)
+        #: Every supervisor event (exited/restarted/...) with a client
+        #: clock timestamp — the chaos drill turns these into per-fault
+        #: recovery times.
+        self.cluster_events: List[dict] = []
         self.host: Optional[ProtocolHost] = None
         self.reply: Dict[str, object] = {}
         self.outcomes: Dict[int, dict] = {}
@@ -66,6 +88,15 @@ class StormClient:
         self.ack_waiters: Dict[str, asyncio.Future] = {}
         self.missing: List[int] = []
         self.failures: List[str] = []
+        #: Extra argv for the ``--launch``\ ed cluster (``--nemesis``,
+        #: ``--tuning-json ...``); set by the chaos drill.
+        self.extra_cluster_args: List[str] = []
+        #: Optional ``async f(info) -> None`` run concurrently with the
+        #: traffic (the chaos drill's nemesis plan executor).
+        self.side_task_factory = None
+        self.killed_coordinator: Optional[str] = None
+        self.cluster_info: Optional[dict] = None
+        self.report: Optional[dict] = None
 
     # -- cluster attachment ---------------------------------------------------
 
@@ -80,38 +111,64 @@ class StormClient:
             self.data_root,
             "--json",
         ]
+        argv += list(self.extra_cluster_args)
         env = dict(os.environ)
         src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
         env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
         self.cluster_proc = await asyncio.create_subprocess_exec(
-            *argv, stdout=asyncio.subprocess.PIPE, env=env
+            *argv,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.PIPE,
+            env=env,
+        )
+        self._cluster_stderr_task = asyncio.ensure_future(
+            self._drain_cluster_stderr()
         )
         while True:
             line = await asyncio.wait_for(
                 self.cluster_proc.stdout.readline(), LAUNCH_TIMEOUT
             )
             if not line:
-                raise RuntimeError("cluster exited before becoming ready")
+                await asyncio.sleep(0.2)  # let stderr drain
+                excerpt = "".join(self._cluster_stderr)[-2000:].strip()
+                raise RuntimeError(
+                    "cluster exited before becoming ready"
+                    + (f"; stderr: {excerpt}" if excerpt else "")
+                )
             event = json.loads(line)
             if event.get("event") == "ready" and event.get("role") == "cluster":
                 break
         self._cluster_drain = asyncio.ensure_future(self._watch_cluster())
 
+    async def _drain_cluster_stderr(self) -> None:
+        with contextlib.suppress(Exception):
+            while True:
+                line = await self.cluster_proc.stderr.readline()
+                if not line:
+                    return
+                text = line.decode(errors="replace")
+                self._cluster_stderr.append(text)
+                print(f"[cluster!] {text.rstrip()}", file=sys.stderr, flush=True)
+
     async def _watch_cluster(self) -> None:
+        loop = asyncio.get_running_loop()
         with contextlib.suppress(Exception):
             while True:
                 line = await self.cluster_proc.stdout.readline()
                 if not line:
                     return
                 event = json.loads(line)
+                event["t"] = round(loop.time(), 4)
+                self.cluster_events.append(event)
                 if event.get("event") == "restarted":
                     self.cluster_restarts += 1
 
     async def _stop_cluster(self) -> None:
         if self.cluster_proc is None:
             return
-        if self._cluster_drain is not None:
-            self._cluster_drain.cancel()
+        for task in (self._cluster_drain, self._cluster_stderr_task):
+            if task is not None:
+                task.cancel()
         if self.cluster_proc.returncode is None:
             with contextlib.suppress(ProcessLookupError):
                 self.cluster_proc.terminate()
@@ -187,8 +244,29 @@ class StormClient:
         cluster_json = os.path.join(self.data_root, "cluster.json")
         with open(cluster_json) as fh:
             info = json.load(fh)
+        self.cluster_info = info
         bank = BankConfig.from_dict(info["bank"])
         await self._attach(info)
+
+        if getattr(args, "kill_coordinator", False):
+            point = resolve_coordinator_kill_point(args.at)
+            self.host.wire.send_control(
+                self.ctl_coord,
+                {
+                    "op": "arm-kill",
+                    "at": point,
+                    "after": args.kill_after,
+                    "reply": self.reply,
+                },
+            )
+            armed = await self._await_ack("armed")
+            self.killed_coordinator = info["coordinator"]["name"]
+            print(
+                f"storm: armed SIGKILL in coordinator "
+                f"{self.killed_coordinator} at {armed['point']} "
+                f"(hit #{args.kill_after})",
+                flush=True,
+            )
 
         killed_site = None
         if args.kill_agent:
@@ -250,9 +328,13 @@ class StormClient:
                     return
                 outcome = self.outcomes[number]
                 outcome["wall_latency"] = loop.time() - t0
+                outcome["t_done"] = loop.time()
                 if outcome["committed"]:
                     latencies.append(outcome["wall_latency"])
 
+        side = None
+        if self.side_task_factory is not None:
+            side = asyncio.ensure_future(self.side_task_factory(info))
         try:
             await asyncio.wait_for(
                 asyncio.gather(*(submit_one(item) for item in scheduled)),
@@ -264,6 +346,14 @@ class StormClient:
                 f"{len(self.outcomes)}/{len(scheduled)} outcomes"
             )
         duration = loop.time() - started
+        if side is not None:
+            # the fault plan may outlast the traffic: let it finish (it
+            # heals the cluster at its end) before verifying.
+            try:
+                await asyncio.wait_for(side, args.timeout)
+            except Exception as exc:
+                side.cancel()
+                self.failures.append(f"nemesis side task failed: {exc!r}")
 
         # settle: let COMMIT-ACK / ROLLBACK retransmissions drain so
         # the store images below are final.
@@ -280,10 +370,15 @@ class StormClient:
         report = await self._verify(
             info, bank, generated, committed, killed_site
         )
+        if self.killed_coordinator:
+            default_label = "coord_kill"
+        elif killed_site:
+            default_label = "kill_recover"
+        else:
+            default_label = "healthy"
         report.update(
             {
-                "label": args.label
-                or ("kill_recover" if killed_site else "healthy"),
+                "label": args.label or default_label,
                 "txns": len(scheduled),
                 "committed": len(committed),
                 "aborted": len(aborted),
@@ -298,12 +393,18 @@ class StormClient:
                 "latency_p99_s": round(percentile(latencies, 0.99), 4),
                 "kill": {
                     "site": killed_site,
-                    "at": args.at if killed_site else None,
+                    "coordinator": self.killed_coordinator,
+                    "at": (
+                        args.at
+                        if (killed_site or self.killed_coordinator)
+                        else None
+                    ),
                     "cluster_restarts": self.cluster_restarts,
                 },
                 "failures": self.failures,
             }
         )
+        self.report = report
         self._record_bench(report)
         self._print_report(report)
 
@@ -337,19 +438,53 @@ class StormClient:
             self.failures.extend(
                 f"atomic commitment: {violation}" for violation in violations
             )
-        if self.missing:
+        # The *journals* are the authority on what committed: the
+        # coordinator journals GLOBAL_COMMIT (flushed) before any COMMIT
+        # leaves — in particular before any kill probe can fire — so the
+        # set survives a coordinator SIGKILL that takes the client-bound
+        # outcome replies with it.
+        journal_committed = {
+            txn.number for txn in merged.globally_committed()
+        }
+        stray = sorted(set(committed) - journal_committed)
+        if stray:
+            self.failures.append(
+                f"client saw commits the journals never logged: {stray[:10]}"
+            )
+        if self.missing and not self.killed_coordinator:
             self.failures.append(
                 f"{len(self.missing)} transactions never reported an outcome: "
                 f"{self.missing[:10]}"
             )
 
-        # (2)+(3) bank invariants from the live stores.
+        # (2)+(3) bank invariants from the live stores.  The store
+        # totals include in-place writes of still-open (undecided)
+        # subtransactions, so the invariants are only defined at
+        # quiescence: poll ``open_txns`` down to zero first — with the
+        # decision inquiry enabled, every orphan of a killed
+        # coordinator resolves to presumed abort within bounded time.
         stats: Dict[str, Optional[dict]] = {}
-        for agent in info["agents"]:
-            site = agent["site"]
-            stats[site] = await self._fetch_stats(
-                f"agent-{site}", agent_control(site)
+        deadline = asyncio.get_running_loop().time() + max(
+            10.0, self.args.settle
+        )
+        while True:
+            for agent in info["agents"]:
+                site = agent["site"]
+                stats[site] = await self._fetch_stats(
+                    f"agent-{site}", agent_control(site)
+                )
+            open_txns = sum(
+                s.get("open_txns", 0) for s in stats.values() if s is not None
             )
+            if open_txns == 0:
+                break
+            if asyncio.get_running_loop().time() >= deadline:
+                self.failures.append(
+                    f"{open_txns} subtransactions still open at "
+                    "verification (quiescence never reached)"
+                )
+                break
+            await asyncio.sleep(0.5)
         coord_stats = await self._fetch_stats(
             f"coord-{info['coordinator']['name']}",
             coordinator_control(info["coordinator"]["name"]),
@@ -372,7 +507,7 @@ class StormClient:
         committed_delta = sum(
             generated.deltas[txn][2]
             for txn in generated.deltas
-            if txn.number in set(committed)
+            if txn.number in journal_committed
         )
         initial_total = (
             len(bank.sites)
@@ -404,11 +539,30 @@ class StormClient:
                     "(the kill never hit the prepared window)"
                 )
 
+        # (5) a killed coordinator really respawned and replayed its
+        # decision log.  At decision_logged / mid_broadcast the DECISION
+        # record is forced but unacked, so the new incarnation must see
+        # it in-doubt and re-drive it over the live sockets.
+        if self.killed_coordinator:
+            if coord_stats is None:
+                self.failures.append(
+                    f"killed coordinator {self.killed_coordinator} "
+                    "never came back"
+                )
+            elif self.args.at in ("decision_logged", "mid_broadcast"):
+                if coord_stats["in_doubt_at_boot"] < 1:
+                    self.failures.append(
+                        f"coordinator killed at {self.args.at} restarted "
+                        "with no in-doubt decision (the kill missed the "
+                        "in-doubt window)"
+                    )
+
         return {
             "invariants": {
                 "atomic_commitment_violations": len(violations),
                 "journals_merged": len(journals),
                 "merged_ops": len(merged.ops),
+                "journal_committed": len(journal_committed),
                 "bank_checked": None not in stats.values(),
             },
             "agents": stats,
@@ -463,9 +617,10 @@ class StormClient:
             f"violations; bank checked: {inv['bank_checked']}",
             flush=True,
         )
-        if report["kill"]["site"]:
+        victim = report["kill"]["site"] or report["kill"].get("coordinator")
+        if victim:
             print(
-                f"storm: killed {report['kill']['site']} at "
+                f"storm: killed {victim} at "
                 f"{report['kill']['at']}; cluster restarts observed: "
                 f"{report['kill']['cluster_restarts']}",
                 flush=True,

@@ -13,10 +13,11 @@ wall-clock knobs, so all processes of a cluster agree by construction
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
+from typing import Optional
 
 from repro.core.agent import AgentConfig
 from repro.core.coordinator import CoordinatorTimeouts
-from repro.durability.config import DurabilityConfig
+from repro.durability.config import DiskFaultConfig, DurabilityConfig
 from repro.ldbs.ltm import LTMConfig
 from repro.net.reliable import ReliableConfig
 
@@ -32,6 +33,11 @@ class RtTuning:
     alive_check_interval: float = 0.5
     commit_retry_interval: float = 0.25
     resubmit_retry_delay: float = 0.2
+    #: Prepared-but-undecided entries ask the coordinator after this
+    #: long (presumed-abort inquiry).  Mandatory in a real deployment:
+    #: a coordinator SIGKILLed *before* forcing its decision leaves
+    #: orphaned prepared subtransactions holding locks forever.
+    decision_inquiry_after: float = 5.0
     #: Coordinator liveness bounds — mandatory in a real deployment
     #: (a SIGKILLed agent answers nothing until it is restarted).
     result_timeout: float = 10.0
@@ -48,6 +54,13 @@ class RtTuning:
     #: WAL sync policy; "batched" is SIGKILL-safe (flush on append),
     #: "always" additionally survives machine crashes.
     sync: str = "batched"
+    #: Per-peer outbound frame queue bound for the TCP transport
+    #: (drop-oldest beyond it; retransmission recovers what mattered).
+    outbox_limit: int = 4096
+    #: Disk-fault injection per process: maps a site (or coordinator
+    #: name) to a DiskFaultConfig-shaped dict.  Plain dicts so the
+    #: whole tuning still round-trips through ``--tuning-json``.
+    disk_faults: Optional[dict] = None
 
     def ltm_config(self) -> LTMConfig:
         return LTMConfig(
@@ -59,6 +72,7 @@ class RtTuning:
             alive_check_interval=self.alive_check_interval,
             commit_retry_interval=self.commit_retry_interval,
             resubmit_retry_delay=self.resubmit_retry_delay,
+            decision_inquiry_after=self.decision_inquiry_after,
         )
 
     def coordinator_timeouts(self) -> CoordinatorTimeouts:
@@ -78,8 +92,21 @@ class RtTuning:
             max_retries=self.max_retries,
         )
 
-    def durability_config(self, root: str) -> DurabilityConfig:
-        return DurabilityConfig(root=root, sync=self.sync)
+    def durability_config(
+        self, root: str, owner: Optional[str] = None
+    ) -> DurabilityConfig:
+        """Durability knobs for one process's WAL.
+
+        ``owner`` is the process's bank site (agents) or coordinator
+        name; if :attr:`disk_faults` targets it, the config carries the
+        fault plan — only the targeted process gets a failing disk.
+        """
+        faults = None
+        if owner is not None and self.disk_faults:
+            spec = self.disk_faults.get(owner)
+            if spec:
+                faults = DiskFaultConfig.from_dict(spec)
+        return DurabilityConfig(root=root, sync=self.sync, disk_faults=faults)
 
     def to_dict(self) -> dict:
         return asdict(self)

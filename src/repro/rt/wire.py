@@ -45,8 +45,10 @@ from repro.rt.codec import (
 #: Reconnect backoff bounds (seconds).
 RECONNECT_MIN = 0.05
 RECONNECT_MAX = 1.0
-#: Per-peer outbound queue bound; the oldest frame is dropped beyond it
-#: (the session layer retransmits anything that mattered).
+#: Default per-peer outbound queue bound; the oldest frame is dropped
+#: beyond it (the session layer retransmits anything that mattered).
+#: A long partition otherwise grows a disconnected peer's reconnect
+#: queue without limit.
 OUTBOX_LIMIT = 4096
 _READ_CHUNK = 65536
 
@@ -56,7 +58,7 @@ Route = Tuple[str, int]
 class _Peer:
     """One dialled neighbour: its queue, connection, and writer task."""
 
-    __slots__ = ("route", "queue", "wake", "writer", "task", "closed")
+    __slots__ = ("route", "queue", "wake", "writer", "task", "closed", "dropped")
 
     def __init__(self, route: Route) -> None:
         self.route = route
@@ -65,14 +67,24 @@ class _Peer:
         self.writer: Optional[asyncio.StreamWriter] = None
         self.task: Optional[asyncio.Task] = None
         self.closed = False
+        self.dropped = 0
 
 
 class TcpTransport:
     """A ``Network``-compatible transport over asyncio TCP."""
 
-    def __init__(self, name: str, kernel, *, boot_id: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        kernel,
+        *,
+        boot_id: Optional[str] = None,
+        outbox_limit: int = OUTBOX_LIMIT,
+    ) -> None:
         self.name = name
         self.kernel = kernel
+        #: Per-peer outbound queue bound (drop-oldest beyond it).
+        self.outbox_limit = max(1, int(outbox_limit))
         #: Changes on every process start; rides on HELLO frames so
         #: peers can detect restarts.
         self.boot_id = boot_id if boot_id is not None else uuid.uuid4().hex
@@ -100,6 +112,13 @@ class TcpTransport:
         self.outbox_dropped = 0
         self.dead_letters: list = []
         self.dead_letters_dropped = 0
+        #: Exceptions a protocol handler may raise that mean the process
+        #: must fail-stop instead of counting a protocol error — e.g. a
+        #: durability :class:`~repro.durability.segments.DiskFault`: a
+        #: node that cannot log must not keep voting.  The owner
+        #: installs the handler; ``None`` keeps errors contained.
+        self.fatal_error_types: Tuple[type, ...] = ()
+        self.on_fatal: Optional[Callable[[BaseException], None]] = None
 
     # -- the Network duck type ------------------------------------------------
 
@@ -181,7 +200,9 @@ class TcpTransport:
             try:
                 handler(message)
                 self.messages_delivered += 1
-            except Exception:
+            except Exception as exc:
+                if self._maybe_fatal(exc):
+                    return
                 self.protocol_errors += 1
                 print(
                     f"rt[{self.name}]: handler error for {message.type} -> "
@@ -192,10 +213,19 @@ class TcpTransport:
 
         self.kernel.call_soon(dispatch)
 
+    def _maybe_fatal(self, exc: BaseException) -> bool:
+        if self.fatal_error_types and isinstance(exc, self.fatal_error_types):
+            if self.on_fatal is not None:
+                self.on_fatal(exc)
+                return True
+        return False
+
     def _invoke_control(self, handler: Callable[[dict], Any], body: dict) -> None:
         try:
             handler(body)
-        except Exception:
+        except Exception as exc:
+            if self._maybe_fatal(exc):
+                return
             self.protocol_errors += 1
             print(
                 f"rt[{self.name}]: control handler error for op "
@@ -229,8 +259,9 @@ class TcpTransport:
         if peer is None:
             peer = self._peers[route] = _Peer(route)
             peer.task = asyncio.ensure_future(self._peer_writer(peer))
-        if len(peer.queue) >= OUTBOX_LIMIT:
+        if len(peer.queue) >= self.outbox_limit:
             peer.queue.popleft()
+            peer.dropped += 1
             self.outbox_dropped += 1
         peer.queue.append(frame)
         peer.wake.set()
@@ -367,6 +398,27 @@ class TcpTransport:
     @property
     def in_flight(self) -> int:
         return sum(len(peer.queue) for peer in self._peers.values())
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters + per-peer outbound queue depth and drops."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "protocol_errors": self.protocol_errors,
+            "reconnects": self.reconnects,
+            "outbox_limit": self.outbox_limit,
+            "outbox_dropped": self.outbox_dropped,
+            "peers": {
+                f"{route[0]}:{route[1]}": {
+                    "queued": len(peer.queue),
+                    "dropped": peer.dropped,
+                    "connected": peer.writer is not None,
+                }
+                for route, peer in self._peers.items()
+            },
+        }
 
     async def close(self) -> None:
         self._closed = True

@@ -1,0 +1,154 @@
+"""Disk-fault injection: FaultingFileOps + WAL recovery (unit level).
+
+The chaos drill's disk leg stands on three promises, pinned here
+without any process machinery:
+
+* one-shot faults fire at the exact configured call index, raise a
+  genuine ``errno.EIO``-carrying ``OSError``, and drop a marker file
+  so the next incarnation of the same WAL directory does not
+  crash-loop on the same injected fault;
+* a torn append persists a *prefix* of the record — real damage the
+  recovery scanner must physically truncate away, never bridge;
+* an fsync EIO hits the group-commit point *after* the record bytes
+  were written and flushed, so a fail-stop process loses no record it
+  acted on (the storm invariants depend on exactly this ordering).
+"""
+
+import errno
+import os
+
+import pytest
+
+from repro.durability.config import DiskFaultConfig
+from repro.durability.records import RecordKind
+from repro.durability.segments import DiskFault, FaultingFileOps
+from repro.durability.wal import DISK_FAULT_MARKER, WriteAheadLog
+from repro.durability.segments import SyncPolicy
+
+
+def _append_n(wal, n, force=True):
+    for i in range(n):
+        wal.append(RecordKind.COMMAND, {"i": i}, force=force)
+
+
+class TestFaultingFileOps:
+    def test_fsync_one_shot_fires_at_exact_index_with_eio(self, tmp_path):
+        marker = str(tmp_path / DISK_FAULT_MARKER)
+        ops = FaultingFileOps(
+            DiskFaultConfig(fail_fsync_at=3), marker_path=marker
+        )
+        with open(tmp_path / "f", "wb") as fh:
+            ops.fsync(fh)
+            ops.fsync(fh)
+            with pytest.raises(DiskFault) as err:
+                ops.fsync(fh)
+            assert err.value.errno == errno.EIO
+            # one-shot: fired once, marker dropped, never again
+            assert ops.fired and os.path.exists(marker)
+            ops.fsync(fh)
+        assert ops.fsync_failures == 1
+
+    def test_marker_disarms_one_shots_for_next_incarnation(self, tmp_path):
+        marker = str(tmp_path / DISK_FAULT_MARKER)
+        config = DiskFaultConfig(fail_fsync_at=1)
+        first = FaultingFileOps(config, marker_path=marker)
+        with open(tmp_path / "f", "wb") as fh:
+            with pytest.raises(DiskFault):
+                first.fsync(fh)
+        # the respawned process is handed the *same* config by its
+        # supervisor; the marker is what breaks the crash loop
+        second = FaultingFileOps(config, marker_path=marker)
+        with open(tmp_path / "f", "wb") as fh:
+            second.fsync(fh)
+        assert second.fsync_failures == 0
+        assert second.fired  # remembers the past incarnation's fault
+
+    def test_torn_write_persists_a_prefix_then_raises(self, tmp_path):
+        ops = FaultingFileOps(DiskFaultConfig(torn_append_at=1, once=False))
+        path = tmp_path / "f"
+        with open(path, "wb") as fh:
+            with pytest.raises(DiskFault):
+                ops.write(fh, b"x" * 100)
+        assert 0 < path.stat().st_size < 100
+
+    def test_seeded_rates_are_deterministic(self, tmp_path):
+        def failures(seed):
+            ops = FaultingFileOps(
+                DiskFaultConfig(seed=seed, fsync_eio_rate=0.3, once=False)
+            )
+            out = []
+            with open(tmp_path / "f", "wb") as fh:
+                for i in range(50):
+                    try:
+                        ops.fsync(fh)
+                        out.append(False)
+                    except DiskFault:
+                        out.append(True)
+            return out
+
+        assert failures(7) == failures(7)
+        assert any(failures(7)) and not all(failures(7))
+        assert failures(7) != failures(8)
+
+
+class TestWalUnderDiskFaults:
+    def test_fsync_eio_after_write_keeps_the_record_durable(self, tmp_path):
+        """The fail-stop contract: when the injected fsync EIO surfaces,
+        the record that triggered it is already written+flushed — a
+        process that dies on this exception loses nothing it logged."""
+        directory = str(tmp_path / "wal")
+        wal = WriteAheadLog(
+            directory,
+            sync_policy=SyncPolicy.always(),
+            disk_faults=DiskFaultConfig(fail_fsync_at=2),
+        )
+        _append_n(wal, 1)
+        with pytest.raises(OSError) as err:
+            wal.append(RecordKind.COMMAND, {"i": "fatal"}, force=True)
+        assert err.value.errno == errno.EIO
+        # abandon the handle as a dead process would; reopen and verify
+        reopened = WriteAheadLog(directory, sync_policy=SyncPolicy.always())
+        bodies = [record.body for record in reopened.recovery.records]
+        assert {"i": "fatal"} in bodies
+        reopened.close()
+
+    def test_torn_append_is_truncated_on_reopen_not_bridged(self, tmp_path):
+        directory = str(tmp_path / "wal")
+        wal = WriteAheadLog(
+            directory,
+            sync_policy=SyncPolicy.always(),
+            disk_faults=DiskFaultConfig(torn_append_at=4),
+        )
+        _append_n(wal, 3)
+        with pytest.raises(OSError):
+            wal.append(RecordKind.COMMAND, {"i": "torn"}, force=True)
+
+        reopened = WriteAheadLog(directory, sync_policy=SyncPolicy.always())
+        bodies = [record.body for record in reopened.recovery.records]
+        assert bodies == [{"i": 0}, {"i": 1}, {"i": 2}]  # tail gone for good
+        assert reopened.repaired_files >= 1
+        # appending after repair continues cleanly from the cut
+        _append_n(reopened, 1)
+        reopened.close()
+        third = WriteAheadLog(directory, sync_policy=SyncPolicy.always())
+        assert [r.body for r in third.recovery.records][-1] == {"i": 0}
+        third.close()
+
+    def test_marker_survives_in_wal_directory(self, tmp_path):
+        directory = str(tmp_path / "wal")
+        wal = WriteAheadLog(
+            directory,
+            sync_policy=SyncPolicy.always(),
+            disk_faults=DiskFaultConfig(fail_fsync_at=1),
+        )
+        with pytest.raises(OSError):
+            _append_n(wal, 1)
+        assert os.path.exists(os.path.join(directory, DISK_FAULT_MARKER))
+        # same config, fresh incarnation: the one-shot must stay dead
+        respawn = WriteAheadLog(
+            directory,
+            sync_policy=SyncPolicy.always(),
+            disk_faults=DiskFaultConfig(fail_fsync_at=1),
+        )
+        _append_n(respawn, 5)
+        respawn.close()

@@ -13,6 +13,7 @@ import os
 import signal
 import subprocess
 import sys
+import time
 
 import pytest
 
@@ -101,6 +102,94 @@ class TestPortZeroReadiness:
                 p.wait(timeout=10)
 
 
+class TestClusterSupervision:
+    """Satellites: the crash-loop guard's restart budget, and readiness
+    failures that *say why* (the dead child's stderr) instead of hanging."""
+
+    def test_exhausted_restart_budget_gives_up_visibly(self, tmp_path):
+        """SIGKILL an agent under ``--max-restarts 0``: the supervisor
+        must emit a ``gave-up`` event and record ``gave_up`` in
+        cluster.json rather than hot-loop respawning a doomed child."""
+        proc = subprocess.Popen(
+            _repro(
+                "serve",
+                "cluster",
+                "--bank-sites",
+                "branch1",
+                "--max-restarts",
+                "0",
+                "--json",
+                "--data-root",
+                str(tmp_path),
+            ),
+            stdout=subprocess.PIPE,
+            env=_env(),
+            text=True,
+        )
+        try:
+            ready = json.loads(proc.stdout.readline())
+            assert ready["event"] == "ready"
+            cluster = json.loads((tmp_path / "cluster.json").read_text())
+            assert cluster["max_restarts"] == 0
+            victim = cluster["agents"][0]
+            os.kill(victim["pid"], signal.SIGKILL)
+
+            events = []
+            for _ in range(10):
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                events.append(json.loads(line))
+                if events[-1]["event"] == "gave-up":
+                    break
+            kinds = [e["event"] for e in events]
+            assert "exited" in kinds and "gave-up" in kinds
+            gave_up = events[-1]
+            assert gave_up["name"] == victim["site"]
+            assert gave_up["restarts"] == 0
+
+            # cluster.json is rewritten with the terminal state (just
+            # after the event line — poll past that tiny window): a
+            # client polling it can see the cluster is degraded
+            deadline = time.monotonic() + 10.0
+            while True:
+                cluster = json.loads((tmp_path / "cluster.json").read_text())
+                if cluster["agents"][0]["gave_up"]:
+                    break
+                assert time.monotonic() < deadline, cluster
+                time.sleep(0.05)
+            assert cluster["coordinator"]["gave_up"] is False
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=15)
+
+    def test_child_dead_at_boot_fails_fast_with_its_stderr(self, tmp_path):
+        """Plant a regular file where the coordinator's WAL directory
+        must go: the launch must fail promptly (not hang on readiness)
+        and the error must carry the child's own stderr."""
+        (tmp_path / "coord-c1").write_text("not a directory")
+        proc = subprocess.run(
+            _repro(
+                "serve",
+                "cluster",
+                "--bank-sites",
+                "branch1",
+                "--json",
+                "--data-root",
+                str(tmp_path),
+            ),
+            env=_env(),
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode != 0
+        assert "exited before its ready line" in proc.stderr
+        # the child's own traceback was surfaced, not swallowed
+        assert "FileExistsError" in proc.stderr
+        assert "coord-c1" in proc.stderr
+
+
 def _run_storm(tmp_path, *extra):
     bench = tmp_path / "BENCH_rt.json"
     proc = subprocess.run(
@@ -160,3 +249,41 @@ class TestStormEndToEnd:
         # the journals survived the SIGKILL and carried the proof
         journals = list((tmp_path / "cluster").glob("journal-*.log"))
         assert len(journals) == 4  # 3 agents + 1 coordinator
+
+
+class TestChaosRtEndToEnd:
+    """Tentpole acceptance, one seed's worth: nemesis faults + a real
+    coordinator SIGKILL + an injected disk fault, healed, verified."""
+
+    def test_seed_zero_survives_the_full_battery(self, tmp_path):
+        bench = tmp_path / "BENCH_rt.json"
+        proc = subprocess.run(
+            _repro(
+                "chaos-rt",
+                "--seed",
+                "0",
+                "--txns",
+                "36",
+                "--data-root",
+                str(tmp_path / "chaos"),
+                "--bench-out",
+                str(bench),
+            ),
+            env=_env(),
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "all invariants hold" in proc.stdout
+        run = json.loads(bench.read_text())["chaos"]["seed0"]
+        assert run["ok"] is True
+        assert run["violations"] == 0
+        # seed 0 arms the nastiest kill mode: coordinator at sn_drawn
+        assert run["kill"] == {"role": "coordinator", "at": "sn_drawn"}
+        assert run["fault_site"]  # some process got the failing disk
+        assert run["nemesis"]["faults_applied"] >= 1
+        # per-fault-class recovery attribution made it into the series
+        assert run["recovery_s"]["kill"] is not None
+        assert run["committed_journal"] >= 1
+        assert run["goodput_committed_per_s"] > 0

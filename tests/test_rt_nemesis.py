@@ -1,0 +1,222 @@
+"""NemesisProxy unit tests: relay semantics, fault ops, seeded plans.
+
+The wire-level fault proxy is the tentpole's instrument — these pin the
+contract the chaos drill relies on: a relay is transparent when no
+fault is armed, `reset` aborts established connections, `blackhole`
+swallows bytes without blocking the sender and aborts poisoned
+connections at heal, `partition` both drops and refuses in *both*
+directions, `heal` clears everything, the JSON-lines control socket
+round-trips ops, and `generate_plan` is a pure function of its seed
+with the first partition always cutting a coordinator↔agent link.
+"""
+
+import asyncio
+import json
+
+from repro.rt.nemesis import (
+    NemesisControlClient,
+    NemesisPlanConfig,
+    NemesisProxy,
+    generate_plan,
+    link_key,
+)
+
+
+async def _echo_server():
+    """An upstream that echoes every chunk back."""
+
+    async def on_client(reader, writer):
+        try:
+            while True:
+                data = await reader.read(4096)
+                if not data:
+                    break
+                writer.write(data)
+                await writer.drain()
+        except (OSError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    server = await asyncio.start_server(on_client, host="127.0.0.1", port=0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port
+
+
+async def _connect_via(proxy, key):
+    listen = proxy.links[key].listen
+    return await asyncio.open_connection(*listen)
+
+
+async def _roundtrip(reader, writer, payload: bytes, timeout=5.0) -> bytes:
+    writer.write(payload)
+    await writer.drain()
+    return await asyncio.wait_for(reader.readexactly(len(payload)), timeout)
+
+
+def test_transparent_relay_forwards_bytes_and_counts_them():
+    async def scenario():
+        server, host, port = await _echo_server()
+        proxy = NemesisProxy()
+        await proxy.add_link("a", "b", host, port)
+        key = link_key("a", "b")
+        reader, writer = await _connect_via(proxy, key)
+        assert await _roundtrip(reader, writer, b"ping") == b"ping"
+        stats = proxy.stats()
+        assert stats["bytes_forwarded"] >= 8  # both directions
+        assert stats["bytes_dropped"] == 0
+        writer.close()
+        server.close()
+        await proxy.close()
+
+    asyncio.run(scenario())
+
+
+def test_reset_aborts_established_connections():
+    async def scenario():
+        server, host, port = await _echo_server()
+        proxy = NemesisProxy()
+        await proxy.add_link("a", "b", host, port)
+        key = link_key("a", "b")
+        reader, writer = await _connect_via(proxy, key)
+        assert await _roundtrip(reader, writer, b"up") == b"up"
+
+        ack = proxy.apply({"op": "reset", "link": key})
+        assert ack["ok"] and ack["aborted_conns"] == 1
+        # the client observes a hard close, not a clean EOF handshake
+        data = await asyncio.wait_for(reader.read(64), 5.0)
+        assert data == b""
+        # the link itself stays usable: a reconnect goes straight through
+        reader2, writer2 = await _connect_via(proxy, key)
+        assert await _roundtrip(reader2, writer2, b"again") == b"again"
+        writer2.close()
+        server.close()
+        await proxy.close()
+
+    asyncio.run(scenario())
+
+
+def test_blackhole_swallows_bytes_then_heal_aborts_poisoned_conns():
+    async def scenario():
+        server, host, port = await _echo_server()
+        proxy = NemesisProxy()
+        await proxy.add_link("a", "b", host, port)
+        key = link_key("a", "b")
+        reader, writer = await _connect_via(proxy, key)
+        assert await _roundtrip(reader, writer, b"warm") == b"warm"
+
+        proxy.apply({"op": "blackhole", "link": key, "duration": 0.3})
+        writer.write(b"into-the-void")
+        await writer.drain()  # sender never blocks: the half-open illusion
+        # the poisoned connection is aborted at heal time — resuming a
+        # stream missing bytes mid-frame would corrupt the codec
+        assert await asyncio.wait_for(reader.read(64), 5.0) == b""
+        assert proxy.stats()["bytes_dropped"] >= len(b"into-the-void")
+        server.close()
+        await proxy.close()
+
+    asyncio.run(scenario())
+
+
+def test_partition_refuses_both_directions_until_heal():
+    async def scenario():
+        server, host, port = await _echo_server()
+        proxy = NemesisProxy()
+        await proxy.add_link("a", "b", host, port)
+        await proxy.add_link("b", "a", host, port)
+
+        ack = proxy.apply(
+            {"op": "partition", "a": "a", "b": "b", "duration": 30.0}
+        )
+        assert ack["ok"] and len(ack["links"]) == 2
+
+        for key in (link_key("a", "b"), link_key("b", "a")):
+            reader, _writer = await _connect_via(proxy, key)
+            # refused: aborted immediately, no data ever flows
+            assert await asyncio.wait_for(reader.read(64), 5.0) == b""
+
+        healed = proxy.apply({"op": "heal"})
+        assert healed["ok"]
+        reader, writer = await _connect_via(proxy, link_key("a", "b"))
+        assert await _roundtrip(reader, writer, b"after") == b"after"
+        writer.close()
+        server.close()
+        await proxy.close()
+
+    asyncio.run(scenario())
+
+
+def test_control_socket_round_trips_json_lines():
+    async def scenario():
+        server, host, port = await _echo_server()
+        proxy = NemesisProxy()
+        await proxy.add_link("a", "b", host, port)
+        chost, cport = await proxy.start_control()
+        client = NemesisControlClient(chost, cport)
+
+        ack = await client.request(
+            {"op": "latency", "a": "a", "b": "b", "delay": 0.01, "duration": 1}
+        )
+        assert ack["ok"] and ack["op"] == "latency"
+        stats = await client.request({"op": "stats", "log": True})
+        assert stats["ok"]
+        assert stats["stats"]["faults_applied"] == 1
+        assert stats["fault_log"][0]["op"] == "latency"
+        bad = await client.request({"op": "no-such-op"})
+        assert bad["ok"] is False and "no-such-op" in bad["error"]
+
+        await client.close()
+        server.close()
+        await proxy.close()
+
+    asyncio.run(scenario())
+
+
+def test_describe_lists_control_and_links():
+    async def scenario():
+        server, host, port = await _echo_server()
+        proxy = NemesisProxy()
+        listen = await proxy.add_link("a", "b", host, port)
+        await proxy.start_control()
+        desc = proxy.describe()
+        assert desc["control"]["port"] == proxy.control_bound[1]
+        assert desc["links"][link_key("a", "b")]["listen"] == list(listen)
+        assert desc["links"][link_key("a", "b")]["upstream"] == [host, port]
+        server.close()
+        await proxy.close()
+
+    asyncio.run(scenario())
+
+
+def test_generate_plan_is_seed_deterministic():
+    config = NemesisPlanConfig(seed=7, duration=10.0)
+    plan_a = generate_plan(config, "coord-c1", ["agent-1", "agent-2"])
+    plan_b = generate_plan(config, "coord-c1", ["agent-1", "agent-2"])
+    assert plan_a == plan_b
+    other = generate_plan(
+        NemesisPlanConfig(seed=8, duration=10.0),
+        "coord-c1",
+        ["agent-1", "agent-2"],
+    )
+    assert plan_a != other
+    # JSON-able: every op must survive the control socket
+    for _at, op in plan_a:
+        json.dumps(op)
+
+
+def test_generate_plan_first_partition_cuts_coordinator_link():
+    for seed in range(6):
+        plan = generate_plan(
+            NemesisPlanConfig(seed=seed),
+            "coord-c1",
+            ["agent-1", "agent-2", "agent-3"],
+        )
+        partitions = [op for _at, op in plan if op["op"] == "partition"]
+        assert partitions, "plan must contain at least one partition"
+        first = partitions[0]
+        assert "coord-c1" in (first["a"], first["b"])
+        for _at, op in plan:
+            assert 0 <= _at < 10.0

@@ -1,0 +1,174 @@
+"""Wire-level robustness under the nemesis (satellite regression).
+
+Two promises the chaos drill leans on, pinned at the smallest scale
+that exercises them over real sockets:
+
+1. A hard connection reset that cuts a frame mid-stream never yields a
+   phantom dispatch — the codec's ``TruncatedFrame`` is "feed me more
+   bytes", and a connection that dies before the rest arrives simply
+   drops the partial buffer with the connection.
+2. The session layer's go-back-N retransmission redelivers the window
+   lost to a nemesis reset **exactly once** — no lost messages, no
+   duplicate dispatches — once the link heals.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.common.ids import global_txn
+from repro.net.messages import Message, MsgType
+from repro.net.reliable import ReliableConfig
+from repro.rt.codec import (
+    FRAME_MESSAGE,
+    FrameDecoder,
+    encode_frame,
+    encode_message,
+)
+from repro.rt.host import ProtocolHost
+from repro.rt.nemesis import NemesisProxy, link_key
+
+FAST = ReliableConfig(
+    rto=0.2, backoff=2.0, max_rto=1.0, jitter=0.0, max_retries=200
+)
+
+
+def _msg(n: int, payload: str) -> Message:
+    return Message(
+        MsgType.COMMAND,
+        src="ep:a",
+        dst="ep:b",
+        txn=global_txn(n),
+        payload=payload,
+    )
+
+
+async def _wait_for(cond, timeout: float = 15.0, what: str = "condition"):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not cond():
+        if loop.time() > deadline:
+            raise AssertionError(f"timed out waiting for {what}")
+        await asyncio.sleep(0.02)
+
+
+def test_decoder_buffers_partial_frames_and_never_dispatches_them():
+    frame = encode_message(_msg(1, "whole"))
+    decoder = FrameDecoder()
+    # every proper prefix is silence, not a dispatch and not an error
+    for cut in range(1, len(frame)):
+        assert FrameDecoder().feed(frame[:cut]) == []
+    # byte-at-a-time delivery yields exactly one frame at the last byte
+    dispatched = []
+    for index in range(len(frame)):
+        dispatched += decoder.feed(frame[index : index + 1])
+        if index < len(frame) - 1:
+            assert dispatched == []
+    assert len(dispatched) == 1
+    kind, body = dispatched[0]
+    assert kind == FRAME_MESSAGE and body["payload"] == "whole"
+    assert decoder.pending_bytes == 0
+
+
+def test_partial_frame_then_raw_disconnect_never_reaches_handler():
+    """A connection that dies mid-frame leaves no trace in the handler."""
+
+    async def scenario():
+        b = ProtocolHost("b", reliable=FAST, boot_id="boot-b")
+        bhost, bport = await b.start()
+        got = []
+        b.transport.register("ep:b", lambda m: got.append(m.payload))
+
+        frame = encode_message(_msg(1, "phantom"))
+        _reader, writer = await asyncio.open_connection(bhost, bport)
+        writer.write(frame[: len(frame) // 2])
+        await writer.drain()
+        await asyncio.sleep(0.3)  # let the half-frame soak in b's decoder
+        writer.transport.abort()  # nemesis-style hard reset, no FIN
+        await asyncio.sleep(0.3)
+        assert got == []
+        await b.close()
+
+    asyncio.run(scenario())
+
+
+def test_reset_mid_window_redelivers_exactly_once():
+    """Nemesis reset between two hosts: go-back-N refills the gap, the
+    receiver dispatches every payload exactly once, in order."""
+
+    async def scenario():
+        upstream_b = ProtocolHost("b", reliable=FAST, boot_id="boot-b")
+        bhost, bport = await upstream_b.start()
+        got = []
+        upstream_b.transport.register("ep:b", lambda m: got.append(m.payload))
+
+        proxy = NemesisProxy()
+        relay = await proxy.add_link("a", "b", bhost, bport)
+
+        a = ProtocolHost("a", reliable=FAST, boot_id="boot-a")
+        ahost, aport = await a.start()
+        a.transport.register("ep:a", lambda m: None)
+        a.add_peer("b", relay[0], relay[1], ["ep:b"])
+        upstream_b.add_peer("a", ahost, aport, ["ep:a"])
+
+        a.transport.send(_msg(1, "m1"))
+        await _wait_for(lambda: got == ["m1"], what="first delivery")
+
+        # cut the link, then send into the void: the frames die with
+        # the aborted connection (or inside the refused window)
+        proxy.apply({"op": "partition", "a": "a", "b": "b", "duration": 0.6})
+        a.transport.send(_msg(2, "m2"))
+        a.transport.send(_msg(3, "m3"))
+        await asyncio.sleep(0.2)
+        assert got == ["m1"]
+
+        # heal: retransmission must deliver m2 and m3 exactly once
+        await _wait_for(lambda: len(got) >= 3, what="redelivery after heal")
+        await asyncio.sleep(0.5)  # any duplicate would land here
+        assert got == ["m1", "m2", "m3"]
+
+        state = a.session._send_states[("ep:a", "ep:b")]
+        await _wait_for(lambda: not state.unacked, what="window drain")
+        assert a.session.retransmits >= 1
+
+        await a.close()
+        await upstream_b.close()
+        await proxy.close()
+
+    asyncio.run(scenario())
+
+
+def test_corrupt_frame_closes_connection_but_session_recovers():
+    """A CRC-corrupt frame is rejected with the connection — and the
+    session layer re-sends the real traffic over the next one."""
+
+    async def scenario():
+        b = ProtocolHost("b", reliable=FAST, boot_id="boot-b")
+        bhost, bport = await b.start()
+        got = []
+        b.transport.register("ep:b", lambda m: got.append(m.payload))
+
+        # a raw client feeding garbage: the connection must be closed on it
+        reader, writer = await asyncio.open_connection(bhost, bport)
+        frame = bytearray(encode_frame(FRAME_MESSAGE, {"bogus": True}))
+        frame[-1] ^= 0xFF  # break the CRC
+        writer.write(bytes(frame))
+        await writer.drain()
+        # drain b's HELLO, then require EOF: the connection was dropped
+        await asyncio.wait_for(reader.read(), 10.0)
+        assert reader.at_eof()
+        assert got == []
+
+        # real traffic still flows on a fresh, clean connection
+        a = ProtocolHost("a", reliable=FAST, boot_id="boot-a")
+        ahost, aport = await a.start()
+        a.transport.register("ep:a", lambda m: None)
+        a.add_peer("b", bhost, bport, ["ep:b"])
+        b.add_peer("a", ahost, aport, ["ep:a"])
+        a.transport.send(_msg(1, "clean"))
+        await _wait_for(lambda: got == ["clean"], what="clean delivery")
+
+        await a.close()
+        await b.close()
+
+    asyncio.run(scenario())

@@ -279,7 +279,12 @@ def _cmd_methods(_args) -> int:
 def _cmd_bench(args) -> int:
     from repro.sim.perf import main as bench_main
 
-    return bench_main(out_dir=args.out, quick=args.quick, repeats=args.repeat)
+    code = bench_main(out_dir=args.out, quick=args.quick, repeats=args.repeat)
+    if code == 0 and not args.no_federation:
+        from repro.rt.bench import main as federation_main
+
+        code = federation_main(out_dir=args.out, quick=args.quick)
+    return code
 
 
 def _cmd_chaos(args) -> int:
@@ -400,6 +405,11 @@ def main(argv=None) -> int:
     )
     bench.add_argument(
         "--repeat", type=int, default=None, help="repeats per micro-benchmark"
+    )
+    bench.add_argument(
+        "--no-federation",
+        action="store_true",
+        help="skip the live-cluster federation series (1/2/4 coordinators)",
     )
 
     chaos = sub.add_parser(

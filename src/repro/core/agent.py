@@ -34,7 +34,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.common.errors import (
     AgentCrashed,
@@ -239,6 +239,15 @@ class TwoPCAgent:
         self.begin_redeliveries = 0
         #: DONE entries dropped on the coordinator's END watermark.
         self.done_forgotten = 0
+        #: Federation fence: highest shard-ownership epoch seen per
+        #: shard (from BEGIN stamps).  A BEGIN claiming an older epoch
+        #: comes from a deposed owner and is rejected — only BEGIN,
+        #: in-flight 2PC from the old owner must finish for atomicity.
+        self._shard_epochs: Dict[int, int] = {}
+        #: Transactions whose BEGIN was fenced; their COMMANDs are
+        #: failed with WRONG_SHARD instead of SITE_UNREACHABLE.
+        self._fenced: Set[TxnId] = set()
+        self.fenced_begins = 0
         network.register(self.address, self._on_message)
         ltm.on_unilateral_abort(self._on_uan)
 
@@ -309,6 +318,20 @@ class TwoPCAgent:
     # ------------------------------------------------------------------
 
     def _on_begin(self, msg: Message) -> None:
+        if msg.shard is not None and msg.shard_epoch is not None:
+            seen = self._shard_epochs.get(msg.shard, 0)
+            if msg.shard_epoch < seen:
+                # Deposed owner: a later epoch for this shard has been
+                # witnessed, so the sender lost a handoff it does not
+                # know about yet.  Refuse to open state; the follow-up
+                # COMMAND is failed with WRONG_SHARD below.
+                self.fenced_begins += 1
+                self._fenced.add(msg.txn)
+                self.refusals[RefusalReason.WRONG_SHARD] = (
+                    self.refusals.get(RefusalReason.WRONG_SHARD, 0) + 1
+                )
+                return
+            self._shard_epochs[msg.shard] = msg.shard_epoch
         existing = self._txns.get(msg.txn)
         if existing is not None:
             if existing.recovered:
@@ -333,6 +356,20 @@ class TwoPCAgent:
     def _on_command(self, msg: Message) -> None:
         state = self._txns.get(msg.txn)
         if state is None:
+            if msg.txn in self._fenced:
+                # The BEGIN was fenced (deposed shard owner): tell the
+                # sender why, so it can refresh its shard map instead of
+                # treating this site as failed.
+                self._reply(
+                    msg,
+                    MsgType.COMMAND_RESULT,
+                    payload=TransactionAborted(
+                        RefusalReason.WRONG_SHARD,
+                        f"agent {self.site}: BEGIN for {msg.txn} carried a "
+                        "stale shard epoch",
+                    ),
+                )
+                return
             # A restart wiped the volatile state (the entry never
             # reached its prepare record): fail the command so the
             # coordinator aborts, exactly like a refused participant.
@@ -951,6 +988,7 @@ class TwoPCAgent:
         yet DONE are never dropped — a crash-recovered agent may still
         be driving a resumed commit when the watermark arrives.
         """
+        self._fenced.discard(txn)
         if not self.config.gc_done_txns:
             return
         state = self._txns.get(txn)

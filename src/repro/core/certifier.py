@@ -106,6 +106,13 @@ class CertifierConfig:
     #: records, bounding index memory under sustained load.
     gc_min_entries: int = 64
     gc_stale_factor: float = 4.0
+    #: Fail loudly when two live prepared entries carry the same serial
+    #: number.  Every real SN source guarantees uniqueness, and with
+    #: federated lease allocators a collision means overlapping grants —
+    #: protocol corruption.  Off by default because the differential
+    #: fuzzer feeds synthetic duplicate SNs on purpose; the federated
+    #: system builder turns it on.
+    assert_unique_sns: bool = False
 
     @staticmethod
     def naive() -> "CertifierConfig":
@@ -383,6 +390,11 @@ class Certifier:
         self._max_committed_sn: Optional[SerialNumber] = None
         self._prepare_seq = itertools.count()
         self._max_committed_prepare_seq = -1
+        #: SN → txn over the live table: the global-uniqueness check.
+        #: With federated SN allocators, an overlapping lease grant
+        #: would first surface here as two live entries sharing one SN
+        #: — a protocol-corruption bug, so it fails loudly.
+        self._live_sns: Dict[SerialNumber, TxnId] = {}
         # Decision statistics for the benchmarks.
         self.prepare_checks = 0
         self.prepare_refusals_extension = 0
@@ -483,6 +495,15 @@ class Certifier:
         """Insert ``txn`` into the alive interval table (move to prepared)."""
         if txn in self._table:
             raise SimulationError(f"{txn} already in alive interval table")
+        if sn is not None and self.config.assert_unique_sns:
+            holder = self._live_sns.get(sn)
+            if holder is not None and holder != txn:
+                raise SimulationError(
+                    f"duplicate serial number at {self.site}: {sn} carried by "
+                    f"both {holder.label} and {txn.label} — SN sources "
+                    "(lease allocators) issued overlapping ranges"
+                )
+            self._live_sns[sn] = txn
         entry = PreparedEntry(
             txn=txn,
             sn=sn,
@@ -623,6 +644,9 @@ class Certifier:
     def remove(self, txn: TxnId) -> None:
         """Drop ``txn`` from the table (local commit done or rollback)."""
         entry = self._table.pop(txn, None)
+        if entry is not None and entry.sn is not None:
+            if self._live_sns.get(entry.sn) == txn:
+                del self._live_sns[entry.sn]
         if entry is not None and self._index is not None:
             self._index.on_remove(txn)
             self._index.maybe_compact(self._table)

@@ -53,6 +53,14 @@ class DurableDecisionLog:
         self.force_writes = 0
         self._ends_since_checkpoint = 0
         self._compact_min = 64
+        #: Federation: first SN value above every lease this coordinator
+        #: ever held (0 = never leased).  A recovered coordinator must
+        #: not mint from a range it may already have consumed, so it
+        #: discards any replayed lease below this mark.
+        self.lease_high_water = 0
+        #: Federation: highest ownership epoch this coordinator logged
+        #: per shard (only while it owned the shard).
+        self._shard_epochs: Dict[int, int] = {}
 
     @classmethod
     def open_name(cls, name: str, config: DurabilityConfig) -> "DurableDecisionLog":
@@ -97,6 +105,35 @@ class DurableDecisionLog:
         if self._ends_since_checkpoint >= self._compact_min:
             self.checkpoint()
 
+    def log_lease(self, lo: int, hi: int) -> None:
+        """Force-record a lease this coordinator accepted.
+
+        Forced *before* the first draw: once any SN from ``[lo, hi)``
+        can reach a certifier, a post-crash incarnation must skip the
+        whole range.
+        """
+        self.lease_high_water = max(self.lease_high_water, hi)
+        self.wal.append(
+            RecordKind.LEASE,
+            {"lo": lo, "hi": hi, "owner": self.name},
+            force=True,
+        )
+        self.force_writes += 1
+
+    def log_shard_epoch(self, shard: int, epoch: int) -> None:
+        """Force-record taking ownership of ``shard`` at ``epoch``."""
+        self._shard_epochs[shard] = max(self._shard_epochs.get(shard, 0), epoch)
+        self.wal.append(
+            RecordKind.SHARD_EPOCH,
+            {"shard": shard, "epoch": epoch, "owner": self.name},
+            force=True,
+        )
+        self.force_writes += 1
+
+    def shard_epochs(self) -> Dict[int, int]:
+        """Highest logged ownership epoch per shard."""
+        return dict(self._shard_epochs)
+
     def close(self) -> None:
         self.wal.close()
 
@@ -132,6 +169,23 @@ class DurableDecisionLog:
                         self._ended[decision.txn] = decision
                     else:
                         self._decisions[decision.txn] = decision
+                self.lease_high_water = max(
+                    self.lease_high_water, body.get("lease_high_water", 0)
+                )
+                for shard, epoch in body.get("shard_epochs", {}).items():
+                    shard = int(shard)
+                    self._shard_epochs[shard] = max(
+                        self._shard_epochs.get(shard, 0), int(epoch)
+                    )
+            elif record.kind is RecordKind.LEASE:
+                self.lease_high_water = max(
+                    self.lease_high_water, int(body["hi"])
+                )
+            elif record.kind is RecordKind.SHARD_EPOCH:
+                shard = int(body["shard"])
+                self._shard_epochs[shard] = max(
+                    self._shard_epochs.get(shard, 0), int(body["epoch"])
+                )
             elif record.kind is RecordKind.DECISION:
                 decision = _decision_from_body(body)
                 self._decisions[decision.txn] = decision
@@ -155,6 +209,8 @@ class DurableDecisionLog:
                 }
                 for d in self.in_doubt()
             ],
+            "lease_high_water": self.lease_high_water,
+            "shard_epochs": dict(self._shard_epochs),
         }
 
     def checkpoint(self) -> None:

@@ -82,6 +82,8 @@ class RecordKind(enum.IntEnum):
     CHECKPOINT = 8    #: full live-state snapshot (compaction boundary)
     DECISION = 9      #: coordinator decision record (commit/abort)
     END = 10          #: coordinator finished a decided transaction
+    LEASE = 11        #: SN-range lease granted/consumed ([lo, hi) + owner)
+    SHARD_EPOCH = 12  #: shard ownership change (shard, epoch, owner)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,28 @@
+"""Sharded multi-coordinator federation.
+
+Partitions the global-transaction keyspace across N coordinators while
+keeping the paper's certified-prepare protocol untouched underneath:
+
+* :mod:`repro.federation.shard` — the :class:`ShardMap` (key-hash
+  routing, per-shard ownership epochs) and :class:`FederationConfig`;
+* :mod:`repro.federation.leases` — the :class:`SnAllocator` that grants
+  disjoint, WAL-logged SN ranges and the :class:`LeasedSN` generator
+  each federated coordinator draws from.
+
+With one coordinator the federation layer is inert: ``SystemConfig``
+defaults to ``federation=None`` and nothing here is imported on the
+hot path, so single-coordinator runs stay byte-identical.
+"""
+
+from repro.federation.leases import HLC_TICKS_PER_SECOND, Lease, LeasedSN, SnAllocator
+from repro.federation.shard import FederationConfig, ShardMap, shard_of_key
+
+__all__ = [
+    "FederationConfig",
+    "HLC_TICKS_PER_SECOND",
+    "Lease",
+    "LeasedSN",
+    "ShardMap",
+    "SnAllocator",
+    "shard_of_key",
+]

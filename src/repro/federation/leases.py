@@ -1,0 +1,281 @@
+"""Leased SN ranges: batched, WAL-logged, hybrid-logical-clock flavored.
+
+The paper draws ``SN(k)`` from the coordinating site's real-time clock.
+With N coordinators that stays correct (drift "may cause unnecessary
+aborts, only"), but every commit still pays a clock draw and the SN
+space interleaves arbitrarily.  The federation instead batches the
+draws: a single lightweight :class:`SnAllocator` grants each
+coordinator a *lease* — a disjoint integer range ``[lo, hi)`` — and the
+coordinator's :class:`LeasedSN` mints serial numbers from its lease
+without touching the allocator again until the range runs low.
+
+Correctness splits exactly like the paper's clock argument:
+
+* **Uniqueness** is unconditional.  Grants are disjoint (the allocator
+  never re-issues a range — each grant is force-logged to its WAL
+  *before* it is returned, so a restarted allocator resumes past its
+  high-water mark), leased draws from different coordinators carry
+  different range values, and the site/seq tie-breakers keep a
+  coordinator's emergency fallback draws distinct from its leased ones.
+* **Order** is best-effort, hybrid-logical-clock style: a grant's base
+  never falls below ``clock() * HLC_TICKS_PER_SECOND``, and a
+  :class:`LeasedSN` skips ahead inside its lease past any bigger SN it
+  witnesses.  Disorder costs certification aborts, never atomicity.
+
+When a coordinator has no usable lease (allocator down, refill still in
+flight) it falls back to a synchronous HLC draw so commits keep
+flowing; fallback SNs are unique by the ``(site, seq>=1)`` tie-break.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.ids import SerialNumber
+from repro.core.serial import SNGenerator
+from repro.durability.records import RecordKind
+
+if TYPE_CHECKING:
+    from repro.durability.config import DurabilityConfig
+
+#: SN values per second of HLC time.  The allocator floors each grant
+#: at ``clock() * HLC_TICKS_PER_SECOND`` so the lease space tracks real
+#: time across allocator restarts (a rebooted allocator with a wiped
+#: WAL would otherwise restart at 1 and re-issue ranges; with the
+#: floor, even that pathological case stays ahead of history as long
+#: as the clock is roughly sane).
+HLC_TICKS_PER_SECOND = 1024.0
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted SN range ``[lo, hi)``."""
+
+    lo: int
+    hi: int
+    owner: str
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise ConfigError(f"empty lease [{self.lo}, {self.hi})")
+
+    @property
+    def span(self) -> int:
+        return self.hi - self.lo
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.lo},{self.hi})@{self.owner}"
+
+
+class SnAllocator:
+    """Grants disjoint, monotonically increasing SN ranges.
+
+    ``wal`` (a :class:`~repro.durability.wal.WriteAheadLog`, optional)
+    makes grants durable: a LEASE record is force-written before the
+    grant is returned, and replay on open moves the high-water mark past
+    every range ever handed out.  ``clock`` (optional, returns seconds)
+    supplies the HLC floor.
+    """
+
+    def __init__(
+        self,
+        wal=None,
+        clock: Optional[Callable[[], float]] = None,
+        span: int = 64,
+    ) -> None:
+        if span < 1:
+            raise ConfigError(f"lease span must be >= 1, got {span}")
+        self.wal = wal
+        self.clock = clock
+        self.default_span = span
+        self._next = 1
+        self.grants = 0
+        if wal is not None:
+            for record in wal.recovery.records:
+                if record.kind is RecordKind.LEASE:
+                    self._next = max(self._next, int(record.body["hi"]))
+                elif record.kind is RecordKind.CHECKPOINT:
+                    self._next = max(self._next, int(record.body.get("next", 1)))
+
+    @property
+    def high_water(self) -> int:
+        """First value no granted lease contains (exclusive upper bound)."""
+        return self._next
+
+    def grant(self, owner: str, span: Optional[int] = None) -> Lease:
+        """Grant the next ``span`` values to ``owner`` (durably, if WAL-backed)."""
+        width = self.default_span if span is None else span
+        if width < 1:
+            raise ConfigError(f"lease span must be >= 1, got {width}")
+        lo = self._next
+        if self.clock is not None:
+            lo = max(lo, int(self.clock() * HLC_TICKS_PER_SECOND))
+        hi = lo + width
+        if self.wal is not None:
+            # Force before returning: once the grantee can mint from the
+            # range, no future incarnation of this allocator may re-issue
+            # any part of it.
+            self.wal.append(
+                RecordKind.LEASE,
+                {"lo": lo, "hi": hi, "owner": owner},
+                force=True,
+            )
+        self._next = hi
+        self.grants += 1
+        return Lease(lo=lo, hi=hi, owner=owner)
+
+    def checkpoint(self) -> None:
+        """Compact the lease WAL down to the high-water mark."""
+        if self.wal is not None:
+            self.wal.checkpoint({"next": self._next})
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+
+
+def allocator_wal_directory(root: str) -> str:
+    return os.path.join(root, "alloc")
+
+
+def open_allocator(
+    config: "DurabilityConfig",
+    clock: Optional[Callable[[], float]] = None,
+    span: int = 64,
+) -> SnAllocator:
+    """Open the (single) WAL-backed allocator under ``config.root``."""
+    from repro.durability.segments import SyncPolicy
+    from repro.durability.wal import WriteAheadLog
+
+    wal = WriteAheadLog(
+        allocator_wal_directory(config.root),
+        sync_policy=SyncPolicy.of(config.sync, config.batch_size),
+        segment_bytes=config.segment_bytes,
+        disk_faults=config.disk_faults,
+    )
+    return SnAllocator(wal=wal, clock=clock, span=span)
+
+
+class LeasedSN(SNGenerator):
+    """A federated coordinator's serial-number source.
+
+    Draws from the active lease; hot-swaps to a prefetched spare when
+    the active one is exhausted.  ``request_lease`` (optional) is a
+    *synchronous* grant path (the simulator's in-process allocator);
+    the real runtime instead prefetches asynchronously and installs
+    grants via :meth:`feed`, checking :meth:`needs_refill` after every
+    draw.  With no lease and no synchronous path, :meth:`generate`
+    falls back to an HLC draw rather than blocking commit processing.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        request_lease: Optional[Callable[[], Optional[Lease]]] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self._request = request_lease
+        self._clock = clock
+        self._lease: Optional[Lease] = None
+        self._cursor = 0
+        self._spare: Optional[Lease] = None
+        #: Fallback seq starts at 1: a leased SN always has seq 0, so a
+        #: fallback draw can never collide with a leased one even if
+        #: their clock values coincide.
+        self._fallback_seq = itertools.count(1)
+        self._max_witnessed = 0.0
+        self.refills = 0
+        self.fallback_draws = 0
+
+    # ------------------------------------------------------------------
+    # Lease management
+    # ------------------------------------------------------------------
+
+    def feed(self, lease: Lease) -> None:
+        """Install an asynchronously granted lease (spare if one is live)."""
+        if self._lease is None or self._cursor >= self._lease.hi:
+            self._activate(lease)
+        else:
+            self._spare = lease
+
+    def seed_floor(self, floor: float) -> None:
+        """Never mint at or below ``floor``.
+
+        Recovery hook: a restarted coordinator seeds this with its
+        decision log's lease high-water mark, so even its emergency
+        fallback draws land above every range a previous incarnation
+        could have minted from.
+        """
+        if floor > self._max_witnessed:
+            self._max_witnessed = floor
+
+    def needs_refill(self) -> bool:
+        """True when a prefetch should be issued (no spare, range low)."""
+        if self._spare is not None:
+            return False
+        if self._lease is None:
+            return True
+        return (self._lease.hi - self._cursor) * 2 <= self._lease.span
+
+    @property
+    def remaining(self) -> int:
+        if self._lease is None:
+            return 0
+        return max(0, self._lease.hi - self._cursor)
+
+    def _activate(self, lease: Lease) -> None:
+        self._lease = lease
+        self._cursor = lease.lo
+        self.refills += 1
+
+    # ------------------------------------------------------------------
+    # SNGenerator interface
+    # ------------------------------------------------------------------
+
+    def generate(self, site: str) -> SerialNumber:
+        value = self._draw()
+        if value is None:
+            return self._fallback()
+        return SerialNumber(clock=float(value), site=self.name, seq=0)
+
+    def witness(self, site: str, sn: SerialNumber) -> None:
+        if sn.clock > self._max_witnessed:
+            self._max_witnessed = sn.clock
+            # HLC skip-ahead: never mint below an SN already seen in the
+            # wild.  Burns lease values, buys certification order.
+            if self._lease is not None:
+                target = int(self._max_witnessed) + 1
+                if self._cursor < target:
+                    self._cursor = min(target, self._lease.hi)
+
+    def _draw(self) -> Optional[int]:
+        if self._lease is None or self._cursor >= self._lease.hi:
+            if self._spare is not None:
+                spare, self._spare = self._spare, None
+                self._activate(spare)
+            elif self._request is not None:
+                lease = self._request()
+                if lease is None:
+                    return None
+                self._activate(lease)
+            else:
+                return None
+        value = self._cursor
+        self._cursor = value + 1
+        return value
+
+    def _fallback(self) -> SerialNumber:
+        self.fallback_draws += 1
+        base = (
+            self._clock() * HLC_TICKS_PER_SECOND
+            if self._clock is not None
+            else 0.0
+        )
+        value = max(base, self._max_witnessed + 1.0)
+        self._max_witnessed = value
+        return SerialNumber(clock=value, site=self.name, seq=next(self._fallback_seq))

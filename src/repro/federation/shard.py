@@ -1,0 +1,190 @@
+"""The shard map: key-hash routing with per-shard ownership epochs.
+
+The global-transaction keyspace is partitioned into ``n_shards`` fixed
+hash buckets; each bucket is owned by exactly one coordinator.  A BEGIN
+for a transaction must reach the owner of the transaction's shard —
+any other coordinator refuses it with
+:attr:`~repro.common.errors.RefusalReason.WRONG_SHARD` and a redirect
+hint, instead of running a protocol round it has no authority over.
+
+Ownership changes (handoff) bump the shard's *epoch*.  Coordinators
+stamp their BEGINs with ``(shard, epoch)``; agents remember the highest
+epoch they have seen per shard and fence BEGINs carrying an older one,
+so a deposed owner that missed the new map cannot start fresh globals.
+Only BEGIN is fenced — in-flight 2PC rounds from the old owner must be
+allowed to finish, or atomicity would be lost.
+
+Hashing uses ``zlib.crc32`` over the decimal key, *not* the built-in
+``hash``: Python salts string hashes per process, and the router, the
+storm client and every coordinator must agree on the bucket from
+separate processes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.ids import TxnId
+
+
+def shard_of_key(key: object, n_shards: int) -> int:
+    """Deterministic, process-independent bucket of ``key``."""
+    return zlib.crc32(str(key).encode("utf-8")) % n_shards
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Tuning knobs of the federation layer (``None`` = not federated)."""
+
+    #: Fixed hash buckets the keyspace is split into.  More shards than
+    #: coordinators keeps handoff granular (move one bucket, not half
+    #: the keyspace).
+    n_shards: int = 8
+    #: SN values per lease grant.  Bigger spans amortize the allocator
+    #: round-trip; smaller spans keep cross-coordinator SN order closer
+    #: to real time.
+    lease_span: int = 64
+    #: Handoff: how long (seconds) to wait for the source coordinator's
+    #: in-flight globals on the shard to drain before forcing the
+    #: ownership switch (epoch fencing makes forcing safe).
+    drain_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.lease_span < 1:
+            raise ConfigError(f"lease_span must be >= 1, got {self.lease_span}")
+        if self.drain_timeout < 0:
+            raise ConfigError(
+                f"drain_timeout must be >= 0, got {self.drain_timeout}"
+            )
+
+
+class ShardMap:
+    """Who owns which shard, and under which epoch.
+
+    Mutable: a handoff calls :meth:`reassign`, which installs the new
+    owner and bumps that shard's epoch.  Epochs are per shard so a
+    handoff of one bucket never fences the untouched owners of the
+    others.
+    """
+
+    def __init__(
+        self,
+        owners: Dict[int, str],
+        epochs: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if not owners:
+            raise ConfigError("a shard map needs at least one shard")
+        self._owners = dict(owners)
+        self._epochs = (
+            {shard: 1 for shard in self._owners}
+            if epochs is None
+            else dict(epochs)
+        )
+
+    @classmethod
+    def initial(cls, n_shards: int, coordinators: List[str]) -> "ShardMap":
+        """Round-robin assignment of ``n_shards`` buckets to coordinators."""
+        if not coordinators:
+            raise ConfigError("a shard map needs at least one coordinator")
+        return cls(
+            {s: coordinators[s % len(coordinators)] for s in range(n_shards)}
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._owners)
+
+    def shards(self) -> List[int]:
+        return sorted(self._owners)
+
+    def owner(self, shard: int) -> str:
+        return self._owners[shard]
+
+    def epoch(self, shard: int) -> int:
+        return self._epochs[shard]
+
+    def shard_of(self, txn: TxnId) -> int:
+        return shard_of_key(txn.number, self.n_shards)
+
+    def owner_of(self, txn: TxnId) -> str:
+        return self.owner(self.shard_of(txn))
+
+    def shards_of(self, owner: str) -> List[int]:
+        return sorted(s for s, o in self._owners.items() if o == owner)
+
+    def coordinators(self) -> List[str]:
+        return sorted(set(self._owners.values()))
+
+    # ------------------------------------------------------------------
+    # Reconfiguration
+    # ------------------------------------------------------------------
+
+    def reassign(self, shard: int, new_owner: str) -> int:
+        """Hand ``shard`` to ``new_owner``; returns the new (bumped) epoch."""
+        if shard not in self._owners:
+            raise ConfigError(f"unknown shard {shard}")
+        self._owners[shard] = new_owner
+        self._epochs[shard] = self._epochs[shard] + 1
+        return self._epochs[shard]
+
+    def adopt(self, shard: int, owner: str, epoch: int) -> bool:
+        """Install ``owner`` at ``epoch`` for one shard, never regressing.
+
+        Used when replaying a coordinator's SHARD_EPOCH records after a
+        restart, and when a handoff orchestrator pushes a single-shard
+        update: an epoch older than what the map already carries is a
+        stale echo and is ignored.  Returns whether the entry changed.
+        """
+        if shard not in self._owners:
+            raise ConfigError(f"unknown shard {shard}")
+        if epoch < self._epochs[shard]:
+            return False
+        self._owners[shard] = owner
+        self._epochs[shard] = epoch
+        return True
+
+    def install(self, other: "ShardMap") -> None:
+        """Adopt ``other``'s assignment, never regressing an epoch.
+
+        Used when a map push arrives over the wire: a delayed push from
+        before a later handoff must not resurrect the deposed owner.
+        """
+        for shard, owner in other._owners.items():
+            epoch = other._epochs[shard]
+            if shard not in self._epochs or epoch >= self._epochs[shard]:
+                self._owners[shard] = owner
+                self._epochs[shard] = epoch
+
+    def copy(self) -> "ShardMap":
+        return ShardMap(self._owners, self._epochs)
+
+    # ------------------------------------------------------------------
+    # Serialization (cluster.json / control frames)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        return {
+            str(shard): {"owner": self._owners[shard], "epoch": self._epochs[shard]}
+            for shard in sorted(self._owners)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Dict[str, object]]) -> "ShardMap":
+        owners = {int(s): str(entry["owner"]) for s, entry in data.items()}
+        epochs = {int(s): int(entry["epoch"]) for s, entry in data.items()}
+        return cls(owners, epochs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{s}->{self._owners[s]}@e{self._epochs[s]}" for s in sorted(self._owners)
+        )
+        return f"ShardMap({parts})"

@@ -71,7 +71,7 @@ def _sweep():
                     "sim_time": r.sim_time,
                     "ok": r.ok,
                     "counters": r.counters,
-                    "violations": r.violations,
+                    "violations": [v.to_dict() for v in r.violations],
                 }
             )
     with open(BENCH_PATH, "w") as handle:

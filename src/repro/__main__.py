@@ -28,6 +28,10 @@ Commands
     admission control + deadlines + backoff + breakers defending) and
     assert the invariant battery; exit code 1 on any violation (see
     docs/PROTOCOL.md §8).
+``explore [--strategy S] [--mutant M] [--replay F] [--matrix] ...``
+    Deterministic schedule explorer: search the choice-point state
+    space for invariant violations, shrink failing traces, write and
+    replay ``.schedule`` repro files (see docs/TESTING.md).
 ``wal {inspect,verify,stats} PATH``
     Offline tooling for the durability subsystem's WAL directories
     (see docs/DURABILITY.md).
@@ -315,7 +319,7 @@ def _cmd_chaos(args) -> int:
             "aborted": result.aborted,
             "sim_time": result.sim_time,
             "counters": result.counters,
-            "violations": result.violations,
+            "violations": [v.to_dict() for v in result.violations],
             "schedule": result.schedule_description,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -351,7 +355,7 @@ def _cmd_overload(args) -> int:
             "sim_time": result.sim_time,
             "goodput": result.goodput,
             "counters": result.counters,
-            "violations": result.violations,
+            "violations": [v.to_dict() for v in result.violations],
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -449,6 +453,10 @@ def main(argv=None) -> int:
     from repro.durability.cli import add_wal_parser
 
     add_wal_parser(sub)
+
+    from repro.explore.cli import add_explore_parser
+
+    add_explore_parser(sub)
 
     from repro.rt.cli import add_rt_parsers
 

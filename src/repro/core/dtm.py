@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError, RefusalReason, TransactionAborted
 from repro.common.ids import SubtxnId, TxnId, local_txn
@@ -146,6 +146,13 @@ class SystemConfig:
     #: (the default) keeps the single-SN-source behaviour — and the
     #: goldens — even with ``n_coordinators > 1``.
     federation: Optional[FederationConfig] = None
+    #: Test-harness hook: build the transport yourself.  Called as
+    #: ``factory(kernel, config)`` and must return a
+    #: :class:`~repro.net.network.Network` (or subclass); overrides
+    #: ``faults``.  The schedule explorer uses this to route every
+    #: fault decision through the kernel's choice points.  ``None`` —
+    #: the default — keeps the stock wiring and the goldens.
+    network_factory: Optional[Callable[[EventKernel, "SystemConfig"], "Network"]] = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -214,7 +221,9 @@ class MultidatabaseSystem:
         self.config = config
         self.kernel = EventKernel()
         self.history = History()
-        if config.faults is not None:
+        if config.network_factory is not None:
+            self.network = config.network_factory(self.kernel, config)
+        elif config.faults is not None:
             self.network: Network = FaultyNetwork(
                 self.kernel,
                 latency=config.latency,

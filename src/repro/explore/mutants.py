@@ -1,0 +1,145 @@
+"""Seeded regressions the explorer must find — the harness's proof.
+
+Each mutant deliberately reintroduces a protocol bug the 2CM machinery
+exists to prevent, patched into a *built* system behind an explicit
+flag (never reachable from production configs).  CI runs the explorer
+against every mutant and fails unless each one is found, shrunk, and
+replayed — a silent oracle or a toothless search breaks the gate, not
+just coverage numbers.
+
+The three shipped mutants attack three different layers, and are
+caught by three different checkers:
+
+* ``cert-blind`` — prepare certification approves everything (the
+  pre-certification "naive" behaviour the paper opens with).  One
+  unilateral abort releases the LDBS locks while the 2PC Agent still
+  simulates the prepared state; a conflicting transaction then
+  prepares into the open window → the Correctness Invariant (part 1)
+  fires, usually with a serializability violation in tow.
+* ``refuse-blind`` — the coordinator miscounts a REFUSE vote as READY
+  (a vote-tally off-by-one).  The refusing site already rolled back
+  locally, the rest commit on the coordinator's say-so → atomic
+  commitment fires.
+* ``rollback-blind`` — the agent drops a ROLLBACK for a prepared
+  subtransaction whose local incarnation is still healthy (a lost
+  state-transition edge: "prepared and alive can only mean commit is
+  coming", forgetting that a *remote* site's refusal aborts the global
+  transaction too).  The prepared state never ends → the
+  orphaned-PREPARED scan fires and the run fails to quiesce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.core.agent import AgentPhase
+from repro.core.certifier import CertDecision
+from repro.core.dtm import MultidatabaseSystem
+from repro.net.messages import MsgType
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One reintroduced bug: a name, its story, and the patch."""
+
+    name: str
+    description: str
+    #: The violation kinds the oracle is expected to report (any match
+    #: counts as "found").
+    expected_kinds: tuple
+    apply: Callable[[MultidatabaseSystem], None]
+
+
+def _apply_cert_blind(system: MultidatabaseSystem) -> None:
+    approve = CertDecision(ok=True)
+    for certifier in system.certifiers.values():
+        certifier.certify_prepare = (  # type: ignore[method-assign]
+            lambda txn, sn, candidate, access_set=None, _ok=approve: _ok
+        )
+
+
+def _apply_refuse_blind(system: MultidatabaseSystem) -> None:
+    for coordinator in system.coordinators:
+        original = coordinator._on_message
+
+        def patched(msg, _original=original):
+            if msg.type is MsgType.REFUSE:
+                msg.type = MsgType.READY
+                msg.reason = None
+            _original(msg)
+
+        # The network holds the bound method captured at registration,
+        # so re-register the wrapper rather than patching the attribute.
+        system.network.register(coordinator.address, patched, replace=True)
+
+
+def _apply_rollback_blind(system: MultidatabaseSystem) -> None:
+    for site in system.config.sites:
+        agent = system.agent(site)
+        original = agent._on_rollback
+
+        def patched(msg, _agent=agent, _original=original):
+            state = _agent._txns.get(msg.txn)
+            if (
+                state is not None
+                and state.phase is AgentPhase.PREPARED
+                and not state.uan
+                and not state.resubmitting
+                and _agent.ltm.is_alive(state.local.subtxn)
+            ):
+                # "A healthy prepared subtransaction can only be told to
+                # commit" — the decision-phase abort edge (some *other*
+                # site refused) is dropped, the coordinator is pacified
+                # with an ack, and the prepared state never ends.
+                _agent._reply(msg, MsgType.ROLLBACK_ACK)
+                return
+            _original(msg)
+
+        agent._on_rollback = patched  # type: ignore[method-assign]
+
+
+MUTANTS: Dict[str, Mutant] = {
+    mutant.name: mutant
+    for mutant in (
+        Mutant(
+            name="cert-blind",
+            description=(
+                "prepare certification approves everything; one unilateral "
+                "abort lets a conflicting transaction prepare into the "
+                "still-open prepared window (CI part 1)"
+            ),
+            expected_kinds=("ci.1", "ci.2", "audit.viewser", "audit.distortion"),
+            apply=_apply_cert_blind,
+        ),
+        Mutant(
+            name="refuse-blind",
+            description=(
+                "the coordinator counts a REFUSE vote as READY; the refusing "
+                "site rolled back, the others commit (atomicity)"
+            ),
+            expected_kinds=("atomicity",),
+            apply=_apply_refuse_blind,
+        ),
+        Mutant(
+            name="rollback-blind",
+            description=(
+                "the agent drops ROLLBACK for a healthy prepared "
+                "subtransaction (a remote refusal aborts the global "
+                "transaction, but this site never lets go); the prepared "
+                "state never ends (orphaned-PREPARED)"
+            ),
+            expected_kinds=("orphaned-prepared", "quiesce"),
+            apply=_apply_rollback_blind,
+        ),
+    )
+}
+
+
+def get_mutant(name: str) -> Mutant:
+    try:
+        return MUTANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mutant {name!r}; known: {sorted(MUTANTS)}"
+        ) from None

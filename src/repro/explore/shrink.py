@@ -1,0 +1,160 @@
+"""Delta-debugging shrinker: a failing trace down to its essence.
+
+A trace is fully characterized by its *deviations* — the choice points
+where it departs from the all-default schedule (replay pads defaults
+past the end, and out-of-range picks degrade to default).  Shrinking
+therefore works on the sparse deviation set, not the flat list:
+
+1. drop the all-default suffix (free — replay regenerates it);
+2. *ddmin* over the deviations: try removing ever-smaller chunks of
+   non-default picks, keeping any candidate that still reproduces a
+   violation of the original kind(s);
+3. a final one-at-a-time pass guarantees 1-minimality: every surviving
+   deviation is individually load-bearing.
+
+The result is typically one or two deviations — "abort t3@b just after
+its prepare, then abort t5@a" — short enough to read as a repro recipe.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.explore.harness import ExploreSpec, RunResult, run_once
+from repro.explore.trace import TraceChooser, strip_trailing_defaults
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized counterexample and how it was reached."""
+
+    original: RunResult
+    minimized: RunResult
+    #: Replay runs spent shrinking.
+    runs: int = 0
+    elapsed: float = 0.0
+    #: Violation kinds the shrink preserved (⊆ the original's kinds).
+    kinds: Set[str] = field(default_factory=set)
+
+    @property
+    def trace(self) -> List[int]:
+        return strip_trailing_defaults(self.minimized.trace)
+
+    @property
+    def ratio(self) -> float:
+        """Shrunk choice count over original choice count."""
+        original = len(self.original.trace)
+        return len(self.trace) / original if original else 0.0
+
+    def summary(self) -> str:
+        deviations = [p for p in self.minimized.points if p.choice != 0]
+        lines = [
+            f"shrunk {len(self.original.trace)} -> {len(self.trace)} choices "
+            f"({self.ratio:.0%}), {len(deviations)} deviation(s), "
+            f"{self.runs} replays in {self.elapsed:.1f}s:",
+        ]
+        lines.extend(f"  {p.describe()}" for p in deviations)
+        return "\n".join(lines)
+
+
+def _trace_from(deviations: Dict[int, int]) -> List[int]:
+    """The shortest flat trace realizing a sparse deviation set."""
+    if not deviations:
+        return []
+    length = max(deviations) + 1
+    trace = [0] * length
+    for index, choice in deviations.items():
+        trace[index] = choice
+    return trace
+
+
+def shrink(
+    failing: RunResult,
+    *,
+    max_runs: int = 400,
+    time_budget: Optional[float] = None,
+    target_kinds: Optional[Set[str]] = None,
+) -> ShrinkResult:
+    """ddmin a failing run's trace to a minimal repro.
+
+    A candidate is accepted iff its replay reports at least one
+    violation whose kind is in ``target_kinds`` (default: the kinds the
+    original run reported) — the shrink preserves *the* bug, not just
+    *a* bug.
+    """
+    spec: ExploreSpec = failing.spec
+    kinds = set(target_kinds or failing.violation_kinds())
+    deadline = time.monotonic() + time_budget if time_budget else None
+    started = time.monotonic()
+    runs = 0
+
+    best_devs: Dict[int, int] = {
+        p.index: p.choice for p in failing.points if p.choice != 0
+    }
+    best_run = failing
+
+    def out_of_budget() -> bool:
+        return runs >= max_runs or (
+            deadline is not None and time.monotonic() >= deadline
+        )
+
+    def attempt(deviations: Dict[int, int]) -> Optional[RunResult]:
+        nonlocal runs
+        runs += 1
+        result = run_once(spec, TraceChooser(_trace_from(deviations)))
+        if result.violation_kinds() & kinds:
+            return result
+        return None
+
+    # -- ddmin over the deviation set ----------------------------------
+    indices: List[int] = sorted(best_devs)
+    granularity = 2
+    while len(indices) >= 2 and not out_of_budget():
+        chunk = max(1, len(indices) // granularity)
+        reduced = False
+        start = 0
+        while start < len(indices) and not out_of_budget():
+            keep = indices[:start] + indices[start + chunk :]
+            candidate = {i: best_devs[i] for i in keep}
+            result = attempt(candidate)
+            if result is not None:
+                indices = keep
+                best_devs = candidate
+                best_run = result
+                granularity = max(granularity - 1, 2)
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(indices):
+                break
+            granularity = min(len(indices), granularity * 2)
+
+    # -- 1-minimality: every surviving deviation is load-bearing -------
+    for index in sorted(best_devs):
+        if out_of_budget():
+            break
+        if len(best_devs) <= 1:
+            break
+        candidate = {i: c for i, c in best_devs.items() if i != index}
+        result = attempt(candidate)
+        if result is not None:
+            best_devs = candidate
+            best_run = result
+
+    if best_run is failing:
+        # Even a no-op shrink re-runs once so the minimized result's
+        # trace is the *replayed* (stripped) form, not the original's.
+        result = attempt(dict(best_devs))
+        if result is not None:
+            best_run = result
+
+    return ShrinkResult(
+        original=failing,
+        minimized=best_run,
+        runs=runs,
+        elapsed=time.monotonic() - started,
+        kinds=kinds & best_run.violation_kinds(),
+    )

@@ -1,0 +1,304 @@
+"""The three search strategies over the choice-point state space.
+
+All three drive :func:`~repro.explore.harness.run_once` and differ only
+in *which* traces they try:
+
+* **DFS** (:func:`explore_dfs`) — systematic deviation-bounded search,
+  the delay-bounding idea transplanted to choice points: first every
+  single deviation from the default schedule, then pairs, expanding
+  the most protocol-relevant decision kinds first (unilateral aborts
+  before crashes before wire faults before tie-breaks — under rigorous
+  2PL a certification conflict needs an abort-released lock, so abort
+  choices open every interesting door).  Deterministic: same spec ⇒
+  same visit order ⇒ same first counterexample.
+* **Random** (:func:`explore_random`) — seeded random walks with
+  per-kind deviation probabilities
+  (:data:`~repro.explore.trace.DEFAULT_DEVIATION_PROBS`).  Breadth over
+  depth: each seed explores an independent schedule, good at stumbling
+  into races DFS's ordering postpones.
+* **Coverage** (:func:`explore_coverage`) — a walker biased toward
+  unvisited protocol states: every run's
+  :attr:`~repro.explore.harness.RunResult.coverage` features feed a
+  corpus of interesting traces; new walks replay a prefix of a corpus
+  trace and explore a fresh random suffix behind it
+  (:class:`~repro.explore.trace.HybridChooser`).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.explore.harness import ExploreSpec, RunResult, run_once
+from repro.explore.trace import (
+    DEFAULT_DEVIATION_PROBS,
+    DefaultChooser,
+    HybridChooser,
+    RandomChooser,
+    TraceChooser,
+)
+
+#: Deviation-expansion order for DFS: the decision kinds most likely to
+#: expose a protocol bug come first (matched by prefix before ``:``).
+KIND_PRIORITY: Tuple[str, ...] = ("abort", "crash", "msg", "tie")
+
+
+@dataclass
+class Exploration:
+    """What one strategy run over one spec did and found."""
+
+    strategy: str
+    spec: ExploreSpec
+    runs: int = 0
+    elapsed: float = 0.0
+    #: Why the search stopped: ``failure`` | ``budget`` | ``exhausted``.
+    stopped: str = "exhausted"
+    #: Failing runs, in discovery order (first is the counterexample).
+    failures: List[RunResult] = field(default_factory=list)
+    #: Union of coverage features over every run.
+    coverage: Set[str] = field(default_factory=set)
+
+    @property
+    def found(self) -> bool:
+        return bool(self.failures)
+
+    def summary(self) -> str:
+        head = (
+            f"{self.strategy}: {self.runs} runs in {self.elapsed:.1f}s "
+            f"({self.stopped}), coverage={len(self.coverage)}"
+        )
+        if not self.failures:
+            return head + ", no violations"
+        first = self.failures[0]
+        kinds = ",".join(sorted(first.violation_kinds()))
+        return (
+            head
+            + f", VIOLATION [{kinds}] at trace of {len(first.trace)} choices"
+        )
+
+
+class _Budget:
+    """Run-count and wall-clock stop conditions shared by strategies."""
+
+    def __init__(self, max_runs: int, time_budget: Optional[float]) -> None:
+        self.max_runs = max_runs
+        self.deadline = (
+            time.monotonic() + time_budget if time_budget is not None else None
+        )
+        self.started = time.monotonic()
+
+    def exhausted(self, runs: int) -> bool:
+        if runs >= self.max_runs:
+            return True
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+
+def _kind_rank(kind: str) -> int:
+    head = kind.split(":", 1)[0]
+    try:
+        return KIND_PRIORITY.index(head)
+    except ValueError:
+        return len(KIND_PRIORITY)
+
+
+def _deviation_sites(result: RunResult, after: int = -1) -> List[Tuple[int, int]]:
+    """``(index, alternative)`` pairs to try next, priority-ordered.
+
+    Only points strictly after ``after`` are offered, so a DFS child
+    never revisits (and never un-does) its parent's deviations.
+    """
+    sites: List[Tuple[int, int]] = []
+    for point in result.points:
+        if point.index <= after or point.n <= 1:
+            continue
+        for alternative in range(1, point.n):
+            if alternative != point.choice:
+                sites.append((point.index, alternative))
+    sites.sort(key=lambda site: (_kind_rank(result.points[site[0]].kind), site))
+    return sites
+
+
+def _observe(
+    exploration: Exploration,
+    result: RunResult,
+    stop_on_failure: bool,
+) -> bool:
+    """Fold one run into the exploration; True = stop searching."""
+    exploration.runs += 1
+    exploration.coverage |= result.coverage
+    if not result.ok:
+        exploration.failures.append(result)
+        if stop_on_failure:
+            exploration.stopped = "failure"
+            return True
+    return False
+
+
+def explore_dfs(
+    spec: ExploreSpec,
+    *,
+    max_deviations: int = 2,
+    max_runs: int = 3_000,
+    time_budget: Optional[float] = None,
+    stop_on_failure: bool = True,
+    on_run: Optional[Callable[[RunResult], None]] = None,
+) -> Exploration:
+    """Deviation-bounded DFS from the default schedule.
+
+    Depth d enumerates every trace that deviates from the default run
+    at exactly d choice points; deviations are appended strictly
+    left-to-right, and candidate points are expanded in
+    :data:`KIND_PRIORITY` order so the cheap, high-yield deviations
+    (unilateral aborts: 8 points in the default config) are exhausted
+    before the long tail of wire-fault interleavings.
+    """
+    exploration = Exploration(strategy="dfs", spec=spec)
+    budget = _Budget(max_runs, time_budget)
+
+    base = run_once(spec, DefaultChooser())
+    if on_run is not None:
+        on_run(base)
+    done = _observe(exploration, base, stop_on_failure)
+
+    # Each frontier entry is a run plus the index of its last deviation;
+    # children deviate at strictly later points.  Breadth over depth:
+    # all single deviations before any pair.
+    frontier: List[Tuple[RunResult, int]] = [(base, -1)]
+    depth = 0
+    while not done and frontier and depth < max_deviations:
+        depth += 1
+        next_frontier: List[Tuple[RunResult, int]] = []
+        for parent, last in frontier:
+            if done:
+                break
+            for index, alternative in _deviation_sites(parent, after=last):
+                if budget.exhausted(exploration.runs):
+                    exploration.stopped = "budget"
+                    done = True
+                    break
+                trace = parent.trace[:index] + [alternative]
+                child = run_once(spec, TraceChooser(trace))
+                if on_run is not None:
+                    on_run(child)
+                if _observe(exploration, child, stop_on_failure):
+                    done = True
+                    break
+                next_frontier.append((child, index))
+        frontier = next_frontier
+
+    exploration.elapsed = budget.elapsed()
+    return exploration
+
+
+def explore_random(
+    spec: ExploreSpec,
+    *,
+    seed: int = 0,
+    max_runs: int = 200,
+    time_budget: Optional[float] = None,
+    probs: Optional[Dict[str, float]] = None,
+    stop_on_failure: bool = True,
+    on_run: Optional[Callable[[RunResult], None]] = None,
+) -> Exploration:
+    """Seeded random walks; walk i uses ``random.Random(seed * 10007 + i)``."""
+    exploration = Exploration(strategy="random", spec=spec)
+    budget = _Budget(max_runs, time_budget)
+    for i in range(max_runs):
+        if budget.exhausted(exploration.runs):
+            exploration.stopped = "budget"
+            break
+        chooser = RandomChooser(random.Random(seed * 10007 + i), probs)
+        result = run_once(spec, chooser)
+        if on_run is not None:
+            on_run(result)
+        if _observe(exploration, result, stop_on_failure):
+            break
+    exploration.elapsed = budget.elapsed()
+    return exploration
+
+
+def explore_coverage(
+    spec: ExploreSpec,
+    *,
+    seed: int = 0,
+    max_runs: int = 200,
+    time_budget: Optional[float] = None,
+    probs: Optional[Dict[str, float]] = None,
+    corpus_size: int = 24,
+    stop_on_failure: bool = True,
+    on_run: Optional[Callable[[RunResult], None]] = None,
+) -> Exploration:
+    """Coverage-guided walker: keep traces that reach novel protocol
+    states, mutate them by replaying a prefix and re-randomizing the
+    suffix.
+
+    Novelty is judged against the union of
+    :attr:`~repro.explore.harness.RunResult.coverage` features seen so
+    far (abort/refusal reasons, log-bucketed fault counters, commit
+    tallies from :class:`~repro.sim.metrics.SystemMetrics`).  A run
+    contributing a new feature enters the corpus; walks pick a corpus
+    trace (recency-weighted), keep a random prefix, and explore a fresh
+    suffix behind it.
+    """
+    exploration = Exploration(strategy="coverage", spec=spec)
+    budget = _Budget(max_runs, time_budget)
+    rng = random.Random(seed * 20011 + 1)
+    probs = dict(DEFAULT_DEVIATION_PROBS if probs is None else probs)
+    corpus: List[RunResult] = []
+
+    def fold(result: RunResult) -> bool:
+        if on_run is not None:
+            on_run(result)
+        novel = bool(result.coverage - exploration.coverage)
+        stop = _observe(exploration, result, stop_on_failure)
+        if novel:
+            corpus.append(result)
+            del corpus[:-corpus_size]
+        return stop
+
+    if fold(run_once(spec, DefaultChooser())):
+        exploration.elapsed = budget.elapsed()
+        return exploration
+
+    while not budget.exhausted(exploration.runs):
+        if corpus and rng.random() < 0.7:
+            # Mutate: recency-weighted corpus pick, random cut point.
+            parent = corpus[int(len(corpus) * rng.random() ** 2) - 1]
+            cut = rng.randrange(len(parent.trace) + 1)
+            chooser = HybridChooser(parent.trace[:cut], rng, probs)
+        else:
+            chooser = RandomChooser(rng, probs)
+        if fold(run_once(spec, chooser)):
+            break
+    else:
+        exploration.stopped = "budget"
+
+    exploration.elapsed = budget.elapsed()
+    return exploration
+
+
+STRATEGIES: Dict[str, Callable[..., Exploration]] = {
+    "dfs": explore_dfs,
+    "random": explore_random,
+    "coverage": explore_coverage,
+}
+
+
+def explore(
+    spec: ExploreSpec,
+    strategy: str = "dfs",
+    **kwargs,
+) -> Exploration:
+    """Run one named strategy over one spec."""
+    try:
+        runner = STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; known: {sorted(STRATEGIES)}"
+        ) from None
+    return runner(spec, **kwargs)

@@ -1,0 +1,195 @@
+"""Choice traces: the recorded decisions of one simulated run.
+
+Every nondeterministic decision a run makes flows through
+:meth:`~repro.kernel.events.EventKernel.choose`, which asks the
+installed *chooser* to pick one of ``n`` options.  A chooser therefore
+fully determines a run, and the flat list of picks it made — the
+*choice trace* — replays it: feed the same trace back through a
+:class:`TraceChooser` and the simulation takes the identical path,
+event for event, byte for byte.
+
+Option 0 is always the system's default behaviour, so the all-zero
+trace is the fault-free golden run and *shrinking* a failing trace
+means pushing entries toward 0 and dropping suffixes (a shorter trace
+pads with defaults).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ChoicePoint:
+    """One recorded decision: what was asked, and what was picked."""
+
+    index: int
+    kind: str
+    n: int
+    choice: int
+    context: Optional[str] = None
+
+    def describe(self) -> str:
+        ctx = f" ({self.context})" if self.context else ""
+        return f"[{self.index}] {self.kind}: {self.choice}/{self.n}{ctx}"
+
+
+class RecordingChooser:
+    """Base chooser: records every decision as a :class:`ChoicePoint`.
+
+    Subclasses implement :meth:`_decide`; the recorded pick sequence is
+    available as :attr:`trace` afterwards.
+    """
+
+    def __init__(self) -> None:
+        self.points: List[ChoicePoint] = []
+
+    def choose(self, kind: str, n: int, context: Any = None) -> int:
+        index = len(self.points)
+        choice = self._decide(kind, n, context, index)
+        self.points.append(
+            ChoicePoint(
+                index=index,
+                kind=kind,
+                n=n,
+                choice=choice,
+                context=context if isinstance(context, str) else None,
+            )
+        )
+        return choice
+
+    def _decide(self, kind: str, n: int, context: Any, index: int) -> int:
+        raise NotImplementedError
+
+    @property
+    def trace(self) -> List[int]:
+        """The flat pick sequence (one int per decision, in order)."""
+        return [p.choice for p in self.points]
+
+    def deviations(self) -> List[ChoicePoint]:
+        """The non-default decisions — the interesting part of a trace."""
+        return [p for p in self.points if p.choice != 0]
+
+
+class DefaultChooser(RecordingChooser):
+    """Always picks option 0: the fault-free, seq-order default run."""
+
+    def _decide(self, kind: str, n: int, context: Any, index: int) -> int:
+        return 0
+
+
+class TraceChooser(RecordingChooser):
+    """Replays a recorded trace; past its end, every pick is default.
+
+    Out-of-range entries (possible after shrinking shifted alignment)
+    degrade to the default rather than erroring, so *any* int list is a
+    valid — and still deterministic — trace.
+    """
+
+    def __init__(self, trace: Sequence[int]) -> None:
+        super().__init__()
+        self._replay = list(trace)
+
+    def _decide(self, kind: str, n: int, context: Any, index: int) -> int:
+        if index < len(self._replay):
+            choice = self._replay[index]
+            if 0 <= choice < n:
+                return choice
+        return 0
+
+
+#: Per-decision-class probability of deviating from the default, used
+#: by the random strategies.  Keys are matched by prefix against the
+#: choice-point ``kind``; unlisted kinds use ``"*"``.  Tuned empirically:
+#: unilateral aborts are the door into every interesting protocol race
+#: (under rigorous 2PL a certification conflict *requires* a prior
+#: abort-released lock), while wire faults mostly just shift timing —
+#: a walk that sprays drops and delays drowns the conflict structure it
+#: is trying to hit.
+DEFAULT_DEVIATION_PROBS = {
+    "tie": 0.03,
+    "msg": 0.01,
+    "crash": 0.01,
+    "abort": 0.30,
+    "*": 0.05,
+}
+
+
+def _prob_for(kind: str, probs: dict) -> float:
+    head = kind.split(":", 1)[0]
+    if head in probs:
+        return probs[head]
+    return probs.get("*", 0.1)
+
+
+class UniformChooser(RecordingChooser):
+    """Uniform over all options (including the default) — the plain
+    fuzzing draw, used by the adversarial configuration search."""
+
+    def __init__(self, rng: random.Random) -> None:
+        super().__init__()
+        self._rng = rng
+
+    def _decide(self, kind: str, n: int, context: Any, index: int) -> int:
+        return self._rng.randrange(n)
+
+
+class RandomChooser(RecordingChooser):
+    """Seeded random walk: deviates from the default with a per-kind
+    probability, uniformly among the non-default options."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        probs: Optional[dict] = None,
+    ) -> None:
+        super().__init__()
+        self._rng = rng
+        self._probs = dict(DEFAULT_DEVIATION_PROBS)
+        if probs:
+            self._probs.update(probs)
+
+    def _decide(self, kind: str, n: int, context: Any, index: int) -> int:
+        if self._rng.random() < _prob_for(kind, self._probs):
+            return self._rng.randrange(1, n)
+        return 0
+
+
+class HybridChooser(RecordingChooser):
+    """Replay a prefix exactly, then continue as a random walk.
+
+    The coverage-guided strategy mutates interesting traces this way:
+    keep the prefix that reached a novel state, explore fresh suffixes
+    behind it.
+    """
+
+    def __init__(
+        self,
+        prefix: Sequence[int],
+        rng: random.Random,
+        probs: Optional[dict] = None,
+    ) -> None:
+        super().__init__()
+        self._prefix = list(prefix)
+        self._rng = rng
+        self._probs = dict(DEFAULT_DEVIATION_PROBS)
+        if probs:
+            self._probs.update(probs)
+
+    def _decide(self, kind: str, n: int, context: Any, index: int) -> int:
+        if index < len(self._prefix):
+            choice = self._prefix[index]
+            return choice if 0 <= choice < n else 0
+        if self._rng.random() < _prob_for(kind, self._probs):
+            return self._rng.randrange(1, n)
+        return 0
+
+
+def strip_trailing_defaults(trace: Sequence[int]) -> List[int]:
+    """Drop the all-default suffix — replay pads it back implicitly."""
+    out = list(trace)
+    while out and out[-1] == 0:
+        out.pop()
+    return out

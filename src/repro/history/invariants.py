@@ -30,11 +30,59 @@ by the naive baseline's H1 run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.ids import DataItemId, TxnId
 from repro.history.model import History, OpKind, Operation
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation, with enough context to be self-explanatory.
+
+    Every checker (CI, atomic commitment, orphaned-PREPARED scans, the
+    audit, quiescence) reports through this shape so harnesses — chaos,
+    overload, the schedule explorer — can serialize, group and assert
+    on violations without parsing prose.  ``str()`` still reads like
+    the old bare-string reports, so log output stays human.
+
+    * ``kind`` — stable machine-readable label (``"ci"``,
+      ``"atomicity"``, ``"orphaned-prepared"``, ``"audit"``, …);
+    * ``txns`` — labels of the offending global transactions;
+    * ``sites`` — the sites involved;
+    * ``context`` — checker-specific detail (per-site outcomes, the
+      conflicting item, the choice-trace index that produced the run).
+    """
+
+    kind: str
+    detail: str
+    txns: Tuple[str, ...] = ()
+    sites: Tuple[str, ...] = ()
+    context: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __str__(self) -> str:
+        return self.detail
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "txns": list(self.txns),
+            "sites": list(self.sites),
+            "context": dict(self.context),
+        }
+
+    def with_context(self, **extra: Any) -> "Violation":
+        merged = dict(self.context)
+        merged.update(extra)
+        return Violation(
+            kind=self.kind,
+            detail=self.detail,
+            txns=self.txns,
+            sites=self.sites,
+            context=merged,
+        )
 
 
 @dataclass(frozen=True)
@@ -57,6 +105,18 @@ class CIViolation:
         return (
             f"CI.2 at {self.site}: {self.txn.label} moved to prepared "
             f"while unilaterally aborted"
+        )
+
+    def to_violation(self) -> Violation:
+        txns = [self.txn.label]
+        if self.other is not None:
+            txns.append(self.other.label)
+        return Violation(
+            kind=f"ci.{self.part}",
+            detail=str(self),
+            txns=tuple(txns),
+            sites=(self.site,),
+            context={} if self.item is None else {"item": str(self.item)},
         )
 
 
@@ -158,6 +218,17 @@ class AtomicityViolation:
             f"(global decision: {self.decision})"
         )
 
+    def to_violation(self) -> Violation:
+        outcomes = {site: "commit" for site in self.committed_sites}
+        outcomes.update({site: "abort" for site in self.aborted_sites})
+        return Violation(
+            kind="atomicity",
+            detail=f"atomic commitment: {self}",
+            txns=(self.txn.label,),
+            sites=tuple(sorted(outcomes)),
+            context={"outcomes": outcomes, "decision": self.decision},
+        )
+
 
 def check_atomic_commitment(history: History) -> List[AtomicityViolation]:
     """All-or-nothing across sites, per global transaction.
@@ -203,3 +274,11 @@ def check_atomic_commitment(history: History) -> List[AtomicityViolation]:
                 )
             )
     return violations
+
+
+def check_history(history: History) -> List[Violation]:
+    """Run both history-level checkers, structured-report style."""
+    out: List[Violation] = []
+    out.extend(v.to_violation() for v in check_correctness_invariant(history))
+    out.extend(v.to_violation() for v in check_atomic_commitment(history))
+    return out

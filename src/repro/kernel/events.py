@@ -23,6 +23,15 @@ Hot-path design notes (the substrate underneath every experiment):
   re-dispatches itself on expiry.  Sequence numbers are still allocated
   at restart time, so firing order is byte-identical to the naive
   cancel-and-push implementation.
+
+Choice points: installing a :attr:`EventKernel.chooser` turns every
+nondeterministic decision into an explicit, recordable choice.  The
+kernel itself only has one — which of several *same-time* events fires
+first (``choose("tie", k)``) — but any component may route its own
+decisions (fault injection, crash points, unilateral aborts) through
+:meth:`EventKernel.choose`.  With no chooser installed every call
+returns option 0 and the drain loop takes the untouched fast path, so
+default-configuration histories stay byte-identical.
 """
 
 from __future__ import annotations
@@ -98,6 +107,10 @@ class EventKernel:
         self._events_fired = 0
         self._live = 0
         self._tombstones = 0
+        #: Optional decision oracle (duck-typed: ``choose(kind, n,
+        #: context) -> int``).  ``None`` — the default — keeps the
+        #: seq-order drain and makes :meth:`choose` a constant 0.
+        self.chooser: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -144,6 +157,33 @@ class EventKernel:
     def call_soon(self, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` at the current time, after pending same-time events."""
         return self.schedule(0.0, callback)
+
+    # -- choice points -------------------------------------------------
+
+    def choose(self, kind: str, n: int, context: Any = None) -> int:
+        """Resolve one nondeterministic decision with ``n`` options.
+
+        Option 0 is always the *default* — the behaviour the system
+        exhibits with no chooser installed.  Components present their
+        alternatives (fire this tied event, drop this message, crash at
+        this point, …) as options ``1..n-1``; the installed chooser
+        picks one, and the pick is its to record.  ``kind`` is a stable
+        label (``"tie"``, ``"msg:PREPARE"``, ``"crash"``, …) so
+        strategies can weight decision classes differently; ``context``
+        is diagnostics-only.
+
+        With no chooser, or with fewer than two options, this is a
+        constant 0 and nothing is recorded — default runs stay
+        byte-identical.
+        """
+        if n <= 1 or self.chooser is None:
+            return 0
+        choice = self.chooser.choose(kind, n, context)
+        if not 0 <= choice < n:
+            raise SimulationError(
+                f"chooser returned {choice} for {kind!r} with {n} options"
+            )
+        return choice
 
     # -- internal plumbing ---------------------------------------------
 
@@ -229,6 +269,8 @@ class EventKernel:
         queue = self._queue
         pop = heapq.heappop
         try:
+            if self.chooser is not None:
+                return self._drain_chosen(until, max_events, advance)
             if until is None and max_events is None:
                 # Unbounded drain (the overwhelmingly common call): no
                 # per-event bound checks, pop straight off the heap.
@@ -273,6 +315,66 @@ class EventKernel:
             return self._now
         finally:
             self._running = False
+            self._events_fired += fired
+
+    def _drain_chosen(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        advance: bool,
+    ) -> float:
+        """Drain with every same-time tie resolved by the chooser.
+
+        Entries due at exactly the same simulated time are popped as a
+        batch; ``choose("tie", k)`` picks which fires, the rest go back
+        on the heap at their original ``(time, seq)`` slots.  Option 0
+        is the lowest sequence number — the exact event the default
+        drain would have fired — so an all-defaults chooser reproduces
+        the fast path event for event.  Stop conditions mirror
+        :meth:`run`'s bounded loop.  Deliberately not hot-path-tuned:
+        exploration runs are small.
+        """
+        fired = 0
+        queue = self._queue
+        pop = heapq.heappop
+        push = heapq.heappush
+        try:
+            while True:
+                head = self._next_live_time()
+                if head is None:
+                    if advance and until is not None and until > self._now:
+                        self._now = until
+                    break
+                if max_events is not None and fired >= max_events:
+                    if advance and until is not None and until > self._now:
+                        if head > until:
+                            self._now = until
+                    break
+                if until is not None and head > until:
+                    if advance and until > self._now:
+                        self._now = until
+                    break
+                batch = []
+                while queue and queue[0][0] == head:
+                    entry = pop(queue)
+                    if entry[2]._cancelled:
+                        self._tombstones -= 1
+                        continue
+                    batch.append(entry)
+                idx = 0
+                if len(batch) > 1:
+                    idx = self.choose("tie", len(batch))
+                for i, entry in enumerate(batch):
+                    if i != idx:
+                        push(queue, entry)
+                time, _seq, handle = batch[idx]
+                self._live -= 1
+                handle._fired = True
+                self._now = time
+                handle._callback()
+                fired += 1
+            return self._now
+        finally:
             self._events_fired += fired
 
     def step(self) -> bool:

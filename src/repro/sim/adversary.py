@@ -8,18 +8,26 @@ collects the configurations whose history corrupts.  Each discovered
 configuration is then replayed under 2CM, which must come out clean —
 an automated version of the paper's "anomaly, then fix" argument over a
 whole family of races instead of a hand-picked one.
+
+The knobs are drawn through the same choice-point machinery the
+schedule explorer uses (:mod:`repro.explore.trace`): each knob is one
+recorded decision over a fixed menu (:data:`MENU`), so a configuration
+*is* a flat choice trace — ``config_from_chooser(TraceChooser(trace))``
+rebuilds it, and a corrupting configuration can be persisted and
+replayed exactly like an explorer ``.schedule``.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.common.ids import global_txn
 from repro.core.agent import AgentConfig
 from repro.core.coordinator import GlobalTransactionSpec
 from repro.core.dtm import MultidatabaseSystem, SystemConfig
+from repro.explore.trace import TraceChooser, UniformChooser
 from repro.history.model import OpKind
 from repro.ldbs.commands import (
     AddValue,
@@ -32,6 +40,32 @@ from repro.ldbs.ltm import LTMConfig
 from repro.net.network import LatencyModel
 from repro.sim.failures import abort_current_incarnation
 from repro.sim.metrics import audit
+
+#: The (coordinator, site) channels whose latency the adversary sets.
+CHANNELS: Tuple[Tuple[str, str], ...] = (
+    ("coord:c1", "agent:a"),
+    ("coord:c1", "agent:b"),
+    ("coord:c2", "agent:a"),
+    ("coord:c2", "agent:b"),
+)
+
+#: The decision menu of the template race, in draw order: one
+#: ``(kind, options)`` entry per knob.  A configuration is one index
+#: per entry — the explorer's flat choice-trace format.
+MENU: Tuple[Tuple[str, Tuple[object, ...]], ...] = tuple(
+    [
+        (
+            f"adv:latency:{src.split(':')[1]}->{dst.split(':')[1]}",
+            (5.0, 15.0, 40.0, 80.0, 120.0),
+        )
+        for src, dst in CHANNELS
+    ]
+    + [
+        ("adv:t2-delay", (1.0, 5.0, 15.0, 40.0)),
+        ("adv:local-delay", (5.0, 20.0, 50.0, 90.0)),
+        ("adv:abort-delay", (None, 1.0, 5.0, 20.0)),
+    ]
+)
 
 
 @dataclass(frozen=True)
@@ -56,6 +90,35 @@ class AdversaryConfig:
             f"local@C1+{self.local_delay:g} abort@C1+{abort}"
         )
 
+    def to_trace(self) -> List[int]:
+        """This configuration as a flat choice trace over :data:`MENU`."""
+        values = [value for _, value in self.latencies]
+        values += [self.t2_delay, self.local_delay, self.abort_delay]
+        return [
+            options.index(value)
+            for (_, options), value in zip(MENU, values)
+        ]
+
+
+def config_from_chooser(chooser) -> AdversaryConfig:
+    """Draw every knob through one chooser (the choice-point protocol)."""
+    picks = [
+        options[chooser.choose(kind, len(options), context=kind)]
+        for kind, options in MENU
+    ]
+    n = len(CHANNELS)
+    return AdversaryConfig(
+        latencies=tuple(zip(CHANNELS, picks[:n])),
+        t2_delay=picks[n],
+        local_delay=picks[n + 1],
+        abort_delay=picks[n + 2],
+    )
+
+
+def config_from_trace(trace: List[int]) -> AdversaryConfig:
+    """Rebuild a configuration from its recorded choice trace."""
+    return config_from_chooser(TraceChooser(trace))
+
 
 @dataclass
 class SearchResult:
@@ -73,23 +136,14 @@ class SearchResult:
 
 
 def draw_config(rng: random.Random) -> AdversaryConfig:
-    """Sample one configuration of the template race."""
-    channels = [
-        ("coord:c1", "agent:a"),
-        ("coord:c1", "agent:b"),
-        ("coord:c2", "agent:a"),
-        ("coord:c2", "agent:b"),
-    ]
-    latencies = tuple(
-        (channel, float(rng.choice((5, 15, 40, 80, 120))))
-        for channel in channels
-    )
-    return AdversaryConfig(
-        latencies=latencies,
-        t2_delay=float(rng.choice((1, 5, 15, 40))),
-        local_delay=float(rng.choice((5, 20, 50, 90))),
-        abort_delay=rng.choice((None, 1.0, 5.0, 20.0)),
-    )
+    """Sample one configuration of the template race.
+
+    A uniform draw per menu entry — exactly the distribution (and, for
+    a given ``rng`` state, the exact draw sequence) the old inline
+    ``rng.choice`` knob-drawing produced, but recorded as choice
+    points.
+    """
+    return config_from_chooser(UniformChooser(rng))
 
 
 def run_template(method: str, config: AdversaryConfig) -> bool:

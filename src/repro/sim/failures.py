@@ -31,7 +31,11 @@ from repro.common.ids import TxnId
 from repro.core.agent import CRASH_POINTS, AgentPhase
 from repro.core.coordinator import CoordinatorTimeouts
 from repro.core.dtm import MultidatabaseSystem, SystemConfig
-from repro.history.invariants import check_atomic_commitment
+from repro.history.invariants import (
+    Violation,
+    check_atomic_commitment,
+    check_correctness_invariant,
+)
 from repro.history.model import OpKind, Operation
 from repro.net.failure_detector import FailureDetectorConfig
 from repro.net.faults import FaultPlan, LossBurst, Partition
@@ -334,8 +338,9 @@ class ChaosResult:
     #: Fault/session counters for the "did the run actually exercise
     #: loss, duplication, a partition and a crash" assertion.
     counters: Dict[str, int] = field(default_factory=dict)
-    #: Human-readable invariant violations; empty = the run is clean.
-    violations: List[str] = field(default_factory=list)
+    #: Structured invariant violations (:class:`Violation` — stringify
+    #: for prose, ``to_dict`` for JSON); empty = the run is clean.
+    violations: List[Violation] = field(default_factory=list)
     sim_time: float = 0.0
 
     @property
@@ -432,9 +437,109 @@ def build_chaos_system(
     )
 
 
+def invariant_battery(
+    system: MultidatabaseSystem,
+    durability_root: Optional[str] = None,
+    include_ci: bool = False,
+) -> List[Violation]:
+    """The full post-run oracle, shared by chaos, overload and explore.
+
+    Runs over a (hopefully quiesced) system: atomic commitment across
+    sites, the orphaned-PREPARED scan, the serializability/rigor audit,
+    and — when the run used real WALs — a recoverability scan of every
+    surviving log directory.  ``include_ci`` adds the paper's
+    Correctness Invariant checker; the schedule explorer wants it, the
+    chaos drills historically asserted it separately.
+    """
+    from repro.sim.metrics import audit
+
+    violations: List[Violation] = []
+
+    for v in check_atomic_commitment(system.history):
+        violations.append(v.to_violation())
+
+    if include_ci:
+        for ci in check_correctness_invariant(system.history):
+            violations.append(ci.to_violation())
+
+    for site in system.config.sites:
+        agent = system.agent(site)
+        orphans = sorted(
+            str(state.txn)
+            for state in agent._txns.values()
+            if state.phase is AgentPhase.PREPARED
+        )
+        if orphans:
+            violations.append(
+                Violation(
+                    kind="orphaned-prepared",
+                    detail=f"orphaned prepared subtransactions at {site}: {orphans}",
+                    txns=tuple(orphans),
+                    sites=(site,),
+                )
+            )
+
+    report = audit(system)
+    if report.view_serializability.serializable is False:
+        violations.append(
+            Violation(
+                kind="audit.viewser",
+                detail=(
+                    f"C(H) not view serializable: "
+                    f"{report.view_serializability.reason}"
+                ),
+            )
+        )
+    if report.rigor_violations:
+        violations.append(
+            Violation(
+                kind="audit.rigor",
+                detail=f"{report.rigor_violations} rigor violations in local histories",
+                context={"count": report.rigor_violations},
+            )
+        )
+    if report.distortions.has_global_distortion:
+        violations.append(
+            Violation(
+                kind="audit.distortion",
+                detail="global view distortion detected",
+            )
+        )
+
+    if durability_root is not None:
+        violations.extend(wal_battery(durability_root))
+    return violations
+
+
+def wal_battery(durability_root: str) -> List[Violation]:
+    """Recoverability scan over every surviving WAL directory.
+
+    Separate from :func:`invariant_battery` because it must run *after*
+    ``system.close()`` — open segment files are not scannable state.
+    """
+    from repro.durability.cli import wal_directories
+    from repro.durability.recovery import scan_wal
+
+    violations: List[Violation] = []
+    for directory in wal_directories(durability_root):
+        report_wal = scan_wal(directory)
+        if not report_wal.clean:
+            violations.append(
+                Violation(
+                    kind="wal",
+                    detail=(
+                        f"WAL not recoverable: {directory}: "
+                        f"{report_wal.summary()}"
+                    ),
+                    context={"directory": str(directory)},
+                )
+            )
+    return violations
+
+
 def run_chaos(config: ChaosConfig) -> ChaosResult:
     """One full nemesis run: chaos phase, heal, drain, invariant battery."""
-    from repro.sim.metrics import audit, collect_metrics
+    from repro.sim.metrics import collect_metrics
     from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 
     plan = build_fault_plan(config)
@@ -510,8 +615,14 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     system.run(until=config.duration + config.drain, advance=False)
     if system.kernel.pending:
         result.violations.append(
-            f"run did not quiesce within drain budget "
-            f"({system.kernel.pending} events pending)"
+            Violation(
+                kind="quiesce",
+                detail=(
+                    f"run did not quiesce within drain budget "
+                    f"({system.kernel.pending} events pending)"
+                ),
+                context={"pending": system.kernel.pending},
+            )
         )
 
     # -- invariant battery ---------------------------------------------
@@ -519,44 +630,10 @@ def run_chaos(config: ChaosConfig) -> ChaosResult:
     result.aborted = sum(1 for o in outcomes.values() if not o.committed)
     result.sim_time = system.kernel.now
 
-    for violation in check_atomic_commitment(system.history):
-        result.violations.append(f"atomicity: {violation}")
-
-    for site in config.sites:
-        agent = system.agent(site)
-        orphans = [
-            str(state.txn)
-            for state in agent._txns.values()
-            if state.phase is AgentPhase.PREPARED
-        ]
-        if orphans:
-            result.violations.append(
-                f"orphaned prepared subtransactions at {site}: {orphans}"
-            )
-
-    report = audit(system)
-    if report.view_serializability.serializable is False:
-        result.violations.append(
-            f"C(H) not view serializable: {report.view_serializability.reason}"
-        )
-    if report.rigor_violations:
-        result.violations.append(
-            f"{report.rigor_violations} rigor violations in local histories"
-        )
-    if report.distortions.has_global_distortion:
-        result.violations.append("global view distortion detected")
-
+    result.violations.extend(invariant_battery(system))
     system.close()
     if config.durability_root is not None:
-        from repro.durability.cli import wal_directories
-        from repro.durability.recovery import scan_wal
-
-        for directory in wal_directories(config.durability_root):
-            report_wal = scan_wal(directory)
-            if not report_wal.clean:
-                result.violations.append(
-                    f"WAL not recoverable: {directory}: {report_wal.summary()}"
-                )
+        result.violations.extend(wal_battery(config.durability_root))
 
     metrics = collect_metrics(system)
     result.counters = {

@@ -24,11 +24,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.common.errors import RefusalReason
-from repro.core.agent import AgentPhase
 from repro.core.dtm import MultidatabaseSystem, SystemConfig
-from repro.history.invariants import check_atomic_commitment
+from repro.history.invariants import Violation
 from repro.overload.config import OverloadConfig
-from repro.sim.failures import RandomFailureInjector
+from repro.sim.failures import RandomFailureInjector, invariant_battery
 from repro.workload.generator import WorkloadConfig, WorkloadGenerator
 
 
@@ -80,8 +79,9 @@ class OverloadResult:
     aborted: int = 0
     sim_time: float = 0.0
     counters: Dict[str, int] = field(default_factory=dict)
-    #: Human-readable invariant violations; empty = the run is clean.
-    violations: List[str] = field(default_factory=list)
+    #: Structured invariant violations (:class:`Violation` — stringify
+    #: for prose, ``to_dict`` for JSON); empty = the run is clean.
+    violations: List[Violation] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -131,7 +131,7 @@ def build_overload_system(config: OverloadDrillConfig) -> MultidatabaseSystem:
 
 def run_overload(config: OverloadDrillConfig) -> OverloadResult:
     """One full drill: storm, drain, invariant battery."""
-    from repro.sim.metrics import audit, collect_metrics
+    from repro.sim.metrics import collect_metrics
 
     system = build_overload_system(config)
     result = OverloadResult(seed=config.seed, load=config.load, shed=config.shed)
@@ -167,8 +167,14 @@ def run_overload(config: OverloadDrillConfig) -> OverloadResult:
         def done(event) -> None:
             if event.error is not None:
                 result.violations.append(
-                    f"coordinator process for {entry.spec.txn} died: "
-                    f"{event.error!r}"
+                    Violation(
+                        kind="coordinator-death",
+                        detail=(
+                            f"coordinator process for {entry.spec.txn} died: "
+                            f"{event.error!r}"
+                        ),
+                        txns=(str(entry.spec.txn),),
+                    )
                 )
                 return
             outcomes[entry.spec.txn] = event.value
@@ -189,8 +195,14 @@ def run_overload(config: OverloadDrillConfig) -> OverloadResult:
     system.run(until=config.run_limit, advance=False)
     if system.kernel.pending:
         result.violations.append(
-            f"run did not quiesce within {config.run_limit:g} time units "
-            f"({system.kernel.pending} events pending)"
+            Violation(
+                kind="quiesce",
+                detail=(
+                    f"run did not quiesce within {config.run_limit:g} time "
+                    f"units ({system.kernel.pending} events pending)"
+                ),
+                context={"pending": system.kernel.pending},
+            )
         )
 
     # -- invariant battery ---------------------------------------------
@@ -202,40 +214,29 @@ def run_overload(config: OverloadDrillConfig) -> OverloadResult:
     if len(outcomes) != len(workload.globals_):
         missing = len(workload.globals_) - len(outcomes)
         result.violations.append(
-            f"{missing} submitted globals never reached a terminal state"
+            Violation(
+                kind="non-terminal",
+                detail=f"{missing} submitted globals never reached a terminal state",
+                context={"missing": missing},
+            )
         )
 
-    for violation in check_atomic_commitment(system.history):
-        result.violations.append(f"atomicity: {violation}")
+    result.violations.extend(invariant_battery(system))
 
     for site in config.sites:
         agent = system.agent(site)
-        orphans = [
-            str(state.txn)
-            for state in agent._txns.values()
-            if state.phase is AgentPhase.PREPARED
-        ]
-        if orphans:
-            result.violations.append(
-                f"orphaned prepared subtransactions at {site}: {orphans}"
-            )
         if agent.certifier.table_size() != 0:
             result.violations.append(
-                f"certifier table at {site} not empty: "
-                f"{agent.certifier.table_size()} entries"
+                Violation(
+                    kind="certifier-leak",
+                    detail=(
+                        f"certifier table at {site} not empty: "
+                        f"{agent.certifier.table_size()} entries"
+                    ),
+                    sites=(site,),
+                    context={"entries": agent.certifier.table_size()},
+                )
             )
-
-    report = audit(system)
-    if report.view_serializability.serializable is False:
-        result.violations.append(
-            f"C(H) not view serializable: {report.view_serializability.reason}"
-        )
-    if report.rigor_violations:
-        result.violations.append(
-            f"{report.rigor_violations} rigor violations in local histories"
-        )
-    if report.distortions.has_global_distortion:
-        result.violations.append("global view distortion detected")
 
     system.close()
     metrics = collect_metrics(system)

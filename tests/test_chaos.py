@@ -9,7 +9,7 @@ class TestInvariantsUnderChaos:
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_nemesis_seeds_hold_every_invariant(self, seed):
         result = run_chaos(ChaosConfig(seed=seed, duration=2000, n_global=16))
-        assert result.ok, "\n".join(result.violations)
+        assert result.ok, "\n".join(map(str, result.violations))
         # Something actually finished despite the nemesis.
         assert result.committed + result.aborted > 0
 
@@ -18,7 +18,7 @@ class TestInvariantsUnderChaos:
         agent crash all demonstrably occur in a single run — asserted
         through the counters, not hoped for."""
         result = run_chaos(ChaosConfig(seed=0))
-        assert result.ok, "\n".join(result.violations)
+        assert result.ok, "\n".join(map(str, result.violations))
         counters = result.counters
         assert counters["messages_lost"] > 0
         assert counters["messages_duplicated"] > 0
@@ -45,7 +45,7 @@ class TestInvariantsUnderChaos:
                 durability_root=tmp_path,
             )
         )
-        assert result.ok, "\n".join(result.violations)
+        assert result.ok, "\n".join(map(str, result.violations))
 
 
 class TestFaultPlanConstruction:
